@@ -1,0 +1,104 @@
+//! Criterion performance benches of the simulator itself: how fast each
+//! frontend model replays a trace, and the hot component operations.
+//!
+//! These measure *simulator* throughput (host-seconds per simulated uop),
+//! not the simulated machine — the paper's metrics come from the `fig*`
+//! binaries.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use xbc::{BankMask, PromotionMode, XbcArray, XbcConfig, XbcFrontend, XbPtr};
+use xbc_bench::bench_trace;
+use xbc_frontend::{
+    Frontend, IcFrontend, IcFrontendConfig, TcConfig, TraceCacheFrontend,
+};
+use xbc_isa::{decode, Addr, Inst};
+use xbc_predict::{Gshare, GshareConfig};
+
+const TRACE_INSTS: usize = 50_000;
+
+fn frontends(c: &mut Criterion) {
+    let trace = bench_trace(TRACE_INSTS);
+    let mut g = c.benchmark_group("frontend_replay");
+    g.throughput(Throughput::Elements(trace.uop_count()));
+
+    g.bench_function("ic", |b| {
+        b.iter_batched(
+            || IcFrontend::new(IcFrontendConfig::default()),
+            |mut fe| fe.run(&trace),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("tc_32k", |b| {
+        b.iter_batched(
+            || TraceCacheFrontend::new(TcConfig::default()),
+            |mut fe| fe.run(&trace),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("xbc_32k", |b| {
+        b.iter_batched(
+            || XbcFrontend::new(XbcConfig::default()),
+            |mut fe| fe.run(&trace),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("xbc_32k_nopromo", |b| {
+        b.iter_batched(
+            || XbcFrontend::new(XbcConfig { promotion: PromotionMode::Off, ..XbcConfig::default() }),
+            |mut fe| fe.run(&trace),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn components(c: &mut Criterion) {
+    let mut g = c.benchmark_group("components");
+
+    // Array insert + fetch round trip.
+    let cfg = XbcConfig { total_uops: 8192, ..XbcConfig::default() };
+    let uops: Vec<_> = decode(&Inst::plain(Addr::new(0x100), 4, 4))
+        .into_iter()
+        .chain(decode(&Inst::plain(Addr::new(0x104), 4, 4)))
+        .chain(decode(&Inst::plain(Addr::new(0x108), 4, 4)))
+        .collect();
+    g.bench_function("array_insert_fetch", |b| {
+        b.iter_batched(
+            || XbcArray::new(&cfg),
+            |mut a| {
+                for i in 0..64u64 {
+                    let ip = Addr::new(0x100 + i * 37);
+                    let mask = a.insert(ip, &uops, 0, BankMask::EMPTY, BankMask::EMPTY);
+                    let ptr = XbPtr::new(ip, Addr::new(0x100), mask, uops.len() as u8);
+                    let mut used = BankMask::EMPTY;
+                    let _ = a.fetch_one(&ptr, &mut used);
+                }
+                a
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Predictor update throughput.
+    g.bench_function("gshare_update", |b| {
+        let mut gs = Gshare::new(GshareConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            gs.update(Addr::new(0x4000 + (i % 256)), i.is_multiple_of(3))
+        })
+    });
+
+    // Workload generation (program synthesis).
+    g.bench_function("trace_capture_10k", |b| {
+        b.iter(|| bench_trace(10_000).uop_count());
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = frontends, components
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Regenerates paper **Figure 1**: the length distribution of dynamic
+//! instruction blocks (basic block, XB, XB with promotion, dual XB), all
+//! capped at 16 uops.
+//!
+//! Paper-reported averages: basic block 7.7 uops, XB 8.0, XB with
+//! promotion 10.0, dual XB 12.7.
+//!
+//! ```text
+//! cargo run --release -p xbc-bench --bin fig1 [-- --inst N --traces a,b]
+//! ```
+
+use xbc_sim::HarnessArgs;
+use xbc_uarch::Histogram;
+use xbc_workload::{block_length_stats, BLOCK_QUOTA};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let mut agg: Option<xbc_workload::BlockLengthStats> = None;
+    for spec in &args.traces {
+        let trace = spec.capture(args.insts);
+        let s = block_length_stats(&trace);
+        eprintln!(
+            "{:<18} bb={:5.2} xb={:5.2} promo={:5.2} dual={:5.2}",
+            spec.name,
+            s.basic_block.mean(),
+            s.xb.mean(),
+            s.xb_promoted.mean(),
+            s.dual_xb.mean()
+        );
+        match &mut agg {
+            None => agg = Some(s),
+            Some(a) => a.merge(&s),
+        }
+    }
+    let agg = agg.expect("at least one trace");
+
+    println!("Figure 1: block length distribution (fractions per length, {} traces)", args.traces.len());
+    println!(
+        "{:>4} {:>12} {:>12} {:>12} {:>12}",
+        "len", "basic-block", "xb", "xb-promoted", "dual-xb"
+    );
+    let fraction = |h: &Histogram, v: usize| 100.0 * h.fraction(v);
+    for len in 1..=BLOCK_QUOTA {
+        println!(
+            "{:>4} {:>11.2}% {:>11.2}% {:>11.2}% {:>11.2}%",
+            len,
+            fraction(&agg.basic_block, len),
+            fraction(&agg.xb, len),
+            fraction(&agg.xb_promoted, len),
+            fraction(&agg.dual_xb, len),
+        );
+    }
+    println!();
+    println!(
+        "averages (paper: 7.7 / 8.0 / 10.0 / 12.7): {:.2} / {:.2} / {:.2} / {:.2}",
+        agg.basic_block.mean(),
+        agg.xb.mean(),
+        agg.xb_promoted.mean(),
+        agg.dual_xb.mean()
+    );
+}

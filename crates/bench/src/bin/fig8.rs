@@ -1,0 +1,36 @@
+//! Regenerates paper **Figure 8**: XBC versus TC delivered uop bandwidth,
+//! per trace, at the same 32K-uop cache budget.
+//!
+//! The paper's finding: "the difference between the XBC and TC bandwidth
+//! is negligible".
+//!
+//! ```text
+//! cargo run --release -p xbc-bench --bin fig8 [-- --inst N --traces a,b]
+//! ```
+
+use xbc_sim::{average_bandwidth, pivot_table, FrontendSpec, HarnessArgs, Sweep};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let mut sweep = Sweep::new(
+        args.traces.clone(),
+        vec![FrontendSpec::tc_default(), FrontendSpec::xbc_default()],
+        args.insts,
+    );
+    sweep.threads = args.threads;
+    let rows = sweep.run();
+
+    println!(
+        "{}",
+        pivot_table(&rows, "Figure 8: uop bandwidth at 32K uops (uops per delivery cycle)", |r| {
+            r.bandwidth
+        })
+    );
+    let tc: Vec<_> = rows.iter().filter(|r| r.frontend == FrontendSpec::tc_default()).cloned().collect();
+    let xbc: Vec<_> =
+        rows.iter().filter(|r| r.frontend == FrontendSpec::xbc_default()).cloned().collect();
+    let (bt, bx) = (average_bandwidth(&tc), average_bandwidth(&xbc));
+    println!("average bandwidth: tc={bt:.2} xbc={bx:.2} (delta {:+.1}%)", 100.0 * (bx - bt) / bt);
+    println!("paper: the difference is negligible (same prediction bandwidth, banked fetch)");
+    args.maybe_dump_json(&rows);
+}

@@ -1,0 +1,84 @@
+//! Regenerates paper **Figure 9**: XBC versus TC uop miss rate as the
+//! cache size varies.
+//!
+//! The paper's findings: the XBC misses substantially less at every size,
+//! the gap is most pronounced at small sizes, the *relative* reduction is
+//! roughly constant (~29% in the paper), and the TC needs >50% more
+//! capacity to match the XBC's hit rate.
+//!
+//! ```text
+//! cargo run --release -p xbc-bench --bin fig9 [-- --inst N --traces a,b]
+//! ```
+
+use xbc_sim::{average_miss_rate, pivot_table, FrontendSpec, HarnessArgs, Row, Sweep};
+
+/// The swept cache budgets, in uops.
+const SIZES: [usize; 6] = [2048, 4096, 8192, 16384, 32768, 65536];
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let mut frontends = Vec::new();
+    for &s in &SIZES {
+        frontends.push(FrontendSpec::Tc { total_uops: s, ways: 4 });
+        frontends.push(FrontendSpec::Xbc { total_uops: s, ways: 2, promotion: true });
+    }
+    let mut sweep = Sweep::new(args.traces.clone(), frontends, args.insts);
+    sweep.threads = args.threads;
+    let rows = sweep.run();
+
+    println!(
+        "{}",
+        pivot_table(&rows, "Figure 9: uop miss rate (%) vs cache size", |r| 100.0 * r.miss_rate)
+    );
+
+    println!("{:>8} {:>10} {:>10} {:>12}", "size", "tc-miss%", "xbc-miss%", "reduction");
+    let by = |rows: &[Row], spec: FrontendSpec| -> Vec<Row> {
+        rows.iter().filter(|r| r.frontend == spec).cloned().collect()
+    };
+    for &s in &SIZES {
+        let tc = average_miss_rate(&by(&rows, FrontendSpec::Tc { total_uops: s, ways: 4 }));
+        let xbc = average_miss_rate(&by(
+            &rows,
+            FrontendSpec::Xbc { total_uops: s, ways: 2, promotion: true },
+        ));
+        println!(
+            "{:>7}K {:>9.2}% {:>9.2}% {:>11.1}%",
+            s / 1024,
+            100.0 * tc,
+            100.0 * xbc,
+            100.0 * (1.0 - xbc / tc)
+        );
+    }
+    println!("paper: ~29% fewer misses at all sizes");
+
+    // The "TC needs >50% more capacity" claim: find, for each XBC size,
+    // the smallest swept TC size whose average miss rate matches it.
+    println!();
+    println!("capacity to match (paper: TC must grow by more than 50%):");
+    for (i, &s) in SIZES.iter().enumerate() {
+        let xbc = average_miss_rate(&by(
+            &rows,
+            FrontendSpec::Xbc { total_uops: s, ways: 2, promotion: true },
+        ));
+        let needed = SIZES[i..]
+            .iter()
+            .find(|&&ts| {
+                average_miss_rate(&by(&rows, FrontendSpec::Tc { total_uops: ts, ways: 4 })) <= xbc
+            })
+            .copied();
+        match needed {
+            Some(ts) => println!(
+                "  xbc @ {:>2}K uops ≈ tc @ {:>2}K uops ({}x)",
+                s / 1024,
+                ts / 1024,
+                ts / s
+            ),
+            None => println!(
+                "  xbc @ {:>2}K uops: no swept TC size reaches it (>{}x needed)",
+                s / 1024,
+                SIZES.last().unwrap() / s
+            ),
+        }
+    }
+    args.maybe_dump_json(&rows);
+}

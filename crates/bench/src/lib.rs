@@ -1,0 +1,40 @@
+//! # xbc-bench — benchmark and figure-regeneration harness
+//!
+//! One binary per paper figure plus aggregate/ablation harnesses:
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `fig1` | Figure 1 — block length distributions |
+//! | `fig8` | Figure 8 — XBC vs TC uop bandwidth at 32K uops |
+//! | `fig9` | Figure 9 — miss rate vs cache size |
+//! | `fig10` | Figure 10 — miss rate vs associativity |
+//! | `summary` | §4/§5 aggregate claims |
+//! | `ablation` | §3 design-choice ablations |
+//!
+//! All binaries accept `--inst N`, `--traces a,b`, `--threads N`, and
+//! (where applicable) `--json PATH`. Criterion performance benches of the
+//! simulator itself live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use xbc_workload::{standard_traces, Trace};
+
+/// Captures a small, deterministic trace for Criterion benchmarking
+/// (`spec.compress`-like, `n` instructions).
+pub fn bench_trace(n: usize) -> Trace {
+    standard_traces()[0].capture(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_trace_is_deterministic() {
+        let a = bench_trace(2_000);
+        let b = bench_trace(2_000);
+        assert_eq!(a.uop_count(), b.uop_count());
+        assert_eq!(a.inst_count(), 2_000);
+    }
+}

@@ -1,0 +1,1035 @@
+//! The banked XBC data/tag array (paper §3.2, §3.4, §3.6, §3.10).
+//!
+//! Geometry: `sets × banks × ways` lines of `line_uops` uops. An extended
+//! block is identified by the (set, tag) derived from its **ending**
+//! instruction's IP and occupies one line per `ceil(len / line_uops)`,
+//! each in a *different bank*, numbered by an `order` field: order 0 (the
+//! *primary* bank) holds the XB's last uops, order 1 the preceding ones,
+//! and so on (§3.2). Within a line uops are stored in **reverse order**
+//! (§3.4), so extending an XB at its head never moves stored uops.
+//!
+//! Complex XBs (§3.3 case 3) appear naturally as several lines with the
+//! same (set, tag, order) in different ways/banks: alternate prefixes
+//! sharing the suffix lines. Pointers disambiguate with their bank mask.
+
+use crate::config::XbcConfig;
+use crate::ptr::{BankMask, XbPtr};
+use xbc_isa::{Addr, Uop};
+
+/// One bank line: up to `line_uops` uops of one XB, reverse-ordered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    order: u8,
+    /// Uops in reverse order: slot `s` holds the uop at
+    /// position-from-end `order * line_uops + s`.
+    uops: Vec<Uop>,
+    stamp: u64,
+    /// Deferred-fetch events charged to this line (dynamic placement).
+    conflicts: u8,
+}
+
+/// A resolved arrangement of one XB's lines: index `k` is the `(bank, way)`
+/// of the order-`k` line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Assembly {
+    /// `(bank, way)` per order, order ascending from 0.
+    pub lines: Vec<(usize, usize)>,
+    /// Banks used.
+    pub mask: BankMask,
+    /// Total uops stored across the lines.
+    pub total_uops: usize,
+}
+
+/// Outcome of one XB fetch attempt within a cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum XbFetch {
+    /// All `offset` uops fetched.
+    Full,
+    /// Bank conflict: only the leading `fetched` uops (entry side) came
+    /// out; `deferred` remain for the next cycle.
+    Partial {
+        /// Uops fetched this cycle.
+        fetched: u8,
+        /// Uops deferred to the next cycle.
+        deferred: u8,
+    },
+    /// Tag/assembly failure: the XB (or the entered part) is not in the
+    /// array (evicted or moved).
+    Miss,
+}
+
+/// A census of the extended blocks resident in the array
+/// (see [`XbcArray::population`]).
+#[derive(Clone, Debug)]
+pub struct Population {
+    /// Valid bank lines.
+    pub lines: usize,
+    /// Stored uops across all lines.
+    pub stored_uops: usize,
+    /// Distinct resident XBs (unique `(set, tag)` pairs).
+    pub xb_count: usize,
+    /// XBs with alternate prefixes (complex, §3.3 case 3).
+    pub complex_count: usize,
+    /// Tag groups whose order-0 line is missing (should stay 0 under
+    /// head-first eviction).
+    pub truncated_count: usize,
+    /// Length distribution of resident XBs, in uops.
+    pub length_hist: xbc_uarch::Histogram,
+}
+
+/// Array statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArrayStats {
+    /// Fresh XB insertions.
+    pub inserts: u64,
+    /// In-place head extensions (§3.3 case 2).
+    pub extensions: u64,
+    /// Lines evicted by placement.
+    pub evicted_lines: u64,
+    /// Same-tag lines above an evicted middle line invalidated (truncation).
+    pub truncated_lines: u64,
+    /// Lines moved by dynamic placement.
+    pub relocations: u64,
+}
+
+/// The banked data + tag array.
+#[derive(Clone, Debug)]
+pub struct XbcArray {
+    sets: usize,
+    banks: usize,
+    ways: usize,
+    line_uops: usize,
+    lines: Vec<Option<Line>>,
+    stamp: u64,
+    conflict_threshold: u8,
+    dynamic_placement: bool,
+    stats: ArrayStats,
+}
+
+impl XbcArray {
+    /// Creates an empty array for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: &XbcConfig) -> Self {
+        let sets = cfg.sets();
+        let mut lines = Vec::new();
+        lines.resize_with(sets * cfg.banks * cfg.ways, || None);
+        XbcArray {
+            sets,
+            banks: cfg.banks,
+            ways: cfg.ways,
+            line_uops: cfg.line_uops,
+            lines,
+            stamp: 0,
+            conflict_threshold: cfg.conflict_threshold.max(1),
+            dynamic_placement: cfg.dynamic_placement,
+            stats: ArrayStats::default(),
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// Uops per bank line.
+    pub fn line_uops(&self) -> usize {
+        self.line_uops
+    }
+
+    /// The raw (reverse-ordered) uops of one line, if valid — the bank's
+    /// datapath output feeding the reorder/align network (§3.7).
+    pub fn line_uops_at(&self, set: usize, bank: usize, way: usize) -> Option<Vec<Uop>> {
+        self.lines[self.idx(set, bank, way)].as_ref().map(|l| l.uops.clone())
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> ArrayStats {
+        self.stats
+    }
+
+    /// Derives `(set, tag)` from an XB's ending-instruction IP.
+    pub fn set_and_tag(&self, xb_ip: Addr) -> (usize, u64) {
+        let key = xb_ip.raw();
+        ((key % self.sets as u64) as usize, key / self.sets as u64)
+    }
+
+    #[inline]
+    fn idx(&self, set: usize, bank: usize, way: usize) -> usize {
+        debug_assert!(set < self.sets && bank < self.banks && way < self.ways);
+        (set * self.banks + bank) * self.ways + way
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.stamp += 1;
+        self.stamp
+    }
+
+    /// Collects all `(bank, way)` whose line matches `tag`, optionally
+    /// restricted to banks in `within`.
+    fn candidates(&self, set: usize, tag: u64, within: Option<BankMask>) -> Vec<(usize, usize, u8, usize)> {
+        let mut out = Vec::new();
+        for bank in 0..self.banks {
+            if let Some(w) = within {
+                if !w.contains(bank) {
+                    continue;
+                }
+            }
+            for way in 0..self.ways {
+                if let Some(line) = &self.lines[self.idx(set, bank, way)] {
+                    if line.tag == tag {
+                        out.push((bank, way, line.order, line.uops.len()));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Assembles the longest contiguous-order arrangement of `tag`'s lines,
+    /// optionally restricted to a bank mask. Lines must occupy distinct
+    /// banks; all but the highest order must be full (a partial line is
+    /// necessarily the head). When several lines share an order
+    /// (complex-XB prefixes), a bounded backtracking search finds the
+    /// longest valid arrangement — greedy freshest-first picking can paint
+    /// itself into a corner once merges populate sets with alternates.
+    pub fn assemble(&self, set: usize, tag: u64, within: Option<BankMask>) -> Option<Assembly> {
+        let cands = self.candidates(set, tag, within);
+        if cands.is_empty() {
+            return None;
+        }
+        // Candidates per order, freshest first (preference order for ties).
+        let mut by_order: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); self.banks];
+        for &(bank, way, order, count) in &cands {
+            if (order as usize) < self.banks {
+                by_order[order as usize].push((bank, way, count));
+            }
+        }
+        for v in &mut by_order {
+            v.sort_by_key(|&(bank, way, _)| {
+                std::cmp::Reverse(
+                    self.lines[self.idx(set, bank, way)].as_ref().map(|l| l.stamp).unwrap_or(0),
+                )
+            });
+        }
+        // DFS over per-order choices; the search space is tiny (≤ ways
+        // candidates per order, ≤ banks orders).
+        let mut best: Option<Assembly> = None;
+        let mut stack: Vec<(usize, usize)> = Vec::new();
+        self.assemble_dfs(&by_order, 0, BankMask::EMPTY, 0, &mut stack, &mut best);
+        best
+    }
+
+    fn assemble_dfs(
+        &self,
+        by_order: &[Vec<(usize, usize, usize)>],
+        order: usize,
+        used: BankMask,
+        total: usize,
+        stack: &mut Vec<(usize, usize)>,
+        best: &mut Option<Assembly>,
+    ) {
+        if order > 0 {
+            let better = best.as_ref().map(|b| total > b.total_uops).unwrap_or(true);
+            if better {
+                *best = Some(Assembly { lines: stack.clone(), mask: used, total_uops: total });
+            }
+        }
+        if order >= by_order.len() {
+            return;
+        }
+        for &(bank, way, count) in &by_order[order] {
+            if used.contains(bank) {
+                continue;
+            }
+            let mut used2 = used;
+            used2.insert(bank);
+            stack.push((bank, way));
+            if count == self.line_uops {
+                self.assemble_dfs(by_order, order + 1, used2, total + count, stack, best);
+            } else {
+                // Partial line: must be the head; terminate this branch.
+                let t = total + count;
+                let better = best.as_ref().map(|b| t > b.total_uops).unwrap_or(true);
+                if better {
+                    *best =
+                        Some(Assembly { lines: stack.clone(), mask: used2, total_uops: t });
+                }
+            }
+            stack.pop();
+        }
+    }
+
+    /// Reads an assembled XB's uops in program order.
+    pub fn read_uops(&self, set: usize, asm: &Assembly) -> Vec<Uop> {
+        let mut out = Vec::with_capacity(asm.total_uops);
+        // Highest order first (earliest uops), within a line highest slot
+        // first (reverse storage).
+        for &(bank, way) in asm.lines.iter().rev() {
+            let line = self.lines[self.idx(set, bank, way)].as_ref().expect("assembled line");
+            for uop in line.uops.iter().rev() {
+                out.push(*uop);
+            }
+        }
+        out
+    }
+
+    /// Reads the **last** `offset` uops of an assembled XB, in program
+    /// order (the window a pointer with that offset would fetch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` exceeds the stored length.
+    pub fn read_window(&self, set: usize, asm: &Assembly, offset: usize) -> Vec<Uop> {
+        assert!(offset <= asm.total_uops, "window larger than the stored XB");
+        let all = self.read_uops(set, asm);
+        all[asm.total_uops - offset..].to_vec()
+    }
+
+    /// Ages every line of `tag` in `set` to LRU-minimum (paper §3.8: a
+    /// promoted XB0's original location is first in line for eviction).
+    pub fn demote_lru(&mut self, xb_ip: Addr) {
+        let (set, tag) = self.set_and_tag(xb_ip);
+        for bank in 0..self.banks {
+            for way in 0..self.ways {
+                let idx = self.idx(set, bank, way);
+                if let Some(line) = &mut self.lines[idx] {
+                    if line.tag == tag {
+                        line.stamp = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Validates that pointer `ptr` can be fetched: enough contiguous
+    /// orders within its mask to cover `ptr.offset` uops.
+    pub fn lookup(&self, ptr: &XbPtr) -> Option<Assembly> {
+        let (set, tag) = self.set_and_tag(ptr.xb_ip);
+        let asm = self.assemble(set, tag, Some(ptr.mask))?;
+        if asm.total_uops >= ptr.offset as usize {
+            Some(asm)
+        } else {
+            None
+        }
+    }
+
+    /// Attempts to fetch the XBs pointed to by `ptrs`, in priority order,
+    /// within one cycle (one line per bank). Returns per-XB outcomes and
+    /// the overall bank usage. Also performs dynamic-placement bookkeeping
+    /// for deferred fetches (§3.10).
+    pub fn fetch(&mut self, ptrs: &[XbPtr]) -> (Vec<XbFetch>, BankMask) {
+        let mut used = BankMask::EMPTY;
+        let mut results = Vec::with_capacity(ptrs.len());
+        for ptr in ptrs {
+            let r = self.fetch_one(ptr, &mut used);
+            let stop = !matches!(r, XbFetch::Full);
+            results.push(r);
+            if stop {
+                break; // later XBs follow this one; no point continuing
+            }
+        }
+        (results, used)
+    }
+
+    /// Fetches a single XB within the current cycle's bank budget,
+    /// accumulating bank usage into `used`. See [`XbcArray::fetch`].
+    pub fn fetch_one(&mut self, ptr: &XbPtr, used: &mut BankMask) -> XbFetch {
+        let (set, _tag) = self.set_and_tag(ptr.xb_ip);
+        let Some(asm) = self.lookup(ptr) else {
+            return XbFetch::Miss;
+        };
+        let needed = (ptr.offset as usize).div_ceil(self.line_uops);
+        debug_assert!(needed <= asm.lines.len());
+        // Walk entry-side first: order needed-1 down to 0.
+        let mut fetched = 0usize;
+        let mut blocked = None;
+        for k in (0..needed).rev() {
+            let (bank, way) = asm.lines[k];
+            if used.contains(bank) {
+                blocked = Some((bank, way));
+                break;
+            }
+            used.insert(bank);
+            // Uops of this line covered by the entry window.
+            let line_lo = k * self.line_uops; // position-from-end of slot 0
+            let hi = (ptr.offset as usize - 1).min(line_lo + self.line_uops - 1);
+            fetched += hi - line_lo + 1;
+            let stamp = self.bump();
+            let idx = self.idx(set, bank, way);
+            if let Some(line) = &mut self.lines[idx] {
+                line.stamp = stamp;
+            }
+        }
+        if let Some((bank, way)) = blocked {
+            let deferred = ptr.offset as usize - fetched;
+            self.note_conflict(set, bank, way, *used);
+            return XbFetch::Partial { fetched: fetched as u8, deferred: deferred as u8 };
+        }
+        XbFetch::Full
+    }
+
+    /// Charges a deferred fetch to a line; when the threshold is reached
+    /// and dynamic placement is enabled, moves the line to an unused bank.
+    fn note_conflict(&mut self, set: usize, bank: usize, way: usize, used: BankMask) {
+        let idx = self.idx(set, bank, way);
+        let Some(line) = &mut self.lines[idx] else { return };
+        line.conflicts = line.conflicts.saturating_add(1);
+        if !self.dynamic_placement || line.conflicts < self.conflict_threshold {
+            return;
+        }
+        // Move to a bank that was idle this cycle, into a free way or over
+        // a strictly older line.
+        let my_stamp = self.lines[idx].as_ref().map(|l| l.stamp).unwrap_or(0);
+        for target_bank in 0..self.banks {
+            if used.contains(target_bank) || target_bank == bank {
+                continue;
+            }
+            for target_way in 0..self.ways {
+                let tidx = self.idx(set, target_bank, target_way);
+                let replaceable = match &self.lines[tidx] {
+                    None => true,
+                    Some(t) => t.stamp < my_stamp,
+                };
+                if replaceable {
+                    let mut line = self.lines[idx].take().expect("line present");
+                    line.conflicts = 0;
+                    if self.lines[tidx].is_some() {
+                        self.stats.evicted_lines += 1;
+                    }
+                    self.lines[tidx] = Some(line);
+                    self.stats.relocations += 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Picks the replacement victim within `set`, excluding `forbidden`
+    /// banks: free ways first, then head lines by LRU, then middle lines by
+    /// LRU (the paper's LRU "makes sure that we do not evict a line other
+    /// than a head line" whenever one exists, §3.10).
+    fn choose_victim(&self, set: usize, forbidden: BankMask) -> Option<(usize, usize)> {
+        let mut best: Option<((usize, usize), u64)> = None;
+        for bank in 0..self.banks {
+            if forbidden.contains(bank) {
+                continue;
+            }
+            for way in 0..self.ways {
+                let idx = self.idx(set, bank, way);
+                let (tier, stamp) = match &self.lines[idx] {
+                    None => (0u64, 0u64),
+                    Some(line) => {
+                        let is_head = !self.has_order_above(set, line.tag, line.order);
+                        ((if is_head { 1 } else { 2 }), line.stamp)
+                    }
+                };
+                let cost = (tier << 48) | (stamp & 0xFFFF_FFFF_FFFF);
+                if best.map(|(_, c)| cost < c).unwrap_or(true) {
+                    best = Some(((bank, way), cost));
+                }
+            }
+        }
+        best.map(|(slot, _)| slot)
+    }
+
+    /// Frees and returns a slot for a new line, honouring smart placement
+    /// (§3.10): the line lands in a bank outside `avoid` when possible.
+    /// LRU ordering is preserved by *switching* the LRU victim with the
+    /// occupant of the desired bank rather than evicting younger lines.
+    /// The slot returned is empty.
+    fn place_slot(&mut self, set: usize, forbidden: BankMask, avoid: BankMask) -> Option<(usize, usize)> {
+        // Free way in a preferred (non-avoided) bank?
+        for bank in 0..self.banks {
+            if forbidden.contains(bank) || avoid.contains(bank) {
+                continue;
+            }
+            for way in 0..self.ways {
+                if self.lines[self.idx(set, bank, way)].is_none() {
+                    return Some((bank, way));
+                }
+            }
+        }
+        let (vb, vw) = self.choose_victim(set, forbidden)?;
+        if self.lines[self.idx(set, vb, vw)].is_none() {
+            // Only avoided banks had free ways; accept the conflict.
+            return Some((vb, vw));
+        }
+        if avoid.contains(vb) {
+            // Try to keep the new line out of the avoided bank by swapping
+            // the desired bank's LRU occupant into the victim's slot.
+            let desired = (0..self.banks)
+                .filter(|&b| !forbidden.contains(b) && !avoid.contains(b))
+                .flat_map(|b| (0..self.ways).map(move |w| (b, w)))
+                .min_by_key(|&(b, w)| {
+                    self.lines[self.idx(set, b, w)].as_ref().map(|l| l.stamp).unwrap_or(0)
+                });
+            if let Some((db, dw)) = desired {
+                self.evict(set, vb, vw);
+                let didx = self.idx(set, db, dw);
+                let moved = self.lines[didx].take();
+                let vidx = self.idx(set, vb, vw);
+                self.lines[vidx] = moved;
+                return Some((db, dw));
+            }
+        }
+        self.evict(set, vb, vw);
+        Some((vb, vw))
+    }
+
+    fn has_order_above(&self, set: usize, tag: u64, order: u8) -> bool {
+        for bank in 0..self.banks {
+            for way in 0..self.ways {
+                if let Some(l) = &self.lines[self.idx(set, bank, way)] {
+                    if l.tag == tag && l.order == order + 1 {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Evicts the line at `(set, bank, way)`, truncating its XB if a
+    /// middle line was removed (lines with higher orders of the same tag
+    /// become unreachable and are invalidated — the paper's LRU avoids
+    /// this case; placement only resorts to middle lines when every way is
+    /// a middle line).
+    fn evict(&mut self, set: usize, bank: usize, way: usize) {
+        let idx = self.idx(set, bank, way);
+        let Some(line) = self.lines[idx].take() else { return };
+        self.stats.evicted_lines += 1;
+        let (tag, order) = (line.tag, line.order);
+        // Invalidate same-tag lines with orders above the hole.
+        for b in 0..self.banks {
+            for w in 0..self.ways {
+                let i = self.idx(set, b, w);
+                if let Some(l) = &self.lines[i] {
+                    if l.tag == tag && l.order > order {
+                        self.lines[i] = None;
+                        self.stats.truncated_lines += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Writes the lines of a (possibly partially shared) XB.
+    ///
+    /// `uops` is the **full** XB in program order; lines for orders below
+    /// `skip_orders` are assumed shared (complex-XB suffix) and are not
+    /// written. `suffix_mask` gives the banks those shared lines occupy
+    /// (new lines must avoid them so the assembled XB spans distinct
+    /// banks); `avoid` biases placement away from the previous XB's banks
+    /// (smart placement, §3.10).
+    ///
+    /// Returns the mask of banks newly written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uops` is empty or longer than the fetch width.
+    pub fn insert(
+        &mut self,
+        xb_ip: Addr,
+        uops: &[Uop],
+        skip_orders: usize,
+        suffix_mask: BankMask,
+        avoid: BankMask,
+    ) -> BankMask {
+        assert!(!uops.is_empty(), "cannot insert an empty XB");
+        let len = uops.len();
+        assert!(
+            len <= self.banks * self.line_uops,
+            "XB of {len} uops exceeds the fetch width"
+        );
+        let (set, tag) = self.set_and_tag(xb_ip);
+        let n = len.div_ceil(self.line_uops);
+        assert!(skip_orders <= n, "cannot skip more lines than the XB has");
+        let mut forbidden = suffix_mask;
+        let mut added = BankMask::EMPTY;
+        for order in skip_orders..n {
+            let (bank, way) = self
+                .place_slot(set, forbidden, avoid)
+                .expect("more orders than banks is impossible by the length assert");
+            let lo = order * self.line_uops; // position-from-end of slot 0
+            let hi = (lo + self.line_uops).min(len);
+            // Reverse storage: slot s holds position-from-end lo + s, i.e.
+            // program index len - 1 - (lo + s).
+            let content: Vec<Uop> = (lo..hi).map(|p| uops[len - 1 - p]).collect();
+            let stamp = self.bump();
+            let idx = self.idx(set, bank, way);
+            self.lines[idx] = Some(Line { tag, order: order as u8, uops: content, stamp, conflicts: 0 });
+            forbidden.insert(bank);
+            added.insert(bank);
+        }
+        self.stats.inserts += 1;
+        added
+    }
+
+    /// Extends an existing XB at its head with `extra` earlier uops
+    /// (program order), in place (§3.3 case 2 / §3.4). Fills the partial
+    /// head line first, then allocates new lines.
+    ///
+    /// Returns the new full mask of the XB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined length exceeds the fetch width, or if the
+    /// assembly does not belong to this array's `xb_ip` tag.
+    pub fn extend(&mut self, xb_ip: Addr, asm: &Assembly, extra: &[Uop], avoid: BankMask) -> BankMask {
+        let (set, tag) = self.set_and_tag(xb_ip);
+        let old_len = asm.total_uops;
+        let new_len = old_len + extra.len();
+        assert!(
+            new_len <= self.banks * self.line_uops,
+            "extension to {new_len} uops exceeds the fetch width"
+        );
+        // Fill the head line's free slots: position-from-end old_len + j is
+        // extra[extra.len() - 1 - j].
+        let mut filled = 0usize;
+        let head_order = asm.lines.len() - 1;
+        let (hb, hw) = asm.lines[head_order];
+        {
+            let idx = self.idx(set, hb, hw);
+            let stamp = self.bump();
+            let line = self.lines[idx].as_mut().expect("head line present");
+            assert_eq!(line.tag, tag, "assembly does not match xb_ip");
+            while line.uops.len() < self.line_uops && filled < extra.len() {
+                let j = filled; // position-from-end = old_len + j
+                line.uops.push(extra[extra.len() - 1 - j]);
+                filled += 1;
+            }
+            line.stamp = stamp;
+        }
+        // Allocate whole new lines for the remainder.
+        let mut mask = asm.mask;
+        let mut forbidden = asm.mask;
+        let mut pos = old_len + filled; // next position-from-end to place
+        while pos < new_len {
+            let order = pos / self.line_uops;
+            debug_assert_eq!(pos % self.line_uops, 0);
+            let (bank, way) = self
+                .place_slot(set, forbidden, avoid)
+                .expect("length assert bounds the order count");
+            let hi = (pos + self.line_uops).min(new_len);
+            let content: Vec<Uop> =
+                (pos..hi).map(|p| extra[extra.len() - 1 - (p - old_len)]).collect();
+            let stamp = self.bump();
+            let idx = self.idx(set, bank, way);
+            self.lines[idx] =
+                Some(Line { tag, order: order as u8, uops: content, stamp, conflicts: 0 });
+            forbidden.insert(bank);
+            mask.insert(bank);
+            pos = hi;
+        }
+        self.stats.extensions += 1;
+        mask
+    }
+
+    /// Set search (§3.9): on an XBTB hit whose pointer misses (the XB was
+    /// re-placed in different banks), scan the whole set for the tag and
+    /// return a repaired mask if the entry window is still stored.
+    pub fn set_search(&self, xb_ip: Addr, offset: u8) -> Option<BankMask> {
+        let (set, tag) = self.set_and_tag(xb_ip);
+        let asm = self.assemble(set, tag, None)?;
+        if asm.total_uops < offset as usize {
+            return None;
+        }
+        let needed = (offset as usize).div_ceil(self.line_uops);
+        let mut mask = BankMask::EMPTY;
+        for &(bank, _) in &asm.lines[..needed] {
+            mask.insert(bank);
+        }
+        Some(mask)
+    }
+
+    /// Number of valid lines.
+    pub fn valid_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Total uops stored.
+    pub fn stored_uops(&self) -> usize {
+        self.lines.iter().flatten().map(|l| l.uops.len()).sum()
+    }
+
+    /// Population census of the stored extended blocks: how many XBs are
+    /// resident, their length distribution, and how many are complex
+    /// (alternate prefixes sharing a suffix).
+    pub fn population(&self) -> Population {
+        use std::collections::HashMap;
+        let mut per_tag: HashMap<(usize, u64), Vec<(u8, usize)>> = HashMap::new();
+        for set in 0..self.sets {
+            for bank in 0..self.banks {
+                for way in 0..self.ways {
+                    if let Some(line) = &self.lines[self.idx(set, bank, way)] {
+                        per_tag.entry((set, line.tag)).or_default().push((line.order, line.uops.len()));
+                    }
+                }
+            }
+        }
+        let mut pop = Population {
+            lines: self.valid_lines(),
+            stored_uops: self.stored_uops(),
+            xb_count: per_tag.len(),
+            complex_count: 0,
+            truncated_count: 0,
+            length_hist: xbc_uarch::Histogram::new(self.banks * self.line_uops),
+        };
+        for ((_, _), mut lines) in per_tag {
+            lines.sort_unstable();
+            // Complex: more than one line at the same order.
+            let mut complex = false;
+            for w in lines.windows(2) {
+                if w[0].0 == w[1].0 {
+                    complex = true;
+                }
+            }
+            if complex {
+                pop.complex_count += 1;
+            }
+            // Truncated: order 0 missing (head survived an eviction hole —
+            // cannot happen with head-first eviction, but audit anyway).
+            if lines[0].0 != 0 {
+                pop.truncated_count += 1;
+                continue;
+            }
+            let total: usize = {
+                // Longest contiguous-order length (complex alternates count
+                // once, by their longest arrangement).
+                let mut total = 0;
+                let mut expect = 0u8;
+                for &(order, count) in &lines {
+                    if order == expect {
+                        total += count;
+                        expect += 1;
+                    } else if order > expect {
+                        break;
+                    }
+                }
+                total
+            };
+            if total > 0 {
+                pop.length_hist.record(total);
+            }
+        }
+        pop
+    }
+
+    /// Redundancy audit: `(stored uop slots, distinct uop identities)`.
+    /// The XBC's central claim is that these are (nearly) equal.
+    pub fn redundancy(&self) -> (usize, usize) {
+        let mut ids = std::collections::HashSet::new();
+        let mut total = 0usize;
+        for line in self.lines.iter().flatten() {
+            for u in &line.uops {
+                total += 1;
+                ids.insert(u.id);
+            }
+        }
+        (total, ids.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbc_isa::{BranchKind, UopId, UopKind};
+
+    fn cfg() -> XbcConfig {
+        XbcConfig { total_uops: 128, ..XbcConfig::default() } // 4 sets
+    }
+
+    fn mk_uops(base_ip: u64, n: usize) -> Vec<Uop> {
+        (0..n)
+            .map(|i| {
+                let last = i + 1 == n;
+                Uop::new(
+                    UopId::new(Addr::new(base_ip + i as u64), 0),
+                    if last { UopKind::Branch } else { UopKind::Alu },
+                    true,
+                    if last { BranchKind::CondDirect } else { BranchKind::None },
+                )
+            })
+            .collect()
+    }
+
+    /// End IP chosen so the XB lands in set 0 of a 4-set array.
+    fn end_ip(n: usize) -> Addr {
+        Addr::new(0x100 + n as u64 - 1)
+    }
+
+    #[test]
+    fn insert_and_read_roundtrip() {
+        let mut a = XbcArray::new(&cfg());
+        let uops = mk_uops(0x100, 10);
+        let ip = end_ip(10);
+        let mask = a.insert(ip, &uops, 0, BankMask::EMPTY, BankMask::EMPTY);
+        assert_eq!(mask.count(), 3); // ceil(10/4)
+        let (set, tag) = a.set_and_tag(ip);
+        let asm = a.assemble(set, tag, None).unwrap();
+        assert_eq!(asm.total_uops, 10);
+        assert_eq!(a.read_uops(set, &asm), uops);
+    }
+
+    #[test]
+    fn reverse_order_storage_head_is_partial() {
+        let mut a = XbcArray::new(&cfg());
+        let uops = mk_uops(0x200, 9); // 3 lines: 4 + 4 + 1
+        let ip = Addr::new(0x200 + 8);
+        a.insert(ip, &uops, 0, BankMask::EMPTY, BankMask::EMPTY);
+        let (set, tag) = a.set_and_tag(ip);
+        let asm = a.assemble(set, tag, None).unwrap();
+        assert_eq!(asm.lines.len(), 3);
+        // Head line (order 2) holds exactly one uop: the XB's first.
+        let (hb, hw) = asm.lines[2];
+        let head = a.lines[a.idx(set, hb, hw)].as_ref().unwrap();
+        assert_eq!(head.uops.len(), 1);
+        assert_eq!(head.uops[0], uops[0]);
+    }
+
+    #[test]
+    fn lookup_respects_offset_and_mask() {
+        let mut a = XbcArray::new(&cfg());
+        let uops = mk_uops(0x300, 8);
+        let ip = Addr::new(0x307);
+        let mask = a.insert(ip, &uops, 0, BankMask::EMPTY, BankMask::EMPTY);
+        let full = XbPtr::new(ip, Addr::new(0x300), mask, 8);
+        assert!(a.lookup(&full).is_some());
+        // An entry mid-block needs fewer orders.
+        let mid = XbPtr::new(ip, Addr::new(0x303), mask, 5);
+        assert!(a.lookup(&mid).is_some());
+        // A wrong mask fails.
+        let bogus = XbPtr::new(ip, Addr::new(0x300), BankMask::from_bits(0b1000), 8);
+        // (unless the XB happens to sit in exactly bank 3 alone, impossible
+        // for an 8-uop XB needing 2 banks)
+        assert!(a.lookup(&bogus).is_none());
+    }
+
+    #[test]
+    fn extend_prepends_without_moving(){
+        let mut a = XbcArray::new(&cfg());
+        let full = mk_uops(0x400, 10);
+        let ip = Addr::new(0x400 + 9);
+        // Insert only the 6-uop suffix first (an XB discovered mid-way).
+        a.insert(ip, &full[4..], 0, BankMask::EMPTY, BankMask::EMPTY);
+        let (set, tag) = a.set_and_tag(ip);
+        let asm = a.assemble(set, tag, None).unwrap();
+        assert_eq!(asm.total_uops, 6);
+        let before: Vec<(usize, usize)> = asm.lines.clone();
+        // Extend with the 4 earlier uops.
+        let mask = a.extend(ip, &asm, &full[..4], BankMask::EMPTY);
+        let asm2 = a.assemble(set, tag, None).unwrap();
+        assert_eq!(asm2.total_uops, 10);
+        assert_eq!(a.read_uops(set, &asm2), full);
+        // The original lines did not move (reverse order property, §3.4).
+        assert_eq!(&asm2.lines[..2], &before[..]);
+        assert!(mask.count() >= asm.mask.count());
+        assert_eq!(a.stats().extensions, 1);
+    }
+
+    #[test]
+    fn fetch_two_disjoint_xbs_in_one_cycle() {
+        let mut a = XbcArray::new(&cfg());
+        let u1 = mk_uops(0x500, 8);
+        let ip1 = Addr::new(0x507);
+        let m1 = a.insert(ip1, &u1, 0, BankMask::EMPTY, BankMask::EMPTY);
+        let u2 = mk_uops(0x600, 8);
+        let ip2 = Addr::new(0x607);
+        // Smart placement avoids the first XB's banks.
+        let m2 = a.insert(ip2, &u2, 0, BankMask::EMPTY, m1);
+        assert!(!m1.intersects(m2), "smart placement should separate the XBs");
+        let p1 = XbPtr::new(ip1, Addr::new(0x500), m1, 8);
+        let p2 = XbPtr::new(ip2, Addr::new(0x600), m2, 8);
+        let (results, used) = a.fetch(&[p1, p2]);
+        assert_eq!(results, vec![XbFetch::Full, XbFetch::Full]);
+        assert_eq!(used.count(), 4);
+    }
+
+    #[test]
+    fn fetch_conflict_defers_suffix() {
+        let mut a = XbcArray::new(&XbcConfig { total_uops: 128, dynamic_placement: false, ..XbcConfig::default() });
+        let u1 = mk_uops(0x500, 8);
+        let ip1 = Addr::new(0x507);
+        let m1 = a.insert(ip1, &u1, 0, BankMask::EMPTY, BankMask::EMPTY);
+        let u2 = mk_uops(0x600, 8);
+        let ip2 = Addr::new(0x607);
+        // Force overlap: place XB2 in the same banks as XB1.
+        let forbidden_of_others = {
+            // compute complement of m1 and forbid it, pushing XB2 into m1's banks
+            let mut f = BankMask::EMPTY;
+            for b in 0..4 {
+                if !m1.contains(b) {
+                    f.insert(b);
+                }
+            }
+            f
+        };
+        let m2 = a.insert(ip2, &u2, 0, forbidden_of_others, BankMask::EMPTY);
+        assert!(m1.intersects(m2));
+        let p1 = XbPtr::new(ip1, Addr::new(0x500), m1, 8);
+        let p2 = XbPtr::new(ip2, Addr::new(0x600), m2, 8);
+        let (results, _) = a.fetch(&[p1, p2]);
+        assert_eq!(results[0], XbFetch::Full);
+        match results[1] {
+            XbFetch::Partial { fetched, deferred } => {
+                assert_eq!(fetched + deferred, 8);
+                assert_eq!(deferred % 4, 0, "deferral happens at line granularity");
+            }
+            other => panic!("expected partial fetch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mid_entry_fetch_counts_window_only() {
+        let mut a = XbcArray::new(&cfg());
+        let u = mk_uops(0x700, 12);
+        let ip = Addr::new(0x70b);
+        let m = a.insert(ip, &u, 0, BankMask::EMPTY, BankMask::EMPTY);
+        // Enter with offset 5: only orders 0 and 1 needed.
+        let p = XbPtr::new(ip, Addr::new(0x707), m, 5);
+        let (results, used) = a.fetch(&[p]);
+        assert_eq!(results, vec![XbFetch::Full]);
+        assert_eq!(used.count(), 2);
+    }
+
+    #[test]
+    fn eviction_truncates_from_head() {
+        // 1-set array so everything collides.
+        let tiny = XbcConfig { total_uops: 32, ..XbcConfig::default() }; // 1 set
+        let mut a = XbcArray::new(&tiny);
+        // Fill the set: 2 XBs × 16 uops = 32 uops (8 lines).
+        let u1 = mk_uops(0x100, 16);
+        let ip1 = Addr::new(0x10f);
+        let m1 = a.insert(ip1, &u1, 0, BankMask::EMPTY, BankMask::EMPTY);
+        let u2 = mk_uops(0x200, 16);
+        let ip2 = Addr::new(0x20f);
+        a.insert(ip2, &u2, 0, BankMask::EMPTY, BankMask::EMPTY);
+        assert_eq!(a.valid_lines(), 8);
+        // A third insert evicts lines; victims should be head lines first,
+        // so surviving XB fragments stay fetchable from lower offsets.
+        let u3 = mk_uops(0x300, 8);
+        let ip3 = Addr::new(0x307);
+        a.insert(ip3, &u3, 0, BankMask::EMPTY, BankMask::EMPTY);
+        assert!(a.stats().evicted_lines >= 2);
+        // XB1 should survive as a (possibly shorter) suffix, if any of it
+        // remains reachable.
+        let (set, tag) = a.set_and_tag(ip1);
+        if let Some(asm) = a.assemble(set, tag, None) {
+            assert!(asm.total_uops % 4 == 0 || asm.total_uops == 16);
+            let read = a.read_uops(set, &asm);
+            assert_eq!(&read[..], &u1[16 - asm.total_uops..]);
+        }
+        let _ = m1;
+    }
+
+    #[test]
+    fn set_search_finds_relocated_xb() {
+        let mut a = XbcArray::new(&cfg());
+        let u = mk_uops(0x800, 8);
+        let ip = Addr::new(0x807);
+        let m = a.insert(ip, &u, 0, BankMask::EMPTY, BankMask::EMPTY);
+        // A stale pointer with the wrong mask misses...
+        let mut wrong = BankMask::EMPTY;
+        for b in 0..4 {
+            if !m.contains(b) {
+                wrong.insert(b);
+            }
+        }
+        let stale = XbPtr::new(ip, Addr::new(0x800), wrong, 8);
+        assert!(a.lookup(&stale).is_none());
+        // ...but set search recovers the true mask.
+        let repaired = a.set_search(ip, 8).expect("XB is present");
+        assert_eq!(repaired, m);
+        assert!(a.lookup(&XbPtr::new(ip, Addr::new(0x800), repaired, 8)).is_some());
+    }
+
+    #[test]
+    fn no_redundancy_for_distinct_xbs() {
+        let mut a = XbcArray::new(&XbcConfig { total_uops: 1024, ..XbcConfig::default() });
+        for i in 0..8u64 {
+            // Odd stride so the XBs spread over the 32 sets instead of
+            // aliasing into one.
+            let u = mk_uops(0x1000 + i * 37, 12);
+            a.insert(Addr::new(0x1000 + i * 37 + 11), &u, 0, BankMask::EMPTY, BankMask::EMPTY);
+        }
+        let (total, distinct) = a.redundancy();
+        assert_eq!(total, distinct, "distinct XBs must not duplicate uops");
+        assert_eq!(total, 96);
+    }
+
+    #[test]
+    fn complex_xb_shares_suffix_lines() {
+        let mut a = XbcArray::new(&cfg());
+        // XB_cur = 12 uops ending at ip; XB_new shares the last 8 uops
+        // (2 lines) but has a different 4-uop prefix.
+        let cur = mk_uops(0x900, 12);
+        let ip = Addr::new(0x90b);
+        let m_cur = a.insert(ip, &cur, 0, BankMask::EMPTY, BankMask::EMPTY);
+        let (set, tag) = a.set_and_tag(ip);
+        let asm = a.assemble(set, tag, None).unwrap();
+        // Shared suffix: orders 0..1 (8 uops). New prefix: 4 different uops.
+        let mut new_xb = mk_uops(0xA00, 4);
+        new_xb.extend_from_slice(&cur[4..]);
+        let suffix_mask = {
+            let mut m = BankMask::EMPTY;
+            m.insert(asm.lines[0].0);
+            m.insert(asm.lines[1].0);
+            m
+        };
+        let added = a.insert(ip, &new_xb, 2, suffix_mask, BankMask::EMPTY);
+        assert_eq!(added.count(), 1);
+        assert!(!added.intersects(suffix_mask));
+        // Both pointers now resolve within their masks.
+        let p_new = XbPtr::new(ip, Addr::new(0xA00), suffix_mask.union(added), 12);
+        assert!(a.lookup(&p_new).is_some(), "complex prefix must assemble");
+        let _ = m_cur;
+        // Storage grew by one line only (the shared suffix is not copied).
+        assert_eq!(a.valid_lines(), 4);
+    }
+
+    #[test]
+    fn population_census() {
+        let mut a = XbcArray::new(&XbcConfig { total_uops: 1024, ..XbcConfig::default() });
+        let u1 = mk_uops(0x100, 10);
+        a.insert(Addr::new(0x109), &u1, 0, BankMask::EMPTY, BankMask::EMPTY);
+        let u2 = mk_uops(0x200, 5);
+        a.insert(Addr::new(0x204), &u2, 0, BankMask::EMPTY, BankMask::EMPTY);
+        let pop = a.population();
+        assert_eq!(pop.xb_count, 2);
+        assert_eq!(pop.lines, 5); // 3 + 2
+        assert_eq!(pop.stored_uops, 15);
+        assert_eq!(pop.complex_count, 0);
+        assert_eq!(pop.truncated_count, 0);
+        assert_eq!(pop.length_hist.count(), 2);
+        assert!((pop.length_hist.mean() - 7.5).abs() < 1e-9);
+        // Add a complex alternate prefix to the first XB.
+        let (set, tag) = a.set_and_tag(Addr::new(0x109));
+        let asm = a.assemble(set, tag, None).unwrap();
+        let mut alt = mk_uops(0x300, 2);
+        alt.extend_from_slice(&u1[2..]);
+        let mut suffix = BankMask::EMPTY;
+        suffix.insert(asm.lines[0].0);
+        suffix.insert(asm.lines[1].0);
+        a.insert(Addr::new(0x109), &alt, 2, suffix, BankMask::EMPTY);
+        let pop = a.population();
+        assert_eq!(pop.xb_count, 2);
+        assert_eq!(pop.complex_count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the fetch width")]
+    fn oversized_xb_rejected() {
+        let mut a = XbcArray::new(&cfg());
+        let u = mk_uops(0xB00, 17);
+        a.insert(Addr::new(0xB10), &u, 0, BankMask::EMPTY, BankMask::EMPTY);
+    }
+}

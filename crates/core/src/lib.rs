@@ -1,0 +1,53 @@
+//! # xbc — the eXtended Block Cache (HPCA 2000)
+//!
+//! A full implementation of the instruction-supply mechanism from
+//! *"eXtended Block Cache"* (Jourdan, Rappoport, Almog, Erez, Yoaz,
+//! Ronen — HPCA 2000):
+//!
+//! * [`XbcArray`] — the banked data/tag array: 4 banks × 2 ways × 4-uop
+//!   lines per set, order fields, reverse-order uop storage (§3.2, §3.4),
+//!   bank-conflict-aware fetch, LRU with head-line preference, smart and
+//!   dynamic placement (§3.10), and set search (§3.9);
+//! * [`Xbtb`] — the pointer table navigating the multiple-entry structure
+//!   (§3.5): taken/not-taken successors, call/return bookkeeping, 7-bit
+//!   bias counters driving branch promotion (§3.8);
+//! * [`Xfu`] / [`install`] — the fill unit and the redundancy-free build
+//!   algorithm (contained / extended / complex XBs, §3.3);
+//! * [`align`]/[`reorder`] — the two-mux-layer reorder & align network
+//!   (§3.7, Figure 7), verified against the analytical window reads;
+//! * [`XbcFrontend`] — the full frontend (Figure 6): delivery mode fetching
+//!   up to two XBs per cycle through the priority encoder with promoted
+//!   branches chaining for free, falling back to the shared IC build
+//!   pipeline on XBTB misses and mis-fetches.
+//!
+//! # Example
+//!
+//! ```
+//! use xbc::{XbcConfig, XbcFrontend};
+//! use xbc_frontend::Frontend;
+//! use xbc_workload::standard_traces;
+//!
+//! let trace = standard_traces()[0].capture(10_000);
+//! let mut fe = XbcFrontend::new(XbcConfig::default());
+//! let metrics = fe.run(&trace);
+//! println!("XBC miss rate {:.1}%", 100.0 * metrics.uop_miss_rate());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod align;
+mod array;
+mod config;
+mod frontend;
+mod ptr;
+mod xbtb;
+mod xfu;
+
+pub use align::{align, fetch_through_network, reorder, BankOutput};
+pub use array::{ArrayStats, Assembly, Population, XbFetch, XbcArray};
+pub use config::{PromotionMode, XbcConfig};
+pub use frontend::XbcFrontend;
+pub use ptr::{BankMask, XbPtr};
+pub use xbtb::{MergedXb, XbEndKind, Xbtb, XbtbEntry, XbtbStats};
+pub use xfu::{install, BuiltXb, InstallKind, Xfu};

@@ -1,0 +1,166 @@
+//! XB identity and pointers.
+//!
+//! The XBTB locates extended blocks with pointers carrying the paper's
+//! three fields (§3.5): `XB_IP` (the ending instruction's address, which
+//! defines set and tag), `BANK_MASK` (the banks holding the XB), and
+//! `OFFSET` (uops counted backward from the end — the entry point).
+
+use std::fmt;
+use xbc_isa::Addr;
+
+/// A set of banks, one bit per bank.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct BankMask(u8);
+
+impl BankMask {
+    /// The empty mask.
+    pub const EMPTY: BankMask = BankMask(0);
+
+    /// Creates a mask from raw bits.
+    pub const fn from_bits(bits: u8) -> Self {
+        BankMask(bits)
+    }
+
+    /// Raw bits.
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Mask containing only `bank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank >= 8`.
+    pub fn single(bank: usize) -> Self {
+        assert!(bank < 8, "bank index out of range");
+        BankMask(1 << bank)
+    }
+
+    /// True if `bank` is in the mask.
+    #[inline]
+    pub const fn contains(self, bank: usize) -> bool {
+        self.0 & (1 << bank) != 0
+    }
+
+    /// Adds `bank`.
+    #[inline]
+    pub fn insert(&mut self, bank: usize) {
+        self.0 |= 1 << bank;
+    }
+
+    /// Number of banks in the mask.
+    #[inline]
+    pub const fn count(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True if no banks are set.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if the two masks share a bank.
+    #[inline]
+    pub const fn intersects(self, other: BankMask) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Union of two masks.
+    #[inline]
+    pub const fn union(self, other: BankMask) -> BankMask {
+        BankMask(self.0 | other.0)
+    }
+
+    /// Iterates the bank indices in the mask, ascending.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        (0..8).filter(move |&b| self.contains(b))
+    }
+}
+
+impl fmt::Debug for BankMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BankMask({:04b})", self.0)
+    }
+}
+
+impl fmt::Display for BankMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04b}", self.0)
+    }
+}
+
+/// A pointer to (an entry point of) an extended block in the XBC.
+///
+/// `entry_ip` is simulation metadata: the architectural address of the
+/// entry instruction, used to validate predictions against the committed
+/// path. Hardware carries only the three paper fields.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct XbPtr {
+    /// XB identity: IP of its ending instruction (set + tag).
+    pub xb_ip: Addr,
+    /// IP of the entry instruction (model-level validation only).
+    pub entry_ip: Addr,
+    /// Banks holding the XB portion reachable from this entry.
+    pub mask: BankMask,
+    /// Uops counted backward from the XB end; where to enter.
+    pub offset: u8,
+}
+
+impl XbPtr {
+    /// Creates a pointer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is zero (an empty fetch is meaningless).
+    pub fn new(xb_ip: Addr, entry_ip: Addr, mask: BankMask, offset: u8) -> Self {
+        assert!(offset >= 1, "XB pointers must cover at least one uop");
+        XbPtr { xb_ip, entry_ip, mask, offset }
+    }
+}
+
+impl fmt::Display for XbPtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XB[{} entry={} mask={} off={}]", self.xb_ip, self.entry_ip, self.mask, self.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_operations() {
+        let mut m = BankMask::EMPTY;
+        assert!(m.is_empty());
+        m.insert(0);
+        m.insert(3);
+        assert_eq!(m.count(), 2);
+        assert!(m.contains(0) && m.contains(3) && !m.contains(1));
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 3]);
+        assert_eq!(m.bits(), 0b1001);
+    }
+
+    #[test]
+    fn mask_set_algebra() {
+        let a = BankMask::from_bits(0b0011);
+        let b = BankMask::from_bits(0b0110);
+        assert!(a.intersects(b));
+        assert_eq!(a.union(b).bits(), 0b0111);
+        assert!(!a.intersects(BankMask::from_bits(0b1000)));
+        assert_eq!(BankMask::single(2).bits(), 0b0100);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(BankMask::from_bits(0b1010).to_string(), "1010");
+        let p = XbPtr::new(Addr::new(0x10), Addr::new(0x8), BankMask::from_bits(0b0011), 7);
+        assert!(p.to_string().contains("off=7"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one uop")]
+    fn zero_offset_rejected() {
+        let _ = XbPtr::new(Addr::new(0x10), Addr::new(0x8), BankMask::EMPTY, 0);
+    }
+}

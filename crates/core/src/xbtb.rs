@@ -1,0 +1,335 @@
+//! The XBTB: the pointer table that drives XBC delivery (paper §3.5).
+//!
+//! The XBC is a multiple-entry structure indexed by *ending* IP, so a
+//! branch target IP cannot be looked up in it directly. All navigation
+//! goes through the XBTB: each entry, keyed by an XB's identity (its
+//! end-IP), records how that XB ends and where execution goes next as
+//! [`XbPtr`]s (taken / not-taken for conditionals; callee / return-point
+//! for calls). Indirect successors live in the XiBTB and return successors
+//! flow through the XRSB (both owned by the frontend).
+//!
+//! Each entry also carries the 7-bit bias counter and promoted state used
+//! by branch promotion (§3.8).
+
+use crate::ptr::{BankMask, XbPtr};
+use xbc_isa::{Addr, BranchKind};
+use xbc_predict::{Bias, BiasCounter};
+
+/// How an extended block ends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum XbEndKind {
+    /// Conditional direct branch: successor chosen by the XBP between the
+    /// `taken` and `not_taken` pointers.
+    Cond,
+    /// Direct call: `taken` points at the callee's first XB (XB_func),
+    /// `not_taken` at the XB after the return (XB_ret); a frame is pushed
+    /// on the XRSB.
+    Call,
+    /// Return: successor comes from the XRSB.
+    Return,
+    /// Indirect jump: successor comes from the XiBTB.
+    Indirect,
+    /// Indirect call: successor comes from the XiBTB *and* a frame is
+    /// pushed on the XRSB (the return point is `not_taken`).
+    IndirectCall,
+    /// No branch: the XB was closed by the 16-uop quota; `taken` points at
+    /// the sequential continuation.
+    Fall,
+}
+
+impl XbEndKind {
+    /// Classifies an architectural branch kind (of an XB's last
+    /// instruction) into its XBTB end kind.
+    pub fn from_branch(branch: BranchKind) -> XbEndKind {
+        match branch {
+            BranchKind::CondDirect => XbEndKind::Cond,
+            BranchKind::CallDirect => XbEndKind::Call,
+            BranchKind::Return => XbEndKind::Return,
+            BranchKind::IndirectJump => XbEndKind::Indirect,
+            BranchKind::IndirectCall => XbEndKind::IndirectCall,
+            BranchKind::None | BranchKind::UncondDirect => XbEndKind::Fall,
+        }
+    }
+}
+
+/// The combined block formed by physically merging a promoted XB with its
+/// monotonic successor (§3.8, [`crate::PromotionMode::Merge`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MergedXb {
+    /// Identity of the combined block (= the successor XB1's end IP).
+    pub xb_ip: Addr,
+    /// Banks holding the combined block.
+    pub mask: BankMask,
+    /// Total combined length in uops.
+    pub total_len: u8,
+    /// The XB1 window length included in the combination; entering XB0 at
+    /// offset `o` enters the combined block at `o + suffix_len`.
+    pub suffix_len: u8,
+}
+
+/// One XBTB entry.
+#[derive(Clone, Debug)]
+pub struct XbtbEntry {
+    /// Identity of the XB this entry describes (its ending IP).
+    pub xb_ip: Addr,
+    /// How the XB ends.
+    pub kind: XbEndKind,
+    /// Taken-path successor (callee for calls, continuation for `Fall`).
+    pub taken: Option<XbPtr>,
+    /// Not-taken-path successor (return-point XB for calls).
+    pub not_taken: Option<XbPtr>,
+    /// 7-bit monotonicity counter (§3.8).
+    pub bias: BiasCounter,
+    /// Promoted direction, when the ending branch has been promoted.
+    pub promoted: Option<Bias>,
+    /// Physically merged combination, when promotion mode is `Merge`.
+    pub merged: Option<MergedXb>,
+}
+
+impl XbtbEntry {
+    fn new(xb_ip: Addr, kind: XbEndKind) -> Self {
+        XbtbEntry {
+            xb_ip,
+            kind,
+            taken: None,
+            not_taken: None,
+            bias: BiasCounter::new(),
+            promoted: None,
+            merged: None,
+        }
+    }
+
+    /// The successor pointer for a resolved conditional direction.
+    pub fn successor(&self, taken: bool) -> Option<XbPtr> {
+        if taken {
+            self.taken
+        } else {
+            self.not_taken
+        }
+    }
+
+    /// Sets the successor pointer for a direction.
+    pub fn set_successor(&mut self, taken: bool, ptr: XbPtr) {
+        if taken {
+            self.taken = Some(ptr);
+        } else {
+            self.not_taken = Some(ptr);
+        }
+    }
+}
+
+/// XBTB statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct XbtbStats {
+    /// Lookups that found the entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries allocated.
+    pub allocations: u64,
+    /// Valid entries displaced by conflicting allocations.
+    pub conflict_evictions: u64,
+}
+
+/// A 4-way set-associative XBTB (paper: fixed 8K entries; associativity
+/// unstated — 4-way avoids the conflict thrashing a direct-mapped table of
+/// this size exhibits at SPEC-class working sets).
+///
+/// # Examples
+///
+/// ```
+/// use xbc::{Xbtb, XbEndKind};
+/// use xbc_isa::Addr;
+///
+/// let mut t = Xbtb::new(1024);
+/// t.allocate(Addr::new(0x400), XbEndKind::Cond);
+/// assert!(t.get(Addr::new(0x400)).is_some());
+/// assert!(t.get(Addr::new(0x800)).is_none());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Xbtb {
+    entries: Vec<Option<XbtbEntry>>,
+    lru: Vec<u64>,
+    stamp: u64,
+    sets: usize,
+    ways: usize,
+    stats: XbtbStats,
+}
+
+/// Associativity of the XBTB.
+const XBTB_WAYS: usize = 4;
+
+impl Xbtb {
+    /// Creates an empty XBTB with `entries` slots (4-way set-associative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two of at least the
+    /// associativity (4).
+    pub fn new(entries: usize) -> Self {
+        assert!(
+            entries.is_power_of_two() && entries >= XBTB_WAYS,
+            "XBTB entries must be a power of two >= {XBTB_WAYS}"
+        );
+        Xbtb {
+            entries: vec![None; entries],
+            lru: vec![0; entries],
+            stamp: 0,
+            sets: entries / XBTB_WAYS,
+            ways: XBTB_WAYS,
+            stats: XbtbStats::default(),
+        }
+    }
+
+    #[inline]
+    fn set_base(&self, xb_ip: Addr) -> usize {
+        // Fibonacci hashing: function-strided code layouts otherwise
+        // cluster into a few sets and thrash the table.
+        let h = xb_ip.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 32) as usize % self.sets) * self.ways
+    }
+
+    fn find(&self, xb_ip: Addr) -> Option<usize> {
+        let base = self.set_base(xb_ip);
+        (base..base + self.ways)
+            .find(|&i| matches!(&self.entries[i], Some(e) if e.xb_ip == xb_ip))
+    }
+
+    /// Looks up an entry by XB identity, counting hit/miss statistics.
+    pub fn get(&mut self, xb_ip: Addr) -> Option<&XbtbEntry> {
+        match self.find(xb_ip) {
+            Some(i) => {
+                self.stats.hits += 1;
+                self.stamp += 1;
+                self.lru[i] = self.stamp;
+                self.entries[i].as_ref()
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Mutable lookup (no statistics; used on already-resolved entries).
+    pub fn get_mut(&mut self, xb_ip: Addr) -> Option<&mut XbtbEntry> {
+        let i = self.find(xb_ip)?;
+        self.entries[i].as_mut()
+    }
+
+    /// Returns the entry for `xb_ip`, allocating (and evicting the set's
+    /// LRU entry) if needed. An existing entry keeps its pointers but its
+    /// `kind` is refreshed.
+    pub fn allocate(&mut self, xb_ip: Addr, kind: XbEndKind) -> &mut XbtbEntry {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let i = match self.find(xb_ip) {
+            Some(i) => i,
+            None => {
+                let base = self.set_base(xb_ip);
+                let victim = (base..base + self.ways)
+                    .min_by_key(|&i| if self.entries[i].is_none() { 0 } else { self.lru[i] })
+                    .expect("ways > 0");
+                if self.entries[victim].is_some() {
+                    self.stats.conflict_evictions += 1;
+                }
+                self.stats.allocations += 1;
+                self.entries[victim] = Some(XbtbEntry::new(xb_ip, kind));
+                victim
+            }
+        };
+        self.lru[i] = stamp;
+        let e = self.entries[i].as_mut().expect("just ensured");
+        e.kind = kind;
+        e
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> XbtbStats {
+        self.stats
+    }
+
+    /// Number of valid entries.
+    pub fn len(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// True if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ptr::BankMask;
+
+    fn ptr(ip: u64) -> XbPtr {
+        XbPtr::new(Addr::new(ip), Addr::new(ip - 7), BankMask::from_bits(0b0011), 8)
+    }
+
+    #[test]
+    fn allocate_then_hit() {
+        let mut t = Xbtb::new(64);
+        let e = t.allocate(Addr::new(0x100), XbEndKind::Cond);
+        e.set_successor(true, ptr(0x200));
+        let got = t.get(Addr::new(0x100)).unwrap();
+        assert_eq!(got.kind, XbEndKind::Cond);
+        assert_eq!(got.successor(true).unwrap().xb_ip, Addr::new(0x200));
+        assert_eq!(got.successor(false), None);
+        assert_eq!(t.stats().hits, 1);
+    }
+
+    #[test]
+    fn conflict_eviction_lru() {
+        let mut t = Xbtb::new(4); // one set of 4 ways: everything collides
+        for i in 1..=4u64 {
+            t.allocate(Addr::new(i), XbEndKind::Cond);
+        }
+        // Touch entry 1 so entry 2 is the LRU victim.
+        assert!(t.get(Addr::new(1)).is_some());
+        t.allocate(Addr::new(5), XbEndKind::Return);
+        assert!(t.get(Addr::new(2)).is_none());
+        assert!(t.get(Addr::new(1)).is_some());
+        assert!(t.get(Addr::new(5)).is_some());
+        assert_eq!(t.stats().conflict_evictions, 1);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn reallocate_keeps_pointers_refreshes_kind() {
+        let mut t = Xbtb::new(64);
+        t.allocate(Addr::new(0x10), XbEndKind::Cond).set_successor(false, ptr(0x300));
+        let e = t.allocate(Addr::new(0x10), XbEndKind::Cond);
+        assert_eq!(e.not_taken.unwrap().xb_ip, Addr::new(0x300));
+        assert_eq!(t.stats().allocations, 1, "same identity does not re-allocate");
+    }
+
+    #[test]
+    fn end_kind_classification() {
+        assert_eq!(XbEndKind::from_branch(BranchKind::CondDirect), XbEndKind::Cond);
+        assert_eq!(XbEndKind::from_branch(BranchKind::CallDirect), XbEndKind::Call);
+        assert_eq!(XbEndKind::from_branch(BranchKind::Return), XbEndKind::Return);
+        assert_eq!(XbEndKind::from_branch(BranchKind::IndirectJump), XbEndKind::Indirect);
+        assert_eq!(XbEndKind::from_branch(BranchKind::IndirectCall), XbEndKind::IndirectCall);
+        assert_eq!(XbEndKind::from_branch(BranchKind::None), XbEndKind::Fall);
+        assert_eq!(XbEndKind::from_branch(BranchKind::UncondDirect), XbEndKind::Fall);
+    }
+
+    #[test]
+    fn get_mut_does_not_touch_stats() {
+        let mut t = Xbtb::new(64);
+        t.allocate(Addr::new(0x10), XbEndKind::Fall);
+        let before = t.stats();
+        assert!(t.get_mut(Addr::new(0x10)).is_some());
+        assert!(t.get_mut(Addr::new(0x11)).is_none());
+        assert_eq!(t.stats().hits, before.hits);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn entries_must_be_power_of_two() {
+        let _ = Xbtb::new(100);
+    }
+}

@@ -1,0 +1,23 @@
+//! The common frontend interface.
+
+use crate::metrics::FrontendMetrics;
+use xbc_workload::Trace;
+
+/// A trace-driven frontend model: replays a committed instruction stream
+/// and reports how many cycles it took and where the uops came from.
+///
+/// Implementations in this workspace: [`crate::IcFrontend`] (pure
+/// instruction cache), [`crate::UopCacheFrontend`] (decoded cache, paper
+/// §2.2), [`crate::TraceCacheFrontend`] (paper §2.3), and the XBC frontend
+/// in the `xbc` crate (paper §3).
+pub trait Frontend {
+    /// Short machine-readable name (used in report tables).
+    fn name(&self) -> &str;
+
+    /// Replays the whole trace, returning accumulated metrics.
+    ///
+    /// A frontend is single-shot per run: internal predictor/cache state
+    /// persists across calls, which models a warm restart; create a fresh
+    /// instance for an independent run.
+    fn run(&mut self, trace: &Trace) -> FrontendMetrics;
+}

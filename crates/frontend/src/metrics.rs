@@ -1,0 +1,249 @@
+//! Frontend performance metrics.
+//!
+//! The two headline numbers of the paper's evaluation:
+//!
+//! * **uop miss rate** (Figures 9, 10): the percentage of uops brought from
+//!   the instruction cache, i.e. delivered while in build mode, and
+//! * **uop bandwidth** (Figure 8): uops supplied from the caching structure
+//!   per delivery-mode cycle ("bandwidth is defined only for hits").
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counters accumulated while a frontend runs over a trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrontendMetrics {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Cycles spent in build mode (fetching from the IC and decoding).
+    pub build_cycles: u64,
+    /// Cycles spent in delivery mode (supplying uops from the structure).
+    pub delivery_cycles: u64,
+    /// Stall cycles (misprediction resteer, IC misses).
+    pub stall_cycles: u64,
+    /// Uops delivered from the caching structure (delivery mode).
+    pub structure_uops: u64,
+    /// Uops delivered from the IC/decode path (build mode).
+    pub ic_uops: u64,
+    /// Conditional-branch mispredictions.
+    pub cond_mispredicts: u64,
+    /// Indirect-target / return mispredictions.
+    pub target_mispredicts: u64,
+    /// Transitions from delivery mode to build mode.
+    pub delivery_to_build: u64,
+    /// Transitions from build mode to delivery mode.
+    pub build_to_delivery: u64,
+    /// Structure lookups that missed (stale pointer, eviction, cold).
+    pub structure_misses: u64,
+    /// Uop-slots of fetch lost to XBC bank conflicts (0 for other frontends).
+    pub bank_conflict_uops: u64,
+    /// Set searches performed (XBC only).
+    pub set_searches: u64,
+    /// Set searches that recovered the XB (XBC only).
+    pub set_search_hits: u64,
+    /// Branch promotions performed (XBC only).
+    pub promotions: u64,
+    /// De-promotions performed (XBC only).
+    pub depromotions: u64,
+    /// Delivery→build switches caused by XBTB misses (XBC only).
+    pub d2b_xbtb_miss: u64,
+    /// Delivery→build switches caused by a missing successor pointer.
+    pub d2b_no_pointer: u64,
+    /// Delivery→build switches caused by a stale successor pointer.
+    pub d2b_stale_pointer: u64,
+    /// Delivery→build switches caused by array misses (evicted XBs).
+    pub d2b_array_miss: u64,
+    /// Delivery→build switches caused by return mispredictions.
+    pub d2b_return: u64,
+    /// Delivery→build switches caused by indirect-target mispredictions.
+    pub d2b_indirect: u64,
+}
+
+impl FrontendMetrics {
+    /// Total uops delivered.
+    pub fn total_uops(&self) -> u64 {
+        self.structure_uops + self.ic_uops
+    }
+
+    /// Fraction of uops brought from the IC (the paper's *uop miss rate*,
+    /// Figures 9 & 10). 0.0 when nothing was delivered.
+    pub fn uop_miss_rate(&self) -> f64 {
+        let total = self.total_uops();
+        if total == 0 {
+            0.0
+        } else {
+            self.ic_uops as f64 / total as f64
+        }
+    }
+
+    /// Uops supplied by the structure per delivery cycle (the paper's
+    /// *bandwidth*, Figure 8). 0.0 when the structure never delivered.
+    pub fn delivery_bandwidth(&self) -> f64 {
+        if self.delivery_cycles == 0 {
+            0.0
+        } else {
+            self.structure_uops as f64 / self.delivery_cycles as f64
+        }
+    }
+
+    /// Overall uops per cycle including build mode and stalls.
+    pub fn overall_uops_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_uops() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mispredictions (direction + target) per 1000 uops.
+    pub fn mispredicts_per_kuop(&self) -> f64 {
+        let total = self.total_uops();
+        if total == 0 {
+            0.0
+        } else {
+            (self.cond_mispredicts + self.target_mispredicts) as f64 * 1000.0 / total as f64
+        }
+    }
+
+    /// The §1 phase decomposition of execution time, following the
+    /// Mich99 framing the paper opens with: *steady state* (the
+    /// structure streams uops — delivery cycles), *transition* (ramping
+    /// back up through the IC path — build cycles), and *stall*
+    /// (misprediction resteers and IC misses). The paper's rule of thumb
+    /// for a full CPU is roughly 50/30/20; a stand-alone frontend model
+    /// shifts weight toward whatever its structure cannot cover.
+    ///
+    /// Returns `(steady, transition, stall)` as fractions of total cycles.
+    pub fn phase_breakdown(&self) -> (f64, f64, f64) {
+        if self.cycles == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let c = self.cycles as f64;
+        (
+            self.delivery_cycles as f64 / c,
+            self.build_cycles as f64 / c,
+            self.stall_cycles as f64 / c,
+        )
+    }
+
+    /// Set-search success rate (XBC only; 0.0 when unused).
+    pub fn set_search_hit_rate(&self) -> f64 {
+        if self.set_searches == 0 {
+            0.0
+        } else {
+            self.set_search_hits as f64 / self.set_searches as f64
+        }
+    }
+}
+
+impl AddAssign for FrontendMetrics {
+    fn add_assign(&mut self, o: Self) {
+        self.cycles += o.cycles;
+        self.build_cycles += o.build_cycles;
+        self.delivery_cycles += o.delivery_cycles;
+        self.stall_cycles += o.stall_cycles;
+        self.structure_uops += o.structure_uops;
+        self.ic_uops += o.ic_uops;
+        self.cond_mispredicts += o.cond_mispredicts;
+        self.target_mispredicts += o.target_mispredicts;
+        self.delivery_to_build += o.delivery_to_build;
+        self.build_to_delivery += o.build_to_delivery;
+        self.structure_misses += o.structure_misses;
+        self.bank_conflict_uops += o.bank_conflict_uops;
+        self.set_searches += o.set_searches;
+        self.set_search_hits += o.set_search_hits;
+        self.promotions += o.promotions;
+        self.depromotions += o.depromotions;
+        self.d2b_xbtb_miss += o.d2b_xbtb_miss;
+        self.d2b_no_pointer += o.d2b_no_pointer;
+        self.d2b_stale_pointer += o.d2b_stale_pointer;
+        self.d2b_array_miss += o.d2b_array_miss;
+        self.d2b_return += o.d2b_return;
+        self.d2b_indirect += o.d2b_indirect;
+    }
+}
+
+impl fmt::Display for FrontendMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cycles={} (build={} delivery={} stall={})",
+            self.cycles, self.build_cycles, self.delivery_cycles, self.stall_cycles
+        )?;
+        writeln!(
+            f,
+            "uops: structure={} ic={} miss_rate={:.2}% bandwidth={:.2} uops/cyc",
+            self.structure_uops,
+            self.ic_uops,
+            100.0 * self.uop_miss_rate(),
+            self.delivery_bandwidth()
+        )?;
+        write!(
+            f,
+            "mispredicts: cond={} target={} switches: d->b={} b->d={}",
+            self.cond_mispredicts,
+            self.target_mispredicts,
+            self.delivery_to_build,
+            self.build_to_delivery
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_rate_and_bandwidth() {
+        let m = FrontendMetrics {
+            structure_uops: 900,
+            ic_uops: 100,
+            delivery_cycles: 150,
+            cycles: 400,
+            ..Default::default()
+        };
+        assert!((m.uop_miss_rate() - 0.1).abs() < 1e-12);
+        assert!((m.delivery_bandwidth() - 6.0).abs() < 1e-12);
+        assert!((m.overall_uops_per_cycle() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_safe() {
+        let m = FrontendMetrics::default();
+        assert_eq!(m.uop_miss_rate(), 0.0);
+        assert_eq!(m.delivery_bandwidth(), 0.0);
+        assert_eq!(m.overall_uops_per_cycle(), 0.0);
+        assert_eq!(m.mispredicts_per_kuop(), 0.0);
+        assert_eq!(m.set_search_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn phase_breakdown_partitions() {
+        let m = FrontendMetrics {
+            cycles: 10,
+            delivery_cycles: 5,
+            build_cycles: 3,
+            stall_cycles: 2,
+            ..Default::default()
+        };
+        let (s, t, st) = m.phase_breakdown();
+        assert!((s - 0.5).abs() < 1e-12);
+        assert!((t - 0.3).abs() < 1e-12);
+        assert!((st - 0.2).abs() < 1e-12);
+        assert_eq!(FrontendMetrics::default().phase_breakdown(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = FrontendMetrics { cycles: 10, ic_uops: 5, ..Default::default() };
+        a += FrontendMetrics { cycles: 7, structure_uops: 3, ..Default::default() };
+        assert_eq!(a.cycles, 17);
+        assert_eq!(a.total_uops(), 8);
+    }
+
+    #[test]
+    fn display_mentions_bandwidth() {
+        let m = FrontendMetrics { structure_uops: 8, delivery_cycles: 2, ..Default::default() };
+        assert!(format!("{m}").contains("bandwidth=4.00"));
+    }
+}

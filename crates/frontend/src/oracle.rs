@@ -1,0 +1,228 @@
+//! Oracle replay cursor over a captured trace.
+//!
+//! The stand-alone frontend methodology (paper §4) replays a fixed committed
+//! path. [`OracleStream`] is the cursor the frontend models advance as they
+//! deliver uops: it exposes the current instruction, uop-granular progress
+//! within it (the 8-uop renamer cap can split an instruction across
+//! cycles), and bounded lookahead for fill units.
+
+use xbc_isa::Addr;
+use xbc_workload::{DynInst, Trace};
+
+/// A uop-granular cursor over a trace's committed instructions.
+///
+/// # Examples
+///
+/// ```
+/// use xbc_frontend::OracleStream;
+/// use xbc_workload::{ProgramGenerator, Trace, WorkloadProfile};
+///
+/// let p = ProgramGenerator::new(WorkloadProfile::default(), 3).generate();
+/// let t = Trace::capture("t", &p, 3, 100);
+/// let mut o = OracleStream::new(&t);
+/// let first = o.current().unwrap();
+/// o.take_uops(first.inst.uops as usize);
+/// assert_eq!(o.inst_index(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct OracleStream<'a> {
+    insts: &'a [DynInst],
+    pos: usize,
+    /// Uops of the current instruction already delivered.
+    uop_pos: u8,
+    delivered_uops: u64,
+}
+
+impl<'a> OracleStream<'a> {
+    /// Creates a cursor at the start of `trace`.
+    pub fn new(trace: &'a Trace) -> Self {
+        OracleStream { insts: trace.insts(), pos: 0, uop_pos: 0, delivered_uops: 0 }
+    }
+
+    /// The current (not yet fully delivered) instruction, or `None` at end.
+    #[inline]
+    pub fn current(&self) -> Option<&'a DynInst> {
+        self.insts.get(self.pos)
+    }
+
+    /// Looks ahead `k` whole instructions past the current one.
+    #[inline]
+    pub fn peek(&self, k: usize) -> Option<&'a DynInst> {
+        self.insts.get(self.pos + k)
+    }
+
+    /// Index of the current instruction.
+    #[inline]
+    pub fn inst_index(&self) -> usize {
+        self.pos
+    }
+
+    /// Uops of the current instruction already delivered.
+    #[inline]
+    pub fn uop_offset(&self) -> u8 {
+        self.uop_pos
+    }
+
+    /// Total uops delivered so far.
+    #[inline]
+    pub fn delivered_uops(&self) -> u64 {
+        self.delivered_uops
+    }
+
+    /// True once every instruction has been fully delivered.
+    #[inline]
+    pub fn done(&self) -> bool {
+        self.pos >= self.insts.len()
+    }
+
+    /// Fetch address of the next undelivered work: the current instruction's
+    /// IP (partial instructions resume at their own IP — real frontends
+    /// refetch the whole instruction, but uop accounting is what matters
+    /// here).
+    ///
+    /// # Panics
+    ///
+    /// Panics at end of trace.
+    #[inline]
+    pub fn fetch_ip(&self) -> Addr {
+        self.current().expect("fetch_ip at end of trace").inst.ip
+    }
+
+    /// Uops of the current instruction not yet delivered (0 at end).
+    #[inline]
+    pub fn uops_remaining_in_inst(&self) -> usize {
+        match self.current() {
+            Some(d) => (d.inst.uops - self.uop_pos) as usize,
+            None => 0,
+        }
+    }
+
+    /// Delivers up to `budget` uops of the *current instruction only*.
+    /// Returns the number delivered; advances to the next instruction when
+    /// the current one completes.
+    pub fn take_uops(&mut self, budget: usize) -> usize {
+        let Some(d) = self.current() else { return 0 };
+        let remaining = (d.inst.uops - self.uop_pos) as usize;
+        let n = remaining.min(budget);
+        self.uop_pos += n as u8;
+        self.delivered_uops += n as u64;
+        if self.uop_pos == d.inst.uops {
+            self.pos += 1;
+            self.uop_pos = 0;
+        }
+        n
+    }
+
+    /// Delivers the rest of the current instruction unconditionally
+    /// (convenience for engines that treat instructions atomically).
+    pub fn take_inst(&mut self) -> usize {
+        self.take_uops(usize::MAX)
+    }
+
+    /// Finds the instruction whose **last** uop is the `window_uops`-th
+    /// upcoming uop (counting undelivered uops of the current instruction
+    /// first). Returns that instruction and the count of *whole*
+    /// instructions the window spans past the current one.
+    ///
+    /// Used by XB-granular frontends: an XB pointer covers `offset` uops,
+    /// and the XB's ending branch is the instruction closing that window.
+    /// Returns `None` if the trace ends first or the window does not align
+    /// with an instruction boundary.
+    pub fn window_end(&self, window_uops: usize) -> Option<(&'a DynInst, usize)> {
+        let mut remaining = window_uops;
+        let mut j = 0usize;
+        loop {
+            let d = self.insts.get(self.pos + j)?;
+            let avail = if j == 0 { (d.inst.uops - self.uop_pos) as usize } else { d.inst.uops as usize };
+            if remaining <= avail {
+                return if remaining == avail { Some((d, j)) } else { None };
+            }
+            remaining -= avail;
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbc_isa::Inst;
+    use xbc_workload::{ProgramBuilder, Trace};
+
+    fn trace() -> Trace {
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::plain(Addr::new(0x10), 1, 3));
+        b.push(Inst::plain(Addr::new(0x11), 1, 2));
+        b.push(Inst::new(Addr::new(0x12), 1, 1, xbc_isa::BranchKind::Return, None));
+        let p = b.build(Addr::new(0x10), 1);
+        Trace::capture("t", &p, 0, 3)
+    }
+
+    #[test]
+    fn partial_instruction_delivery() {
+        let t = trace();
+        let mut o = OracleStream::new(&t);
+        assert_eq!(o.take_uops(2), 2);
+        assert_eq!(o.inst_index(), 0);
+        assert_eq!(o.uop_offset(), 2);
+        assert_eq!(o.uops_remaining_in_inst(), 1);
+        assert_eq!(o.take_uops(8), 1); // completes inst 0
+        assert_eq!(o.inst_index(), 1);
+        assert_eq!(o.uop_offset(), 0);
+    }
+
+    #[test]
+    fn runs_to_completion() {
+        let t = trace();
+        let mut o = OracleStream::new(&t);
+        let mut total = 0;
+        while !o.done() {
+            total += o.take_inst();
+        }
+        assert_eq!(total, 6);
+        assert_eq!(o.delivered_uops(), 6);
+        assert_eq!(o.take_uops(4), 0);
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let t = trace();
+        let o = OracleStream::new(&t);
+        assert_eq!(o.peek(1).unwrap().inst.ip, Addr::new(0x11));
+        assert_eq!(o.inst_index(), 0);
+    }
+
+    #[test]
+    fn fetch_ip_tracks_current() {
+        let t = trace();
+        let mut o = OracleStream::new(&t);
+        assert_eq!(o.fetch_ip(), Addr::new(0x10));
+        o.take_inst();
+        assert_eq!(o.fetch_ip(), Addr::new(0x11));
+    }
+
+    #[test]
+    fn window_end_finds_instruction_boundaries() {
+        let t = trace(); // uops per inst: 3, 2, 1
+        let o = OracleStream::new(&t);
+        // Aligned windows resolve to the closing instruction.
+        assert_eq!(o.window_end(3).unwrap().0.inst.ip, Addr::new(0x10));
+        assert_eq!(o.window_end(5).unwrap().0.inst.ip, Addr::new(0x11));
+        assert_eq!(o.window_end(6).unwrap().0.inst.ip, Addr::new(0x12));
+        // Misaligned windows are rejected.
+        assert!(o.window_end(2).is_none());
+        assert!(o.window_end(4).is_none());
+        // Past the end of the trace.
+        assert!(o.window_end(7).is_none());
+    }
+
+    #[test]
+    fn window_end_respects_partial_first_instruction() {
+        let t = trace();
+        let mut o = OracleStream::new(&t);
+        o.take_uops(2); // 1 uop of inst 0 remains
+        assert_eq!(o.window_end(1).unwrap().0.inst.ip, Addr::new(0x10));
+        assert_eq!(o.window_end(3).unwrap().0.inst.ip, Addr::new(0x11));
+        assert!(o.window_end(2).is_none());
+    }
+}

@@ -1,0 +1,257 @@
+//! Decoded (uop) cache frontend (paper §2.2).
+//!
+//! Caches the decoder's output at *instruction* granularity: each entry
+//! holds one instruction's uops in a fixed-size slot (the addressing
+//! problem of §2.2 forces a full [`xbc_isa::Inst::MAX_UOPS`]-uop slot per
+//! instruction, so short instructions fragment the array). Removes decode
+//! latency/width limits on hits but keeps the IC's bandwidth behaviour:
+//! one consecutive run per cycle, broken by taken branches.
+
+use crate::build::{BuildEngine, FillSink, Predictors, TimingConfig};
+use crate::frontend::Frontend;
+use crate::metrics::FrontendMetrics;
+use crate::oracle::OracleStream;
+use xbc_isa::Inst;
+use xbc_predict::{BtbConfig, GshareConfig};
+use xbc_uarch::{DecoderConfig, ICacheConfig, SetAssoc};
+use xbc_workload::{DynInst, Trace};
+
+/// Configuration of a [`UopCacheFrontend`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UopCacheConfig {
+    /// Total uop-slot capacity. Divided by `MAX_UOPS` to get entries, since
+    /// every entry must reserve space for the worst-case expansion.
+    pub total_uops: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Build path instruction cache.
+    pub icache: ICacheConfig,
+    /// Build path BTB.
+    pub btb: BtbConfig,
+    /// Build path decoder.
+    pub decoder: DecoderConfig,
+    /// Timing constants.
+    pub timing: TimingConfig,
+    /// Conditional predictor.
+    pub gshare: GshareConfig,
+}
+
+impl Default for UopCacheConfig {
+    fn default() -> Self {
+        UopCacheConfig {
+            total_uops: 32 * 1024,
+            ways: 4,
+            icache: ICacheConfig::default(),
+            btb: BtbConfig::default(),
+            decoder: DecoderConfig::default(),
+            timing: TimingConfig::default(),
+            gshare: GshareConfig::default(),
+        }
+    }
+}
+
+impl UopCacheConfig {
+    /// Entries implied by the geometry (one instruction per entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity does not divide evenly.
+    pub fn entries(&self) -> usize {
+        let entries = self.total_uops / Inst::MAX_UOPS as usize;
+        assert!(entries > 0 && entries.is_multiple_of(self.ways), "capacity must divide into ways");
+        entries
+    }
+}
+
+/// Fill sink installing decoded instructions into the uop cache.
+#[derive(Clone, Debug, Default)]
+struct UcFill {
+    pending: Vec<DynInst>,
+}
+
+impl FillSink for UcFill {
+    fn observe(&mut self, d: &DynInst) {
+        self.pending.push(*d);
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    Build,
+    Delivery,
+}
+
+/// The decoded-cache frontend.
+///
+/// # Examples
+///
+/// ```
+/// use xbc_frontend::{Frontend, UopCacheConfig, UopCacheFrontend};
+/// use xbc_workload::standard_traces;
+///
+/// let trace = standard_traces()[0].capture(20_000);
+/// let mut uc = UopCacheFrontend::new(UopCacheConfig::default());
+/// let m = uc.run(&trace);
+/// assert!(m.structure_uops > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct UopCacheFrontend {
+    cfg: UopCacheConfig,
+    cache: SetAssoc<u8>, // payload: uop count of the cached instruction
+    engine: BuildEngine,
+    preds: Predictors,
+    fill: UcFill,
+    mode: Mode,
+    stall: u64,
+}
+
+impl UopCacheFrontend {
+    /// Creates a cold decoded-cache frontend.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent geometry (see [`UopCacheConfig::entries`]).
+    pub fn new(cfg: UopCacheConfig) -> Self {
+        let entries = cfg.entries();
+        UopCacheFrontend {
+            cache: SetAssoc::new(entries / cfg.ways, cfg.ways),
+            engine: BuildEngine::new(cfg.icache, cfg.btb, cfg.decoder, cfg.timing),
+            preds: Predictors::new(cfg.gshare),
+            fill: UcFill::default(),
+            mode: Mode::Build,
+            stall: 0,
+            cfg,
+        }
+    }
+
+    fn set_and_tag(&self, ip: xbc_isa::Addr) -> (usize, u64) {
+        let sets = self.cache.sets() as u64;
+        let key = ip.raw();
+        ((key % sets) as usize, key / sets)
+    }
+
+    fn install_pending(&mut self) {
+        for d in std::mem::take(&mut self.fill.pending) {
+            let (set, tag) = self.set_and_tag(d.inst.ip);
+            self.cache.insert(set, tag, d.inst.uops);
+        }
+    }
+
+    fn delivery_cycle(&mut self, oracle: &mut OracleStream<'_>, metrics: &mut FrontendMetrics) {
+        metrics.cycles += 1;
+        if self.stall > 0 {
+            self.stall -= 1;
+            metrics.stall_cycles += 1;
+            return;
+        }
+        // Deliver a consecutive run of cached instructions, up to the
+        // renamer width, stopping at a taken branch or a cache miss.
+        let mut delivered = 0usize;
+        let mut any_hit = false;
+        while delivered < self.cfg.timing.renamer_width {
+            let Some(d) = oracle.current().copied() else { break };
+            let (set, tag) = self.set_and_tag(d.inst.ip);
+            if self.cache.get(set, tag).is_none() {
+                if !any_hit {
+                    // Leading miss: switch to build mode.
+                    metrics.structure_misses += 1;
+                    metrics.delivery_to_build += 1;
+                    self.mode = Mode::Build;
+                    metrics.stall_cycles += 1;
+                    return;
+                }
+                break;
+            }
+            if delivered + d.inst.uops as usize > self.cfg.timing.renamer_width {
+                break;
+            }
+            any_hit = true;
+            let n = oracle.take_inst();
+            metrics.structure_uops += n as u64;
+            delivered += n;
+            if d.inst.branch.is_branch() {
+                // The uop cache entry knows the branch kind: fetch is
+                // BTB-independent on hits.
+                let correct = self.preds.resolve(&d, true);
+                if !correct {
+                    if d.inst.branch == xbc_isa::BranchKind::CondDirect {
+                        metrics.cond_mispredicts += 1;
+                    } else {
+                        metrics.target_mispredicts += 1;
+                    }
+                    self.stall += self.cfg.timing.mispredict_penalty;
+                    break;
+                }
+                if d.taken {
+                    break;
+                }
+            }
+        }
+        metrics.delivery_cycles += 1;
+    }
+}
+
+impl Frontend for UopCacheFrontend {
+    fn name(&self) -> &str {
+        "uopcache"
+    }
+
+    fn run(&mut self, trace: &Trace) -> FrontendMetrics {
+        let mut oracle = OracleStream::new(trace);
+        let mut metrics = FrontendMetrics::default();
+        while !oracle.done() {
+            match self.mode {
+                Mode::Build => {
+                    self.engine.cycle(&mut oracle, &mut self.preds, &mut metrics, &mut self.fill);
+                    self.install_pending();
+                    if !oracle.done() && oracle.uop_offset() == 0 {
+                        let (set, tag) = self.set_and_tag(oracle.fetch_ip());
+                        if self.cache.probe(set, tag).is_some() {
+                            self.mode = Mode::Delivery;
+                            metrics.build_to_delivery += 1;
+                        }
+                    }
+                }
+                Mode::Delivery => self.delivery_cycle(&mut oracle, &mut metrics),
+            }
+        }
+        metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbc_workload::standard_traces;
+
+    #[test]
+    fn delivers_whole_trace() {
+        let t = standard_traces()[0].capture(30_000);
+        let mut uc = UopCacheFrontend::new(UopCacheConfig::default());
+        let m = uc.run(&t);
+        assert_eq!(m.total_uops(), t.uop_count());
+    }
+
+    #[test]
+    fn mostly_hits_after_warmup_on_compact_code() {
+        let t = standard_traces()[0].capture(60_000); // spec.compress: small footprint
+        let mut uc = UopCacheFrontend::new(UopCacheConfig::default());
+        let m = uc.run(&t);
+        assert!(m.uop_miss_rate() < 0.5, "miss rate {}", m.uop_miss_rate());
+    }
+
+    #[test]
+    fn fragmentation_costs_capacity_vs_tc() {
+        // An 8K-uop decoded cache holds only 2K instructions; the same
+        // budget as a TC holds fewer *uops* of short instructions.
+        let cfg = UopCacheConfig { total_uops: 8192, ..UopCacheConfig::default() };
+        assert_eq!(cfg.entries(), 2048);
+    }
+
+    #[test]
+    fn geometry_panics_on_bad_capacity() {
+        let cfg = UopCacheConfig { total_uops: 4, ways: 8, ..UopCacheConfig::default() };
+        let r = std::panic::catch_unwind(|| cfg.entries());
+        assert!(r.is_err());
+    }
+}

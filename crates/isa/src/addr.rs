@@ -1,0 +1,131 @@
+//! Virtual instruction addresses.
+//!
+//! The simulated ISA uses flat 64-bit virtual addresses. [`Addr`] is a
+//! newtype so that instruction pointers cannot be confused with other
+//! integer quantities (uop counts, set indices, ...) at compile time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A virtual address of one simulated instruction byte.
+///
+/// `Addr` is ordered, hashable and cheap to copy. Formatting with `{}`
+/// prints the canonical hex form used throughout the simulator logs.
+///
+/// # Examples
+///
+/// ```
+/// use xbc_isa::Addr;
+///
+/// let a = Addr::new(0x4000);
+/// assert_eq!(a.offset(4), Addr::new(0x4004));
+/// assert_eq!(format!("{a}"), "0x0000000000004000");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// The all-zero address, used as a sentinel "before program start".
+    pub const NULL: Addr = Addr(0);
+
+    /// Creates an address from its raw 64-bit value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw 64-bit value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the address `bytes` past `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on address-space wrap-around.
+    #[inline]
+    pub fn offset(self, bytes: u64) -> Self {
+        Addr(self.0 + bytes)
+    }
+
+    /// Returns true if this is the [`Addr::NULL`] sentinel.
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(a: Addr) -> Self {
+        a.0
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:016x}", self.0)
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr(0x{:x})", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offset_advances() {
+        assert_eq!(Addr::new(16).offset(3), Addr::new(19));
+    }
+
+    #[test]
+    fn null_sentinel() {
+        assert!(Addr::NULL.is_null());
+        assert!(!Addr::new(1).is_null());
+        assert_eq!(Addr::default(), Addr::NULL);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(Addr::new(1) < Addr::new(2));
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let a: Addr = 77u64.into();
+        let raw: u64 = a.into();
+        assert_eq!(raw, 77);
+    }
+
+    #[test]
+    fn hex_formatting() {
+        let a = Addr::new(0xBEEF);
+        assert_eq!(format!("{a:x}"), "beef");
+        assert_eq!(format!("{a:X}"), "BEEF");
+        assert_eq!(format!("{a:?}"), "Addr(0xbeef)");
+    }
+}

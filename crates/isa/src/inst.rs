@@ -1,0 +1,288 @@
+//! Static (architectural) instructions of the simulated variable-length ISA.
+//!
+//! The paper targets IA32: variable-length instructions that the decoder
+//! translates into one or more fixed-length RISC-like *uops*. We model a
+//! synthetic ISA with the same two properties that matter to the frontend:
+//!
+//! * instructions are 1–15 bytes long (parallel decode is hard, fetch lines
+//!   contain a variable number of instructions), and
+//! * each instruction expands to 1–[`Inst::MAX_UOPS`] uops.
+
+use crate::Addr;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Control-flow class of an instruction.
+///
+/// The distinction drives every frontend structure in this workspace:
+///
+/// * conditional and indirect control flow **ends** an extended block
+///   (paper §3.1),
+/// * unconditional direct jumps do **not** end an extended block but do end
+///   a basic block,
+/// * calls/returns additionally interact with the return-stack predictors.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub enum BranchKind {
+    /// Not a branch: execution always falls through.
+    #[default]
+    None,
+    /// Conditional direct branch: taken target is static, may fall through.
+    CondDirect,
+    /// Unconditional direct jump: exactly one static target.
+    UncondDirect,
+    /// Unconditional direct call (pushes a return address).
+    CallDirect,
+    /// Indirect jump through a register/memory operand (multiple targets).
+    IndirectJump,
+    /// Indirect call (multiple targets, pushes a return address).
+    IndirectCall,
+    /// Return: indirect through the stack.
+    Return,
+}
+
+impl BranchKind {
+    /// True for any control-flow instruction (anything but [`BranchKind::None`]).
+    #[inline]
+    pub const fn is_branch(self) -> bool {
+        !matches!(self, BranchKind::None)
+    }
+
+    /// True if the instruction may resolve to more than one successor at
+    /// run time, i.e. it terminates an extended block (paper §3.1).
+    ///
+    /// Conditional branches (two successors), indirect jumps/calls and
+    /// returns (many successors) qualify; unconditional direct jumps and
+    /// calls do not.
+    #[inline]
+    pub const fn ends_xb(self) -> bool {
+        matches!(
+            self,
+            BranchKind::CondDirect
+                | BranchKind::IndirectJump
+                | BranchKind::IndirectCall
+                | BranchKind::Return
+        )
+    }
+
+    /// True if the instruction ends a classical basic block: any branch
+    /// does, including unconditional direct jumps.
+    #[inline]
+    pub const fn ends_basic_block(self) -> bool {
+        self.is_branch()
+    }
+
+    /// The *implementation* XB-boundary convention used throughout this
+    /// workspace: everything in [`BranchKind::ends_xb`] **plus direct
+    /// calls**.
+    ///
+    /// Paper §3.1 lists only conditional/indirect branches and returns as
+    /// XB end conditions, but §3.5 describes XBTB entries for "a XB ended
+    /// by the corresponding call" — the XRSB bookkeeping requires call
+    /// boundaries. We follow §3.5; only unconditional direct *jumps* are
+    /// transparent to XBs.
+    #[inline]
+    pub const fn ends_xb_boundary(self) -> bool {
+        self.ends_xb() || matches!(self, BranchKind::CallDirect)
+    }
+
+    /// True for instructions that push a return address (direct and
+    /// indirect calls).
+    #[inline]
+    pub const fn is_call(self) -> bool {
+        matches!(self, BranchKind::CallDirect | BranchKind::IndirectCall)
+    }
+
+    /// True for indirect transfers (target not encoded in the instruction).
+    #[inline]
+    pub const fn is_indirect(self) -> bool {
+        matches!(
+            self,
+            BranchKind::IndirectJump | BranchKind::IndirectCall | BranchKind::Return
+        )
+    }
+
+    /// True if the instruction can fall through to the next sequential
+    /// instruction (only conditional branches and non-branches).
+    #[inline]
+    pub const fn may_fall_through(self) -> bool {
+        matches!(self, BranchKind::None | BranchKind::CondDirect)
+    }
+}
+
+impl fmt::Display for BranchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BranchKind::None => "none",
+            BranchKind::CondDirect => "cond",
+            BranchKind::UncondDirect => "jmp",
+            BranchKind::CallDirect => "call",
+            BranchKind::IndirectJump => "ijmp",
+            BranchKind::IndirectCall => "icall",
+            BranchKind::Return => "ret",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A static instruction: its address, encoded length, uop expansion count
+/// and control-flow behaviour.
+///
+/// `Inst` is the unit stored in simulated program images and fetched through
+/// the instruction cache; the decoder expands it into uops
+/// (see [`crate::decode`]).
+///
+/// # Examples
+///
+/// ```
+/// use xbc_isa::{Addr, BranchKind, Inst};
+///
+/// let i = Inst::new(Addr::new(0x100), 5, 2, BranchKind::CondDirect, Some(Addr::new(0x40)));
+/// assert_eq!(i.next_seq(), Addr::new(0x105));
+/// assert!(i.branch.ends_xb());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Inst {
+    /// Address of the first byte of this instruction.
+    pub ip: Addr,
+    /// Encoded length in bytes (1..=15).
+    pub len: u8,
+    /// Number of uops this instruction decodes into (1..=[`Inst::MAX_UOPS`]).
+    pub uops: u8,
+    /// Control-flow class.
+    pub branch: BranchKind,
+    /// Static taken-target for direct branches; `None` for non-branches and
+    /// indirect transfers.
+    pub target: Option<Addr>,
+}
+
+impl Inst {
+    /// Maximum uop expansion of a single instruction.
+    pub const MAX_UOPS: u8 = 4;
+    /// Maximum encoded length in bytes.
+    pub const MAX_LEN: u8 = 15;
+
+    /// Creates a new instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` or `uops` is zero or above the ISA limits, or if a
+    /// direct branch is missing its target / a non-direct instruction
+    /// carries one.
+    pub fn new(ip: Addr, len: u8, uops: u8, branch: BranchKind, target: Option<Addr>) -> Self {
+        assert!((1..=Self::MAX_LEN).contains(&len), "invalid encoded length {len}");
+        assert!((1..=Self::MAX_UOPS).contains(&uops), "invalid uop count {uops}");
+        let wants_target =
+            matches!(branch, BranchKind::CondDirect | BranchKind::UncondDirect | BranchKind::CallDirect);
+        assert_eq!(
+            wants_target,
+            target.is_some(),
+            "direct branches carry a static target; others must not (kind={branch:?})"
+        );
+        Inst { ip, len, uops, branch, target }
+    }
+
+    /// Convenience constructor for a plain (non-branch) instruction.
+    pub fn plain(ip: Addr, len: u8, uops: u8) -> Self {
+        Self::new(ip, len, uops, BranchKind::None, None)
+    }
+
+    /// Address of the next sequential instruction (fall-through path).
+    #[inline]
+    pub fn next_seq(&self) -> Addr {
+        self.ip.offset(self.len as u64)
+    }
+
+    /// The static taken target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on an instruction without a static target.
+    #[inline]
+    pub fn taken_target(&self) -> Addr {
+        self.target.expect("instruction has no static target")
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} len={} uops={}", self.ip, self.branch, self.len, self.uops)?;
+        if let Some(t) = self.target {
+            write!(f, " -> {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xb_end_conditions_follow_the_paper() {
+        // Paper §3.1: conditional + indirect branches and returns end a XB;
+        // unconditional direct jumps and calls do not.
+        assert!(BranchKind::CondDirect.ends_xb());
+        assert!(BranchKind::IndirectJump.ends_xb());
+        assert!(BranchKind::IndirectCall.ends_xb());
+        assert!(BranchKind::Return.ends_xb());
+        assert!(!BranchKind::UncondDirect.ends_xb());
+        assert!(!BranchKind::CallDirect.ends_xb());
+        assert!(!BranchKind::None.ends_xb());
+    }
+
+    #[test]
+    fn xb_boundary_convention_includes_calls() {
+        assert!(BranchKind::CallDirect.ends_xb_boundary());
+        assert!(BranchKind::CondDirect.ends_xb_boundary());
+        assert!(BranchKind::Return.ends_xb_boundary());
+        assert!(!BranchKind::UncondDirect.ends_xb_boundary());
+        assert!(!BranchKind::None.ends_xb_boundary());
+    }
+
+    #[test]
+    fn basic_block_ends_on_any_branch() {
+        assert!(BranchKind::UncondDirect.ends_basic_block());
+        assert!(BranchKind::CallDirect.ends_basic_block());
+        assert!(!BranchKind::None.ends_basic_block());
+    }
+
+    #[test]
+    fn fall_through_classes() {
+        assert!(BranchKind::None.may_fall_through());
+        assert!(BranchKind::CondDirect.may_fall_through());
+        assert!(!BranchKind::UncondDirect.may_fall_through());
+        assert!(!BranchKind::Return.may_fall_through());
+    }
+
+    #[test]
+    fn next_seq_uses_len() {
+        let i = Inst::plain(Addr::new(0x10), 3, 1);
+        assert_eq!(i.next_seq(), Addr::new(0x13));
+    }
+
+    #[test]
+    #[should_panic(expected = "static target")]
+    fn direct_branch_requires_target() {
+        let _ = Inst::new(Addr::new(0), 1, 1, BranchKind::CondDirect, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "static target")]
+    fn indirect_refuses_target() {
+        let _ = Inst::new(Addr::new(4), 1, 1, BranchKind::Return, Some(Addr::new(8)));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid uop count")]
+    fn uop_count_bounds_checked() {
+        let _ = Inst::plain(Addr::new(4), 1, 9);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let i = Inst::new(Addr::new(0x20), 2, 1, BranchKind::UncondDirect, Some(Addr::new(0x40)));
+        let s = format!("{i}");
+        assert!(s.contains("jmp"));
+        assert!(s.contains("0x0000000000000040"));
+    }
+}

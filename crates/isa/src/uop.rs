@@ -1,0 +1,163 @@
+//! Decoded micro-operations (uops).
+//!
+//! Frontend structures after the decoder (decoded cache, trace cache, XBC)
+//! all store uops rather than architectural instructions. A uop carries the
+//! identity of its parent instruction so redundancy ("the same uop stored
+//! twice", paper §2.3) is well defined and checkable.
+
+use crate::{Addr, BranchKind};
+use std::fmt;
+
+/// Functional class of a uop. The frontend does not execute uops, but the
+/// class is kept because real fill units and renamers steer on it, and our
+/// examples/tests use it to build realistic mixes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum UopKind {
+    /// Integer ALU operation.
+    #[default]
+    Alu,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Branch resolution uop (always the last uop of a branch instruction).
+    Branch,
+    /// Floating-point / SIMD operation.
+    Fp,
+}
+
+impl fmt::Display for UopKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UopKind::Alu => "alu",
+            UopKind::Load => "load",
+            UopKind::Store => "store",
+            UopKind::Branch => "branch",
+            UopKind::Fp => "fp",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Globally unique identity of a uop: the parent instruction IP plus the
+/// uop's slot within the instruction's expansion.
+///
+/// Two frontend storage locations holding the same `UopId` are redundant
+/// copies — the XBC's central invariant is that this never happens
+/// (paper §3.3).
+///
+/// # Examples
+///
+/// ```
+/// use xbc_isa::{Addr, UopId};
+///
+/// let id = UopId::new(Addr::new(0x100), 1);
+/// assert_eq!(id.inst_ip, Addr::new(0x100));
+/// assert_eq!(id.slot, 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct UopId {
+    /// IP of the parent architectural instruction.
+    pub inst_ip: Addr,
+    /// Index of this uop within the instruction's expansion (0-based).
+    pub slot: u8,
+}
+
+impl UopId {
+    /// Creates a uop identity.
+    #[inline]
+    pub const fn new(inst_ip: Addr, slot: u8) -> Self {
+        UopId { inst_ip, slot }
+    }
+}
+
+impl fmt::Display for UopId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.inst_ip, self.slot)
+    }
+}
+
+/// A decoded micro-operation.
+///
+/// Carries everything the frontend needs: identity, functional class,
+/// whether it is the last uop of its instruction (so downstream structures
+/// can recover instruction boundaries), and the parent instruction's
+/// control-flow class on the *last* uop.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Uop {
+    /// Identity (parent instruction IP + slot).
+    pub id: UopId,
+    /// Functional class.
+    pub kind: UopKind,
+    /// True on the final uop of the parent instruction's expansion.
+    pub ends_inst: bool,
+    /// Control-flow class of the parent instruction. Meaningful only when
+    /// `ends_inst` is true (branch behaviour is attached to the last uop);
+    /// earlier uops always carry [`BranchKind::None`].
+    pub branch: BranchKind,
+}
+
+impl Uop {
+    /// Creates a uop.
+    pub const fn new(id: UopId, kind: UopKind, ends_inst: bool, branch: BranchKind) -> Self {
+        Uop { id, kind, ends_inst, branch }
+    }
+
+    /// True if this uop terminates an extended block (paper §3.1): it is the
+    /// last uop of a conditional branch, indirect jump/call or return.
+    #[inline]
+    pub fn ends_xb(&self) -> bool {
+        self.ends_inst && self.branch.ends_xb()
+    }
+
+    /// True if this uop terminates a classical basic block.
+    #[inline]
+    pub fn ends_basic_block(&self) -> bool {
+        self.ends_inst && self.branch.ends_basic_block()
+    }
+}
+
+impl fmt::Display for Uop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.id, self.kind)?;
+        if self.ends_inst && self.branch.is_branch() {
+            write!(f, " [{}]", self.branch)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uop(slot: u8, ends: bool, br: BranchKind) -> Uop {
+        Uop::new(UopId::new(Addr::new(0x100), slot), UopKind::Alu, ends, br)
+    }
+
+    #[test]
+    fn xb_end_requires_last_uop() {
+        // A conditional branch instruction's non-final uop must not end a XB.
+        assert!(!uop(0, false, BranchKind::None).ends_xb());
+        assert!(uop(1, true, BranchKind::CondDirect).ends_xb());
+        assert!(!uop(1, true, BranchKind::UncondDirect).ends_xb());
+        assert!(uop(1, true, BranchKind::UncondDirect).ends_basic_block());
+    }
+
+    #[test]
+    fn uop_id_ordering_is_by_ip_then_slot() {
+        let a = UopId::new(Addr::new(1), 3);
+        let b = UopId::new(Addr::new(2), 0);
+        let c = UopId::new(Addr::new(2), 1);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn display_forms() {
+        let u = uop(2, true, BranchKind::Return);
+        let s = format!("{u}");
+        assert!(s.contains("#2"));
+        assert!(s.contains("[ret]"));
+        assert_eq!(format!("{}", UopKind::Load), "load");
+    }
+}

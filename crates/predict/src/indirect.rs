@@ -1,0 +1,172 @@
+//! Indirect-branch target predictor.
+//!
+//! Plays the role of the paper's XiBTB ("predicts the next XB for XBs that
+//! are ended by an indirect branch that takes more than a single target",
+//! §3.5) and of the indirect-target side of the IC frontend's BTB. Generic
+//! over the predicted payload: an address for the IC frontend, an XB pointer
+//! for the XBC.
+//!
+//! The table is history-hashed (gshare-style) so polymorphic call sites with
+//! path-correlated targets are predictable, with a plain last-target table
+//! available by setting `history_bits = 0`.
+
+use xbc_isa::Addr;
+
+/// Statistics of an [`IndirectPredictor`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IndirectStats {
+    /// Lookups that produced some prediction.
+    pub predictions: u64,
+    /// Lookups with no entry.
+    pub cold: u64,
+    /// Updates that found the predicted payload equal to the outcome.
+    pub correct: u64,
+    /// Updates that found a different payload recorded.
+    pub incorrect: u64,
+}
+
+impl IndirectStats {
+    /// Accuracy over updates with an existing entry.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.correct + self.incorrect;
+        if total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / total as f64
+        }
+    }
+}
+
+/// A tagged, direct-mapped, history-hashed target table.
+///
+/// # Examples
+///
+/// ```
+/// use xbc_predict::IndirectPredictor;
+/// use xbc_isa::Addr;
+///
+/// let mut p: IndirectPredictor<Addr> = IndirectPredictor::new(10, 4);
+/// let site = Addr::new(0x500);
+/// p.update(site, 0, Addr::new(0x9000));
+/// assert_eq!(p.predict(site, 0), Some(Addr::new(0x9000)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct IndirectPredictor<T> {
+    entries: Vec<Option<(u64, T)>>, // (full tag, payload)
+    index_mask: u64,
+    history_bits: u32,
+    stats: IndirectStats,
+}
+
+impl<T: Clone + PartialEq> IndirectPredictor<T> {
+    /// Creates a predictor with `2^index_bits` entries, folding
+    /// `history_bits` bits of supplied path history into the index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or above 30, or if `history_bits`
+    /// exceeds `index_bits`.
+    pub fn new(index_bits: u32, history_bits: u32) -> Self {
+        assert!((1..=30).contains(&index_bits), "index_bits must be in 1..=30");
+        assert!(history_bits <= index_bits, "history_bits cannot exceed index_bits");
+        let size = 1usize << index_bits;
+        IndirectPredictor {
+            entries: vec![None; size],
+            index_mask: (size - 1) as u64,
+            history_bits,
+            stats: IndirectStats::default(),
+        }
+    }
+
+    #[inline]
+    fn slot(&self, ip: Addr, history: u64) -> (usize, u64) {
+        let hist = history & ((1u64 << self.history_bits) - 1);
+        let key = ip.raw();
+        let idx = ((key ^ hist) & self.index_mask) as usize;
+        (idx, key)
+    }
+
+    /// Predicts the payload for the indirect branch at `ip` under `history`.
+    pub fn predict(&mut self, ip: Addr, history: u64) -> Option<T> {
+        let (idx, tag) = self.slot(ip, history);
+        match &self.entries[idx] {
+            Some((t, payload)) if *t == tag => {
+                self.stats.predictions += 1;
+                Some(payload.clone())
+            }
+            _ => {
+                self.stats.cold += 1;
+                None
+            }
+        }
+    }
+
+    /// Records the resolved payload, measuring accuracy of what was stored.
+    pub fn update(&mut self, ip: Addr, history: u64, actual: T) {
+        let (idx, tag) = self.slot(ip, history);
+        if let Some((t, payload)) = &self.entries[idx] {
+            if *t == tag {
+                if *payload == actual {
+                    self.stats.correct += 1;
+                } else {
+                    self.stats.incorrect += 1;
+                }
+            }
+        }
+        self.entries[idx] = Some((tag, actual));
+    }
+
+    /// Accuracy statistics.
+    pub fn stats(&self) -> IndirectStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_target_mode() {
+        let mut p: IndirectPredictor<u32> = IndirectPredictor::new(8, 0);
+        let ip = Addr::new(0x40);
+        assert_eq!(p.predict(ip, 0), None);
+        p.update(ip, 0, 7);
+        assert_eq!(p.predict(ip, 0), Some(7));
+        p.update(ip, 0, 9);
+        assert_eq!(p.predict(ip, 0), Some(9));
+        assert_eq!(p.stats().incorrect, 1);
+    }
+
+    #[test]
+    fn history_separates_contexts() {
+        let mut p: IndirectPredictor<u32> = IndirectPredictor::new(8, 4);
+        let ip = Addr::new(0x80);
+        p.update(ip, 0b0001, 111);
+        p.update(ip, 0b0010, 222);
+        assert_eq!(p.predict(ip, 0b0001), Some(111));
+        assert_eq!(p.predict(ip, 0b0010), Some(222));
+    }
+
+    #[test]
+    fn tag_rejects_aliases() {
+        let mut p: IndirectPredictor<u32> = IndirectPredictor::new(2, 0); // 4 entries
+        p.update(Addr::new(0x2), 0, 5);
+        // 0x2>>1=1; 0x12>>1=9 -> same index (1) but different tag.
+        assert_eq!(p.predict(Addr::new(0x12), 0), None);
+        assert_eq!(p.stats().cold, 1);
+    }
+
+    #[test]
+    fn zero_history_bits_ignores_history() {
+        let mut p: IndirectPredictor<u32> = IndirectPredictor::new(6, 0);
+        p.update(Addr::new(0x10), 0xFFFF, 3);
+        assert_eq!(p.predict(Addr::new(0x10), 0x0), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn history_wider_than_index_rejected() {
+        let _: IndirectPredictor<u8> = IndirectPredictor::new(4, 8);
+    }
+}

@@ -1,0 +1,49 @@
+//! # xbc-predict — branch prediction substrates
+//!
+//! All the predictors the paper's frontends rely on (§3.5, §4):
+//!
+//! * [`Gshare`] — the 16-bit-history gshare conditional predictor used for
+//!   both the trace cache and the XBC (serves as the paper's **XBP**),
+//! * [`Bimodal`] — classical per-address 2-bit baseline for ablations,
+//! * [`Btb`] — branch target buffer for the instruction-cache frontend,
+//! * [`ReturnStack`] — fixed-depth return stack (IC RSB and the XBC's
+//!   **XRSB**, which pushes XBTB pointers instead of addresses),
+//! * [`IndirectPredictor`] — history-hashed indirect-target table (the
+//!   XBC's **XiBTB** and the IC frontend's indirect path),
+//! * [`BiasCounter`] — the 7-bit monotonicity counter driving branch
+//!   promotion (§3.8).
+//!
+//! # Example
+//!
+//! ```
+//! use xbc_predict::{Gshare, GshareConfig};
+//! use xbc_isa::Addr;
+//!
+//! let mut g = Gshare::new(GshareConfig::default());
+//! let loop_branch = Addr::new(0x4010);
+//! for _ in 0..100 { g.update(loop_branch, true); }
+//! assert!(g.predict(loop_branch));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bias;
+mod bimodal;
+mod dir;
+mod btb;
+mod gshare;
+mod indirect;
+mod local;
+mod rsb;
+mod tournament;
+
+pub use bias::{Bias, BiasCounter};
+pub use bimodal::Bimodal;
+pub use dir::DirPredictor;
+pub use btb::{Btb, BtbConfig, BtbEntry};
+pub use gshare::{Gshare, GshareConfig, PredictorStats};
+pub use indirect::{IndirectPredictor, IndirectStats};
+pub use local::{LocalConfig, LocalPredictor};
+pub use rsb::ReturnStack;
+pub use tournament::{Tournament, TournamentConfig};

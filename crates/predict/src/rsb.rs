@@ -1,0 +1,185 @@
+//! Return stack buffer.
+//!
+//! Generic over the pushed payload: the IC frontend pushes return
+//! *addresses*, while the XBC's XRSB pushes pointers to XBTB entries
+//! (paper §3.5). Fixed depth with wrap-around overwrite, like hardware.
+
+use std::fmt;
+
+/// A fixed-depth return stack that overwrites its oldest entry on overflow,
+/// mimicking a hardware RSB (deep recursion corrupts the oldest frames
+/// rather than failing).
+///
+/// # Examples
+///
+/// ```
+/// use xbc_predict::ReturnStack;
+///
+/// let mut rsb: ReturnStack<u32> = ReturnStack::new(2);
+/// rsb.push(1);
+/// rsb.push(2);
+/// rsb.push(3); // overwrites 1
+/// assert_eq!(rsb.pop(), Some(3));
+/// assert_eq!(rsb.pop(), Some(2));
+/// assert_eq!(rsb.pop(), None); // 1 was lost to wrap-around
+/// ```
+#[derive(Clone)]
+pub struct ReturnStack<T> {
+    slots: Vec<Option<T>>,
+    /// Index of the next slot to push into.
+    top: usize,
+    /// Number of live entries (capped at depth).
+    live: usize,
+    /// Pushes lost to overflow.
+    overflows: u64,
+    /// Pops attempted on an empty stack.
+    underflows: u64,
+}
+
+impl<T> ReturnStack<T> {
+    /// Creates an empty stack of the given depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "return stack needs depth >= 1");
+        let mut slots = Vec::with_capacity(depth);
+        slots.resize_with(depth, || None);
+        ReturnStack { slots, top: 0, live: 0, overflows: 0, underflows: 0 }
+    }
+
+    /// Maximum depth.
+    pub fn depth(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Current number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Pushes a frame, overwriting the oldest on overflow.
+    pub fn push(&mut self, value: T) {
+        if self.live == self.slots.len() {
+            self.overflows += 1;
+        } else {
+            self.live += 1;
+        }
+        self.slots[self.top] = Some(value);
+        self.top = (self.top + 1) % self.slots.len();
+    }
+
+    /// Pops the most recent frame, or `None` on an empty stack.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.live == 0 {
+            self.underflows += 1;
+            return None;
+        }
+        self.top = (self.top + self.slots.len() - 1) % self.slots.len();
+        self.live -= 1;
+        self.slots[self.top].take()
+    }
+
+    /// Peeks at the most recent frame without popping.
+    pub fn peek(&self) -> Option<&T> {
+        if self.live == 0 {
+            return None;
+        }
+        let idx = (self.top + self.slots.len() - 1) % self.slots.len();
+        self.slots[idx].as_ref()
+    }
+
+    /// Clears all entries (e.g. on a pipeline flush in aggressive designs).
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.top = 0;
+        self.live = 0;
+    }
+
+    /// Pushes lost to wrap-around so far.
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Pops from an empty stack so far.
+    pub fn underflows(&self) -> u64 {
+        self.underflows
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for ReturnStack<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReturnStack")
+            .field("depth", &self.slots.len())
+            .field("live", &self.live)
+            .field("overflows", &self.overflows)
+            .field("underflows", &self.underflows)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut s = ReturnStack::new(4);
+        s.push("a");
+        s.push("b");
+        assert_eq!(s.peek(), Some(&"b"));
+        assert_eq!(s.pop(), Some("b"));
+        assert_eq!(s.pop(), Some("a"));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut s = ReturnStack::new(2);
+        s.push(1);
+        s.push(2);
+        s.push(3);
+        assert_eq!(s.overflows(), 1);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.pop(), Some(3));
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), None);
+        assert_eq!(s.underflows(), 1);
+    }
+
+    #[test]
+    fn deep_recursion_then_unwind() {
+        let mut s = ReturnStack::new(8);
+        for i in 0..20 {
+            s.push(i);
+        }
+        // Only the 8 most recent survive, in order.
+        for i in (12..20).rev() {
+            assert_eq!(s.pop(), Some(i));
+        }
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = ReturnStack::new(2);
+        s.push(1);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth >= 1")]
+    fn zero_depth_rejected() {
+        let _: ReturnStack<u8> = ReturnStack::new(0);
+    }
+}

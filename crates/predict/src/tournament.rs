@@ -1,0 +1,185 @@
+//! McFarling's combining (tournament) predictor.
+//!
+//! The paper's gshare citation — McFarling, "Combining Branch Predictors"
+//! (DEC WRL TN-36, 1993) — actually introduces *two* things: gshare and
+//! the combining predictor that arbitrates between two component
+//! predictors with a table of 2-bit chooser counters. We implement the
+//! classic gshare + bimodal combination so the predictor ablation can
+//! include it.
+
+use crate::{Bimodal, Gshare, GshareConfig, PredictorStats};
+use xbc_isa::Addr;
+
+/// Configuration of a [`Tournament`] predictor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TournamentConfig {
+    /// Global (gshare) component configuration.
+    pub gshare: GshareConfig,
+    /// log2 of the bimodal component's counter table.
+    pub bimodal_bits: u32,
+    /// log2 of the chooser table.
+    pub chooser_bits: u32,
+}
+
+impl Default for TournamentConfig {
+    /// 16-bit gshare + 14-bit bimodal with a 14-bit chooser.
+    fn default() -> Self {
+        TournamentConfig {
+            gshare: GshareConfig::default(),
+            bimodal_bits: 14,
+            chooser_bits: 14,
+        }
+    }
+}
+
+/// A combining predictor: per-address 2-bit chooser counters select
+/// between a gshare and a bimodal component; both components always
+/// train, the chooser trains toward whichever was right.
+///
+/// # Examples
+///
+/// ```
+/// use xbc_predict::{Tournament, TournamentConfig};
+/// use xbc_isa::Addr;
+///
+/// let mut t = Tournament::new(TournamentConfig::default());
+/// let ip = Addr::new(0x40);
+/// for _ in 0..200 { t.update(ip, true); }
+/// assert!(t.predict(ip));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tournament {
+    gshare: Gshare,
+    bimodal: Bimodal,
+    /// 2-bit counters: ≥2 favours gshare, <2 favours bimodal.
+    chooser: Vec<u8>,
+    chooser_mask: u64,
+    stats: PredictorStats,
+}
+
+impl Tournament {
+    /// Creates the predictor with the chooser neutral-leaning-bimodal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component size is out of range (see the component
+    /// constructors).
+    pub fn new(cfg: TournamentConfig) -> Self {
+        assert!((1..=24).contains(&cfg.chooser_bits), "chooser_bits in 1..=24");
+        let size = 1usize << cfg.chooser_bits;
+        Tournament {
+            gshare: Gshare::new(cfg.gshare),
+            bimodal: Bimodal::new(cfg.bimodal_bits),
+            chooser: vec![1; size],
+            chooser_mask: (size - 1) as u64,
+            stats: PredictorStats::default(),
+        }
+    }
+
+    #[inline]
+    fn chooser_index(&self, ip: Addr) -> usize {
+        ((ip.raw() >> 1) & self.chooser_mask) as usize
+    }
+
+    /// Predicts the direction of the conditional branch at `ip`.
+    pub fn predict(&self, ip: Addr) -> bool {
+        if self.chooser[self.chooser_index(ip)] >= 2 {
+            self.gshare.predict(ip)
+        } else {
+            self.bimodal.predict(ip)
+        }
+    }
+
+    /// Updates all three tables; returns whether the pre-update combined
+    /// prediction was correct.
+    pub fn update(&mut self, ip: Addr, taken: bool) -> bool {
+        let g_pred = self.gshare.predict(ip);
+        let b_pred = self.bimodal.predict(ip);
+        let combined = if self.chooser[self.chooser_index(ip)] >= 2 { g_pred } else { b_pred };
+        let correct = combined == taken;
+        if correct {
+            self.stats.correct += 1;
+        } else {
+            self.stats.incorrect += 1;
+        }
+        // Chooser trains only when the components disagree.
+        if g_pred != b_pred {
+            let idx = self.chooser_index(ip);
+            let c = &mut self.chooser[idx];
+            if g_pred == taken {
+                *c = (*c + 1).min(3);
+            } else {
+                *c = c.saturating_sub(1);
+            }
+        }
+        self.gshare.update(ip, taken);
+        self.bimodal.update(ip, taken);
+        correct
+    }
+
+    /// Global history register (from the gshare component).
+    pub fn history(&self) -> u64 {
+        self.gshare.history()
+    }
+
+    /// Accuracy statistics of the combined prediction.
+    pub fn stats(&self) -> PredictorStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chooser_converges_to_better_component() {
+        // An iid biased branch (p=1.0) where bimodal is immediately right
+        // while cold gshare thrashes across history-indexed entries: the
+        // chooser should swing toward bimodal and track its accuracy.
+        let mut t = Tournament::new(TournamentConfig::default());
+        let ip = Addr::new(0x88);
+        for _ in 0..64 {
+            t.update(ip, true);
+        }
+        let mut correct = 0;
+        for _ in 0..64 {
+            if t.predict(ip) {
+                correct += 1;
+            }
+            t.update(ip, true);
+        }
+        assert_eq!(correct, 64, "monotonic branch must be perfect after warm-up");
+    }
+
+    #[test]
+    fn beats_or_matches_components_on_mixed_work() {
+        // Two branches: one monotonic (bimodal-friendly), one period-2
+        // (gshare-friendly). The tournament should approach the better
+        // component on each.
+        let mut t = Tournament::new(TournamentConfig { gshare: GshareConfig { history_bits: 10 }, ..Default::default() });
+        let mono = Addr::new(0x10);
+        let alt = Addr::new(0x20);
+        let mut flip = false;
+        for _ in 0..2000 {
+            t.update(mono, true);
+            t.update(alt, flip);
+            flip = !flip;
+        }
+        let s = t.stats();
+        assert!(s.accuracy() > 0.85, "combined accuracy {}", s.accuracy());
+    }
+
+    #[test]
+    fn history_comes_from_gshare() {
+        let mut t = Tournament::new(TournamentConfig::default());
+        t.update(Addr::new(2), true);
+        assert_eq!(t.history() & 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "chooser_bits")]
+    fn zero_chooser_rejected() {
+        let _ = Tournament::new(TournamentConfig { chooser_bits: 0, ..Default::default() });
+    }
+}

@@ -1,0 +1,166 @@
+//! `xbcsim` — command-line driver for the XBC reproduction.
+//!
+//! ```text
+//! xbcsim list
+//! xbcsim run   --frontend xbc --size 32768 --trace spec.gcc --inst 500000
+//! xbcsim run   --frontend tc  --from trace.json
+//! xbcsim sweep --frontends tc,xbc --sizes 8192,32768 --inst 200000 [--json out.json]
+//! xbcsim capture --trace sys.access --inst 100000 --out trace.json
+//! xbcsim dot --trace spec.gcc --function 3 > f3.dot
+//! ```
+
+use std::fs::File;
+use std::process::exit;
+use xbc_sim::{pivot_table, FrontendSpec, Row, Sweep};
+use xbc_workload::{function_dot, standard_traces, Trace};
+
+fn usage() -> ! {
+    eprintln!("usage:");
+    eprintln!("  xbcsim list");
+    eprintln!("  xbcsim run --frontend ic|uopcache|bbtc|tc|xbc [--size N] (--trace NAME --inst N | --from FILE)");
+    eprintln!("  xbcsim sweep [--frontends tc,xbc] [--sizes 8192,32768] [--inst N] [--json FILE]");
+    eprintln!("  xbcsim capture --trace NAME --inst N --out FILE");
+    eprintln!("  xbcsim dot --trace NAME [--function K]   (DOT CFG to stdout)");
+    exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    exit(2);
+}
+
+/// Tiny flag parser: `--key value` pairs after the subcommand.
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Self {
+        let mut out = Vec::new();
+        let mut it = args.iter();
+        while let Some(k) = it.next() {
+            if !k.starts_with("--") {
+                fail(&format!("unexpected argument: {k}"));
+            }
+            let v = it.next().unwrap_or_else(|| fail(&format!("{k} needs a value")));
+            out.push((k[2..].to_owned(), v.clone()));
+        }
+        Flags(out)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn get_usize(&self, key: &str, default: usize) -> usize {
+        match self.get(key) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| fail(&format!("bad --{key}: {v}"))),
+        }
+    }
+}
+
+fn frontend_spec(kind: &str, size: usize) -> FrontendSpec {
+    match kind {
+        "ic" => FrontendSpec::Ic,
+        "uopcache" => FrontendSpec::UopCache { total_uops: size },
+        "bbtc" => FrontendSpec::Bbtc { total_uops: size },
+        "tc" => FrontendSpec::Tc { total_uops: size, ways: 4 },
+        "xbc" => FrontendSpec::Xbc { total_uops: size, ways: 2, promotion: true },
+        other => fail(&format!("unknown frontend: {other}")),
+    }
+}
+
+fn load_trace_by_name(name: &str, insts: usize) -> Trace {
+    let spec = standard_traces()
+        .into_iter()
+        .find(|t| t.name == name)
+        .unwrap_or_else(|| fail(&format!("unknown trace: {name} (see `xbcsim list`)")));
+    spec.capture(insts)
+}
+
+fn cmd_list() {
+    println!("{:<18} {:>10} {:>10} {:>6}", "trace", "suite", "functions", "seed");
+    for t in standard_traces() {
+        println!("{:<18} {:>10} {:>10} {:>6}", t.name, t.suite.to_string(), t.functions, t.seed);
+    }
+}
+
+fn cmd_run(flags: &Flags) {
+    let kind = flags.get("frontend").unwrap_or("xbc");
+    let size = flags.get_usize("size", 32 * 1024);
+    let trace = if let Some(path) = flags.get("from") {
+        let f = File::open(path).unwrap_or_else(|e| fail(&format!("open {path}: {e}")));
+        Trace::load(f).unwrap_or_else(|e| fail(&format!("load {path}: {e}")))
+    } else {
+        let name = flags.get("trace").unwrap_or_else(|| fail("run needs --trace or --from"));
+        load_trace_by_name(name, flags.get_usize("inst", 500_000))
+    };
+    let spec = frontend_spec(kind, size);
+    let mut fe = spec.instantiate();
+    let m = fe.run(&trace);
+    println!("{} on {} ({} uops):", spec.label(), trace.name(), trace.uop_count());
+    println!("{m}");
+}
+
+fn cmd_sweep(flags: &Flags) {
+    let kinds: Vec<&str> = flags.get("frontends").unwrap_or("tc,xbc").split(',').collect();
+    let sizes: Vec<usize> = flags
+        .get("sizes")
+        .unwrap_or("8192,32768")
+        .split(',')
+        .map(|s| s.parse().unwrap_or_else(|_| fail(&format!("bad size: {s}"))))
+        .collect();
+    let insts = flags.get_usize("inst", 200_000);
+    let mut frontends = Vec::new();
+    for &size in &sizes {
+        for kind in &kinds {
+            frontends.push(frontend_spec(kind, size));
+        }
+    }
+    let rows: Vec<Row> = Sweep::new(standard_traces(), frontends, insts).run();
+    println!("{}", pivot_table(&rows, "uop miss rate (%)", |r| 100.0 * r.miss_rate));
+    println!("{}", pivot_table(&rows, "delivery bandwidth (uops/cycle)", |r| r.bandwidth));
+    if let Some(path) = flags.get("json") {
+        std::fs::write(path, xbc_sim::to_json(&rows))
+            .unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+}
+
+fn cmd_capture(flags: &Flags) {
+    let name = flags.get("trace").unwrap_or_else(|| fail("capture needs --trace"));
+    let out = flags.get("out").unwrap_or_else(|| fail("capture needs --out"));
+    let insts = flags.get_usize("inst", 100_000);
+    let trace = load_trace_by_name(name, insts);
+    let f = File::create(out).unwrap_or_else(|e| fail(&format!("create {out}: {e}")));
+    trace.save(f).unwrap_or_else(|e| fail(&format!("save {out}: {e}")));
+    println!("wrote {out}: {} insts, {} uops", trace.inst_count(), trace.uop_count());
+}
+
+fn cmd_dot(flags: &Flags) {
+    let name = flags.get("trace").unwrap_or_else(|| fail("dot needs --trace"));
+    let k = flags.get_usize("function", 1);
+    let spec = standard_traces()
+        .into_iter()
+        .find(|t| t.name == name)
+        .unwrap_or_else(|| fail(&format!("unknown trace: {name}")));
+    let program = spec.program();
+    let entries = program.function_entries();
+    if k >= entries.len() {
+        fail(&format!("--function {k} out of range (program has {} functions)", entries.len()));
+    }
+    print!("{}", function_dot(&program, entries[k]));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let flags = Flags::parse(&args[1..]);
+    match cmd.as_str() {
+        "list" => cmd_list(),
+        "run" => cmd_run(&flags),
+        "sweep" => cmd_sweep(&flags),
+        "capture" => cmd_capture(&flags),
+        "dot" => cmd_dot(&flags),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,148 @@
+//! Minimal argument parsing shared by the figure-regeneration binaries.
+//!
+//! All harness binaries accept:
+//!
+//! * `--inst N` — dynamic instructions per trace (default 1,000,000),
+//! * `--traces a,b,c` — restrict to named traces (default: all 21),
+//! * `--json PATH` — also dump rows as JSON,
+//! * `--threads N` — worker threads (default: all cores).
+
+use xbc_workload::{standard_traces, TraceSpec};
+
+/// Parsed common options.
+#[derive(Clone, Debug)]
+pub struct HarnessArgs {
+    /// Instructions per trace.
+    pub insts: usize,
+    /// Selected traces.
+    pub traces: Vec<TraceSpec>,
+    /// Optional JSON output path.
+    pub json: Option<String>,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+    /// Positional (non-flag) arguments, for harness-specific modes.
+    pub positional: Vec<String>,
+}
+
+impl HarnessArgs {
+    /// Parses `args` (exclusive of the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed flags or unknown
+    /// trace names.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = HarnessArgs {
+            insts: 1_000_000,
+            traces: standard_traces(),
+            json: None,
+            threads: 0,
+            positional: Vec::new(),
+        };
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--inst" => {
+                    let v = it.next().ok_or("--inst needs a value")?;
+                    out.insts = v.parse().map_err(|_| format!("bad --inst value: {v}"))?;
+                    if out.insts == 0 {
+                        return Err("--inst must be positive".into());
+                    }
+                }
+                "--traces" => {
+                    let v = it.next().ok_or("--traces needs a comma-separated list")?;
+                    let all = standard_traces();
+                    let mut picked = Vec::new();
+                    for name in v.split(',') {
+                        let t = all
+                            .iter()
+                            .find(|t| t.name == name)
+                            .ok_or_else(|| format!("unknown trace: {name}"))?;
+                        picked.push(t.clone());
+                    }
+                    out.traces = picked;
+                }
+                "--json" => {
+                    out.json = Some(it.next().ok_or("--json needs a path")?);
+                }
+                "--threads" => {
+                    let v = it.next().ok_or("--threads needs a value")?;
+                    out.threads = v.parse().map_err(|_| format!("bad --threads value: {v}"))?;
+                }
+                other if other.starts_with("--") => {
+                    return Err(format!("unknown flag: {other}"));
+                }
+                other => out.positional.push(other.to_owned()),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses the real process arguments, exiting with usage on error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!(
+                    "usage: [--inst N] [--traces a,b,c] [--json PATH] [--threads N] [mode...]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Writes rows to the `--json` path, if one was given.
+    pub fn maybe_dump_json(&self, rows: &[crate::Row]) {
+        if let Some(path) = &self.json {
+            match std::fs::write(path, crate::to_json(rows)) {
+                Ok(()) => eprintln!("wrote {path}"),
+                Err(e) => eprintln!("failed to write {path}: {e}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<HarnessArgs, String> {
+        HarnessArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.insts, 1_000_000);
+        assert_eq!(a.traces.len(), 21);
+        assert!(a.json.is_none());
+        assert!(a.positional.is_empty());
+    }
+
+    #[test]
+    fn flags() {
+        let a = parse(&["--inst", "5000", "--traces", "spec.gcc,games.quake", "--threads", "2", "promotion"])
+            .unwrap();
+        assert_eq!(a.insts, 5000);
+        assert_eq!(a.traces.len(), 2);
+        assert_eq!(a.traces[0].name, "spec.gcc");
+        assert_eq!(a.threads, 2);
+        assert_eq!(a.positional, vec!["promotion"]);
+    }
+
+    #[test]
+    fn bad_trace_name() {
+        assert!(parse(&["--traces", "nope"]).is_err());
+    }
+
+    #[test]
+    fn unknown_flag() {
+        assert!(parse(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn zero_inst_rejected() {
+        assert!(parse(&["--inst", "0"]).is_err());
+    }
+}

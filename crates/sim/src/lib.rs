@@ -1,0 +1,42 @@
+//! # xbc-sim — trace-driven simulation driver and sweep engine
+//!
+//! The experiment layer of the XBC reproduction:
+//!
+//! * [`FrontendSpec`] — serializable frontend configurations
+//!   (IC / uop-cache / trace-cache / XBC at any size),
+//! * [`Sweep`] — parallel (trace × frontend) grids where every
+//!   configuration replays the identical committed path,
+//! * [`Row`] / [`pivot_table`] / [`to_json`] — result collection and the
+//!   table rendering used by the figure-regeneration binaries,
+//! * [`HarnessArgs`] — the common CLI of those binaries.
+//!
+//! # Example
+//!
+//! ```
+//! use xbc_sim::{FrontendSpec, Sweep, average_miss_rate};
+//! use xbc_workload::standard_traces;
+//!
+//! let traces = standard_traces().into_iter().take(2).collect();
+//! let sweep = Sweep::new(
+//!     traces,
+//!     vec![FrontendSpec::Tc { total_uops: 8192, ways: 4 },
+//!          FrontendSpec::Xbc { total_uops: 8192, ways: 2, promotion: true }],
+//!     10_000,
+//! );
+//! let rows = sweep.run();
+//! assert_eq!(rows.len(), 4);
+//! println!("avg miss {:.2}%", 100.0 * average_miss_rate(&rows));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cli;
+mod report;
+mod spec;
+mod sweep;
+
+pub use cli::HarnessArgs;
+pub use report::{average_bandwidth, average_miss_rate, pivot_table, to_json, Row};
+pub use spec::FrontendSpec;
+pub use sweep::{sweep_custom, CustomRow, Sweep};

@@ -1,0 +1,195 @@
+//! Result rows and table rendering.
+
+use crate::spec::FrontendSpec;
+use serde::{Deserialize, Serialize};
+use xbc_frontend::FrontendMetrics;
+
+/// One (trace × frontend) simulation result.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Row {
+    /// Trace name (e.g. `"spec.gcc"`).
+    pub trace: String,
+    /// Suite name.
+    pub suite: String,
+    /// Frontend configuration.
+    pub frontend: FrontendSpec,
+    /// Dynamic instructions replayed.
+    pub insts: usize,
+    /// Total uops delivered.
+    pub uops: u64,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// The paper's uop miss rate (fraction of uops from the IC).
+    pub miss_rate: f64,
+    /// The paper's delivery bandwidth (structure uops per delivery cycle).
+    pub bandwidth: f64,
+    /// Overall uops per cycle.
+    pub uops_per_cycle: f64,
+    /// Conditional mispredictions.
+    pub cond_mispredicts: u64,
+    /// Target (indirect/return/mis-fetch) mispredictions.
+    pub target_mispredicts: u64,
+    /// Delivery→build transitions.
+    pub delivery_to_build: u64,
+    /// Uop-slots lost to bank conflicts (XBC only).
+    pub bank_conflict_uops: u64,
+    /// Branch promotions (XBC only).
+    pub promotions: u64,
+}
+
+impl Row {
+    /// Builds a row from raw metrics.
+    pub fn new(trace: &str, suite: &str, frontend: FrontendSpec, insts: usize, m: &FrontendMetrics) -> Self {
+        Row {
+            trace: trace.to_owned(),
+            suite: suite.to_owned(),
+            frontend,
+            insts,
+            uops: m.total_uops(),
+            cycles: m.cycles,
+            miss_rate: m.uop_miss_rate(),
+            bandwidth: m.delivery_bandwidth(),
+            uops_per_cycle: m.overall_uops_per_cycle(),
+            cond_mispredicts: m.cond_mispredicts,
+            target_mispredicts: m.target_mispredicts,
+            delivery_to_build: m.delivery_to_build,
+            bank_conflict_uops: m.bank_conflict_uops,
+            promotions: m.promotions,
+        }
+    }
+}
+
+/// Uop-weighted average miss rate over a set of rows.
+pub fn average_miss_rate(rows: &[Row]) -> f64 {
+    let total: u64 = rows.iter().map(|r| r.uops).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    rows.iter().map(|r| r.miss_rate * r.uops as f64).sum::<f64>() / total as f64
+}
+
+/// Delivery-cycle-weighted average bandwidth over a set of rows.
+pub fn average_bandwidth(rows: &[Row]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    rows.iter().map(|r| r.bandwidth).sum::<f64>() / rows.len() as f64
+}
+
+/// Renders a fixed-width table: one row per trace, one column per frontend
+/// label, cell = `select(row)`. Frontends appear in first-seen order.
+pub fn pivot_table<F>(rows: &[Row], title: &str, select: F) -> String
+where
+    F: Fn(&Row) -> f64,
+{
+    let mut frontends: Vec<String> = Vec::new();
+    let mut traces: Vec<String> = Vec::new();
+    for r in rows {
+        let label = r.frontend.label();
+        if !frontends.contains(&label) {
+            frontends.push(label);
+        }
+        if !traces.contains(&r.trace) {
+            traces.push(r.trace.clone());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!("{:<18}", "trace"));
+    for f in &frontends {
+        out.push_str(&format!("{f:>14}"));
+    }
+    out.push('\n');
+    for t in &traces {
+        out.push_str(&format!("{t:<18}"));
+        for f in &frontends {
+            let cell = rows
+                .iter()
+                .find(|r| &r.trace == t && r.frontend.label() == *f)
+                .map(|r| format!("{:>14.3}", select(r)))
+                .unwrap_or_else(|| format!("{:>14}", "-"));
+            out.push_str(&cell);
+        }
+        out.push('\n');
+    }
+    // Column averages.
+    out.push_str(&format!("{:<18}", "AVG"));
+    for f in &frontends {
+        let sel: Vec<&Row> = rows.iter().filter(|r| r.frontend.label() == *f).collect();
+        let avg = if sel.is_empty() {
+            0.0
+        } else {
+            sel.iter().map(|r| select(r)).sum::<f64>() / sel.len() as f64
+        };
+        out.push_str(&format!("{avg:>14.3}"));
+    }
+    out.push('\n');
+    out
+}
+
+/// Serializes rows as pretty JSON (for EXPERIMENTS.md regeneration).
+///
+/// # Panics
+///
+/// Panics if serialization fails (plain data; cannot fail in practice).
+pub fn to_json(rows: &[Row]) -> String {
+    serde_json::to_string_pretty(rows).expect("rows are plain data")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(trace: &str, spec: FrontendSpec, miss: f64, uops: u64) -> Row {
+        Row {
+            trace: trace.into(),
+            suite: "s".into(),
+            frontend: spec,
+            insts: 100,
+            uops,
+            cycles: 10,
+            miss_rate: miss,
+            bandwidth: 6.0,
+            uops_per_cycle: 2.0,
+            cond_mispredicts: 0,
+            target_mispredicts: 0,
+            delivery_to_build: 0,
+            bank_conflict_uops: 0,
+            promotions: 0,
+        }
+    }
+
+    #[test]
+    fn weighted_average() {
+        let rows =
+            vec![row("a", FrontendSpec::Ic, 0.1, 100), row("b", FrontendSpec::Ic, 0.3, 300)];
+        assert!((average_miss_rate(&rows) - 0.25).abs() < 1e-12);
+        assert_eq!(average_miss_rate(&[]), 0.0);
+    }
+
+    #[test]
+    fn table_layout() {
+        let rows = vec![
+            row("a", FrontendSpec::tc_default(), 0.5, 1),
+            row("a", FrontendSpec::xbc_default(), 0.25, 1),
+            row("b", FrontendSpec::tc_default(), 0.1, 1),
+        ];
+        let t = pivot_table(&rows, "demo", |r| r.miss_rate);
+        assert!(t.contains("tc-32k"));
+        assert!(t.contains("xbc-32k"));
+        assert!(t.contains("0.500"));
+        assert!(t.contains("0.250"));
+        assert!(t.lines().last().unwrap().starts_with("AVG"));
+        // Missing cell renders a dash.
+        assert!(t.contains('-'));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let rows = vec![row("a", FrontendSpec::Ic, 0.5, 10)];
+        let back: Vec<Row> = serde_json::from_str(&to_json(&rows)).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].trace, "a");
+    }
+}

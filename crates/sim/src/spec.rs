@@ -1,0 +1,145 @@
+//! Frontend specifications: serializable descriptions of the frontend
+//! configurations a sweep instantiates.
+
+use serde::{Deserialize, Serialize};
+use xbc::{PromotionMode, XbcConfig, XbcFrontend};
+use xbc_frontend::{
+    BbtcConfig, BbtcFrontend, Frontend, IcFrontend, IcFrontendConfig, TcConfig,
+    TraceCacheFrontend, UopCacheConfig, UopCacheFrontend,
+};
+
+/// Which frontend to run, with the knobs the paper varies.
+///
+/// # Examples
+///
+/// ```
+/// use xbc_sim::FrontendSpec;
+///
+/// let spec = FrontendSpec::Xbc { total_uops: 32 * 1024, ways: 2, promotion: true };
+/// assert_eq!(spec.label(), "xbc-32k");
+/// let fe = spec.instantiate();
+/// assert_eq!(fe.name(), "xbc");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FrontendSpec {
+    /// Instruction-cache-only baseline (§2.1).
+    Ic,
+    /// Decoded (uop) cache baseline (§2.2).
+    UopCache {
+        /// Total uop-slot capacity.
+        total_uops: usize,
+    },
+    /// Block-based trace cache baseline (§2.4).
+    Bbtc {
+        /// Block-cache capacity in uop slots.
+        total_uops: usize,
+    },
+    /// Trace-cache baseline (§2.3).
+    Tc {
+        /// Total uop capacity.
+        total_uops: usize,
+        /// Associativity.
+        ways: usize,
+    },
+    /// The eXtended Block Cache (§3).
+    Xbc {
+        /// Total uop capacity.
+        total_uops: usize,
+        /// Ways per bank.
+        ways: usize,
+        /// Branch promotion on/off.
+        promotion: bool,
+    },
+}
+
+impl FrontendSpec {
+    /// The paper's headline TC: 32K uops, 4-way.
+    pub fn tc_default() -> Self {
+        FrontendSpec::Tc { total_uops: 32 * 1024, ways: 4 }
+    }
+
+    /// The paper's headline XBC: 32K uops, 2-way banks, promotion on.
+    pub fn xbc_default() -> Self {
+        FrontendSpec::Xbc { total_uops: 32 * 1024, ways: 2, promotion: true }
+    }
+
+    /// Short label used in report tables, e.g. `"xbc-32k"`.
+    pub fn label(&self) -> String {
+        fn k(n: usize) -> String {
+            if n.is_multiple_of(1024) {
+                format!("{}k", n / 1024)
+            } else {
+                n.to_string()
+            }
+        }
+        match self {
+            FrontendSpec::Ic => "ic".to_owned(),
+            FrontendSpec::UopCache { total_uops } => format!("uop-{}", k(*total_uops)),
+            FrontendSpec::Bbtc { total_uops } => format!("bbtc-{}", k(*total_uops)),
+            FrontendSpec::Tc { total_uops, ways: 4 } => format!("tc-{}", k(*total_uops)),
+            FrontendSpec::Tc { total_uops, ways } => format!("tc-{}-w{ways}", k(*total_uops)),
+            FrontendSpec::Xbc { total_uops, ways: 2, promotion: true } => {
+                format!("xbc-{}", k(*total_uops))
+            }
+            FrontendSpec::Xbc { total_uops, ways, promotion } => {
+                format!("xbc-{}-w{ways}{}", k(*total_uops), if *promotion { "" } else { "-nopromo" })
+            }
+        }
+    }
+
+    /// Builds a cold frontend instance.
+    pub fn instantiate(&self) -> Box<dyn Frontend + Send> {
+        match *self {
+            FrontendSpec::Ic => Box::new(IcFrontend::new(IcFrontendConfig::default())),
+            FrontendSpec::UopCache { total_uops } => {
+                Box::new(UopCacheFrontend::new(UopCacheConfig { total_uops, ..Default::default() }))
+            }
+            FrontendSpec::Bbtc { total_uops } => {
+                Box::new(BbtcFrontend::new(BbtcConfig { total_uops, ..Default::default() }))
+            }
+            FrontendSpec::Tc { total_uops, ways } => {
+                Box::new(TraceCacheFrontend::new(TcConfig { total_uops, ways, ..Default::default() }))
+            }
+            FrontendSpec::Xbc { total_uops, ways, promotion } => {
+                let promotion = if promotion { PromotionMode::Chain } else { PromotionMode::Off };
+                Box::new(XbcFrontend::new(XbcConfig { total_uops, ways, promotion, ..Default::default() }))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(FrontendSpec::Ic.label(), "ic");
+        assert_eq!(FrontendSpec::tc_default().label(), "tc-32k");
+        assert_eq!(FrontendSpec::xbc_default().label(), "xbc-32k");
+        assert_eq!(FrontendSpec::Tc { total_uops: 8192, ways: 1 }.label(), "tc-8k-w1");
+        assert_eq!(
+            FrontendSpec::Xbc { total_uops: 4096, ways: 2, promotion: false }.label(),
+            "xbc-4k-w2-nopromo"
+        );
+        assert_eq!(FrontendSpec::UopCache { total_uops: 100 }.label(), "uop-100");
+        assert_eq!(FrontendSpec::Bbtc { total_uops: 8192 }.label(), "bbtc-8k");
+    }
+
+    #[test]
+    fn instantiation_names() {
+        assert_eq!(FrontendSpec::Ic.instantiate().name(), "ic");
+        assert_eq!(FrontendSpec::tc_default().instantiate().name(), "tc");
+        assert_eq!(FrontendSpec::xbc_default().instantiate().name(), "xbc");
+        assert_eq!(FrontendSpec::UopCache { total_uops: 32768 }.instantiate().name(), "uopcache");
+        assert_eq!(FrontendSpec::Bbtc { total_uops: 32768 }.instantiate().name(), "bbtc");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let spec = FrontendSpec::Xbc { total_uops: 16384, ways: 2, promotion: true };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: FrontendSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

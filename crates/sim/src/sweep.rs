@@ -1,0 +1,208 @@
+//! The sweep engine: runs (trace × frontend-configuration) grids in
+//! parallel and collects result rows.
+
+use crate::report::Row;
+use crate::spec::FrontendSpec;
+use std::sync::Mutex;
+use xbc_frontend::{Frontend, FrontendMetrics};
+use xbc_workload::TraceSpec;
+
+/// Sweep parameters.
+#[derive(Clone, Debug)]
+pub struct Sweep {
+    /// Traces to replay.
+    pub traces: Vec<TraceSpec>,
+    /// Frontend configurations to run each trace through.
+    pub frontends: Vec<FrontendSpec>,
+    /// Dynamic instructions per trace.
+    pub insts: usize,
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+}
+
+impl Sweep {
+    /// Creates a sweep over the given traces and frontends with `insts`
+    /// instructions per trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any list is empty or `insts` is zero.
+    pub fn new(traces: Vec<TraceSpec>, frontends: Vec<FrontendSpec>, insts: usize) -> Self {
+        assert!(!traces.is_empty(), "sweep needs at least one trace");
+        assert!(!frontends.is_empty(), "sweep needs at least one frontend");
+        assert!(insts > 0, "sweep needs a positive instruction budget");
+        Sweep { traces, frontends, insts, threads: 0 }
+    }
+
+    /// Runs the sweep. Traces are distributed over worker threads; each
+    /// worker captures its trace once and replays it through every
+    /// frontend configuration, so all configurations see the identical
+    /// committed path (the paper's trace-driven methodology).
+    ///
+    /// Rows are returned grouped by trace (in input order), then by
+    /// frontend (in input order) — deterministic regardless of threading.
+    pub fn run(&self) -> Vec<Row> {
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        } else {
+            self.threads
+        };
+        let next = Mutex::new(0usize);
+        let results: Mutex<Vec<(usize, Vec<Row>)>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(self.traces.len()) {
+                scope.spawn(|| loop {
+                    let idx = {
+                        let mut n = next.lock().expect("sweep index lock");
+                        let idx = *n;
+                        *n += 1;
+                        idx
+                    };
+                    if idx >= self.traces.len() {
+                        break;
+                    }
+                    let spec = &self.traces[idx];
+                    let trace = spec.capture(self.insts);
+                    let rows: Vec<Row> = self
+                        .frontends
+                        .iter()
+                        .map(|f| {
+                            let mut fe = f.instantiate();
+                            let m = fe.run(&trace);
+                            Row::new(spec.name, &spec.suite.to_string(), *f, self.insts, &m)
+                        })
+                        .collect();
+                    results.lock().expect("sweep result lock").push((idx, rows));
+                });
+            }
+        });
+        let mut grouped = results.into_inner().expect("threads joined");
+        grouped.sort_by_key(|(idx, _)| *idx);
+        grouped.into_iter().flat_map(|(_, rows)| rows).collect()
+    }
+}
+
+/// One `(trace, label, metrics)` result of [`sweep_custom`].
+pub type CustomRow = (String, String, FrontendMetrics);
+
+/// A fully custom sweep for ablations: `make(config_index)` builds a cold
+/// frontend for each labelled configuration; every trace is captured once
+/// per worker and replayed through all of them. Returns
+/// `(trace, label, metrics)` tuples in deterministic trace-major order.
+pub fn sweep_custom<F>(
+    traces: &[TraceSpec],
+    insts: usize,
+    labels: &[&str],
+    threads: usize,
+    make: F,
+) -> Vec<CustomRow>
+where
+    F: Fn(usize) -> Box<dyn Frontend + Send> + Sync,
+{
+    assert!(!traces.is_empty() && !labels.is_empty() && insts > 0, "empty custom sweep");
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        threads
+    };
+    let next = Mutex::new(0usize);
+    let results: Mutex<Vec<(usize, Vec<CustomRow>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(traces.len()) {
+            scope.spawn(|| loop {
+                let idx = {
+                    let mut n = next.lock().expect("sweep index lock");
+                    let idx = *n;
+                    *n += 1;
+                    idx
+                };
+                if idx >= traces.len() {
+                    break;
+                }
+                let spec = &traces[idx];
+                let trace = spec.capture(insts);
+                let rows: Vec<CustomRow> = labels
+                    .iter()
+                    .enumerate()
+                    .map(|(i, label)| {
+                        let mut fe = make(i);
+                        let m = fe.run(&trace);
+                        (spec.name.to_owned(), (*label).to_owned(), m)
+                    })
+                    .collect();
+                results.lock().expect("sweep result lock").push((idx, rows));
+            });
+        }
+    });
+    let mut grouped = results.into_inner().expect("threads joined");
+    grouped.sort_by_key(|(idx, _)| *idx);
+    grouped.into_iter().flat_map(|(_, rows)| rows).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbc_workload::standard_traces;
+
+    #[test]
+    fn small_sweep_is_deterministic_and_ordered() {
+        let traces: Vec<TraceSpec> = standard_traces().into_iter().take(3).collect();
+        let frontends = vec![
+            FrontendSpec::Tc { total_uops: 4096, ways: 4 },
+            FrontendSpec::Xbc { total_uops: 4096, ways: 2, promotion: true },
+        ];
+        let sweep = Sweep::new(traces.clone(), frontends.clone(), 5_000);
+        let a = sweep.run();
+        let b = sweep.run();
+        assert_eq!(a.len(), 6);
+        // Ordering: trace-major, frontend-minor.
+        assert_eq!(a[0].trace, traces[0].name);
+        assert_eq!(a[1].trace, traces[0].name);
+        assert_eq!(a[2].trace, traces[1].name);
+        assert_eq!(a[0].frontend.label(), "tc-4k");
+        assert_eq!(a[1].frontend.label(), "xbc-4k");
+        // Determinism.
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.miss_rate, y.miss_rate);
+            assert_eq!(x.cycles, y.cycles);
+        }
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let traces: Vec<TraceSpec> = standard_traces().into_iter().take(2).collect();
+        let frontends = vec![FrontendSpec::Ic];
+        let mut sweep = Sweep::new(traces, frontends, 3_000);
+        let par = sweep.run();
+        sweep.threads = 1;
+        let seq = sweep.run();
+        assert_eq!(par.len(), seq.len());
+        for (x, y) in par.iter().zip(&seq) {
+            assert_eq!(x.cycles, y.cycles);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trace")]
+    fn empty_traces_rejected() {
+        let _ = Sweep::new(vec![], vec![FrontendSpec::Ic], 10);
+    }
+
+    #[test]
+    fn custom_sweep_runs_all_configs() {
+        use xbc::{XbcConfig, XbcFrontend};
+        let traces: Vec<TraceSpec> = standard_traces().into_iter().take(2).collect();
+        let rows = sweep_custom(&traces, 3_000, &["promo", "nopromo"], 0, |i| {
+            use xbc::PromotionMode;
+            Box::new(XbcFrontend::new(XbcConfig {
+                total_uops: 4096,
+                promotion: if i == 0 { PromotionMode::Chain } else { PromotionMode::Off },
+                ..XbcConfig::default()
+            }))
+        });
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].1, "promo");
+        assert_eq!(rows[1].1, "nopromo");
+        assert_eq!(rows[0].0, traces[0].name);
+    }
+}

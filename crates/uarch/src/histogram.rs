@@ -1,0 +1,223 @@
+//! Small fixed-range histogram used for block-length distributions
+//! (paper Figure 1) and bandwidth distributions.
+
+use std::fmt;
+
+/// A histogram over `1..=max` with saturation: values above `max` land in
+/// the top bin, values of zero are rejected.
+///
+/// # Examples
+///
+/// ```
+/// use xbc_uarch::Histogram;
+///
+/// let mut h = Histogram::new(16);
+/// h.record(8);
+/// h.record(8);
+/// h.record(16);
+/// h.record(99); // clamps into the 16 bin
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.bin(8), 2);
+/// assert_eq!(h.bin(16), 2);
+/// assert!((h.mean() - 12.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    bins: Vec<u64>, // index 0 <=> value 1
+    count: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `1..=max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is zero.
+    pub fn new(max: usize) -> Self {
+        assert!(max > 0, "histogram needs at least one bin");
+        Histogram { bins: vec![0; max], count: 0, sum: 0 }
+    }
+
+    /// Largest representable value (top, saturating bin).
+    pub fn max(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Records one observation. Values above `max` saturate into the top
+    /// bin; the *mean* still uses the saturated value so it matches what a
+    /// quota-limited structure would see.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is zero.
+    pub fn record(&mut self, value: usize) {
+        assert!(value > 0, "histogram values start at 1");
+        let v = value.min(self.bins.len());
+        self.bins[v - 1] += 1;
+        self.count += 1;
+        self.sum += v as u64;
+    }
+
+    /// Records `weight` observations of `value` at once.
+    pub fn record_n(&mut self, value: usize, weight: u64) {
+        assert!(value > 0, "histogram values start at 1");
+        let v = value.min(self.bins.len());
+        self.bins[v - 1] += weight;
+        self.count += weight;
+        self.sum += v as u64 * weight;
+    }
+
+    /// Count in the bin for `value` (1-based).
+    pub fn bin(&self, value: usize) -> u64 {
+        assert!(value >= 1 && value <= self.bins.len(), "bin {value} out of range");
+        self.bins[value - 1]
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the (saturated) observations; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Fraction of observations in the bin for `value`.
+    pub fn fraction(&self, value: usize) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.bin(value) as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest value `v` with `P(X <= v) >= q`. `q` in `[0,1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]` or the histogram is empty.
+    pub fn quantile(&self, q: f64) -> usize {
+        assert!((0.0..=1.0).contains(&q), "quantile must be within [0,1]");
+        assert!(self.count > 0, "quantile of empty histogram");
+        let threshold = (q * self.count as f64).ceil() as u64;
+        let mut acc = 0;
+        for (i, &b) in self.bins.iter().enumerate() {
+            acc += b;
+            if acc >= threshold {
+                return i + 1;
+            }
+        }
+        self.bins.len()
+    }
+
+    /// Merges another histogram of the same range into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bins.len(), other.bins.len(), "histogram ranges differ");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Iterates `(value, count)` pairs, value ascending from 1.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.bins.iter().enumerate().map(|(i, &c)| (i + 1, c))
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "n={} mean={:.2}", self.count, self.mean())?;
+        for (v, c) in self.iter() {
+            if c > 0 {
+                writeln!(f, "  {v:>3}: {c}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_bins() {
+        let mut h = Histogram::new(4);
+        h.record(1);
+        h.record(3);
+        assert_eq!(h.bin(1), 1);
+        assert_eq!(h.bin(3), 1);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturation() {
+        let mut h = Histogram::new(4);
+        h.record(10);
+        assert_eq!(h.bin(4), 1);
+        assert!((h.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut h = Histogram::new(10);
+        for v in 1..=10 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 5);
+        assert_eq!(h.quantile(1.0), 10);
+        assert_eq!(h.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = Histogram::new(4);
+        let mut b = Histogram::new(4);
+        a.record(2);
+        b.record_n(2, 3);
+        a.merge(&b);
+        assert_eq!(a.bin(2), 4);
+        assert_eq!(a.count(), 4);
+        assert!((a.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_of_empty_is_zero() {
+        let h = Histogram::new(4);
+        assert_eq!(h.fraction(1), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "start at 1")]
+    fn zero_rejected() {
+        Histogram::new(4).record(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ranges differ")]
+    fn merge_range_mismatch_panics() {
+        Histogram::new(4).merge(&Histogram::new(5));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let mut h = Histogram::new(4);
+        h.record(2);
+        let s = format!("{h}");
+        assert!(s.contains("n=1"));
+        assert!(s.contains("2:"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # xbc-uarch — shared microarchitecture substrates
+//!
+//! Building blocks used by every frontend model in the workspace:
+//!
+//! * [`SetAssoc`] — a generic set-associative cache with true-LRU
+//!   replacement (backs the instruction cache and the trace-cache
+//!   baseline; the XBC builds its banked array on the same discipline),
+//! * [`ICache`] — the instruction cache that feeds build mode
+//!   (paper Figure 6),
+//! * [`Decoder`] — the decode-width budget of the build-mode pipeline
+//!   (paper §2.1),
+//! * [`Histogram`] — fixed-range histograms for block-length and
+//!   bandwidth distributions (paper Figure 1).
+//!
+//! # Example
+//!
+//! ```
+//! use xbc_uarch::{ICache, ICacheConfig};
+//! use xbc_isa::Addr;
+//!
+//! let mut ic = ICache::new(ICacheConfig::default());
+//! let miss = ic.fetch(Addr::new(0x1000));
+//! assert!(!miss.hit);
+//! assert!(ic.fetch(Addr::new(0x1004)).hit);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod decoder;
+mod histogram;
+mod icache;
+
+pub use cache::{CacheStats, SetAssoc};
+pub use decoder::{Decoder, DecoderConfig};
+pub use histogram::Histogram;
+pub use icache::{ICache, ICacheConfig, IcAccess};

@@ -1,0 +1,243 @@
+//! Graphviz (DOT) export of program control flow.
+//!
+//! Debugging aid: renders one function's basic blocks and edges so
+//! generated CFGs (and the XB boundaries within them) can be inspected
+//! visually with `dot -Tsvg`.
+
+use crate::program::Program;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt::Write as _;
+use xbc_isa::{Addr, BranchKind};
+
+/// Renders the intra-procedural CFG reachable from `entry` as a DOT
+/// digraph. Nodes are basic blocks labelled with their address range and
+/// uop count; edges are labelled taken/fall/jmp; calls and returns are
+/// shown as exits (the callee's CFG is not expanded).
+///
+/// # Examples
+///
+/// ```
+/// use xbc_workload::{function_dot, ProgramGenerator, WorkloadProfile};
+///
+/// let p = ProgramGenerator::new(WorkloadProfile { functions: 6, ..Default::default() }, 1)
+///     .generate();
+/// let dot = function_dot(&p, p.function_entries()[1]);
+/// assert!(dot.starts_with("digraph"));
+/// assert!(dot.contains("->"));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `entry` does not point at an instruction.
+pub fn function_dot(program: &Program, entry: Addr) -> String {
+    assert!(program.inst_at(entry).is_some(), "entry {entry} has no instruction");
+
+    // Discover block leaders: the entry, branch targets, and fall-throughs
+    // after branches, bounded to straight-line reachability.
+    let mut leaders = BTreeSet::new();
+    let mut work = VecDeque::new();
+    leaders.insert(entry);
+    work.push_back(entry);
+    let mut visited = BTreeSet::new();
+    while let Some(start) = work.pop_front() {
+        if !visited.insert(start) {
+            continue;
+        }
+        let mut ip = start;
+        while let Some(inst) = program.inst_at(ip) {
+            if inst.branch.is_branch() {
+                if let Some(t) = inst.target {
+                    // Stay within the function (same 64 KiB image stride).
+                    if t.raw() & !0xFFFF == entry.raw() & !0xFFFF
+                        && inst.branch != BranchKind::CallDirect
+                        && leaders.insert(t)
+                    {
+                        work.push_back(t);
+                    }
+                }
+                if inst.branch.may_fall_through() || inst.branch.is_call() {
+                    let f = inst.next_seq();
+                    if program.inst_at(f).is_some() && leaders.insert(f) {
+                        work.push_back(f);
+                    }
+                }
+                if let Some(ts) = program.indirect_targets(ip) {
+                    for &t in ts.targets() {
+                        if t.raw() & !0xFFFF == entry.raw() & !0xFFFF && leaders.insert(t) {
+                            work.push_back(t);
+                        }
+                    }
+                }
+                break;
+            }
+            ip = inst.next_seq();
+        }
+    }
+
+    // Walk each block from its leader to its terminator.
+    struct Block {
+        start: Addr,
+        end: Addr,
+        uops: usize,
+        kind: BranchKind,
+    }
+    let mut blocks: BTreeMap<u64, Block> = BTreeMap::new();
+    for &start in &leaders {
+        let mut ip = start;
+        let mut uops = 0usize;
+        while let Some(inst) = program.inst_at(ip) {
+            uops += inst.uops as usize;
+            let next = inst.next_seq();
+            if inst.branch.is_branch() || leaders.contains(&next) {
+                blocks.insert(
+                    start.raw(),
+                    Block { start, end: ip, uops, kind: inst.branch },
+                );
+                break;
+            }
+            ip = next;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph fn_{:x} {{", entry.raw());
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for b in blocks.values() {
+        let style = match b.kind {
+            BranchKind::Return => ", style=filled, fillcolor=lightgrey",
+            BranchKind::IndirectJump | BranchKind::IndirectCall => ", style=filled, fillcolor=lightyellow",
+            _ => "",
+        };
+        let _ = writeln!(
+            out,
+            "  n{:x} [label=\"{:#x}..{:#x}\\n{} uops, ends {}\"{}];",
+            b.start.raw(),
+            b.start.raw(),
+            b.end.raw(),
+            b.uops,
+            b.kind,
+            style
+        );
+    }
+    for b in blocks.values() {
+        let inst = program.inst_at(b.end).expect("terminator exists");
+        match inst.branch {
+            BranchKind::None => {
+                // Split by a leader: plain fall-through edge.
+                let f = inst.next_seq();
+                if blocks.contains_key(&f.raw()) {
+                    let _ = writeln!(out, "  n{:x} -> n{:x};", b.start.raw(), f.raw());
+                }
+            }
+            BranchKind::CondDirect => {
+                if let Some(t) = inst.target {
+                    if blocks.contains_key(&t.raw()) {
+                        let _ = writeln!(
+                            out,
+                            "  n{:x} -> n{:x} [label=\"T\", color=green];",
+                            b.start.raw(),
+                            t.raw()
+                        );
+                    }
+                }
+                let f = inst.next_seq();
+                if blocks.contains_key(&f.raw()) {
+                    let _ = writeln!(
+                        out,
+                        "  n{:x} -> n{:x} [label=\"NT\", color=red];",
+                        b.start.raw(),
+                        f.raw()
+                    );
+                }
+            }
+            BranchKind::UncondDirect => {
+                if let Some(t) = inst.target {
+                    if blocks.contains_key(&t.raw()) {
+                        let _ = writeln!(out, "  n{:x} -> n{:x} [label=\"jmp\"];", b.start.raw(), t.raw());
+                    }
+                }
+            }
+            BranchKind::CallDirect | BranchKind::IndirectCall => {
+                let f = inst.next_seq();
+                if blocks.contains_key(&f.raw()) {
+                    let _ = writeln!(
+                        out,
+                        "  n{:x} -> n{:x} [label=\"call/ret\", style=dashed];",
+                        b.start.raw(),
+                        f.raw()
+                    );
+                }
+            }
+            BranchKind::IndirectJump => {
+                if let Some(ts) = program.indirect_targets(b.end) {
+                    for &t in ts.targets() {
+                        if blocks.contains_key(&t.raw()) {
+                            let _ = writeln!(
+                                out,
+                                "  n{:x} -> n{:x} [label=\"ind\", style=dotted];",
+                                b.start.raw(),
+                                t.raw()
+                            );
+                        }
+                    }
+                }
+            }
+            BranchKind::Return => {}
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProgramGenerator, WorkloadProfile};
+
+    #[test]
+    fn renders_every_generated_function() {
+        let p = ProgramGenerator::new(
+            WorkloadProfile { functions: 8, ..WorkloadProfile::default() },
+            5,
+        )
+        .generate();
+        for &entry in p.function_entries() {
+            let dot = function_dot(&p, entry);
+            assert!(dot.starts_with("digraph"));
+            assert!(dot.ends_with("}\n"));
+            assert!(dot.contains("uops"));
+        }
+    }
+
+    #[test]
+    fn conditional_blocks_have_two_edges() {
+        use crate::program::{CondBehavior, ProgramBuilder};
+        use xbc_isa::Inst;
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::plain(Addr::new(0x1000), 1, 1));
+        b.push_cond(
+            Inst::new(Addr::new(0x1001), 2, 1, BranchKind::CondDirect, Some(Addr::new(0x1010))),
+            CondBehavior::Bernoulli { p_taken: 0.5 },
+        );
+        b.push(Inst::plain(Addr::new(0x1003), 1, 1));
+        b.push(Inst::new(Addr::new(0x1004), 1, 1, BranchKind::Return, None));
+        b.push(Inst::plain(Addr::new(0x1010), 1, 1));
+        b.push(Inst::new(Addr::new(0x1011), 1, 1, BranchKind::Return, None));
+        let p = b.build(Addr::new(0x1000), 1);
+        let dot = function_dot(&p, Addr::new(0x1000));
+        assert!(dot.contains("label=\"T\""));
+        assert!(dot.contains("label=\"NT\""));
+        assert!(dot.matches("style=filled, fillcolor=lightgrey").count() == 2, "{dot}");
+    }
+
+    #[test]
+    #[should_panic(expected = "has no instruction")]
+    fn bad_entry_rejected() {
+        let p = ProgramGenerator::new(
+            WorkloadProfile { functions: 4, ..WorkloadProfile::default() },
+            1,
+        )
+        .generate();
+        let _ = function_dot(&p, Addr::new(0x1));
+    }
+}

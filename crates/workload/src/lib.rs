@@ -1,0 +1,51 @@
+//! # xbc-workload — synthetic workloads and dynamic traces
+//!
+//! The paper evaluates on 21 proprietary 30M-instruction x86 traces
+//! (SPECint95, SYSmark32, Games). This crate synthesizes deterministic
+//! stand-ins with the workload properties the results depend on (see
+//! DESIGN.md §3):
+//!
+//! * [`WorkloadProfile`] — the statistical knobs (block lengths, branch
+//!   mix & bias structure, control-flow fan-in, footprint, call locality),
+//! * [`ProgramGenerator`] — builds a random [`Program`] (CFG per function,
+//!   annotated branch behaviour) from a profile and a seed,
+//! * [`Executor`] / [`Trace`] — architectural execution producing the
+//!   committed [`DynInst`] stream the frontend simulators replay,
+//! * [`standard_traces`] — the 21-trace suite used by every figure,
+//! * [`block_length_stats`] — Figure 1's block-length distributions,
+//! * [`analyze`] — workload characterization reports backing the
+//!   substitution argument (DESIGN.md §3).
+//!
+//! # Example
+//!
+//! ```
+//! use xbc_workload::{standard_traces, block_length_stats};
+//!
+//! let spec = &standard_traces()[0];
+//! let trace = spec.capture(20_000);
+//! let stats = block_length_stats(&trace);
+//! assert!(stats.xb.mean() >= stats.basic_block.mean() - 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dot;
+mod exec;
+mod generate;
+mod profile;
+mod program;
+mod report;
+mod stats;
+mod suite;
+mod trace;
+
+pub use dot::function_dot;
+pub use exec::{DynInst, ExecStats, Executor};
+pub use generate::ProgramGenerator;
+pub use profile::{TerminatorMix, WorkloadProfile};
+pub use report::{analyze, BranchMix, WorkloadReport};
+pub use program::{CondBehavior, IndirectTargets, Program, ProgramBuilder, ProgramStats};
+pub use stats::{block_length_stats, BlockLengthStats, BLOCK_QUOTA};
+pub use suite::{standard_traces, Suite, TraceSpec};
+pub use trace::Trace;

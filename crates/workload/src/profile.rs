@@ -1,0 +1,275 @@
+//! Workload generation parameters.
+//!
+//! The paper evaluates on 21 proprietary traces (SPECint95, SYSmark32,
+//! Games). We cannot replay those, so [`WorkloadProfile`] captures the
+//! workload properties its results actually depend on — block-length
+//! distributions, branch mix and bias structure, control-flow fan-in
+//! (which creates trace-cache redundancy), and static code footprint —
+//! and the generator synthesizes programs with those properties
+//! (see DESIGN.md §3 for the substitution argument).
+
+/// Relative frequencies of basic-block terminator kinds.
+///
+/// Values are weights (not required to sum to 1); the generator normalizes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TerminatorMix {
+    /// Conditional direct branches.
+    pub cond: f64,
+    /// Unconditional direct jumps.
+    pub jmp: f64,
+    /// Direct calls.
+    pub call: f64,
+    /// Returns.
+    pub ret: f64,
+    /// Indirect jumps (switch statements, computed gotos).
+    pub ijmp: f64,
+    /// Indirect calls (virtual dispatch, function pointers).
+    pub icall: f64,
+}
+
+impl TerminatorMix {
+    /// Sum of all weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative or the total is zero.
+    pub fn total(&self) -> f64 {
+        let parts = [self.cond, self.jmp, self.call, self.ret, self.ijmp, self.icall];
+        assert!(parts.iter().all(|w| *w >= 0.0), "terminator weights must be non-negative");
+        let t: f64 = parts.iter().sum();
+        assert!(t > 0.0, "terminator mix cannot be all-zero");
+        t
+    }
+}
+
+impl Default for TerminatorMix {
+    /// Integer-code-like mix: conditional branches dominate, with the
+    /// call/return traffic of typical IA32 integer workloads.
+    fn default() -> Self {
+        TerminatorMix { cond: 0.70, jmp: 0.08, call: 0.10, ret: 0.08, ijmp: 0.02, icall: 0.02 }
+    }
+}
+
+/// Full parameter set for synthesizing one program.
+///
+/// # Examples
+///
+/// ```
+/// use xbc_workload::WorkloadProfile;
+///
+/// let p = WorkloadProfile::default();
+/// p.validate(); // panics on inconsistent parameters
+/// assert!(p.functions > 0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadProfile {
+    /// Number of functions in the program.
+    pub functions: usize,
+    /// Mean basic blocks per function (geometric-ish around this mean).
+    pub blocks_per_fn_mean: f64,
+    /// Geometric parameter for instructions per block: block length is
+    /// `1 + Geometric(p)`; smaller `p` means longer blocks.
+    pub insts_per_block_p: f64,
+    /// Weights for an instruction decoding into 1, 2, 3 or 4 uops.
+    pub uops_per_inst_weights: [f64; 4],
+    /// Terminator mix.
+    pub terminators: TerminatorMix,
+    /// Fraction of conditional branches that are ≥ 99% taken-biased
+    /// (promotion candidates; paper §3.8 relies on these being common).
+    pub biased_taken_frac: f64,
+    /// Fraction of conditional branches ≥ 99% not-taken-biased.
+    pub biased_not_taken_frac: f64,
+    /// Fraction of conditional branches that act as loop back-edges with
+    /// deterministic trip counts.
+    pub loop_frac: f64,
+    /// Mean loop trip count (geometric).
+    pub loop_trip_mean: f64,
+    /// Probability that a conditional/unconditional target is redirected to
+    /// a designated *join* block of the function instead of a fresh random
+    /// block. Higher fan-in ⇒ more shared suffixes ⇒ more trace-cache
+    /// redundancy (paper §2.3) for the XBC to eliminate.
+    pub join_bias: f64,
+    /// Fraction of functions that receive the bulk of call traffic.
+    pub hot_fraction: f64,
+    /// Probability a call targets the hot subset.
+    pub hot_call_prob: f64,
+    /// Maximum number of distinct targets of an indirect jump/call.
+    pub indirect_targets_max: usize,
+    /// How far back (in blocks) a loop back-edge may reach. Larger spans
+    /// mean bigger loop bodies, spreading dynamic execution over more code.
+    pub loop_span: usize,
+    /// Probability that a *moderately* biased conditional branch points
+    /// backward (forming a stochastic loop with exit probability ≥ 0.1).
+    pub moderate_backward_prob: f64,
+    /// Probability an indirect jump/call reuses its previous target
+    /// instead of resampling. Real dispatch is bursty (the same event
+    /// handler runs many times in a row), which is what makes 1990s-class
+    /// indirect predictors work at all.
+    pub indirect_stickiness: f64,
+    /// Mean instructions between asynchronous kernel interrupts (`None`
+    /// disables them). The paper's traces "record both user and kernel
+    /// activities" (§4); interrupts divert execution into shared handler
+    /// functions, polluting frontend structures at unpredictable points.
+    pub interrupt_interval: Option<usize>,
+}
+
+impl WorkloadProfile {
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message if any parameter is out of range.
+    pub fn validate(&self) {
+        assert!(self.functions > 0, "need at least one function");
+        assert!(self.blocks_per_fn_mean >= 2.0, "functions need at least ~2 blocks on average");
+        assert!(
+            self.insts_per_block_p > 0.0 && self.insts_per_block_p < 1.0,
+            "insts_per_block_p must be a probability in (0,1)"
+        );
+        assert!(
+            self.uops_per_inst_weights.iter().all(|w| *w >= 0.0)
+                && self.uops_per_inst_weights.iter().sum::<f64>() > 0.0,
+            "uop weights must be non-negative and not all zero"
+        );
+        self.terminators.total();
+        for (name, v) in [
+            ("biased_taken_frac", self.biased_taken_frac),
+            ("biased_not_taken_frac", self.biased_not_taken_frac),
+            ("loop_frac", self.loop_frac),
+            ("join_bias", self.join_bias),
+            ("hot_fraction", self.hot_fraction),
+            ("hot_call_prob", self.hot_call_prob),
+            ("moderate_backward_prob", self.moderate_backward_prob),
+            ("indirect_stickiness", self.indirect_stickiness),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{name} must be in [0,1], got {v}");
+        }
+        assert!(
+            self.biased_taken_frac + self.biased_not_taken_frac + self.loop_frac <= 1.0 + 1e-9,
+            "bias fractions must not exceed 1"
+        );
+        assert!(self.loop_trip_mean >= 1.0, "loops run at least once");
+        assert!(self.indirect_targets_max >= 1, "indirect branches need a target");
+        assert!(self.loop_span >= 1, "loop back-edges need at least one block of span");
+        if let Some(i) = self.interrupt_interval {
+            assert!(i >= 100, "interrupts more often than every 100 insts are unrealistic");
+        }
+    }
+
+    /// Expected uops per instruction under the configured weights.
+    pub fn mean_uops_per_inst(&self) -> f64 {
+        let total: f64 = self.uops_per_inst_weights.iter().sum();
+        self.uops_per_inst_weights
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (i + 1) as f64 * w)
+            .sum::<f64>()
+            / total
+    }
+
+    /// Expected instructions per basic block (`1 + (1-p)/p` for the
+    /// geometric tail).
+    pub fn mean_insts_per_block(&self) -> f64 {
+        1.0 + (1.0 - self.insts_per_block_p) / self.insts_per_block_p
+    }
+
+    /// Rough static footprint estimate in uops.
+    pub fn approx_static_uops(&self) -> f64 {
+        self.functions as f64
+            * self.blocks_per_fn_mean
+            * self.mean_insts_per_block()
+            * self.mean_uops_per_inst()
+    }
+}
+
+impl Default for WorkloadProfile {
+    /// Tuned so dynamic basic blocks average ≈ 7.7 uops and extended blocks
+    /// ≈ 8.0 uops with a 16-uop quota, matching paper Figure 1.
+    fn default() -> Self {
+        WorkloadProfile {
+            functions: 96,
+            blocks_per_fn_mean: 24.0,
+            insts_per_block_p: 0.16,
+            uops_per_inst_weights: [0.55, 0.30, 0.10, 0.05],
+            terminators: TerminatorMix::default(),
+            biased_taken_frac: 0.22,
+            biased_not_taken_frac: 0.18,
+            loop_frac: 0.05,
+            loop_trip_mean: 6.0,
+            join_bias: 0.35,
+            hot_fraction: 0.25,
+            hot_call_prob: 0.85,
+            indirect_targets_max: 5,
+            loop_span: 12,
+            moderate_backward_prob: 0.10,
+            indirect_stickiness: 0.85,
+            interrupt_interval: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        WorkloadProfile::default().validate();
+    }
+
+    #[test]
+    fn mean_uops_matches_weights() {
+        let p = WorkloadProfile { uops_per_inst_weights: [1.0, 0.0, 0.0, 1.0], ..Default::default() };
+        assert!((p.mean_uops_per_inst() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_block_length_formula() {
+        let p = WorkloadProfile { insts_per_block_p: 0.5, ..Default::default() };
+        assert!((p.mean_insts_per_block() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_targets_paper_block_sizes() {
+        let p = WorkloadProfile::default();
+        let uops_per_block = p.mean_insts_per_block() * p.mean_uops_per_inst();
+        // Paper Figure 1: average *dynamic* basic block is 7.7 uops. The
+        // static product sits deliberately higher (≈ 10): the 16-uop quota
+        // saturation and loop-weighted dynamic mix pull the measured mean
+        // down to the paper's value (verified in stats::tests).
+        assert!((8.0..12.5).contains(&uops_per_block), "got {uops_per_block}");
+    }
+
+    #[test]
+    fn footprint_scales_with_functions() {
+        let mut a = WorkloadProfile::default();
+        let base = a.approx_static_uops();
+        a.functions *= 2;
+        assert!((a.approx_static_uops() - 2.0 * base).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "insts_per_block_p")]
+    fn invalid_geometric_p_rejected() {
+        let p = WorkloadProfile { insts_per_block_p: 1.5, ..Default::default() };
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed 1")]
+    fn bias_fractions_bounded() {
+        let p = WorkloadProfile {
+            biased_taken_frac: 0.7,
+            biased_not_taken_frac: 0.7,
+            ..Default::default()
+        };
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero")]
+    fn zero_terminators_rejected() {
+        let mix = TerminatorMix { cond: 0.0, jmp: 0.0, call: 0.0, ret: 0.0, ijmp: 0.0, icall: 0.0 };
+        mix.total();
+    }
+}

@@ -1,0 +1,337 @@
+//! Static program images with behavioral annotations.
+//!
+//! A [`Program`] is what the frontend simulators fetch from: a map from
+//! address to [`Inst`], plus the *behavioral* model the architectural
+//! executor uses to resolve control flow (per-branch direction behaviour,
+//! indirect target sets). Programs are produced by the generator
+//! ([`crate::ProgramGenerator`]) or hand-built through [`ProgramBuilder`]
+//! in tests and examples.
+
+use rand::Rng;
+use std::collections::HashMap;
+use std::fmt;
+use xbc_isa::{Addr, BranchKind, Inst};
+
+/// Run-time direction behaviour of one static conditional branch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CondBehavior {
+    /// Independently taken with probability `p_taken` each execution.
+    Bernoulli {
+        /// Probability the branch is taken.
+        p_taken: f64,
+    },
+    /// A loop back-edge: taken `trip - 1` consecutive times, then not
+    /// taken once, then the pattern repeats (trip counts are deterministic).
+    Loop {
+        /// Iterations per loop entry (≥ 1).
+        trip: u32,
+    },
+}
+
+/// Weighted target set of one indirect jump/call.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IndirectTargets {
+    targets: Vec<Addr>,
+    /// Cumulative weights, last == 1.0.
+    cumulative: Vec<f64>,
+}
+
+impl IndirectTargets {
+    /// Creates a target set from `(target, weight)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty or if any weight is non-positive.
+    pub fn new(weighted: &[(Addr, f64)]) -> Self {
+        assert!(!weighted.is_empty(), "indirect branch needs at least one target");
+        assert!(weighted.iter().all(|(_, w)| *w > 0.0), "weights must be positive");
+        let total: f64 = weighted.iter().map(|(_, w)| w).sum();
+        let mut acc = 0.0;
+        let mut targets = Vec::with_capacity(weighted.len());
+        let mut cumulative = Vec::with_capacity(weighted.len());
+        for (t, w) in weighted {
+            acc += w / total;
+            targets.push(*t);
+            cumulative.push(acc);
+        }
+        *cumulative.last_mut().expect("non-empty") = 1.0;
+        IndirectTargets { targets, cumulative }
+    }
+
+    /// All possible targets.
+    pub fn targets(&self) -> &[Addr] {
+        &self.targets
+    }
+
+    /// Samples a target according to the weights.
+    pub fn choose<R: Rng>(&self, rng: &mut R) -> Addr {
+        let x: f64 = rng.gen();
+        let idx = self.cumulative.partition_point(|&c| c < x);
+        self.targets[idx.min(self.targets.len() - 1)]
+    }
+}
+
+/// Aggregate shape of a program.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProgramStats {
+    /// Number of functions.
+    pub functions: usize,
+    /// Static instruction count.
+    pub static_insts: usize,
+    /// Static uop count (sum of per-instruction expansions).
+    pub static_uops: usize,
+    /// Static conditional branch count.
+    pub cond_branches: usize,
+}
+
+/// An immutable program image plus behaviour annotations.
+///
+/// # Examples
+///
+/// ```
+/// use xbc_workload::{ProgramBuilder, CondBehavior};
+/// use xbc_isa::{Addr, BranchKind, Inst};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.push(Inst::plain(Addr::new(0x1000), 2, 1));
+/// b.push_cond(
+///     Inst::new(Addr::new(0x1002), 2, 1, BranchKind::CondDirect, Some(Addr::new(0x1000))),
+///     CondBehavior::Bernoulli { p_taken: 0.5 },
+/// );
+/// let p = b.build(Addr::new(0x1000), 1);
+/// assert_eq!(p.stats().static_insts, 2);
+/// assert!(p.inst_at(Addr::new(0x1002)).unwrap().branch.is_branch());
+/// ```
+#[derive(Clone)]
+pub struct Program {
+    entry: Addr,
+    insts: HashMap<u64, Inst>,
+    cond: HashMap<u64, CondBehavior>,
+    indirect: HashMap<u64, IndirectTargets>,
+    function_entries: Vec<Addr>,
+    interrupt_handlers: Vec<Addr>,
+    stats: ProgramStats,
+}
+
+impl Program {
+    /// Program entry point.
+    pub fn entry(&self) -> Addr {
+        self.entry
+    }
+
+    /// The instruction at `ip`, if any.
+    #[inline]
+    pub fn inst_at(&self, ip: Addr) -> Option<&Inst> {
+        self.insts.get(&ip.raw())
+    }
+
+    /// Direction behaviour of the conditional branch at `ip`.
+    pub fn cond_behavior(&self, ip: Addr) -> Option<CondBehavior> {
+        self.cond.get(&ip.raw()).copied()
+    }
+
+    /// Target set of the indirect jump/call at `ip`.
+    pub fn indirect_targets(&self, ip: Addr) -> Option<&IndirectTargets> {
+        self.indirect.get(&ip.raw())
+    }
+
+    /// Entry addresses of all functions (index 0 is `main`).
+    pub fn function_entries(&self) -> &[Addr] {
+        &self.function_entries
+    }
+
+    /// Entry addresses of the kernel interrupt handlers (empty when the
+    /// workload models no asynchronous activity).
+    pub fn interrupt_handlers(&self) -> &[Addr] {
+        &self.interrupt_handlers
+    }
+
+    /// Aggregate shape statistics.
+    pub fn stats(&self) -> ProgramStats {
+        self.stats
+    }
+}
+
+impl fmt::Debug for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Program")
+            .field("entry", &self.entry)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Incremental [`Program`] constructor.
+#[derive(Clone, Debug, Default)]
+pub struct ProgramBuilder {
+    insts: HashMap<u64, Inst>,
+    cond: HashMap<u64, CondBehavior>,
+    indirect: HashMap<u64, IndirectTargets>,
+    function_entries: Vec<Addr>,
+    interrupt_handlers: Vec<Addr>,
+    static_uops: usize,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a non-conditional, non-indirect instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate addresses or if the instruction needs behaviour
+    /// annotations (conditional/indirect) — use the dedicated methods.
+    pub fn push(&mut self, inst: Inst) {
+        assert!(
+            inst.branch != BranchKind::CondDirect && !inst.branch.is_indirect()
+                || inst.branch == BranchKind::Return,
+            "conditional/indirect instructions need behaviour annotations"
+        );
+        self.insert(inst);
+    }
+
+    /// Adds a conditional branch with its direction behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicates or if `inst` is not a conditional branch.
+    pub fn push_cond(&mut self, inst: Inst, behavior: CondBehavior) {
+        assert_eq!(inst.branch, BranchKind::CondDirect, "push_cond expects a conditional branch");
+        if let CondBehavior::Bernoulli { p_taken } = behavior {
+            assert!((0.0..=1.0).contains(&p_taken), "p_taken must be a probability");
+        }
+        if let CondBehavior::Loop { trip } = behavior {
+            assert!(trip >= 1, "loop trips at least once");
+        }
+        let ip = inst.ip;
+        self.insert(inst);
+        self.cond.insert(ip.raw(), behavior);
+    }
+
+    /// Adds an indirect jump/call with its weighted target set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicates or if `inst` is not an indirect jump/call.
+    pub fn push_indirect(&mut self, inst: Inst, targets: IndirectTargets) {
+        assert!(
+            matches!(inst.branch, BranchKind::IndirectJump | BranchKind::IndirectCall),
+            "push_indirect expects an indirect jump or call"
+        );
+        let ip = inst.ip;
+        self.insert(inst);
+        self.indirect.insert(ip.raw(), targets);
+    }
+
+    /// Registers a function entry point (call targets).
+    pub fn add_function_entry(&mut self, entry: Addr) {
+        self.function_entries.push(entry);
+    }
+
+    /// Marks function entries as asynchronous interrupt handlers.
+    pub fn set_interrupt_handlers(&mut self, handlers: Vec<Addr>) {
+        self.interrupt_handlers = handlers;
+    }
+
+    fn insert(&mut self, inst: Inst) {
+        self.static_uops += inst.uops as usize;
+        let prev = self.insts.insert(inst.ip.raw(), inst);
+        assert!(prev.is_none(), "duplicate instruction at {}", inst.ip);
+    }
+
+    /// Finalizes the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` does not point at an instruction.
+    pub fn build(self, entry: Addr, functions: usize) -> Program {
+        assert!(self.insts.contains_key(&entry.raw()), "entry {entry} has no instruction");
+        let stats = ProgramStats {
+            functions,
+            static_insts: self.insts.len(),
+            static_uops: self.static_uops,
+            cond_branches: self.cond.len(),
+        };
+        Program {
+            entry,
+            insts: self.insts,
+            cond: self.cond,
+            indirect: self.indirect,
+            function_entries: self.function_entries,
+            interrupt_handlers: self.interrupt_handlers,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut b = ProgramBuilder::new();
+        b.add_function_entry(Addr::new(0x10));
+        b.push(Inst::plain(Addr::new(0x10), 4, 2));
+        b.push(Inst::new(Addr::new(0x14), 1, 1, BranchKind::Return, None));
+        let p = b.build(Addr::new(0x10), 1);
+        assert_eq!(p.entry(), Addr::new(0x10));
+        assert_eq!(p.stats().static_uops, 3);
+        assert_eq!(p.function_entries(), &[Addr::new(0x10)]);
+        assert!(p.inst_at(Addr::new(0x99)).is_none());
+    }
+
+    #[test]
+    fn cond_behavior_recorded() {
+        let mut b = ProgramBuilder::new();
+        b.push_cond(
+            Inst::new(Addr::new(0x20), 2, 1, BranchKind::CondDirect, Some(Addr::new(0x10))),
+            CondBehavior::Loop { trip: 3 },
+        );
+        let p = b.build(Addr::new(0x20), 1);
+        assert_eq!(p.cond_behavior(Addr::new(0x20)), Some(CondBehavior::Loop { trip: 3 }));
+        assert_eq!(p.cond_behavior(Addr::new(0x24)), None);
+        assert_eq!(p.stats().cond_branches, 1);
+    }
+
+    #[test]
+    fn indirect_targets_weighted_choice() {
+        let t = IndirectTargets::new(&[(Addr::new(1), 1.0), (Addr::new(2), 99.0)]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let picks = (0..1000).filter(|_| t.choose(&mut rng) == Addr::new(2)).count();
+        assert!(picks > 950, "dominant target should win ~99%: {picks}");
+        assert_eq!(t.targets().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate instruction")]
+    fn duplicate_address_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::plain(Addr::new(0x10), 1, 1));
+        b.push(Inst::plain(Addr::new(0x10), 2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "behaviour annotations")]
+    fn cond_requires_annotation() {
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::new(Addr::new(0x10), 2, 1, BranchKind::CondDirect, Some(Addr::new(0))));
+    }
+
+    #[test]
+    #[should_panic(expected = "entry")]
+    fn build_checks_entry() {
+        ProgramBuilder::new().build(Addr::new(0x10), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one target")]
+    fn empty_indirect_targets_rejected() {
+        let _ = IndirectTargets::new(&[]);
+    }
+}

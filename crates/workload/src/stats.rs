@@ -1,0 +1,265 @@
+//! Dynamic block-length statistics (paper Figure 1).
+//!
+//! Figure 1 plots the length distribution of four dynamic block kinds, all
+//! capped at 16 uops: classical basic blocks, extended blocks (XBs), XBs
+//! with branch promotion, and dual XBs (two consecutive XBs). The averages
+//! the paper reports are 7.7, 8.0, 10.0, and 12.7 uops respectively.
+//!
+//! Promotion is modeled the way hardware measures it: an online 7-bit
+//! [`BiasCounter`] per static conditional branch; a monotonic branch that
+//! resolves in its biased direction does not end the promoted block
+//! (paper §3.8).
+
+use crate::trace::Trace;
+use std::collections::HashMap;
+use xbc_isa::BranchKind;
+use xbc_predict::BiasCounter;
+use xbc_uarch::Histogram;
+
+/// The block-size quota used everywhere in the paper (and for the XBC
+/// fetch width): 16 uops.
+pub const BLOCK_QUOTA: usize = 16;
+
+/// Length histograms for the four block kinds of Figure 1.
+#[derive(Clone, Debug)]
+pub struct BlockLengthStats {
+    /// Classical basic blocks (end on any branch).
+    pub basic_block: Histogram,
+    /// Extended blocks (transparent to unconditional direct jumps).
+    pub xb: Histogram,
+    /// Extended blocks with monotonic-branch promotion.
+    pub xb_promoted: Histogram,
+    /// Two consecutive extended blocks, jointly capped at the quota.
+    pub dual_xb: Histogram,
+}
+
+impl BlockLengthStats {
+    fn new() -> Self {
+        BlockLengthStats {
+            basic_block: Histogram::new(BLOCK_QUOTA),
+            xb: Histogram::new(BLOCK_QUOTA),
+            xb_promoted: Histogram::new(BLOCK_QUOTA),
+            dual_xb: Histogram::new(BLOCK_QUOTA),
+        }
+    }
+
+    /// Merges statistics from another trace (for suite-level aggregates).
+    pub fn merge(&mut self, other: &BlockLengthStats) {
+        self.basic_block.merge(&other.basic_block);
+        self.xb.merge(&other.xb);
+        self.xb_promoted.merge(&other.xb_promoted);
+        self.dual_xb.merge(&other.dual_xb);
+    }
+}
+
+/// Accumulates uops into quota-capped blocks; overflow splits the block and
+/// carries the remainder, as a 16-uop fill buffer would.
+#[derive(Clone, Copy, Debug, Default)]
+struct BlockAcc {
+    uops: usize,
+}
+
+impl BlockAcc {
+    /// Adds an instruction's uops, recording any quota-forced splits.
+    /// Returns the number of full-quota blocks that were closed.
+    fn add(&mut self, uops: usize, hist: &mut Histogram) -> usize {
+        self.uops += uops;
+        let mut splits = 0;
+        while self.uops > BLOCK_QUOTA {
+            hist.record(BLOCK_QUOTA);
+            self.uops -= BLOCK_QUOTA;
+            splits += 1;
+        }
+        splits
+    }
+
+    /// Ends the block, recording its length (if non-empty).
+    fn end(&mut self, hist: &mut Histogram) -> Option<usize> {
+        if self.uops == 0 {
+            return None;
+        }
+        let len = self.uops;
+        hist.record(len);
+        self.uops = 0;
+        Some(len)
+    }
+}
+
+/// Pairs consecutive XB lengths into dual-XB observations.
+#[derive(Clone, Copy, Debug, Default)]
+struct DualAcc {
+    pending: Option<usize>,
+}
+
+impl DualAcc {
+    /// Feeds one completed XB; returns a dual-XB length when a pair closes.
+    fn feed(&mut self, len: usize) -> Option<usize> {
+        match self.pending.take() {
+            None => {
+                self.pending = Some(len);
+                None
+            }
+            Some(first) => Some((first + len).min(BLOCK_QUOTA)),
+        }
+    }
+}
+
+/// Computes Figure-1 block-length statistics over a trace.
+///
+/// # Examples
+///
+/// ```
+/// use xbc_workload::{block_length_stats, ProgramGenerator, Trace, WorkloadProfile};
+///
+/// let p = ProgramGenerator::new(WorkloadProfile::default(), 5).generate();
+/// let t = Trace::capture("demo", &p, 5, 50_000);
+/// let stats = block_length_stats(&t);
+/// // XBs are at least as long as basic blocks, promotion only helps,
+/// // and pairing two XBs is longer still.
+/// assert!(stats.xb.mean() >= stats.basic_block.mean() - 1e-9);
+/// assert!(stats.xb_promoted.mean() >= stats.xb.mean() - 1e-9);
+/// assert!(stats.dual_xb.mean() >= stats.xb_promoted.mean() - 1e-9);
+/// ```
+pub fn block_length_stats(trace: &Trace) -> BlockLengthStats {
+    let mut stats = BlockLengthStats::new();
+    let mut bb = BlockAcc::default();
+    let mut xb = BlockAcc::default();
+    let mut promo = BlockAcc::default();
+    let mut dual = DualAcc::default();
+    let mut bias: HashMap<u64, BiasCounter> = HashMap::new();
+
+    for d in trace.iter() {
+        let uops = d.inst.uops as usize;
+        let branch = d.inst.branch;
+
+        // Basic blocks: end on any branch.
+        bb.add(uops, &mut stats.basic_block);
+        if branch.ends_basic_block() {
+            bb.end(&mut stats.basic_block);
+        }
+
+        // Extended blocks: end per the XB boundary convention. Quota splits
+        // also close an XB (the fill buffer behaves the same way), so they
+        // feed the dual pairing too.
+        let splits = xb.add(uops, &mut stats.xb);
+        for _ in 0..splits {
+            if let Some(pair) = dual.feed(BLOCK_QUOTA) {
+                stats.dual_xb.record(pair);
+            }
+        }
+        if branch.ends_xb_boundary() {
+            if let Some(len) = xb.end(&mut stats.xb) {
+                if let Some(pair) = dual.feed(len) {
+                    stats.dual_xb.record(pair);
+                }
+            }
+        }
+
+        // Promoted XBs: monotonic conditionals behaving monotonically are
+        // transparent.
+        promo.add(uops, &mut stats.xb_promoted);
+        let ends_promoted = if branch == BranchKind::CondDirect {
+            let c = bias.entry(d.inst.ip.raw()).or_default();
+            let monotonic_and_behaving =
+                c.bias().map(|b| b.as_taken() == d.taken).unwrap_or(false);
+            c.update(d.taken);
+            !monotonic_and_behaving
+        } else {
+            branch.ends_xb_boundary()
+        };
+        if ends_promoted {
+            promo.end(&mut stats.xb_promoted);
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{CondBehavior, ProgramBuilder};
+    use crate::{ProgramGenerator, WorkloadProfile};
+    use xbc_isa::{Addr, Inst};
+
+    /// A straight-line loop: 3 plain insts (1 uop each) + always-taken
+    /// branch back. BB = XB = 4 uops, promotion merges everything to quota.
+    fn monotonic_loop_trace(n: usize) -> Trace {
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::plain(Addr::new(0x10), 1, 1));
+        b.push(Inst::plain(Addr::new(0x11), 1, 1));
+        b.push(Inst::plain(Addr::new(0x12), 1, 1));
+        b.push_cond(
+            Inst::new(Addr::new(0x13), 2, 1, BranchKind::CondDirect, Some(Addr::new(0x10))),
+            CondBehavior::Bernoulli { p_taken: 1.0 },
+        );
+        b.push(Inst::new(Addr::new(0x15), 1, 1, BranchKind::Return, None));
+        let p = b.build(Addr::new(0x10), 1);
+        Trace::capture("loop", &p, 0, n)
+    }
+
+    #[test]
+    fn simple_loop_block_lengths() {
+        // Long enough that the 64-update bias warm-up (during which nothing
+        // is promoted) is a small fraction of the trace.
+        let t = monotonic_loop_trace(4000);
+        let s = block_length_stats(&t);
+        // Every BB/XB is the 4-uop loop body.
+        assert!((s.basic_block.mean() - 4.0).abs() < 0.1, "bb {}", s.basic_block.mean());
+        assert!((s.xb.mean() - 4.0).abs() < 0.1);
+        // Dual XBs pair to 8.
+        assert!((s.dual_xb.mean() - 8.0).abs() < 0.2, "dual {}", s.dual_xb.mean());
+        // After warm-up the monotonic branch is promoted: blocks run to quota.
+        assert!(s.xb_promoted.mean() > 10.0, "promo {}", s.xb_promoted.mean());
+    }
+
+    #[test]
+    fn uncond_jumps_lengthen_xbs_only() {
+        // b0: 3 uops then jmp -> b1: 3 uops then ret.
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::plain(Addr::new(0x10), 1, 3));
+        b.push(Inst::new(Addr::new(0x11), 2, 1, BranchKind::UncondDirect, Some(Addr::new(0x20))));
+        b.push(Inst::plain(Addr::new(0x20), 1, 3));
+        b.push(Inst::new(Addr::new(0x21), 1, 1, BranchKind::Return, None));
+        let p = b.build(Addr::new(0x10), 1);
+        let t = Trace::capture("j", &p, 0, 400);
+        let s = block_length_stats(&t);
+        // BBs: [3+1]=4 and [3+1]=4 → mean 4. XBs merge across the jmp: 8.
+        assert!((s.basic_block.mean() - 4.0).abs() < 0.1);
+        assert!((s.xb.mean() - 8.0).abs() < 0.2, "xb {}", s.xb.mean());
+    }
+
+    #[test]
+    fn quota_caps_all_kinds() {
+        let t = monotonic_loop_trace(2000);
+        let s = block_length_stats(&t);
+        for h in [&s.basic_block, &s.xb, &s.xb_promoted, &s.dual_xb] {
+            assert!(h.mean() <= BLOCK_QUOTA as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn generated_workload_matches_figure_1_ordering() {
+        let p = ProgramGenerator::new(WorkloadProfile::default(), 33).generate();
+        let t = Trace::capture("gen", &p, 33, 150_000);
+        let s = block_length_stats(&t);
+        let bb = s.basic_block.mean();
+        let xb = s.xb.mean();
+        let promo = s.xb_promoted.mean();
+        let dual = s.dual_xb.mean();
+        assert!(bb <= xb && xb <= promo && promo <= dual, "{bb} {xb} {promo} {dual}");
+        // Loose bands around the paper's 7.7 / 8.0 / 10.0 / 12.7.
+        assert!((5.5..10.5).contains(&bb), "bb mean {bb}");
+        assert!((6.0..11.0).contains(&xb), "xb mean {xb}");
+        assert!((10.0..16.0).contains(&dual), "dual mean {dual}");
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let t = monotonic_loop_trace(100);
+        let mut a = block_length_stats(&t);
+        let b = block_length_stats(&t);
+        let n = a.basic_block.count();
+        a.merge(&b);
+        assert_eq!(a.basic_block.count(), 2 * n);
+    }
+}

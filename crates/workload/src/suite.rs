@@ -1,0 +1,232 @@
+//! The 21-trace benchmark suite.
+//!
+//! The paper reports results over 21 traces in three suites: SPECint95
+//! (8 traces), SYSmark32 for Windows 95 (8 traces), and popular Games
+//! (5 traces), each 30M x86 instructions including kernel activity (§4).
+//! We synthesize stand-ins with suite-specific workload profiles
+//! (see DESIGN.md §3): SPECint-like programs are loop-heavy with compact
+//! footprints, SYSmark-like programs have large code footprints and heavy
+//! indirect-call (GUI dispatch) traffic, and Games sit in between with a
+//! wider uop expansion (FP/SIMD-ish).
+
+use crate::generate::ProgramGenerator;
+use crate::profile::{TerminatorMix, WorkloadProfile};
+use crate::program::Program;
+use crate::trace::Trace;
+use std::fmt;
+
+/// Benchmark suite of a trace, mirroring the paper's grouping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Suite {
+    /// SPECint95-like: loopy integer code, compact footprint.
+    SpecInt95,
+    /// SYSmark32-like: large-footprint interactive applications.
+    Sysmark32,
+    /// Games-like: medium footprint, wider uop expansion.
+    Games,
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Suite::SpecInt95 => f.write_str("SPECint95"),
+            Suite::Sysmark32 => f.write_str("SYSmark32"),
+            Suite::Games => f.write_str("Games"),
+        }
+    }
+}
+
+impl Suite {
+    /// Base workload profile for this suite.
+    pub fn profile(self) -> WorkloadProfile {
+        match self {
+            Suite::SpecInt95 => WorkloadProfile {
+                functions: 110,
+                blocks_per_fn_mean: 24.0,
+                loop_frac: 0.08,
+                loop_trip_mean: 10.0,
+                biased_taken_frac: 0.22,
+                biased_not_taken_frac: 0.18,
+                join_bias: 0.35,
+                hot_fraction: 0.20,
+                hot_call_prob: 0.62,
+                indirect_stickiness: 0.92,
+                interrupt_interval: Some(25_000),
+                ..WorkloadProfile::default()
+            },
+            Suite::Sysmark32 => WorkloadProfile {
+                functions: 380,
+                blocks_per_fn_mean: 22.0,
+                loop_frac: 0.03,
+                loop_trip_mean: 5.0,
+                biased_taken_frac: 0.20,
+                biased_not_taken_frac: 0.20,
+                join_bias: 0.40,
+                hot_fraction: 0.30,
+                hot_call_prob: 0.52,
+                indirect_stickiness: 0.78,
+                interrupt_interval: Some(6_000),
+                terminators: TerminatorMix {
+                    cond: 0.64,
+                    jmp: 0.08,
+                    call: 0.12,
+                    ret: 0.10,
+                    ijmp: 0.02,
+                    icall: 0.04,
+                },
+                ..WorkloadProfile::default()
+            },
+            Suite::Games => WorkloadProfile {
+                functions: 200,
+                blocks_per_fn_mean: 26.0,
+                loop_frac: 0.05,
+                loop_trip_mean: 10.0,
+                biased_taken_frac: 0.24,
+                biased_not_taken_frac: 0.14,
+                join_bias: 0.30,
+                hot_fraction: 0.18,
+                hot_call_prob: 0.60,
+                indirect_stickiness: 0.88,
+                interrupt_interval: Some(12_000),
+                uops_per_inst_weights: [0.48, 0.30, 0.14, 0.08],
+                ..WorkloadProfile::default()
+            },
+        }
+    }
+}
+
+/// Specification of one named trace: suite, per-trace seed and profile
+/// perturbation.
+#[derive(Clone, Debug)]
+pub struct TraceSpec {
+    /// Name, e.g. `"spec.gcc"`.
+    pub name: &'static str,
+    /// Suite the trace belongs to.
+    pub suite: Suite,
+    /// Generation/execution seed.
+    pub seed: u64,
+    /// Per-trace function count override (footprint diversity within a
+    /// suite; the paper's traces vary widely inside each suite too).
+    pub functions: usize,
+}
+
+impl TraceSpec {
+    /// The fully resolved workload profile for this trace.
+    pub fn profile(&self) -> WorkloadProfile {
+        WorkloadProfile { functions: self.functions, ..self.suite.profile() }
+    }
+
+    /// Generates this trace's program image.
+    pub fn program(&self) -> Program {
+        ProgramGenerator::new(self.profile(), self.seed).generate()
+    }
+
+    /// Generates the program and captures `n_insts` dynamic instructions.
+    pub fn capture(&self, n_insts: usize) -> Trace {
+        let program = self.program();
+        let profile = self.profile();
+        Trace::capture_with_options(
+            self.name,
+            &program,
+            self.seed.wrapping_mul(0x2545_F491_4F6C_DD1D),
+            n_insts,
+            profile.indirect_stickiness,
+            profile.interrupt_interval,
+        )
+    }
+}
+
+/// The standard 21 traces (8 SPECint95-like, 8 SYSmark32-like, 5
+/// Games-like) used by every figure harness.
+///
+/// # Examples
+///
+/// ```
+/// use xbc_workload::{standard_traces, Suite};
+///
+/// let traces = standard_traces();
+/// assert_eq!(traces.len(), 21);
+/// assert_eq!(traces.iter().filter(|t| t.suite == Suite::SpecInt95).count(), 8);
+/// assert_eq!(traces.iter().filter(|t| t.suite == Suite::Sysmark32).count(), 8);
+/// assert_eq!(traces.iter().filter(|t| t.suite == Suite::Games).count(), 5);
+/// ```
+pub fn standard_traces() -> Vec<TraceSpec> {
+    use Suite::*;
+    vec![
+        TraceSpec { name: "spec.compress", suite: SpecInt95, seed: 101, functions: 150 },
+        TraceSpec { name: "spec.gcc", suite: SpecInt95, seed: 102, functions: 400 },
+        TraceSpec { name: "spec.go", suite: SpecInt95, seed: 103, functions: 330 },
+        TraceSpec { name: "spec.ijpeg", suite: SpecInt95, seed: 104, functions: 180 },
+        TraceSpec { name: "spec.li", suite: SpecInt95, seed: 105, functions: 200 },
+        TraceSpec { name: "spec.m88ksim", suite: SpecInt95, seed: 106, functions: 220 },
+        TraceSpec { name: "spec.perl", suite: SpecInt95, seed: 107, functions: 300 },
+        TraceSpec { name: "spec.vortex", suite: SpecInt95, seed: 108, functions: 370 },
+        TraceSpec { name: "sys.winword", suite: Sysmark32, seed: 201, functions: 1400 },
+        TraceSpec { name: "sys.excel", suite: Sysmark32, seed: 202, functions: 1300 },
+        TraceSpec { name: "sys.powerpnt", suite: Sysmark32, seed: 203, functions: 1150 },
+        TraceSpec { name: "sys.access", suite: Sysmark32, seed: 204, functions: 1250 },
+        TraceSpec { name: "sys.pagemaker", suite: Sysmark32, seed: 205, functions: 1050 },
+        TraceSpec { name: "sys.coreldraw", suite: Sysmark32, seed: 206, functions: 1450 },
+        TraceSpec { name: "sys.paradox", suite: Sysmark32, seed: 207, functions: 1000 },
+        TraceSpec { name: "sys.freelance", suite: Sysmark32, seed: 208, functions: 900 },
+        TraceSpec { name: "games.quake", suite: Games, seed: 301, functions: 550 },
+        TraceSpec { name: "games.hexen", suite: Games, seed: 302, functions: 500 },
+        TraceSpec { name: "games.monster", suite: Games, seed: 303, functions: 700 },
+        TraceSpec { name: "games.jedi", suite: Games, seed: 304, functions: 620 },
+        TraceSpec { name: "games.flightsim", suite: Games, seed: 305, functions: 760 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_profiles_are_valid() {
+        for s in [Suite::SpecInt95, Suite::Sysmark32, Suite::Games] {
+            s.profile().validate();
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let traces = standard_traces();
+        let mut names: Vec<_> = traces.iter().map(|t| t.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 21);
+    }
+
+    #[test]
+    fn seeds_are_unique() {
+        let traces = standard_traces();
+        let mut seeds: Vec<_> = traces.iter().map(|t| t.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 21);
+    }
+
+    #[test]
+    fn sysmark_has_largest_footprint() {
+        let spec = Suite::SpecInt95.profile().approx_static_uops();
+        let sys = Suite::Sysmark32.profile().approx_static_uops();
+        let games = Suite::Games.profile().approx_static_uops();
+        assert!(sys > games && games > spec, "spec={spec} games={games} sys={sys}");
+    }
+
+    #[test]
+    fn capture_small_trace_from_each_suite() {
+        for spec in standard_traces().iter().step_by(8) {
+            let t = spec.capture(2_000);
+            assert_eq!(t.inst_count(), 2_000);
+            assert_eq!(t.name(), spec.name);
+        }
+    }
+
+    #[test]
+    fn suite_display() {
+        assert_eq!(Suite::SpecInt95.to_string(), "SPECint95");
+        assert_eq!(Suite::Sysmark32.to_string(), "SYSmark32");
+        assert_eq!(Suite::Games.to_string(), "Games");
+    }
+}

@@ -1,0 +1,243 @@
+//! Captured dynamic traces.
+//!
+//! The paper's methodology is trace-driven: a fixed dynamic instruction
+//! stream is replayed through each frontend configuration so comparisons
+//! see identical committed paths. [`Trace`] materializes a stream from the
+//! executor once and hands out slices to any number of simulations.
+
+use crate::exec::{DynInst, ExecStats, Executor};
+use crate::program::Program;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{Read, Write};
+
+/// On-disk form of a [`Trace`] (JSON via serde).
+#[derive(Serialize, Deserialize)]
+struct TraceFile {
+    name: String,
+    insts: Vec<DynInst>,
+}
+
+/// A named, captured dynamic instruction stream.
+///
+/// # Examples
+///
+/// ```
+/// use xbc_workload::{ProgramGenerator, Trace, WorkloadProfile};
+///
+/// let program = ProgramGenerator::new(WorkloadProfile::default(), 1).generate();
+/// let trace = Trace::capture("demo", &program, 1, 10_000);
+/// assert_eq!(trace.inst_count(), 10_000);
+/// assert!(trace.uop_count() >= 10_000); // every inst has ≥ 1 uop
+/// ```
+#[derive(Clone)]
+pub struct Trace {
+    name: String,
+    insts: Vec<DynInst>,
+    uops: u64,
+    exec_stats: ExecStats,
+}
+
+impl Trace {
+    /// Runs the executor for `n_insts` dynamic instructions and records the
+    /// committed path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_insts` is zero.
+    pub fn capture(name: &str, program: &Program, seed: u64, n_insts: usize) -> Self {
+        Self::capture_with_stickiness(name, program, seed, n_insts, 0.85)
+    }
+
+    /// Like [`Trace::capture`] but with explicit indirect-target
+    /// stickiness (see [`Executor::with_stickiness`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_insts` is zero.
+    pub fn capture_with_stickiness(
+        name: &str,
+        program: &Program,
+        seed: u64,
+        n_insts: usize,
+        stickiness: f64,
+    ) -> Self {
+        Self::capture_with_options(name, program, seed, n_insts, stickiness, None)
+    }
+
+    /// Full-option capture: stickiness plus asynchronous-interrupt interval
+    /// (see [`Executor::with_options`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_insts` is zero.
+    pub fn capture_with_options(
+        name: &str,
+        program: &Program,
+        seed: u64,
+        n_insts: usize,
+        stickiness: f64,
+        interrupt_interval: Option<usize>,
+    ) -> Self {
+        assert!(n_insts > 0, "a trace needs at least one instruction");
+        let mut exec = Executor::with_options(program, seed, stickiness, interrupt_interval);
+        let mut insts = Vec::with_capacity(n_insts);
+        let mut uops = 0u64;
+        for _ in 0..n_insts {
+            let d = exec.next().expect("executor is infinite");
+            uops += d.uops() as u64;
+            insts.push(d);
+        }
+        Trace { name: name.to_owned(), insts, uops, exec_stats: exec.stats() }
+    }
+
+    /// Trace name (e.g. `"spec.gcc"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The committed dynamic instructions, in order.
+    pub fn insts(&self) -> &[DynInst] {
+        &self.insts
+    }
+
+    /// Number of dynamic instructions.
+    pub fn inst_count(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Number of dynamic uops.
+    pub fn uop_count(&self) -> u64 {
+        self.uops
+    }
+
+    /// Executor corner-case statistics from the capture.
+    pub fn exec_stats(&self) -> ExecStats {
+        self.exec_stats
+    }
+
+    /// Iterates over the dynamic instructions.
+    pub fn iter(&self) -> std::slice::Iter<'_, DynInst> {
+        self.insts.iter()
+    }
+
+    /// Serializes the trace as JSON to `writer` (interchange format for
+    /// the `xbcsim capture` / `xbcsim run --from` workflow).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O or serialization error.
+    pub fn save<W: Write>(&self, writer: W) -> Result<(), Box<dyn std::error::Error>> {
+        let file = TraceFile { name: self.name.clone(), insts: self.insts.clone() };
+        serde_json::to_writer(writer, &file)?;
+        Ok(())
+    }
+
+    /// Deserializes a trace previously written by [`Trace::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O or parse error, or a validation error if the stream
+    /// is empty or disconnected (`next_ip` not matching the next
+    /// instruction).
+    pub fn load<R: Read>(reader: R) -> Result<Self, Box<dyn std::error::Error>> {
+        let file: TraceFile = serde_json::from_reader(reader)?;
+        if file.insts.is_empty() {
+            return Err("trace file contains no instructions".into());
+        }
+        for w in file.insts.windows(2) {
+            if w[0].next_ip != w[1].inst.ip {
+                return Err(format!("disconnected trace at {}", w[0].inst.ip).into());
+            }
+        }
+        let uops = file.insts.iter().map(|d| d.uops() as u64).sum();
+        Ok(Trace { name: file.name, insts: file.insts, uops, exec_stats: ExecStats::default() })
+    }
+}
+
+impl fmt::Debug for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Trace")
+            .field("name", &self.name)
+            .field("insts", &self.insts.len())
+            .field("uops", &self.uops)
+            .finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a DynInst;
+    type IntoIter = std::slice::Iter<'a, DynInst>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.insts.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProgramGenerator, WorkloadProfile};
+
+    fn program() -> Program {
+        ProgramGenerator::new(WorkloadProfile { functions: 10, ..Default::default() }, 3).generate()
+    }
+
+    #[test]
+    fn capture_is_deterministic() {
+        let p = program();
+        let a = Trace::capture("a", &p, 9, 2000);
+        let b = Trace::capture("b", &p, 9, 2000);
+        assert_eq!(a.insts(), b.insts());
+        assert_eq!(a.uop_count(), b.uop_count());
+    }
+
+    #[test]
+    fn uop_count_sums_inst_uops() {
+        let p = program();
+        let t = Trace::capture("t", &p, 1, 500);
+        let sum: u64 = t.iter().map(|d| d.uops() as u64).sum();
+        assert_eq!(sum, t.uop_count());
+    }
+
+    #[test]
+    fn into_iterator_walks_all() {
+        let p = program();
+        let t = Trace::capture("t", &p, 1, 100);
+        assert_eq!((&t).into_iter().count(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instruction")]
+    fn empty_capture_rejected() {
+        let p = program();
+        let _ = Trace::capture("t", &p, 1, 0);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let p = program();
+        let t = Trace::capture("roundtrip", &p, 4, 300);
+        let mut buf = Vec::new();
+        t.save(&mut buf).unwrap();
+        let back = Trace::load(buf.as_slice()).unwrap();
+        assert_eq!(back.name(), "roundtrip");
+        assert_eq!(back.insts(), t.insts());
+        assert_eq!(back.uop_count(), t.uop_count());
+    }
+
+    #[test]
+    fn load_rejects_garbage_and_disconnected() {
+        assert!(Trace::load(&b"not json"[..]).is_err());
+        assert!(Trace::load(&br#"{"name":"x","insts":[]}"#[..]).is_err());
+        // Disconnected: next_ip of the first inst does not match the second.
+        let p = program();
+        let t = Trace::capture("x", &p, 4, 3);
+        let mut buf = Vec::new();
+        t.save(&mut buf).unwrap();
+        let mut v: serde_json::Value = serde_json::from_slice(&buf).unwrap();
+        v["insts"][0]["next_ip"] = serde_json::json!(12345);
+        let bad = serde_json::to_vec(&v).unwrap();
+        assert!(Trace::load(bad.as_slice()).is_err());
+    }
+}

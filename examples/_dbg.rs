@@ -1,0 +1,40 @@
+use xbc::*;
+use xbc_frontend::*;
+use xbc_workload::*;
+use std::collections::HashSet;
+
+fn main() {
+    let n = 500_000;
+    let sizes = [2048usize, 4096, 8192, 16384, 32768, 65536];
+    let mut agg_x = [0.0f64; 6];
+    let mut agg_t = [0.0f64; 6];
+    let mut agg_bwx = 0.0; let mut agg_bwt = 0.0;
+    let traces = standard_traces();
+    for spec in &traces {
+        let t = spec.capture(n);
+        let mut seen = HashSet::new();
+        let mut fp = 0usize;
+        for d in t.iter() { if seen.insert(d.inst.ip.raw()) { fp += d.inst.uops as usize; } }
+        print!("{:16} fp={:6}", spec.name, fp);
+        for (i, &total) in sizes.iter().enumerate() {
+            let mut xbc = XbcFrontend::new(XbcConfig { total_uops: total, ..Default::default() });
+            let mut tc = TraceCacheFrontend::new(TcConfig { total_uops: total, ..Default::default() });
+            let mx = xbc.run(&t);
+            let mt = tc.run(&t);
+            agg_x[i] += mx.uop_miss_rate(); agg_t[i] += mt.uop_miss_rate();
+            if total == 32768 { agg_bwx += mx.delivery_bandwidth(); agg_bwt += mt.delivery_bandwidth(); }
+            print!(" |{:5.1}/{:4.1}", 100.0*mx.uop_miss_rate(), 100.0*mt.uop_miss_rate());
+        }
+        println!();
+    }
+    println!("sizes: 2K 4K 8K 16K 32K 64K   cell = XBC%/TC%");
+    print!("AVG             ");
+    for i in 0..6 {
+        print!(" |{:5.1}/{:4.1}", 100.0*agg_x[i]/21.0, 100.0*agg_t[i]/21.0);
+    }
+    println!();
+    print!("reduction       ");
+    for i in 0..6 { print!(" | {:5.1}%  ", 100.0*(1.0 - agg_x[i]/agg_t[i])); }
+    println!();
+    println!("avg bw at 32K: xbc={:.2} tc={:.2}", agg_bwx/21.0, agg_bwt/21.0);
+}

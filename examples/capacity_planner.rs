@@ -1,0 +1,61 @@
+//! Capacity planning with the sweep engine: for a chosen workload, how
+//! large must a trace cache be to match an XBC of a given size? Reproduces
+//! the paper's ">50% more capacity" argument on one trace (§4).
+//!
+//! ```text
+//! cargo run --release --example capacity_planner [trace-name]
+//! ```
+
+use xbc_sim::{FrontendSpec, Sweep};
+use xbc_workload::standard_traces;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "sys.access".to_owned());
+    let spec = standard_traces()
+        .into_iter()
+        .find(|t| t.name == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown trace {name}");
+            std::process::exit(2);
+        });
+
+    let sizes = [4096usize, 8192, 16384, 32768, 65536];
+    let mut frontends = Vec::new();
+    for &s in &sizes {
+        frontends.push(FrontendSpec::Tc { total_uops: s, ways: 4 });
+        frontends.push(FrontendSpec::Xbc { total_uops: s, ways: 2, promotion: true });
+    }
+    println!("sweeping {} across {:?} uops...", spec.name, sizes);
+    let rows = Sweep::new(vec![spec], frontends, 300_000).run();
+
+    println!();
+    println!("{:>8} {:>10} {:>10}", "size", "tc-miss%", "xbc-miss%");
+    let miss = |label: &str| -> Vec<(usize, f64)> {
+        sizes
+            .iter()
+            .map(|&s| {
+                let r = rows
+                    .iter()
+                    .find(|r| r.frontend.label().starts_with(label) && r.frontend.label().contains(&format!("-{}k", s / 1024)))
+                    .expect("swept");
+                (s, r.miss_rate)
+            })
+            .collect()
+    };
+    let tc = miss("tc");
+    let xbc = miss("xbc");
+    for ((s, t), (_, x)) in tc.iter().zip(&xbc) {
+        println!("{:>7}K {:>9.2}% {:>9.2}%", s / 1024, 100.0 * t, 100.0 * x);
+    }
+
+    println!();
+    for (s, x) in &xbc {
+        match tc.iter().find(|(_, t)| t <= x) {
+            Some((ts, _)) if ts > s => {
+                println!("XBC @ {}K is only matched by a TC @ {}K — {}x the capacity", s / 1024, ts / 1024, ts / s)
+            }
+            Some((ts, _)) => println!("XBC @ {}K matched by TC @ {}K", s / 1024, ts / 1024),
+            None => println!("XBC @ {}K beats every swept TC size", s / 1024),
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! A guided tour of the paper's §3 mechanisms on tiny handcrafted
+//! programs: watch the build algorithm's three cases (contained /
+//! extended / complex), reverse-order storage, and branch promotion do
+//! their thing, one at a time.
+//!
+//! ```text
+//! cargo run --release --example paper_tour
+//! ```
+
+use xbc::{install, BankMask, InstallKind, XbcArray, XbcConfig, Xfu};
+use xbc_frontend::FillSink;
+use xbc_isa::{Addr, BranchKind, Inst};
+use xbc_workload::DynInst;
+
+fn dyn_inst(ip: u64, uops: u8, branch: BranchKind, target: Option<u64>) -> DynInst {
+    let inst = Inst::new(Addr::new(ip), 1, uops, branch, target.map(Addr::new));
+    DynInst { inst, taken: branch != BranchKind::None, next_ip: Addr::new(ip + 1) }
+}
+
+fn main() {
+    let cfg = XbcConfig { total_uops: 256, ..XbcConfig::default() };
+    let mut array = XbcArray::new(&cfg);
+    let mut xfu = Xfu::new(cfg.max_xb_uops);
+
+    println!("== §3.3 case ... fresh insert ==");
+    // Path through B C D ending on a conditional at D.
+    for ip in [0x200u64, 0x201, 0x202] {
+        xfu.observe(&dyn_inst(ip, 3, BranchKind::None, None));
+    }
+    xfu.observe(&dyn_inst(0x203, 1, BranchKind::CondDirect, Some(0x100)));
+    let bcd = xfu.done.remove(0);
+    let (ptr, kind) = install(&bcd, &mut array, BankMask::EMPTY);
+    println!("built BCD (10 uops): {kind:?}, mask {}, offset {}", ptr.mask, ptr.offset);
+    assert_eq!(kind, InstallKind::Fresh);
+
+    println!();
+    println!("== §3.3 case 1: contained (entering at C) ==");
+    for ip in [0x201u64, 0x202] {
+        xfu.observe(&dyn_inst(ip, 3, BranchKind::None, None));
+    }
+    xfu.observe(&dyn_inst(0x203, 1, BranchKind::CondDirect, Some(0x100)));
+    let cd = xfu.done.remove(0);
+    let (p2, kind) = install(&cd, &mut array, BankMask::EMPTY);
+    println!("built CD  (7 uops): {kind:?} — no new storage, entry offset {}", p2.offset);
+    assert_eq!(kind, InstallKind::Contained);
+    let (stored, distinct) = array.redundancy();
+    println!("array: {stored} stored / {distinct} distinct uops (no duplication)");
+
+    println!();
+    println!("== §3.3 case 2: extension (discovering A in front) ==");
+    xfu.observe(&dyn_inst(0x1ff, 2, BranchKind::None, None)); // A
+    for ip in [0x200u64, 0x201, 0x202] {
+        xfu.observe(&dyn_inst(ip, 3, BranchKind::None, None));
+    }
+    xfu.observe(&dyn_inst(0x203, 1, BranchKind::CondDirect, Some(0x100)));
+    let abcd = xfu.done.remove(0);
+    let (p3, kind) = install(&abcd, &mut array, BankMask::EMPTY);
+    println!("built ABCD (12 uops): {kind:?} — prepended in place thanks to reverse order");
+    assert_eq!(kind, InstallKind::Extended);
+    println!("same identity ({}), wider mask {}, offset {}", p3.xb_ip, p3.mask, p3.offset);
+
+    println!();
+    println!("== §3.3 case 3: complex XB (same suffix, different prefix) ==");
+    xfu.observe(&dyn_inst(0x300, 2, BranchKind::None, None)); // X, jumps into C D
+    xfu.observe(&dyn_inst(0x301, 1, BranchKind::UncondDirect, Some(0x201)));
+    for ip in [0x201u64, 0x202] {
+        xfu.observe(&dyn_inst(ip, 3, BranchKind::None, None));
+    }
+    xfu.observe(&dyn_inst(0x203, 1, BranchKind::CondDirect, Some(0x100)));
+    let xcd = xfu.done.remove(0);
+    let (p4, kind) = install(&xcd, &mut array, BankMask::EMPTY);
+    println!("built X→CD (10 uops): {kind:?} — alternate prefix sharing the suffix lines");
+    assert_eq!(kind, InstallKind::Complex);
+    println!("pointer mask {} (suffix banks + new prefix bank)", p4.mask);
+    let (stored, distinct) = array.redundancy();
+    println!(
+        "array: {stored} stored / {distinct} distinct ({} split-line uops duplicated — the 'nearly' in nearly-redundancy-free)",
+        stored - distinct
+    );
+
+    println!();
+    println!("== census ==");
+    let pop = array.population();
+    println!(
+        "{} XBs in {} lines; {} complex; length mean {:.1} uops",
+        pop.xb_count,
+        pop.lines,
+        pop.complex_count,
+        pop.length_hist.mean()
+    );
+    println!();
+    println!("(see `cargo run --example custom_program` for promotion in action,");
+    println!(" and `ablation -- promotion` for the chain/merge/off comparison)");
+}

@@ -1,0 +1,43 @@
+//! Explores the synthetic workload substrate: the full characterization
+//! report behind DESIGN.md §3's substitution argument — block lengths
+//! (paper Figure 1), branch mix, predictability, dispatch burstiness,
+//! fan-in, and code footprint — for every trace in the 21-trace suite.
+//!
+//! ```text
+//! cargo run --release --example workload_explorer [insts]
+//! ```
+
+use xbc_workload::{analyze, standard_traces};
+
+fn main() {
+    let insts: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(200_000);
+    println!("standard suite, {insts} instructions per trace");
+    println!();
+    println!(
+        "{:<18} {:>6} {:>6} {:>6} {:>6} | {:>6} {:>7} {:>7} {:>6} {:>6} {:>9}",
+        "trace", "bb", "xb", "promo", "dual", "cond%", "gshare%", "sticky%", "fanin", "join%", "footprint"
+    );
+    for spec in standard_traces() {
+        let r = analyze(&spec.capture(insts));
+        println!(
+            "{:<18} {:>6.2} {:>6.2} {:>6.2} {:>6.2} | {:>5.1}% {:>6.1}% {:>6.1}% {:>6.2} {:>5.1}% {:>8}u",
+            spec.name,
+            r.blocks.basic_block.mean(),
+            r.blocks.xb.mean(),
+            r.blocks.xb_promoted.mean(),
+            r.blocks.dual_xb.mean(),
+            100.0 * r.mix.cond,
+            100.0 * r.gshare_accuracy,
+            100.0 * r.indirect_repeat_rate,
+            r.mean_fanin,
+            100.0 * r.join_fraction,
+            r.footprint_uops,
+        );
+    }
+    println!();
+    println!("paper Figure 1 averages: bb 7.7, xb 8.0, promoted 10.0, dual 12.7 uops");
+    println!("columns: gshare% = 16-bit gshare accuracy on this horizon;");
+    println!("         sticky% = indirect branches repeating their last target;");
+    println!("         fanin   = mean distinct branch sources per taken-target;");
+    println!("         join%   = taken-targets reached from 2+ sources.");
+}

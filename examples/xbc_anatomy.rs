@@ -1,0 +1,67 @@
+//! Dissects a running XBC: how the stored XB population, redundancy, and
+//! pointer health evolve as a workload executes — using the inspection
+//! APIs (`XbcArray::population`, `redundancy`, `XbcFrontend::xbtb_stats`).
+//!
+//! ```text
+//! cargo run --release --example xbc_anatomy [trace-name]
+//! ```
+
+use xbc::{PromotionMode, XbcConfig, XbcFrontend};
+use xbc_frontend::Frontend;
+use xbc_workload::standard_traces;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "spec.gcc".to_owned());
+    let spec = standard_traces()
+        .into_iter()
+        .find(|t| t.name == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown trace {name}");
+            std::process::exit(2);
+        });
+
+    println!("anatomy of an XBC running {} (32K uops)", spec.name);
+    println!();
+    println!(
+        "{:>8} {:>8} {:>7} {:>9} {:>8} {:>9} {:>8} {:>8}",
+        "insts", "miss%", "XBs", "complex", "avg-len", "occup%", "dup%", "searches"
+    );
+
+    let mut fe = XbcFrontend::new(XbcConfig::default());
+    let mut total_insts = 0usize;
+    // Grow the replay in chunks; frontend state persists across runs, so
+    // each chunk continues warming the same structures.
+    for chunk in [10_000usize, 20_000, 40_000, 80_000, 160_000] {
+        let trace = spec.capture(total_insts + chunk);
+        // Re-run from scratch on the longer prefix with a fresh frontend to
+        // keep the numbers interpretable as "after N instructions".
+        fe = XbcFrontend::new(XbcConfig::default());
+        let m = fe.run(&trace);
+        total_insts += chunk;
+        let pop = fe.array().population();
+        let (stored, distinct) = fe.array().redundancy();
+        println!(
+            "{:>8} {:>7.2}% {:>7} {:>9} {:>8.2} {:>8.1}% {:>7.2}% {:>8}",
+            trace.inst_count(),
+            100.0 * m.uop_miss_rate(),
+            pop.xb_count,
+            pop.complex_count,
+            pop.length_hist.mean(),
+            100.0 * pop.stored_uops as f64 / fe.config().total_uops as f64,
+            100.0 * (stored - distinct) as f64 / stored.max(1) as f64,
+            m.set_searches,
+        );
+    }
+
+    println!();
+    println!("resident XB length distribution (uops):");
+    let pop = fe.array().population();
+    for (len, count) in pop.length_hist.iter() {
+        if count > 0 {
+            let bar = "#".repeat((count as usize * 50 / pop.xb_count.max(1)).min(60));
+            println!("  {len:>3}: {count:>5} {bar}");
+        }
+    }
+    println!();
+    println!("promotion mode: {} | XBTB: {:?}", PromotionMode::Chain, fe.xbtb_stats());
+}

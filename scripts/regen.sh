@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates every figure, table and ablation recorded in EXPERIMENTS.md.
+# Usage: scripts/regen.sh [INSTS] (default 1000000)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+INSTS="${1:-1000000}"
+ABL_INSTS=$((INSTS / 3))
+mkdir -p results
+cargo build --release -p xbc-bench
+
+B=target/release
+$B/fig1    --inst "$INSTS"                                  | tee results/fig1.txt
+$B/fig8    --inst "$INSTS" --json results/fig8.json         | tee results/fig8.txt
+$B/fig9    --inst "$INSTS" --json results/fig9.json         | tee results/fig9.txt
+$B/fig10   --inst "$INSTS" --json results/fig10.json        | tee results/fig10.txt
+$B/summary --inst "$INSTS"                                  | tee results/summary.txt
+for m in promotion banks placement setsearch xbtb xbs xbq predictor tcpath baselines; do
+  $B/ablation "$m" --inst "$ABL_INSTS" | tee "results/ablation_$m.txt"
+done
+echo "all results regenerated under results/"

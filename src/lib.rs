@@ -1,0 +1,3 @@
+//! Workspace-level umbrella crate; see README.md.
+pub use xbc as core;
+

@@ -1,0 +1,108 @@
+//! Cross-crate integration tests: every frontend model replays the same
+//! committed stream faithfully, deterministically, and with sane cycle
+//! accounting.
+
+use xbc::{XbcConfig, XbcFrontend};
+use xbc_frontend::{
+    Frontend, IcFrontend, IcFrontendConfig, TcConfig, TraceCacheFrontend, UopCacheConfig,
+    UopCacheFrontend,
+};
+use xbc_workload::standard_traces;
+
+fn all_frontends(total_uops: usize) -> Vec<Box<dyn Frontend>> {
+    vec![
+        Box::new(IcFrontend::new(IcFrontendConfig::default())),
+        Box::new(UopCacheFrontend::new(UopCacheConfig { total_uops, ..Default::default() })),
+        Box::new(TraceCacheFrontend::new(TcConfig { total_uops, ..Default::default() })),
+        Box::new(XbcFrontend::new(XbcConfig { total_uops, ..Default::default() })),
+    ]
+}
+
+#[test]
+fn every_frontend_delivers_every_uop_exactly_once() {
+    for spec in standard_traces().iter().step_by(7) {
+        let trace = spec.capture(20_000);
+        for fe in &mut all_frontends(8192) {
+            let m = fe.run(&trace);
+            assert_eq!(
+                m.total_uops(),
+                trace.uop_count(),
+                "{} lost or duplicated uops on {}",
+                fe.name(),
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn cycle_accounting_is_closed() {
+    let trace = standard_traces()[8].capture(20_000);
+    for fe in &mut all_frontends(8192) {
+        let m = fe.run(&trace);
+        assert_eq!(
+            m.cycles,
+            m.build_cycles + m.delivery_cycles + m.stall_cycles,
+            "{}: cycles must partition into build/delivery/stall",
+            fe.name()
+        );
+        assert!(m.cycles > 0);
+    }
+}
+
+#[test]
+fn frontends_are_deterministic() {
+    let trace = standard_traces()[16].capture(15_000);
+    for make in [0usize, 1, 2, 3] {
+        let run = |i: usize| {
+            let mut fes = all_frontends(4096);
+            fes[i].run(&trace)
+        };
+        let a = run(make);
+        let b = run(make);
+        assert_eq!(a, b, "frontend {make} differs between identical runs");
+    }
+}
+
+#[test]
+fn structures_beat_the_plain_ic() {
+    let trace = standard_traces()[0].capture(60_000);
+    let mut ic = IcFrontend::new(IcFrontendConfig::default());
+    let base = ic.run(&trace).overall_uops_per_cycle();
+    for fe in &mut all_frontends(32 * 1024)[1..] {
+        let upc = fe.run(&trace).overall_uops_per_cycle();
+        assert!(
+            upc > base,
+            "{} ({upc:.2} uops/cyc) should outperform the raw IC ({base:.2})",
+            fe.name()
+        );
+    }
+}
+
+#[test]
+fn warm_restart_reuses_state() {
+    // Frontend instances keep their caches across runs: the second replay
+    // of the same trace must miss less.
+    let trace = standard_traces()[0].capture(30_000);
+    let mut fe = XbcFrontend::new(XbcConfig { total_uops: 32 * 1024, ..Default::default() });
+    let cold = fe.run(&trace);
+    let warm = fe.run(&trace);
+    assert!(
+        warm.uop_miss_rate() < cold.uop_miss_rate(),
+        "warm {} vs cold {}",
+        warm.uop_miss_rate(),
+        cold.uop_miss_rate()
+    );
+}
+
+#[test]
+fn xbc_redundancy_stays_negligible_across_suites() {
+    for spec in standard_traces().iter().step_by(5) {
+        let trace = spec.capture(40_000);
+        let mut fe = XbcFrontend::new(XbcConfig::default());
+        fe.run(&trace);
+        let (stored, distinct) = fe.array().redundancy();
+        let dup = (stored - distinct) as f64 / stored.max(1) as f64;
+        assert!(dup < 0.05, "{}: {:.1}% duplicated uops", spec.name, 100.0 * dup);
+    }
+}

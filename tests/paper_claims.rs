@@ -1,0 +1,123 @@
+//! Fast end-to-end checks of the paper's qualitative claims — miniature
+//! versions of the figure harnesses, small enough for `cargo test`.
+//! The full-scale numbers live in EXPERIMENTS.md and regenerate with the
+//! `fig*` binaries.
+
+use xbc_sim::{average_bandwidth, average_miss_rate, FrontendSpec, Sweep};
+use xbc_workload::{block_length_stats, standard_traces, TraceSpec};
+
+fn subset() -> Vec<TraceSpec> {
+    // One big-footprint trace per suite keeps this fast but representative.
+    standard_traces()
+        .into_iter()
+        .filter(|t| ["spec.gcc", "sys.access", "games.quake"].contains(&t.name))
+        .collect()
+}
+
+#[test]
+fn figure1_block_length_ordering_and_bands() {
+    let mut agg: Option<xbc_workload::BlockLengthStats> = None;
+    for spec in standard_traces().iter().step_by(4) {
+        let s = block_length_stats(&spec.capture(60_000));
+        match &mut agg {
+            None => agg = Some(s),
+            Some(a) => a.merge(&s),
+        }
+    }
+    let s = agg.unwrap();
+    let (bb, xb, promo, dual) =
+        (s.basic_block.mean(), s.xb.mean(), s.xb_promoted.mean(), s.dual_xb.mean());
+    // Paper: 7.7 / 8.0 / 10.0 / 12.7 — require the ordering and loose bands.
+    assert!(bb < xb && xb < promo && promo < dual, "{bb} {xb} {promo} {dual}");
+    assert!((6.5..9.5).contains(&bb), "basic block mean {bb}");
+    assert!((6.8..10.0).contains(&xb), "xb mean {xb}");
+    assert!((8.5..12.5).contains(&promo), "promoted mean {promo}");
+    assert!((11.0..15.0).contains(&dual), "dual mean {dual}");
+}
+
+#[test]
+fn figure8_bandwidth_is_comparable() {
+    let rows = Sweep::new(
+        subset(),
+        vec![FrontendSpec::tc_default(), FrontendSpec::xbc_default()],
+        60_000,
+    )
+    .run();
+    let tc: Vec<_> = rows.iter().filter(|r| r.frontend == FrontendSpec::tc_default()).cloned().collect();
+    let xbc: Vec<_> =
+        rows.iter().filter(|r| r.frontend == FrontendSpec::xbc_default()).cloned().collect();
+    let (bt, bx) = (average_bandwidth(&tc), average_bandwidth(&xbc));
+    // Paper: "the difference ... is negligible". Allow 15% either way.
+    assert!((bx - bt).abs() / bt < 0.15, "tc {bt:.2} vs xbc {bx:.2}");
+    assert!(bt > 4.0 && bx > 4.0, "both must be high-bandwidth structures");
+}
+
+#[test]
+fn figure9_xbc_misses_less_at_capacity_dominated_sizes() {
+    for size in [4096usize, 8192] {
+        let rows = Sweep::new(
+            subset(),
+            vec![
+                FrontendSpec::Tc { total_uops: size, ways: 4 },
+                FrontendSpec::Xbc { total_uops: size, ways: 2, promotion: true },
+            ],
+            60_000,
+        )
+        .run();
+        let tc = average_miss_rate(
+            &rows.iter().filter(|r| r.frontend.label().starts_with("tc")).cloned().collect::<Vec<_>>(),
+        );
+        let xbc = average_miss_rate(
+            &rows.iter().filter(|r| r.frontend.label().starts_with("xbc")).cloned().collect::<Vec<_>>(),
+        );
+        assert!(
+            xbc < tc,
+            "at {size} uops the XBC ({xbc:.3}) must miss less than the TC ({tc:.3})"
+        );
+    }
+}
+
+#[test]
+fn figure9_miss_rate_decreases_with_size() {
+    let sizes = [2048usize, 8192, 32768];
+    let mut frontends = Vec::new();
+    for &s in &sizes {
+        frontends.push(FrontendSpec::Xbc { total_uops: s, ways: 2, promotion: true });
+    }
+    let rows = Sweep::new(subset(), frontends, 60_000).run();
+    let miss = |s: usize| {
+        average_miss_rate(
+            &rows
+                .iter()
+                .filter(|r| r.frontend == FrontendSpec::Xbc { total_uops: s, ways: 2, promotion: true })
+                .cloned()
+                .collect::<Vec<_>>(),
+        )
+    };
+    assert!(miss(2048) > miss(8192), "capacity curve must fall");
+    assert!(miss(8192) > miss(32768), "capacity curve must keep falling");
+}
+
+#[test]
+fn figure10_associativity_helps_both_structures() {
+    let size = 16384;
+    let mut frontends = Vec::new();
+    for ways in [1usize, 2, 4] {
+        frontends.push(FrontendSpec::Tc { total_uops: size, ways });
+        frontends.push(FrontendSpec::Xbc { total_uops: size, ways, promotion: true });
+    }
+    let rows = Sweep::new(subset(), frontends, 60_000).run();
+    let miss = |spec: FrontendSpec| {
+        average_miss_rate(&rows.iter().filter(|r| r.frontend == spec).cloned().collect::<Vec<_>>())
+    };
+    // 1-way -> 2-way is a large improvement for both (paper: ~60%).
+    let tc1 = miss(FrontendSpec::Tc { total_uops: size, ways: 1 });
+    let tc2 = miss(FrontendSpec::Tc { total_uops: size, ways: 2 });
+    let tc4 = miss(FrontendSpec::Tc { total_uops: size, ways: 4 });
+    assert!(tc2 < tc1 && tc4 < tc2, "tc assoc curve: {tc1:.3} {tc2:.3} {tc4:.3}");
+    let x1 = miss(FrontendSpec::Xbc { total_uops: size, ways: 1, promotion: true });
+    let x2 = miss(FrontendSpec::Xbc { total_uops: size, ways: 2, promotion: true });
+    assert!(x2 < x1, "xbc assoc curve: {x1:.3} {x2:.3}");
+    // The jump from direct-mapped to 2-way is the big one.
+    assert!((tc1 - tc2) > (tc2 - tc4), "diminishing returns expected");
+}

@@ -1,0 +1,168 @@
+//! Property-based tests (proptest) of the core data-structure invariants.
+
+use proptest::prelude::*;
+use xbc::{BankMask, XbPtr, XbcArray, XbcConfig};
+use xbc_isa::{decode, Addr, BranchKind, Inst, Uop};
+use xbc_uarch::Histogram;
+use xbc_workload::{ProgramGenerator, Trace, WorkloadProfile};
+
+/// Strategy: a plausible uop sequence for one XB (1..=16 uops), ending on
+/// a conditional branch.
+fn arb_xb_uops() -> impl Strategy<Value = Vec<Uop>> {
+    // Build from instruction shapes so uop identities look real.
+    proptest::collection::vec((1u8..=4, 1u8..=11), 1..=4).prop_map(|shapes| {
+        let mut uops = Vec::new();
+        let mut ip = 0x4000u64;
+        let total: usize = shapes.iter().map(|(u, _)| *u as usize).sum();
+        for (i, (u, len)) in shapes.iter().enumerate() {
+            let last = i + 1 == shapes.len();
+            let inst = if last {
+                Inst::new(Addr::new(ip), *len, *u, BranchKind::CondDirect, Some(Addr::new(0x100)))
+            } else {
+                Inst::plain(Addr::new(ip), *len, *u)
+            };
+            uops.extend(decode(&inst));
+            ip += *len as u64;
+        }
+        assert!(total <= 16);
+        uops
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever is inserted into the array reads back identically
+    /// (reverse-order storage is an implementation detail, not an
+    /// observable one).
+    #[test]
+    fn array_insert_read_roundtrip(uops in arb_xb_uops(), ip_raw in 0u64..1_000_000) {
+        let cfg = XbcConfig { total_uops: 1024, ..XbcConfig::default() };
+        let mut a = XbcArray::new(&cfg);
+        let end_ip = Addr::new(ip_raw + uops.len() as u64);
+        let mask = a.insert(end_ip, &uops, 0, BankMask::EMPTY, BankMask::EMPTY);
+        prop_assert_eq!(mask.count(), uops.len().div_ceil(4));
+        let (set, tag) = a.set_and_tag(end_ip);
+        let asm = a.assemble(set, tag, None).expect("just inserted");
+        prop_assert_eq!(asm.total_uops, uops.len());
+        prop_assert_eq!(a.read_uops(set, &asm), uops);
+    }
+
+    /// Any mid-block entry offset is fetchable after insertion.
+    #[test]
+    fn array_every_entry_offset_fetchable(uops in arb_xb_uops(), ip_raw in 0u64..1_000_000) {
+        let cfg = XbcConfig { total_uops: 1024, ..XbcConfig::default() };
+        let mut a = XbcArray::new(&cfg);
+        let end_ip = Addr::new(ip_raw + uops.len() as u64);
+        let mask = a.insert(end_ip, &uops, 0, BankMask::EMPTY, BankMask::EMPTY);
+        for offset in 1..=uops.len() as u8 {
+            let ptr = XbPtr::new(end_ip, Addr::new(0), mask, offset);
+            prop_assert!(a.lookup(&ptr).is_some(), "offset {} must hit", offset);
+            let mut used = BankMask::EMPTY;
+            let r = a.fetch_one(&ptr, &mut used);
+            prop_assert_eq!(r, xbc::XbFetch::Full);
+            prop_assert_eq!(used.count(), (offset as usize).div_ceil(4));
+        }
+    }
+
+    /// Histogram mean/count stay consistent under arbitrary inputs.
+    #[test]
+    fn histogram_invariants(values in proptest::collection::vec(1usize..200, 1..100)) {
+        let mut h = Histogram::new(16);
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let clamped: f64 = values.iter().map(|&v| v.min(16) as f64).sum::<f64>() / values.len() as f64;
+        prop_assert!((h.mean() - clamped).abs() < 1e-9);
+        let total: u64 = (1..=16).map(|v| h.bin(v)).sum();
+        prop_assert_eq!(total, h.count());
+        // Quantiles are monotone.
+        prop_assert!(h.quantile(0.25) <= h.quantile(0.75));
+    }
+
+    /// BankMask set algebra.
+    #[test]
+    fn bank_mask_algebra(a in 0u8..16, b in 0u8..16) {
+        let (ma, mb) = (BankMask::from_bits(a), BankMask::from_bits(b));
+        prop_assert_eq!(ma.union(mb).bits(), a | b);
+        prop_assert_eq!(ma.intersects(mb), a & b != 0);
+        prop_assert_eq!(ma.count(), a.count_ones() as usize);
+        let collected: Vec<usize> = ma.iter().collect();
+        prop_assert_eq!(collected.len(), ma.count());
+        for bank in collected {
+            prop_assert!(ma.contains(bank));
+        }
+    }
+
+    /// Generated programs always execute safely for any seed, and the
+    /// committed stream stays connected.
+    #[test]
+    fn generated_program_always_executes(seed in 0u64..500) {
+        let profile = WorkloadProfile { functions: 12, ..WorkloadProfile::default() };
+        let program = ProgramGenerator::new(profile, seed).generate();
+        let trace = Trace::capture("prop", &program, seed, 3_000);
+        prop_assert_eq!(trace.inst_count(), 3_000);
+        for w in trace.insts().windows(2) {
+            prop_assert_eq!(w[0].next_ip, w[1].inst.ip);
+        }
+        // uop accounting holds.
+        let total: u64 = trace.iter().map(|d| d.uops() as u64).sum();
+        prop_assert_eq!(total, trace.uop_count());
+    }
+}
+
+/// The no-redundancy invariant under randomized overlapping installs:
+/// suffix/extension/complex cases never duplicate more than the split
+/// line allows.
+#[test]
+fn overlapping_installs_bounded_duplication() {
+    use xbc::{install, BuiltXb};
+    // Reuse the fill unit to construct BuiltXbs from synthetic streams.
+    use xbc_frontend::FillSink;
+    use xbc_workload::DynInst;
+
+    let cfg = XbcConfig { total_uops: 4096, ..XbcConfig::default() };
+    let mut a = XbcArray::new(&cfg);
+    let mut xfu = xbc::Xfu::new(16);
+    // A shared tail at 0x900 reached from 8 different prefixes: the worst
+    // case for trace caches, the design case for the XBC.
+    for p in 0..8u64 {
+        let prefix_ip = 0x1000 + p * 0x40;
+        for i in 0..3 {
+            let inst = Inst::plain(Addr::new(prefix_ip + i), 1, 1);
+            xfu.observe(&DynInst { inst, taken: false, next_ip: Addr::new(prefix_ip + i + 1) });
+        }
+        let jmp = Inst::new(Addr::new(prefix_ip + 3), 1, 1, BranchKind::UncondDirect, Some(Addr::new(0x900)));
+        xfu.observe(&DynInst { inst: jmp, taken: true, next_ip: Addr::new(0x900) });
+        for i in 0..4 {
+            let inst = Inst::plain(Addr::new(0x900 + i), 1, 1);
+            xfu.observe(&DynInst { inst, taken: false, next_ip: Addr::new(0x900 + i + 1) });
+        }
+        let end = Inst::new(Addr::new(0x904), 1, 1, BranchKind::Return, None);
+        xfu.observe(&DynInst { inst: end, taken: true, next_ip: Addr::new(prefix_ip) });
+    }
+    let built: Vec<BuiltXb> = std::mem::take(&mut xfu.done);
+    assert_eq!(built.len(), 8, "8 prefix+tail XBs");
+    for b in &built {
+        install(b, &mut a, BankMask::EMPTY);
+    }
+    let (stored, distinct) = a.redundancy();
+    // All 8 alternate prefixes share one set (same end IP), which holds
+    // only 4 banks x 2 ways = 8 lines; each path needs 2 prefix lines plus
+    // the shared suffix line, so eviction necessarily drops the oldest
+    // prefixes. What must hold: the shared 5-uop tail is stored once, at
+    // least the most recent paths survive, and duplication stays bounded
+    // by one split-line uop per resident alternate path.
+    assert!(distinct >= 2 * 4 + 5, "tail plus recent prefixes resident: {distinct}");
+    assert!(distinct <= 8 * 4 + 5);
+    assert!(
+        stored - distinct <= 8,
+        "at most one duplicated split-line uop per alternate path: {} extra",
+        stored - distinct
+    );
+    // The most recently installed path is still fetchable end-to-end.
+    let last = built.last().unwrap();
+    let (last_ptr, _) = install(last, &mut a, BankMask::EMPTY);
+    assert!(a.lookup(&last_ptr).is_some());
+}
