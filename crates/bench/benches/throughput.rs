@@ -1,59 +1,86 @@
-//! Criterion performance benches of the simulator itself: how fast each
-//! frontend model replays a trace, and the hot component operations.
+//! Performance benches of the simulator itself: how fast each frontend
+//! model replays a trace, and the hot component operations.
 //!
 //! These measure *simulator* throughput (host-seconds per simulated uop),
 //! not the simulated machine — the paper's metrics come from the `fig*`
 //! binaries.
+//!
+//! The harness is in-tree (`harness = false`): each case runs a warmup
+//! pass, then a fixed iteration budget, and reports median-of-runs
+//! wall-clock plus derived throughput. Run with
+//! `cargo bench -p xbc-bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use xbc::{BankMask, PromotionMode, XbcArray, XbcConfig, XbcFrontend, XbPtr};
+use std::time::{Duration, Instant};
+use xbc::{BankMask, PromotionMode, XbPtr, XbcArray, XbcConfig, XbcFrontend};
 use xbc_bench::bench_trace;
-use xbc_frontend::{
-    Frontend, IcFrontend, IcFrontendConfig, TcConfig, TraceCacheFrontend,
-};
+use xbc_frontend::{Frontend, IcFrontend, IcFrontendConfig, TcConfig, TraceCacheFrontend};
 use xbc_isa::{decode, Addr, Inst};
 use xbc_predict::{Gshare, GshareConfig};
 
 const TRACE_INSTS: usize = 50_000;
+const RUNS: usize = 5;
 
-fn frontends(c: &mut Criterion) {
-    let trace = bench_trace(TRACE_INSTS);
-    let mut g = c.benchmark_group("frontend_replay");
-    g.throughput(Throughput::Elements(trace.uop_count()));
-
-    g.bench_function("ic", |b| {
-        b.iter_batched(
-            || IcFrontend::new(IcFrontendConfig::default()),
-            |mut fe| fe.run(&trace),
-            BatchSize::LargeInput,
-        )
-    });
-    g.bench_function("tc_32k", |b| {
-        b.iter_batched(
-            || TraceCacheFrontend::new(TcConfig::default()),
-            |mut fe| fe.run(&trace),
-            BatchSize::LargeInput,
-        )
-    });
-    g.bench_function("xbc_32k", |b| {
-        b.iter_batched(
-            || XbcFrontend::new(XbcConfig::default()),
-            |mut fe| fe.run(&trace),
-            BatchSize::LargeInput,
-        )
-    });
-    g.bench_function("xbc_32k_nopromo", |b| {
-        b.iter_batched(
-            || XbcFrontend::new(XbcConfig { promotion: PromotionMode::Off, ..XbcConfig::default() }),
-            |mut fe| fe.run(&trace),
-            BatchSize::LargeInput,
-        )
-    });
-    g.finish();
+/// Times `iters` invocations of `f`, `RUNS` times, and returns the
+/// median per-iteration duration.
+fn measure<F: FnMut()>(iters: usize, mut f: F) -> Duration {
+    f(); // warmup
+    let mut samples: Vec<Duration> = (0..RUNS)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed() / iters as u32
+        })
+        .collect();
+    samples.sort();
+    samples[RUNS / 2]
 }
 
-fn components(c: &mut Criterion) {
-    let mut g = c.benchmark_group("components");
+fn report(name: &str, per_iter: Duration, elements: Option<u64>) {
+    match elements {
+        Some(n) => {
+            let rate = n as f64 / per_iter.as_secs_f64() / 1e6;
+            println!("{name:<24} {per_iter:>12.2?}/iter {rate:>10.1} Melem/s");
+        }
+        None => println!("{name:<24} {per_iter:>12.2?}/iter"),
+    }
+}
+
+fn frontends() {
+    println!("frontend_replay ({TRACE_INSTS} insts per run)");
+    let trace = bench_trace(TRACE_INSTS);
+    let uops = trace.uop_count();
+
+    let d = measure(3, || {
+        let mut fe = IcFrontend::new(IcFrontendConfig::default());
+        fe.run(&trace);
+    });
+    report("ic", d, Some(uops));
+
+    let d = measure(3, || {
+        let mut fe = TraceCacheFrontend::new(TcConfig::default());
+        fe.run(&trace);
+    });
+    report("tc_32k", d, Some(uops));
+
+    let d = measure(3, || {
+        let mut fe = XbcFrontend::new(XbcConfig::default());
+        fe.run(&trace);
+    });
+    report("xbc_32k", d, Some(uops));
+
+    let d = measure(3, || {
+        let mut fe =
+            XbcFrontend::new(XbcConfig { promotion: PromotionMode::Off, ..XbcConfig::default() });
+        fe.run(&trace);
+    });
+    report("xbc_32k_nopromo", d, Some(uops));
+    println!();
+}
+
+fn components() {
+    println!("components");
 
     // Array insert + fetch round trip.
     let cfg = XbcConfig { total_uops: 8192, ..XbcConfig::default() };
@@ -62,43 +89,36 @@ fn components(c: &mut Criterion) {
         .chain(decode(&Inst::plain(Addr::new(0x104), 4, 4)))
         .chain(decode(&Inst::plain(Addr::new(0x108), 4, 4)))
         .collect();
-    g.bench_function("array_insert_fetch", |b| {
-        b.iter_batched(
-            || XbcArray::new(&cfg),
-            |mut a| {
-                for i in 0..64u64 {
-                    let ip = Addr::new(0x100 + i * 37);
-                    let mask = a.insert(ip, &uops, 0, BankMask::EMPTY, BankMask::EMPTY);
-                    let ptr = XbPtr::new(ip, Addr::new(0x100), mask, uops.len() as u8);
-                    let mut used = BankMask::EMPTY;
-                    let _ = a.fetch_one(&ptr, &mut used);
-                }
-                a
-            },
-            BatchSize::SmallInput,
-        )
+    let d = measure(200, || {
+        let mut a = XbcArray::new(&cfg);
+        for i in 0..64u64 {
+            let ip = Addr::new(0x100 + i * 37);
+            let mask = a.insert(ip, &uops, 0, BankMask::EMPTY, BankMask::EMPTY);
+            let ptr = XbPtr::new(ip, Addr::new(0x100), mask, uops.len() as u8);
+            let mut used = BankMask::EMPTY;
+            let _ = a.fetch_one(&ptr, &mut used);
+        }
     });
+    report("array_insert_fetch", d, Some(64));
 
     // Predictor update throughput.
-    g.bench_function("gshare_update", |b| {
-        let mut gs = Gshare::new(GshareConfig::default());
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            gs.update(Addr::new(0x4000 + (i % 256)), i.is_multiple_of(3))
-        })
+    let mut gs = Gshare::new(GshareConfig::default());
+    let mut i = 0u64;
+    let d = measure(500_000, || {
+        i = i.wrapping_add(1);
+        gs.update(Addr::new(0x4000 + (i % 256)), i.is_multiple_of(3));
     });
+    report("gshare_update", d, None);
 
-    // Workload generation (program synthesis).
-    g.bench_function("trace_capture_10k", |b| {
-        b.iter(|| bench_trace(10_000).uop_count());
+    // Workload generation (program synthesis + execution).
+    let d = measure(3, || {
+        bench_trace(10_000).uop_count();
     });
-    g.finish();
+    report("trace_capture_10k", d, Some(10_000));
+    println!();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = frontends, components
+fn main() {
+    frontends();
+    components();
 }
-criterion_main!(benches);

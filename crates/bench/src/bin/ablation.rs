@@ -27,8 +27,7 @@ fn print_table(title: &str, labels: &[&str], rows: &[(String, String, FrontendMe
             rows.iter().filter(|(_, l, _)| l == label).map(|(_, _, m)| m).collect();
         let miss =
             100.0 * sel.iter().map(|m| m.uop_miss_rate()).sum::<f64>() / sel.len().max(1) as f64;
-        let bw =
-            sel.iter().map(|m| m.delivery_bandwidth()).sum::<f64>() / sel.len().max(1) as f64;
+        let bw = sel.iter().map(|m| m.delivery_bandwidth()).sum::<f64>() / sel.len().max(1) as f64;
         println!("{label:<18} {miss:>13.2}% {bw:>14.2}");
     }
     println!();
@@ -36,6 +35,7 @@ fn print_table(title: &str, labels: &[&str], rows: &[(String, String, FrontendMe
 
 fn main() {
     let args = HarnessArgs::from_env();
+    let store = args.open_store();
     let mode = args.positional.first().map(String::as_str).unwrap_or("promotion");
     let base = XbcConfig::default();
 
@@ -45,108 +45,165 @@ fn main() {
             // binds (paper §3.1/§3.8): cross it with the XBs-per-cycle
             // limit. At n=2 the 16-uop fetch width already saturates, so
             // the n=1 column is where the effect shows.
-            let labels = [
-                "chain/1xb",
-                "merge/1xb",
-                "off/1xb",
-                "chain/2xb",
-                "merge/2xb",
-                "off/2xb",
-            ];
-            let rows = sweep_custom(&args.traces, args.insts, &labels, args.threads, |i| {
-                use PromotionMode::*;
-                let (promotion, xbs) =
-                    [(Chain, 1), (Merge, 1), (Off, 1), (Chain, 2), (Merge, 2), (Off, 2)][i];
-                Box::new(XbcFrontend::new(XbcConfig {
-                    promotion,
-                    xbs_per_cycle: xbs,
-                    ..base
-                }))
-            });
+            let labels = ["chain/1xb", "merge/1xb", "off/1xb", "chain/2xb", "merge/2xb", "off/2xb"];
+            let rows = sweep_custom(
+                &args.traces,
+                args.insts,
+                &labels,
+                args.threads,
+                store.as_deref(),
+                |i| {
+                    use PromotionMode::*;
+                    let (promotion, xbs) =
+                        [(Chain, 1), (Merge, 1), (Off, 1), (Chain, 2), (Merge, 2), (Off, 2)][i];
+                    Box::new(XbcFrontend::new(XbcConfig { promotion, xbs_per_cycle: xbs, ..base }))
+                },
+            );
             print_table("Ablation: branch promotion (paper §3.8)", &labels, &rows);
         }
         "banks" => {
             // Keep the budget fixed; the fetch width (banks × 4 uops) and
             // conflict probability change.
             let labels = ["4-banks-2-way", "8-banks-1-way", "8-banks-2-way"];
-            let rows = sweep_custom(&args.traces, args.insts, &labels, args.threads, |i| {
-                let (banks, ways) = [(4, 2), (8, 1), (8, 2)][i];
-                Box::new(XbcFrontend::new(XbcConfig { banks, ways, ..base }))
-            });
+            let rows = sweep_custom(
+                &args.traces,
+                args.insts,
+                &labels,
+                args.threads,
+                store.as_deref(),
+                |i| {
+                    let (banks, ways) = [(4, 2), (8, 1), (8, 2)][i];
+                    Box::new(XbcFrontend::new(XbcConfig { banks, ways, ..base }))
+                },
+            );
             print_table("Ablation: bank structure (paper §3.2)", &labels, &rows);
         }
         "placement" => {
             let labels = ["smart+dynamic", "smart-only", "dynamic-only", "neither"];
-            let rows = sweep_custom(&args.traces, args.insts, &labels, args.threads, |i| {
-                let (smart, dynamic) = [(true, true), (true, false), (false, true), (false, false)][i];
-                Box::new(XbcFrontend::new(XbcConfig {
-                    smart_placement: smart,
-                    dynamic_placement: dynamic,
-                    ..base
-                }))
-            });
+            let rows = sweep_custom(
+                &args.traces,
+                args.insts,
+                &labels,
+                args.threads,
+                store.as_deref(),
+                |i| {
+                    let (smart, dynamic) =
+                        [(true, true), (true, false), (false, true), (false, false)][i];
+                    Box::new(XbcFrontend::new(XbcConfig {
+                        smart_placement: smart,
+                        dynamic_placement: dynamic,
+                        ..base
+                    }))
+                },
+            );
             print_table("Ablation: bank placement policies (paper §3.10)", &labels, &rows);
             println!("(look at avg bw: placement exists to recover bank-conflict bandwidth)");
         }
         "setsearch" => {
             let labels = ["set-search-on", "set-search-off"];
-            let rows = sweep_custom(&args.traces, args.insts, &labels, args.threads, |i| {
-                Box::new(XbcFrontend::new(XbcConfig { set_search: i == 0, ..base }))
-            });
+            let rows = sweep_custom(
+                &args.traces,
+                args.insts,
+                &labels,
+                args.threads,
+                store.as_deref(),
+                |i| Box::new(XbcFrontend::new(XbcConfig { set_search: i == 0, ..base })),
+            );
             print_table("Ablation: set search (paper §3.9)", &labels, &rows);
         }
         "xbtb" => {
             let labels = ["xbtb-1k", "xbtb-2k", "xbtb-4k", "xbtb-8k", "xbtb-16k"];
-            let rows = sweep_custom(&args.traces, args.insts, &labels, args.threads, |i| {
-                let entries = [1024, 2048, 4096, 8192, 16384][i];
-                Box::new(XbcFrontend::new(XbcConfig { xbtb_entries: entries, ..base }))
-            });
+            let rows = sweep_custom(
+                &args.traces,
+                args.insts,
+                &labels,
+                args.threads,
+                store.as_deref(),
+                |i| {
+                    let entries = [1024, 2048, 4096, 8192, 16384][i];
+                    Box::new(XbcFrontend::new(XbcConfig { xbtb_entries: entries, ..base }))
+                },
+            );
             print_table("Ablation: XBTB capacity (paper §3.5, fixed at 8K)", &labels, &rows);
         }
         "xbs" => {
             let labels = ["1-xb-per-cycle", "2-xbs-per-cycle", "3-xbs-per-cycle"];
-            let rows = sweep_custom(&args.traces, args.insts, &labels, args.threads, |i| {
-                Box::new(XbcFrontend::new(XbcConfig { xbs_per_cycle: i + 1, ..base }))
-            });
-            print_table("Ablation: prediction bandwidth (paper §3.1: n XBs per cycle)", &labels, &rows);
+            let rows = sweep_custom(
+                &args.traces,
+                args.insts,
+                &labels,
+                args.threads,
+                store.as_deref(),
+                |i| Box::new(XbcFrontend::new(XbcConfig { xbs_per_cycle: i + 1, ..base })),
+            );
+            print_table(
+                "Ablation: prediction bandwidth (paper §3.1: n XBs per cycle)",
+                &labels,
+                &rows,
+            );
         }
         "predictor" => {
             use xbc_frontend::Predictors;
             use xbc_predict::{DirPredictor, GshareConfig, LocalConfig, TournamentConfig};
             let labels = ["gshare-16", "gshare-12", "bimodal-14", "local-10", "tournament"];
-            let rows = sweep_custom(&args.traces, args.insts, &labels, args.threads, |i| {
-                let dir = match i {
-                    0 => DirPredictor::gshare(GshareConfig { history_bits: 16 }),
-                    1 => DirPredictor::gshare(GshareConfig { history_bits: 12 }),
-                    2 => DirPredictor::bimodal(14),
-                    3 => DirPredictor::local(LocalConfig::default()),
-                    _ => DirPredictor::tournament(TournamentConfig::default()),
-                };
-                let mut fe = XbcFrontend::new(base);
-                fe.set_predictors(Predictors::with_dir(dir));
-                Box::new(fe)
-            });
-            print_table("Ablation: XBP direction predictor family (paper fixes gshare-16)", &labels, &rows);
+            let rows = sweep_custom(
+                &args.traces,
+                args.insts,
+                &labels,
+                args.threads,
+                store.as_deref(),
+                |i| {
+                    let dir = match i {
+                        0 => DirPredictor::gshare(GshareConfig { history_bits: 16 }),
+                        1 => DirPredictor::gshare(GshareConfig { history_bits: 12 }),
+                        2 => DirPredictor::bimodal(14),
+                        3 => DirPredictor::local(LocalConfig::default()),
+                        _ => DirPredictor::tournament(TournamentConfig::default()),
+                    };
+                    let mut fe = XbcFrontend::new(base);
+                    fe.set_predictors(Predictors::with_dir(dir));
+                    Box::new(fe)
+                },
+            );
+            print_table(
+                "Ablation: XBP direction predictor family (paper fixes gshare-16)",
+                &labels,
+                &rows,
+            );
         }
         "xbq" => {
             let labels = ["no-xbq", "xbq-24", "xbq-48"];
-            let rows = sweep_custom(&args.traces, args.insts, &labels, args.threads, |i| {
-                let depth = [0usize, 24, 48][i];
-                Box::new(XbcFrontend::new(XbcConfig { xbq_depth: depth, ..base }))
-            });
+            let rows = sweep_custom(
+                &args.traces,
+                args.insts,
+                &labels,
+                args.threads,
+                store.as_deref(),
+                |i| {
+                    let depth = [0usize, 24, 48][i];
+                    Box::new(XbcFrontend::new(XbcConfig { xbq_depth: depth, ..base }))
+                },
+            );
             print_table("Ablation: XBQ decoupling depth (paper §3.6)", &labels, &rows);
         }
         "tcpath" => {
             use xbc_frontend::{TcConfig, TraceCacheFrontend};
             let labels = ["tc", "tc-path-assoc", "xbc"];
-            let rows = sweep_custom(&args.traces, args.insts, &labels, args.threads, |i| match i {
-                0 => Box::new(TraceCacheFrontend::new(TcConfig::default())),
-                1 => Box::new(TraceCacheFrontend::new(TcConfig {
-                    path_associative: true,
-                    ..TcConfig::default()
-                })),
-                _ => Box::new(XbcFrontend::new(base)),
-            });
+            let rows = sweep_custom(
+                &args.traces,
+                args.insts,
+                &labels,
+                args.threads,
+                store.as_deref(),
+                |i| match i {
+                    0 => Box::new(TraceCacheFrontend::new(TcConfig::default())),
+                    1 => Box::new(TraceCacheFrontend::new(TcConfig {
+                        path_associative: true,
+                        ..TcConfig::default()
+                    })),
+                    _ => Box::new(XbcFrontend::new(base)),
+                },
+            );
             print_table(
                 "Ablation: TC path associativity ([Jaco97], paper §2.3) at 32K uops",
                 &labels,
@@ -159,13 +216,20 @@ fn main() {
                 TraceCacheFrontend, UopCacheConfig, UopCacheFrontend,
             };
             let labels = ["ic", "uop-cache", "bbtc", "tc", "xbc"];
-            let rows = sweep_custom(&args.traces, args.insts, &labels, args.threads, |i| match i {
-                0 => Box::new(IcFrontend::new(IcFrontendConfig::default())),
-                1 => Box::new(UopCacheFrontend::new(UopCacheConfig::default())),
-                2 => Box::new(BbtcFrontend::new(BbtcConfig::default())),
-                3 => Box::new(TraceCacheFrontend::new(TcConfig::default())),
-                _ => Box::new(XbcFrontend::new(base)),
-            });
+            let rows = sweep_custom(
+                &args.traces,
+                args.insts,
+                &labels,
+                args.threads,
+                store.as_deref(),
+                |i| match i {
+                    0 => Box::new(IcFrontend::new(IcFrontendConfig::default())),
+                    1 => Box::new(UopCacheFrontend::new(UopCacheConfig::default())),
+                    2 => Box::new(BbtcFrontend::new(BbtcConfig::default())),
+                    3 => Box::new(TraceCacheFrontend::new(TcConfig::default())),
+                    _ => Box::new(XbcFrontend::new(base)),
+                },
+            );
             print_table("All frontend models at 32K uops (paper §2 + §3)", &labels, &rows);
         }
         other => {

@@ -15,9 +15,13 @@ use xbc_workload::{block_length_stats, BLOCK_QUOTA};
 
 fn main() {
     let args = HarnessArgs::from_env();
+    let store = args.open_store();
     let mut agg: Option<xbc_workload::BlockLengthStats> = None;
     for spec in &args.traces {
-        let trace = spec.capture(args.insts);
+        let trace = match &store {
+            Some(s) => s.get_or_capture(spec, args.insts),
+            None => spec.capture(args.insts),
+        };
         let s = block_length_stats(&trace);
         eprintln!(
             "{:<18} bb={:5.2} xb={:5.2} promo={:5.2} dual={:5.2}",
@@ -34,7 +38,10 @@ fn main() {
     }
     let agg = agg.expect("at least one trace");
 
-    println!("Figure 1: block length distribution (fractions per length, {} traces)", args.traces.len());
+    println!(
+        "Figure 1: block length distribution (fractions per length, {} traces)",
+        args.traces.len()
+    );
     println!(
         "{:>4} {:>12} {:>12} {:>12} {:>12}",
         "len", "basic-block", "xb", "xb-promoted", "dual-xb"

@@ -9,7 +9,7 @@
 //! cargo run --release -p xbc-bench --bin fig10 [-- --inst N --traces a,b]
 //! ```
 
-use xbc_sim::{average_miss_rate, pivot_table, FrontendSpec, HarnessArgs, Row, Sweep};
+use xbc_sim::{average_miss_rate, pivot_table, FrontendSpec, HarnessArgs, Row};
 
 const SIZE: usize = 32 * 1024;
 const WAYS: [usize; 3] = [1, 2, 4];
@@ -21,8 +21,7 @@ fn main() {
         frontends.push(FrontendSpec::Tc { total_uops: SIZE, ways: w });
         frontends.push(FrontendSpec::Xbc { total_uops: SIZE, ways: w, promotion: true });
     }
-    let mut sweep = Sweep::new(args.traces.clone(), frontends, args.insts);
-    sweep.threads = args.threads;
+    let sweep = args.sweep(frontends);
     let rows = sweep.run();
 
     println!(

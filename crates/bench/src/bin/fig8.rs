@@ -8,16 +8,11 @@
 //! cargo run --release -p xbc-bench --bin fig8 [-- --inst N --traces a,b]
 //! ```
 
-use xbc_sim::{average_bandwidth, pivot_table, FrontendSpec, HarnessArgs, Sweep};
+use xbc_sim::{average_bandwidth, pivot_table, FrontendSpec, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::from_env();
-    let mut sweep = Sweep::new(
-        args.traces.clone(),
-        vec![FrontendSpec::tc_default(), FrontendSpec::xbc_default()],
-        args.insts,
-    );
-    sweep.threads = args.threads;
+    let sweep = args.sweep(vec![FrontendSpec::tc_default(), FrontendSpec::xbc_default()]);
     let rows = sweep.run();
 
     println!(
@@ -26,7 +21,8 @@ fn main() {
             r.bandwidth
         })
     );
-    let tc: Vec<_> = rows.iter().filter(|r| r.frontend == FrontendSpec::tc_default()).cloned().collect();
+    let tc: Vec<_> =
+        rows.iter().filter(|r| r.frontend == FrontendSpec::tc_default()).cloned().collect();
     let xbc: Vec<_> =
         rows.iter().filter(|r| r.frontend == FrontendSpec::xbc_default()).cloned().collect();
     let (bt, bx) = (average_bandwidth(&tc), average_bandwidth(&xbc));

@@ -10,7 +10,7 @@
 //! cargo run --release -p xbc-bench --bin fig9 [-- --inst N --traces a,b]
 //! ```
 
-use xbc_sim::{average_miss_rate, pivot_table, FrontendSpec, HarnessArgs, Row, Sweep};
+use xbc_sim::{average_miss_rate, pivot_table, FrontendSpec, HarnessArgs, Row};
 
 /// The swept cache budgets, in uops.
 const SIZES: [usize; 6] = [2048, 4096, 8192, 16384, 32768, 65536];
@@ -22,8 +22,7 @@ fn main() {
         frontends.push(FrontendSpec::Tc { total_uops: s, ways: 4 });
         frontends.push(FrontendSpec::Xbc { total_uops: s, ways: 2, promotion: true });
     }
-    let mut sweep = Sweep::new(args.traces.clone(), frontends, args.insts);
-    sweep.threads = args.threads;
+    let sweep = args.sweep(frontends);
     let rows = sweep.run();
 
     println!(

@@ -12,7 +12,7 @@
 
 use xbc::{XbcConfig, XbcFrontend};
 use xbc_frontend::Frontend;
-use xbc_sim::{average_bandwidth, average_miss_rate, FrontendSpec, HarnessArgs, Row, Sweep};
+use xbc_sim::{average_bandwidth, average_miss_rate, FrontendSpec, HarnessArgs, Row};
 
 const SIZES: [usize; 4] = [4096, 8192, 16384, 32768];
 
@@ -23,14 +23,17 @@ fn main() {
         frontends.push(FrontendSpec::Tc { total_uops: s, ways: 4 });
         frontends.push(FrontendSpec::Xbc { total_uops: s, ways: 2, promotion: true });
     }
-    let mut sweep = Sweep::new(args.traces.clone(), frontends, args.insts);
-    sweep.threads = args.threads;
+    let sweep = args.sweep(frontends);
     let rows = sweep.run();
     let by = |spec: FrontendSpec| -> Vec<Row> {
         rows.iter().filter(|r| r.frontend == spec).cloned().collect()
     };
 
-    println!("== XBC reproduction summary ({} traces x {} insts) ==", args.traces.len(), args.insts);
+    println!(
+        "== XBC reproduction summary ({} traces x {} insts) ==",
+        args.traces.len(),
+        args.insts
+    );
     println!();
     println!("[1] miss-rate reduction vs TC at equal size (paper: ~29% at all sizes)");
     for &s in &SIZES {
@@ -57,10 +60,14 @@ fn main() {
             average_miss_rate(&by(FrontendSpec::Xbc { total_uops: s, ways: 2, promotion: true }));
         let needed = SIZES[i..]
             .iter()
-            .find(|&&ts| average_miss_rate(&by(FrontendSpec::Tc { total_uops: ts, ways: 4 })) <= xbc)
+            .find(|&&ts| {
+                average_miss_rate(&by(FrontendSpec::Tc { total_uops: ts, ways: 4 })) <= xbc
+            })
             .copied();
         match needed {
-            Some(ts) if ts == s => println!("    xbc@{}K matched by tc@{}K (1x)", s / 1024, ts / 1024),
+            Some(ts) if ts == s => {
+                println!("    xbc@{}K matched by tc@{}K (1x)", s / 1024, ts / 1024)
+            }
             Some(ts) => println!("    xbc@{}K needs tc@{}K ({}x)", s / 1024, ts / 1024, ts / s),
             None => println!("    xbc@{}K not matched by any swept TC size", s / 1024),
         }
@@ -68,7 +75,10 @@ fn main() {
     println!();
     println!("[4] redundancy audit (paper: the XBC is nearly redundancy free)");
     let spec = &args.traces[0];
-    let trace = spec.capture(args.insts.min(200_000));
+    let trace = match args.open_store() {
+        Some(store) => store.get_or_capture(spec, args.insts.min(200_000)),
+        None => spec.capture(args.insts.min(200_000)),
+    };
     let mut fe = XbcFrontend::new(XbcConfig::default());
     fe.run(&trace);
     let (total, distinct) = fe.array().redundancy();

@@ -11,8 +11,11 @@
 //! | `summary` | §4/§5 aggregate claims |
 //! | `ablation` | §3 design-choice ablations |
 //!
-//! All binaries accept `--inst N`, `--traces a,b`, `--threads N`, and
-//! (where applicable) `--json PATH`. Criterion performance benches of the
+//! All binaries accept `--inst N`, `--traces a,b`, `--threads N`,
+//! `--cache-dir PATH` / `--no-cache`, and (where applicable)
+//! `--json PATH`. Captured traces and sweep rows are cached through
+//! `xbc-store`, so re-running a figure with unchanged parameters replays
+//! cached results instead of re-simulating. Performance benches of the
 //! simulator itself live in `benches/`.
 
 #![forbid(unsafe_code)]
@@ -20,7 +23,7 @@
 
 use xbc_workload::{standard_traces, Trace};
 
-/// Captures a small, deterministic trace for Criterion benchmarking
+/// Captures a small, deterministic trace for benchmarking
 /// (`spec.compress`-like, `n` instructions).
 pub fn bench_trace(n: usize) -> Trace {
     standard_traces()[0].capture(n)

@@ -38,9 +38,7 @@ pub struct BankOutput {
 /// The reorder layer: sorts bank outputs into program order — by fetch
 /// slot, then by *descending* order field (higher order = earlier uops).
 pub fn reorder(mut outputs: Vec<BankOutput>) -> Vec<BankOutput> {
-    outputs.sort_by(|a, b| {
-        a.xb_index.cmp(&b.xb_index).then(b.order.cmp(&a.order))
-    });
+    outputs.sort_by(|a, b| a.xb_index.cmp(&b.xb_index).then(b.order.cmp(&a.order)));
     outputs
 }
 
@@ -95,7 +93,12 @@ mod tests {
     use xbc_isa::{Addr, UopId, UopKind};
 
     fn mk_uop(n: u64) -> Uop {
-        Uop::new(UopId::new(Addr::new(0x1000 + n), 0), UopKind::Alu, true, xbc_isa::BranchKind::None)
+        Uop::new(
+            UopId::new(Addr::new(0x1000 + n), 0),
+            UopKind::Alu,
+            true,
+            xbc_isa::BranchKind::None,
+        )
     }
 
     fn seeded_array(len: usize) -> (XbcArray, Addr, Vec<Uop>) {

@@ -175,7 +175,12 @@ impl XbcArray {
 
     /// Collects all `(bank, way)` whose line matches `tag`, optionally
     /// restricted to banks in `within`.
-    fn candidates(&self, set: usize, tag: u64, within: Option<BankMask>) -> Vec<(usize, usize, u8, usize)> {
+    fn candidates(
+        &self,
+        set: usize,
+        tag: u64,
+        within: Option<BankMask>,
+    ) -> Vec<(usize, usize, u8, usize)> {
         let mut out = Vec::new();
         for bank in 0..self.banks {
             if let Some(w) = within {
@@ -260,8 +265,7 @@ impl XbcArray {
                 let t = total + count;
                 let better = best.as_ref().map(|b| t > b.total_uops).unwrap_or(true);
                 if better {
-                    *best =
-                        Some(Assembly { lines: stack.clone(), mask: used2, total_uops: t });
+                    *best = Some(Assembly { lines: stack.clone(), mask: used2, total_uops: t });
                 }
             }
             stack.pop();
@@ -446,7 +450,12 @@ impl XbcArray {
     /// LRU ordering is preserved by *switching* the LRU victim with the
     /// occupant of the desired bank rather than evicting younger lines.
     /// The slot returned is empty.
-    fn place_slot(&mut self, set: usize, forbidden: BankMask, avoid: BankMask) -> Option<(usize, usize)> {
+    fn place_slot(
+        &mut self,
+        set: usize,
+        forbidden: BankMask,
+        avoid: BankMask,
+    ) -> Option<(usize, usize)> {
         // Free way in a preferred (non-avoided) bank?
         for bank in 0..self.banks {
             if forbidden.contains(bank) || avoid.contains(bank) {
@@ -546,10 +555,7 @@ impl XbcArray {
     ) -> BankMask {
         assert!(!uops.is_empty(), "cannot insert an empty XB");
         let len = uops.len();
-        assert!(
-            len <= self.banks * self.line_uops,
-            "XB of {len} uops exceeds the fetch width"
-        );
+        assert!(len <= self.banks * self.line_uops, "XB of {len} uops exceeds the fetch width");
         let (set, tag) = self.set_and_tag(xb_ip);
         let n = len.div_ceil(self.line_uops);
         assert!(skip_orders <= n, "cannot skip more lines than the XB has");
@@ -566,7 +572,8 @@ impl XbcArray {
             let content: Vec<Uop> = (lo..hi).map(|p| uops[len - 1 - p]).collect();
             let stamp = self.bump();
             let idx = self.idx(set, bank, way);
-            self.lines[idx] = Some(Line { tag, order: order as u8, uops: content, stamp, conflicts: 0 });
+            self.lines[idx] =
+                Some(Line { tag, order: order as u8, uops: content, stamp, conflicts: 0 });
             forbidden.insert(bank);
             added.insert(bank);
         }
@@ -584,7 +591,13 @@ impl XbcArray {
     ///
     /// Panics if the combined length exceeds the fetch width, or if the
     /// assembly does not belong to this array's `xb_ip` tag.
-    pub fn extend(&mut self, xb_ip: Addr, asm: &Assembly, extra: &[Uop], avoid: BankMask) -> BankMask {
+    pub fn extend(
+        &mut self,
+        xb_ip: Addr,
+        asm: &Assembly,
+        extra: &[Uop],
+        avoid: BankMask,
+    ) -> BankMask {
         let (set, tag) = self.set_and_tag(xb_ip);
         let old_len = asm.total_uops;
         let new_len = old_len + extra.len();
@@ -671,7 +684,10 @@ impl XbcArray {
             for bank in 0..self.banks {
                 for way in 0..self.ways {
                     if let Some(line) = &self.lines[self.idx(set, bank, way)] {
-                        per_tag.entry((set, line.tag)).or_default().push((line.order, line.uops.len()));
+                        per_tag
+                            .entry((set, line.tag))
+                            .or_default()
+                            .push((line.order, line.uops.len()));
                     }
                 }
             }
@@ -815,7 +831,7 @@ mod tests {
     }
 
     #[test]
-    fn extend_prepends_without_moving(){
+    fn extend_prepends_without_moving() {
         let mut a = XbcArray::new(&cfg());
         let full = mk_uops(0x400, 10);
         let ip = Addr::new(0x400 + 9);
@@ -856,7 +872,11 @@ mod tests {
 
     #[test]
     fn fetch_conflict_defers_suffix() {
-        let mut a = XbcArray::new(&XbcConfig { total_uops: 128, dynamic_placement: false, ..XbcConfig::default() });
+        let mut a = XbcArray::new(&XbcConfig {
+            total_uops: 128,
+            dynamic_placement: false,
+            ..XbcConfig::default()
+        });
         let u1 = mk_uops(0x500, 8);
         let ip1 = Addr::new(0x507);
         let m1 = a.insert(ip1, &u1, 0, BankMask::EMPTY, BankMask::EMPTY);

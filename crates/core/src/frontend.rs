@@ -516,16 +516,12 @@ impl XbcFrontend {
                         XbEndKind::Cond | XbEndKind::Call | XbEndKind::Fall => {
                             metrics.d2b_no_pointer += 1;
                             if self.link_from.is_none() {
-                                self.link_from = Some(LinkFrom::Slot {
-                                    xb_ip: ptr.xb_ip,
-                                    taken: d_end.taken,
-                                });
+                                self.link_from =
+                                    Some(LinkFrom::Slot { xb_ip: ptr.xb_ip, taken: d_end.taken });
                             }
                         }
                         XbEndKind::Return => metrics.d2b_return += 1,
-                        XbEndKind::Indirect | XbEndKind::IndirectCall => {
-                            metrics.d2b_indirect += 1
-                        }
+                        XbEndKind::Indirect | XbEndKind::IndirectCall => metrics.d2b_indirect += 1,
                     }
                     self.after_drain = Some(AfterDrain { penalty, to_build: true });
                     self.cur = None;
@@ -563,10 +559,11 @@ impl XbcFrontend {
                 }
                 metrics.d2b_stale_pointer += 1;
                 metrics.target_mispredicts += 1;
-                self.link_from =
-                    Some(LinkFrom::Slot { xb_ip: ptr.xb_ip, taken: d_end.taken });
-                self.after_drain =
-                    Some(AfterDrain { penalty: self.cfg.timing.mispredict_penalty, to_build: true });
+                self.link_from = Some(LinkFrom::Slot { xb_ip: ptr.xb_ip, taken: d_end.taken });
+                self.after_drain = Some(AfterDrain {
+                    penalty: self.cfg.timing.mispredict_penalty,
+                    to_build: true,
+                });
                 self.cur = None;
                 EndAction::Stop
             }
@@ -593,7 +590,11 @@ impl XbcFrontend {
     ///
     /// All oracle windows are measured from the *drain* cursor, so queued
     /// (fetched-ahead) uops offset every window by `pending_uops`.
-    fn fetch_into_queue(&mut self, oracle: &OracleStream<'_>, metrics: &mut FrontendMetrics) -> usize {
+    fn fetch_into_queue(
+        &mut self,
+        oracle: &OracleStream<'_>,
+        metrics: &mut FrontendMetrics,
+    ) -> usize {
         let budget = self.cfg.banks * self.cfg.line_uops;
         let base = self.pending_uops;
         let mut used = BankMask::EMPTY;
@@ -788,10 +789,8 @@ impl XbcFrontend {
                     self.link_from = Some(LinkFrom::Slot { xb_ip: ptr.xb_ip, taken: true });
                 }
                 XbEndKind::Return => {
-                    self.link_from = self
-                        .xrsb
-                        .pop()
-                        .map(|f| LinkFrom::Slot { xb_ip: f.call_xb, taken: false });
+                    self.link_from =
+                        self.xrsb.pop().map(|f| LinkFrom::Slot { xb_ip: f.call_xb, taken: false });
                 }
                 XbEndKind::Indirect | XbEndKind::IndirectCall => {
                     if end_kind == XbEndKind::IndirectCall {
@@ -1021,10 +1020,8 @@ mod tests {
         // Merging copies XB0 into the combined block: duplication rises
         // above the complex-split baseline but must stay moderate.
         let t = standard_traces()[0].capture(60_000);
-        let mut fe = XbcFrontend::new(XbcConfig {
-            promotion: PromotionMode::Merge,
-            ..XbcConfig::default()
-        });
+        let mut fe =
+            XbcFrontend::new(XbcConfig { promotion: PromotionMode::Merge, ..XbcConfig::default() });
         let m = fe.run(&t);
         assert_eq!(m.total_uops(), t.uop_count());
         let (stored, distinct) = fe.array().redundancy();

@@ -121,7 +121,11 @@ impl XbPtr {
 
 impl fmt::Display for XbPtr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XB[{} entry={} mask={} off={}]", self.xb_ip, self.entry_ip, self.mask, self.offset)
+        write!(
+            f,
+            "XB[{} entry={} mask={} off={}]",
+            self.xb_ip, self.entry_ip, self.mask, self.offset
+        )
     }
 }
 

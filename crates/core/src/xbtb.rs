@@ -191,8 +191,7 @@ impl Xbtb {
 
     fn find(&self, xb_ip: Addr) -> Option<usize> {
         let base = self.set_base(xb_ip);
-        (base..base + self.ways)
-            .find(|&i| matches!(&self.entries[i], Some(e) if e.xb_ip == xb_ip))
+        (base..base + self.ways).find(|&i| matches!(&self.entries[i], Some(e) if e.xb_ip == xb_ip))
     }
 
     /// Looks up an entry by XB identity, counting hit/miss statistics.

@@ -94,12 +94,7 @@ pub fn install(built: &BuiltXb, array: &mut XbcArray, avoid: BankMask) -> (XbPtr
 
     let stored = array.read_uops(set, &asm);
     // Length of the common suffix between the stored XB and the new one.
-    let common = stored
-        .iter()
-        .rev()
-        .zip(uops.iter().rev())
-        .take_while(|(a, b)| a == b)
-        .count();
+    let common = stored.iter().rev().zip(uops.iter().rev()).take_while(|(a, b)| a == b).count();
 
     if common >= len {
         // Contained: the new XB is a suffix of the stored one.
@@ -130,7 +125,6 @@ pub fn install(built: &BuiltXb, array: &mut XbcArray, avoid: BankMask) -> (XbPtr
         )
     }
 }
-
 
 /// The fill unit: groups committed instructions into extended blocks.
 #[derive(Clone, Debug)]
@@ -325,7 +319,10 @@ mod tests {
     #[test]
     fn install_identical_is_contained() {
         let mut a = array();
-        let xb = built(vec![dyn_inst(0x500, 2, BranchKind::None), dyn_inst(0x501, 1, BranchKind::Return)]);
+        let xb = built(vec![
+            dyn_inst(0x500, 2, BranchKind::None),
+            dyn_inst(0x501, 1, BranchKind::Return),
+        ]);
         let (_, k1) = install(&xb, &mut a, BankMask::EMPTY);
         let (_, k2) = install(&xb, &mut a, BankMask::EMPTY);
         assert_eq!(k1, InstallKind::Fresh);

@@ -149,8 +149,7 @@ impl BbtcFill {
             return;
         }
         let start = self.cur[0].inst.ip;
-        self.done_blocks
-            .push(Block { insts: std::mem::take(&mut self.cur), uops: self.cur_uops });
+        self.done_blocks.push(Block { insts: std::mem::take(&mut self.cur), uops: self.cur_uops });
         self.cur_uops = 0;
         self.trace_acc.push(start);
         if self.trace_acc.len() >= self.blocks_per_trace || ends_trace {
@@ -259,7 +258,12 @@ impl BbtcFrontend {
 
     /// Walks the pointed-to blocks against the oracle, mirroring the TC
     /// walk but going through the block cache for every pointer.
-    fn walk(&mut self, ptrs: &TracePtrs, oracle: &OracleStream<'_>, metrics: &mut FrontendMetrics) -> (usize, Option<u64>) {
+    fn walk(
+        &mut self,
+        ptrs: &TracePtrs,
+        oracle: &OracleStream<'_>,
+        metrics: &mut FrontendMetrics,
+    ) -> (usize, Option<u64>) {
         let mut accepted = 0usize;
         let mut j = 0usize; // oracle lookahead in instructions
         for (bi, &start) in ptrs.blocks.iter().enumerate() {

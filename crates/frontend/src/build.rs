@@ -10,7 +10,9 @@
 use crate::metrics::FrontendMetrics;
 use crate::oracle::OracleStream;
 use xbc_isa::{Addr, BranchKind};
-use xbc_predict::{Btb, BtbConfig, BtbEntry, DirPredictor, GshareConfig, IndirectPredictor, ReturnStack};
+use xbc_predict::{
+    Btb, BtbConfig, BtbEntry, DirPredictor, GshareConfig, IndirectPredictor, ReturnStack,
+};
 use xbc_uarch::{Decoder, DecoderConfig, ICache, ICacheConfig};
 use xbc_workload::DynInst;
 
@@ -126,8 +128,19 @@ pub struct BuildEngine {
 
 impl BuildEngine {
     /// Creates a build engine.
-    pub fn new(icache: ICacheConfig, btb: BtbConfig, decoder: DecoderConfig, timing: TimingConfig) -> Self {
-        BuildEngine { icache: ICache::new(icache), btb: Btb::new(btb), decoder: Decoder::new(decoder), timing, stall: 0 }
+    pub fn new(
+        icache: ICacheConfig,
+        btb: BtbConfig,
+        decoder: DecoderConfig,
+        timing: TimingConfig,
+    ) -> Self {
+        BuildEngine {
+            icache: ICache::new(icache),
+            btb: Btb::new(btb),
+            decoder: Decoder::new(decoder),
+            timing,
+            stall: 0,
+        }
     }
 
     /// Schedules `cycles` of stall (used by frontends to charge delivery-
@@ -207,10 +220,7 @@ impl BuildEngine {
                 let btb_known = self.btb.lookup(d.inst.ip).is_some();
                 let correct = preds.resolve(&d, btb_known);
                 // Train the BTB on every executed branch.
-                self.btb.update(
-                    d.inst.ip,
-                    BtbEntry { kind: d.inst.branch, target: d.inst.target },
-                );
+                self.btb.update(d.inst.ip, BtbEntry { kind: d.inst.branch, target: d.inst.target });
                 if !correct {
                     self.stall += self.timing.mispredict_penalty;
                     if matches!(d.inst.branch, BranchKind::CondDirect) {

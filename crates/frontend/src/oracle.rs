@@ -133,7 +133,8 @@ impl<'a> OracleStream<'a> {
         let mut j = 0usize;
         loop {
             let d = self.insts.get(self.pos + j)?;
-            let avail = if j == 0 { (d.inst.uops - self.uop_pos) as usize } else { d.inst.uops as usize };
+            let avail =
+                if j == 0 { (d.inst.uops - self.uop_pos) as usize } else { d.inst.uops as usize };
             if remaining <= avail {
                 return if remaining == avail { Some((d, j)) } else { None };
             }

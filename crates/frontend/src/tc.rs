@@ -288,9 +288,7 @@ impl TraceCacheFrontend {
             return self.cache.get(set, tag).cloned().map(|l| (key, l));
         }
         let hist = self.preds.dir.history();
-        if let Some(key) =
-            self.next_trace.predict(xbc_isa::Addr::new(self.last_path), hist)
-        {
+        if let Some(key) = self.next_trace.predict(xbc_isa::Addr::new(self.last_path), hist) {
             let (set, tag) = self.set_and_tag_for_key(key);
             if let Some(line) = self.cache.get(set, tag) {
                 if line.insts[0].inst.ip == ip {
@@ -545,8 +543,10 @@ mod tests {
     #[test]
     fn smaller_cache_misses_more() {
         let t = standard_traces()[8].capture(60_000); // sysmark-like, big footprint
-        let mut big = TraceCacheFrontend::new(TcConfig { total_uops: 65536, ..TcConfig::default() });
-        let mut small = TraceCacheFrontend::new(TcConfig { total_uops: 2048, ..TcConfig::default() });
+        let mut big =
+            TraceCacheFrontend::new(TcConfig { total_uops: 65536, ..TcConfig::default() });
+        let mut small =
+            TraceCacheFrontend::new(TcConfig { total_uops: 2048, ..TcConfig::default() });
         let mb = big.run(&t);
         let ms = small.run(&t);
         assert!(
@@ -637,10 +637,8 @@ mod tests {
     #[test]
     fn path_associative_tc_still_delivers_everything() {
         let t = standard_traces()[0].capture(30_000);
-        let mut tc = TraceCacheFrontend::new(TcConfig {
-            path_associative: true,
-            ..TcConfig::default()
-        });
+        let mut tc =
+            TraceCacheFrontend::new(TcConfig { path_associative: true, ..TcConfig::default() });
         let m = tc.run(&t);
         assert_eq!(m.total_uops(), t.uop_count());
     }

@@ -4,7 +4,6 @@
 //! newtype so that instruction pointers cannot be confused with other
 //! integer quantities (uop counts, set indices, ...) at compile time.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A virtual address of one simulated instruction byte.
@@ -21,7 +20,7 @@ use std::fmt;
 /// assert_eq!(a.offset(4), Addr::new(0x4004));
 /// assert_eq!(format!("{a}"), "0x0000000000004000");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Addr(u64);
 
 impl Addr {

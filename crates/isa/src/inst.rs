@@ -9,7 +9,6 @@
 //! * each instruction expands to 1–[`Inst::MAX_UOPS`] uops.
 
 use crate::Addr;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Control-flow class of an instruction.
@@ -21,7 +20,7 @@ use std::fmt;
 /// * unconditional direct jumps do **not** end an extended block but do end
 ///   a basic block,
 /// * calls/returns additionally interact with the return-stack predictors.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum BranchKind {
     /// Not a branch: execution always falls through.
     #[default]
@@ -95,10 +94,7 @@ impl BranchKind {
     /// True for indirect transfers (target not encoded in the instruction).
     #[inline]
     pub const fn is_indirect(self) -> bool {
-        matches!(
-            self,
-            BranchKind::IndirectJump | BranchKind::IndirectCall | BranchKind::Return
-        )
+        matches!(self, BranchKind::IndirectJump | BranchKind::IndirectCall | BranchKind::Return)
     }
 
     /// True if the instruction can fall through to the next sequential
@@ -140,7 +136,7 @@ impl fmt::Display for BranchKind {
 /// assert_eq!(i.next_seq(), Addr::new(0x105));
 /// assert!(i.branch.ends_xb());
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Inst {
     /// Address of the first byte of this instruction.
     pub ip: Addr,
@@ -171,8 +167,10 @@ impl Inst {
     pub fn new(ip: Addr, len: u8, uops: u8, branch: BranchKind, target: Option<Addr>) -> Self {
         assert!((1..=Self::MAX_LEN).contains(&len), "invalid encoded length {len}");
         assert!((1..=Self::MAX_UOPS).contains(&uops), "invalid uop count {uops}");
-        let wants_target =
-            matches!(branch, BranchKind::CondDirect | BranchKind::UncondDirect | BranchKind::CallDirect);
+        let wants_target = matches!(
+            branch,
+            BranchKind::CondDirect | BranchKind::UncondDirect | BranchKind::CallDirect
+        );
         assert_eq!(
             wants_target,
             target.is_some(),

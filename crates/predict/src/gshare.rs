@@ -79,7 +79,12 @@ impl Gshare {
             cfg.history_bits
         );
         let size = 1usize << cfg.history_bits;
-        Gshare { table: vec![1; size], history: 0, mask: (size - 1) as u64, stats: PredictorStats::default() }
+        Gshare {
+            table: vec![1; size],
+            history: 0,
+            mask: (size - 1) as u64,
+            stats: PredictorStats::default(),
+        }
     }
 
     #[inline]

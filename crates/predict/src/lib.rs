@@ -30,8 +30,8 @@
 
 mod bias;
 mod bimodal;
-mod dir;
 mod btb;
+mod dir;
 mod gshare;
 mod indirect;
 mod local;
@@ -40,8 +40,8 @@ mod tournament;
 
 pub use bias::{Bias, BiasCounter};
 pub use bimodal::Bimodal;
-pub use dir::DirPredictor;
 pub use btb::{Btb, BtbConfig, BtbEntry};
+pub use dir::DirPredictor;
 pub use gshare::{Gshare, GshareConfig, PredictorStats};
 pub use indirect::{IndirectPredictor, IndirectStats};
 pub use local::{LocalConfig, LocalPredictor};

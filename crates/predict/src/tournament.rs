@@ -24,11 +24,7 @@ pub struct TournamentConfig {
 impl Default for TournamentConfig {
     /// 16-bit gshare + 14-bit bimodal with a 14-bit chooser.
     fn default() -> Self {
-        TournamentConfig {
-            gshare: GshareConfig::default(),
-            bimodal_bits: 14,
-            chooser_bits: 14,
-        }
+        TournamentConfig { gshare: GshareConfig::default(), bimodal_bits: 14, chooser_bits: 14 }
     }
 }
 
@@ -157,7 +153,10 @@ mod tests {
         // Two branches: one monotonic (bimodal-friendly), one period-2
         // (gshare-friendly). The tournament should approach the better
         // component on each.
-        let mut t = Tournament::new(TournamentConfig { gshare: GshareConfig { history_bits: 10 }, ..Default::default() });
+        let mut t = Tournament::new(TournamentConfig {
+            gshare: GshareConfig { history_bits: 10 },
+            ..Default::default()
+        });
         let mono = Addr::new(0x10);
         let alt = Addr::new(0x20);
         let mut flip = false;

@@ -3,9 +3,9 @@
 //! ```text
 //! xbcsim list
 //! xbcsim run   --frontend xbc --size 32768 --trace spec.gcc --inst 500000
-//! xbcsim run   --frontend tc  --from trace.json
-//! xbcsim sweep --frontends tc,xbc --sizes 8192,32768 --inst 200000 [--json out.json]
-//! xbcsim capture --trace sys.access --inst 100000 --out trace.json
+//! xbcsim run   --frontend tc  --from trace.xbt
+//! xbcsim sweep --frontends tc,xbc --sizes 8192,32768 --inst 200000 [--json out.json] [--cache DIR|off]
+//! xbcsim capture --trace sys.access --inst 100000 --out trace.xbt
 //! xbcsim dot --trace spec.gcc --function 3 > f3.dot
 //! ```
 
@@ -18,7 +18,7 @@ fn usage() -> ! {
     eprintln!("usage:");
     eprintln!("  xbcsim list");
     eprintln!("  xbcsim run --frontend ic|uopcache|bbtc|tc|xbc [--size N] (--trace NAME --inst N | --from FILE)");
-    eprintln!("  xbcsim sweep [--frontends tc,xbc] [--sizes 8192,32768] [--inst N] [--json FILE]");
+    eprintln!("  xbcsim sweep [--frontends tc,xbc] [--sizes 8192,32768] [--inst N] [--json FILE] [--cache DIR|off]");
     eprintln!("  xbcsim capture --trace NAME --inst N --out FILE");
     eprintln!("  xbcsim dot --trace NAME [--function K]   (DOT CFG to stdout)");
     exit(2);
@@ -116,7 +116,21 @@ fn cmd_sweep(flags: &Flags) {
             frontends.push(frontend_spec(kind, size));
         }
     }
-    let rows: Vec<Row> = Sweep::new(standard_traces(), frontends, insts).run();
+    // Cache dir: --cache DIR, or $XBC_CACHE_DIR, or target/xbc-cache;
+    // `--cache off` disables the store.
+    let cache = flags
+        .get("cache")
+        .map(str::to_owned)
+        .or_else(|| std::env::var("XBC_CACHE_DIR").ok())
+        .unwrap_or_else(|| "target/xbc-cache".to_owned());
+    let mut sweep = Sweep::new(standard_traces(), frontends, insts);
+    if cache != "off" {
+        match xbc_store::Store::open(&cache) {
+            Ok(store) => sweep = sweep.with_store(std::sync::Arc::new(store)),
+            Err(e) => eprintln!("[xbc-store] cannot open {cache}: {e}; running uncached"),
+        }
+    }
+    let rows: Vec<Row> = sweep.run();
     println!("{}", pivot_table(&rows, "uop miss rate (%)", |r| 100.0 * r.miss_rate));
     println!("{}", pivot_table(&rows, "delivery bandwidth (uops/cycle)", |r| r.bandwidth));
     if let Some(path) = flags.get("json") {

@@ -5,8 +5,13 @@
 //! * `--inst N` — dynamic instructions per trace (default 1,000,000),
 //! * `--traces a,b,c` — restrict to named traces (default: all 21),
 //! * `--json PATH` — also dump rows as JSON,
-//! * `--threads N` — worker threads (default: all cores).
+//! * `--threads N` — worker threads (default: all cores),
+//! * `--cache-dir PATH` — xbc-store root (default `$XBC_CACHE_DIR`,
+//!   falling back to `target/xbc-cache`),
+//! * `--no-cache` — disable the trace/result store entirely.
 
+use std::sync::Arc;
+use xbc_store::Store;
 use xbc_workload::{standard_traces, TraceSpec};
 
 /// Parsed common options.
@@ -20,6 +25,8 @@ pub struct HarnessArgs {
     pub json: Option<String>,
     /// Worker threads (0 = all cores).
     pub threads: usize,
+    /// xbc-store root directory; `None` means caching is disabled.
+    pub cache_dir: Option<String>,
     /// Positional (non-flag) arguments, for harness-specific modes.
     pub positional: Vec<String>,
 }
@@ -32,11 +39,14 @@ impl HarnessArgs {
     /// Returns a human-readable message on malformed flags or unknown
     /// trace names.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let default_cache =
+            std::env::var("XBC_CACHE_DIR").unwrap_or_else(|_| "target/xbc-cache".to_owned());
         let mut out = HarnessArgs {
             insts: 1_000_000,
             traces: standard_traces(),
             json: None,
             threads: 0,
+            cache_dir: Some(default_cache),
             positional: Vec::new(),
         };
         let mut it = args.into_iter();
@@ -69,6 +79,12 @@ impl HarnessArgs {
                     let v = it.next().ok_or("--threads needs a value")?;
                     out.threads = v.parse().map_err(|_| format!("bad --threads value: {v}"))?;
                 }
+                "--cache-dir" => {
+                    out.cache_dir = Some(it.next().ok_or("--cache-dir needs a path")?);
+                }
+                "--no-cache" => {
+                    out.cache_dir = None;
+                }
                 other if other.starts_with("--") => {
                     return Err(format!("unknown flag: {other}"));
                 }
@@ -85,11 +101,38 @@ impl HarnessArgs {
             Err(e) => {
                 eprintln!("error: {e}");
                 eprintln!(
-                    "usage: [--inst N] [--traces a,b,c] [--json PATH] [--threads N] [mode...]"
+                    "usage: [--inst N] [--traces a,b,c] [--json PATH] [--threads N] \
+                     [--cache-dir PATH | --no-cache] [mode...]"
                 );
                 std::process::exit(2);
             }
         }
+    }
+
+    /// Opens the configured xbc-store, or `None` when `--no-cache` was
+    /// given. A store that fails to open (e.g. unwritable directory) is
+    /// logged and treated as disabled — caching is an accelerator, never
+    /// a hard requirement.
+    pub fn open_store(&self) -> Option<Arc<Store>> {
+        let dir = self.cache_dir.as_ref()?;
+        match Store::open(dir) {
+            Ok(s) => Some(Arc::new(s)),
+            Err(e) => {
+                eprintln!("[xbc-store] cannot open cache dir {dir}: {e}; running uncached");
+                None
+            }
+        }
+    }
+
+    /// Builds a sweep over this invocation's traces/insts/threads, wired
+    /// to the configured store (if any).
+    pub fn sweep(&self, frontends: Vec<crate::FrontendSpec>) -> crate::Sweep {
+        let mut sweep = crate::Sweep::new(self.traces.clone(), frontends, self.insts);
+        sweep.threads = self.threads;
+        if let Some(store) = self.open_store() {
+            sweep = sweep.with_store(store);
+        }
+        sweep
     }
 
     /// Writes rows to the `--json` path, if one was given.
@@ -118,12 +161,36 @@ mod tests {
         assert_eq!(a.traces.len(), 21);
         assert!(a.json.is_none());
         assert!(a.positional.is_empty());
+        // Caching defaults on ($XBC_CACHE_DIR or target/xbc-cache).
+        assert!(a.cache_dir.is_some());
+    }
+
+    #[test]
+    fn cache_flags() {
+        let a = parse(&["--cache-dir", "/tmp/xbc"]).unwrap();
+        assert_eq!(a.cache_dir.as_deref(), Some("/tmp/xbc"));
+        let b = parse(&["--no-cache"]).unwrap();
+        assert!(b.cache_dir.is_none());
+        assert!(b.open_store().is_none());
+        // Last flag wins, in both directions.
+        let c = parse(&["--no-cache", "--cache-dir", "/tmp/xbc"]).unwrap();
+        assert_eq!(c.cache_dir.as_deref(), Some("/tmp/xbc"));
+        let d = parse(&["--cache-dir", "/tmp/xbc", "--no-cache"]).unwrap();
+        assert!(d.cache_dir.is_none());
     }
 
     #[test]
     fn flags() {
-        let a = parse(&["--inst", "5000", "--traces", "spec.gcc,games.quake", "--threads", "2", "promotion"])
-            .unwrap();
+        let a = parse(&[
+            "--inst",
+            "5000",
+            "--traces",
+            "spec.gcc,games.quake",
+            "--threads",
+            "2",
+            "promotion",
+        ])
+        .unwrap();
         assert_eq!(a.insts, 5000);
         assert_eq!(a.traces.len(), 2);
         assert_eq!(a.traces[0].name, "spec.gcc");

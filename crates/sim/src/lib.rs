@@ -32,11 +32,12 @@
 #![warn(missing_docs)]
 
 mod cli;
+pub mod json;
 mod report;
 mod spec;
 mod sweep;
 
 pub use cli::HarnessArgs;
-pub use report::{average_bandwidth, average_miss_rate, pivot_table, to_json, Row};
+pub use report::{average_bandwidth, average_miss_rate, pivot_table, rows_from_json, to_json, Row};
 pub use spec::FrontendSpec;
-pub use sweep::{sweep_custom, CustomRow, Sweep};
+pub use sweep::{sweep_custom, CustomRow, Sweep, CODE_VERSION};

@@ -1,11 +1,11 @@
 //! Result rows and table rendering.
 
+use crate::json::{escape, Json};
 use crate::spec::FrontendSpec;
-use serde::{Deserialize, Serialize};
 use xbc_frontend::FrontendMetrics;
 
 /// One (trace × frontend) simulation result.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Row {
     /// Trace name (e.g. `"spec.gcc"`).
     pub trace: String,
@@ -35,11 +35,21 @@ pub struct Row {
     pub bank_conflict_uops: u64,
     /// Branch promotions (XBC only).
     pub promotions: u64,
+    /// Wall-clock milliseconds spent producing this row (capture share +
+    /// simulation). For cache hits this is the *original* cost, not the
+    /// (near-zero) lookup cost.
+    pub elapsed_ms: u64,
 }
 
 impl Row {
     /// Builds a row from raw metrics.
-    pub fn new(trace: &str, suite: &str, frontend: FrontendSpec, insts: usize, m: &FrontendMetrics) -> Self {
+    pub fn new(
+        trace: &str,
+        suite: &str,
+        frontend: FrontendSpec,
+        insts: usize,
+        m: &FrontendMetrics,
+    ) -> Self {
         Row {
             trace: trace.to_owned(),
             suite: suite.to_owned(),
@@ -55,7 +65,73 @@ impl Row {
             delivery_to_build: m.delivery_to_build,
             bank_conflict_uops: m.bank_conflict_uops,
             promotions: m.promotions,
+            elapsed_ms: 0,
         }
+    }
+
+    /// Serializes this row as a JSON object, indented by `indent` spaces.
+    ///
+    /// Field order is fixed, `f64` fields use Rust's shortest-roundtrip
+    /// formatting, and `u64` counters stay integral — so the encoding is
+    /// deterministic and `from_json` recovers the exact row.
+    pub fn to_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent + 2);
+        let fields = [
+            ("trace", format!("\"{}\"", escape(&self.trace))),
+            ("suite", format!("\"{}\"", escape(&self.suite))),
+            ("frontend", self.frontend.to_json()),
+            ("insts", self.insts.to_string()),
+            ("uops", self.uops.to_string()),
+            ("cycles", self.cycles.to_string()),
+            ("miss_rate", format!("{}", self.miss_rate)),
+            ("bandwidth", format!("{}", self.bandwidth)),
+            ("uops_per_cycle", format!("{}", self.uops_per_cycle)),
+            ("cond_mispredicts", self.cond_mispredicts.to_string()),
+            ("target_mispredicts", self.target_mispredicts.to_string()),
+            ("delivery_to_build", self.delivery_to_build.to_string()),
+            ("bank_conflict_uops", self.bank_conflict_uops.to_string()),
+            ("promotions", self.promotions.to_string()),
+            ("elapsed_ms", self.elapsed_ms.to_string()),
+        ];
+        let body: Vec<String> = fields.iter().map(|(k, v)| format!("{pad}\"{k}\": {v}")).collect();
+        format!("{{\n{}\n{}}}", body.join(",\n"), " ".repeat(indent))
+    }
+
+    /// Reconstructs a row from a parsed JSON object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_json(j: &Json) -> Result<Row, String> {
+        fn str_field(j: &Json, k: &str) -> Result<String, String> {
+            j.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("row missing {k}"))
+        }
+        fn u64_field(j: &Json, k: &str) -> Result<u64, String> {
+            j.get(k).and_then(Json::as_u64).ok_or_else(|| format!("row missing {k}"))
+        }
+        fn f64_field(j: &Json, k: &str) -> Result<f64, String> {
+            j.get(k).and_then(Json::as_f64).ok_or_else(|| format!("row missing {k}"))
+        }
+        Ok(Row {
+            trace: str_field(j, "trace")?,
+            suite: str_field(j, "suite")?,
+            frontend: FrontendSpec::from_json(j.get("frontend").ok_or("row missing frontend")?)?,
+            insts: j.get("insts").and_then(Json::as_usize).ok_or("row missing insts")?,
+            uops: u64_field(j, "uops")?,
+            cycles: u64_field(j, "cycles")?,
+            miss_rate: f64_field(j, "miss_rate")?,
+            bandwidth: f64_field(j, "bandwidth")?,
+            uops_per_cycle: f64_field(j, "uops_per_cycle")?,
+            cond_mispredicts: u64_field(j, "cond_mispredicts")?,
+            target_mispredicts: u64_field(j, "target_mispredicts")?,
+            delivery_to_build: u64_field(j, "delivery_to_build")?,
+            bank_conflict_uops: u64_field(j, "bank_conflict_uops")?,
+            promotions: u64_field(j, "promotions")?,
+            elapsed_ms: u64_field(j, "elapsed_ms")?,
+        })
     }
 }
 
@@ -128,13 +204,25 @@ where
     out
 }
 
-/// Serializes rows as pretty JSON (for EXPERIMENTS.md regeneration).
-///
-/// # Panics
-///
-/// Panics if serialization fails (plain data; cannot fail in practice).
+/// Serializes rows as pretty JSON (for EXPERIMENTS.md regeneration and
+/// the xbc-store result cache).
 pub fn to_json(rows: &[Row]) -> String {
-    serde_json::to_string_pretty(rows).expect("rows are plain data")
+    if rows.is_empty() {
+        return "[]".to_owned();
+    }
+    let body: Vec<String> = rows.iter().map(|r| format!("  {}", r.to_json(2))).collect();
+    format!("[\n{}\n]", body.join(",\n"))
+}
+
+/// Parses rows previously written by [`to_json`].
+///
+/// # Errors
+///
+/// Returns a message describing the first malformed row or field.
+pub fn rows_from_json(s: &str) -> Result<Vec<Row>, String> {
+    let doc = Json::parse(s)?;
+    let items = doc.as_arr().ok_or("expected a JSON array of rows")?;
+    items.iter().map(Row::from_json).collect()
 }
 
 #[cfg(test)]
@@ -157,13 +245,13 @@ mod tests {
             delivery_to_build: 0,
             bank_conflict_uops: 0,
             promotions: 0,
+            elapsed_ms: 0,
         }
     }
 
     #[test]
     fn weighted_average() {
-        let rows =
-            vec![row("a", FrontendSpec::Ic, 0.1, 100), row("b", FrontendSpec::Ic, 0.3, 300)];
+        let rows = vec![row("a", FrontendSpec::Ic, 0.1, 100), row("b", FrontendSpec::Ic, 0.3, 300)];
         assert!((average_miss_rate(&rows) - 0.25).abs() < 1e-12);
         assert_eq!(average_miss_rate(&[]), 0.0);
     }
@@ -186,10 +274,21 @@ mod tests {
     }
 
     #[test]
-    fn json_roundtrip() {
-        let rows = vec![row("a", FrontendSpec::Ic, 0.5, 10)];
-        let back: Vec<Row> = serde_json::from_str(&to_json(&rows)).unwrap();
-        assert_eq!(back.len(), 1);
-        assert_eq!(back[0].trace, "a");
+    fn json_roundtrip_is_exact() {
+        let mut r = row("spec.gcc", FrontendSpec::xbc_default(), 1.0 / 3.0, 12_345);
+        r.elapsed_ms = 42;
+        let rows = vec![r, row("a", FrontendSpec::Ic, 0.5, 10)];
+        let json = to_json(&rows);
+        let back = rows_from_json(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].trace, "spec.gcc");
+        assert_eq!(back[0].frontend, FrontendSpec::xbc_default());
+        assert_eq!(back[0].miss_rate, rows[0].miss_rate);
+        assert_eq!(back[0].elapsed_ms, 42);
+        // Re-encoding the parsed rows is byte-identical: the format is a
+        // fixed point, which is what lets cached and fresh sweeps agree.
+        assert_eq!(to_json(&back), json);
+        assert_eq!(to_json(&[]), "[]");
+        assert!(rows_from_json("{\"not\":\"rows\"}").is_err());
     }
 }

@@ -1,11 +1,11 @@
 //! Frontend specifications: serializable descriptions of the frontend
 //! configurations a sweep instantiates.
 
-use serde::{Deserialize, Serialize};
+use crate::json::Json;
 use xbc::{PromotionMode, XbcConfig, XbcFrontend};
 use xbc_frontend::{
-    BbtcConfig, BbtcFrontend, Frontend, IcFrontend, IcFrontendConfig, TcConfig,
-    TraceCacheFrontend, UopCacheConfig, UopCacheFrontend,
+    BbtcConfig, BbtcFrontend, Frontend, IcFrontend, IcFrontendConfig, TcConfig, TraceCacheFrontend,
+    UopCacheConfig, UopCacheFrontend,
 };
 
 /// Which frontend to run, with the knobs the paper varies.
@@ -20,7 +20,7 @@ use xbc_frontend::{
 /// let fe = spec.instantiate();
 /// assert_eq!(fe.name(), "xbc");
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FrontendSpec {
     /// Instruction-cache-only baseline (§2.1).
     Ic,
@@ -82,8 +82,68 @@ impl FrontendSpec {
                 format!("xbc-{}", k(*total_uops))
             }
             FrontendSpec::Xbc { total_uops, ways, promotion } => {
-                format!("xbc-{}-w{ways}{}", k(*total_uops), if *promotion { "" } else { "-nopromo" })
+                format!(
+                    "xbc-{}-w{ways}{}",
+                    k(*total_uops),
+                    if *promotion { "" } else { "-nopromo" }
+                )
             }
+        }
+    }
+
+    /// Canonical identity string for cache keys. Unlike [`label`], this
+    /// covers every field, so two distinct configurations can never
+    /// share a key.
+    ///
+    /// [`label`]: FrontendSpec::label
+    pub fn key(&self) -> String {
+        format!("{self:?}")
+    }
+
+    /// Serializes this spec as a compact JSON object.
+    pub fn to_json(&self) -> String {
+        match *self {
+            FrontendSpec::Ic => "{\"kind\":\"ic\"}".to_owned(),
+            FrontendSpec::UopCache { total_uops } => {
+                format!("{{\"kind\":\"uop\",\"total_uops\":{total_uops}}}")
+            }
+            FrontendSpec::Bbtc { total_uops } => {
+                format!("{{\"kind\":\"bbtc\",\"total_uops\":{total_uops}}}")
+            }
+            FrontendSpec::Tc { total_uops, ways } => {
+                format!("{{\"kind\":\"tc\",\"total_uops\":{total_uops},\"ways\":{ways}}}")
+            }
+            FrontendSpec::Xbc { total_uops, ways, promotion } => format!(
+                "{{\"kind\":\"xbc\",\"total_uops\":{total_uops},\"ways\":{ways},\"promotion\":{promotion}}}"
+            ),
+        }
+    }
+
+    /// Reconstructs a spec from a parsed JSON object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let kind = j.get("kind").and_then(Json::as_str).ok_or("frontend spec missing kind")?;
+        let uops = || {
+            j.get("total_uops").and_then(Json::as_usize).ok_or("frontend spec missing total_uops")
+        };
+        let ways = || j.get("ways").and_then(Json::as_usize).ok_or("frontend spec missing ways");
+        match kind {
+            "ic" => Ok(FrontendSpec::Ic),
+            "uop" => Ok(FrontendSpec::UopCache { total_uops: uops()? }),
+            "bbtc" => Ok(FrontendSpec::Bbtc { total_uops: uops()? }),
+            "tc" => Ok(FrontendSpec::Tc { total_uops: uops()?, ways: ways()? }),
+            "xbc" => Ok(FrontendSpec::Xbc {
+                total_uops: uops()?,
+                ways: ways()?,
+                promotion: j
+                    .get("promotion")
+                    .and_then(Json::as_bool)
+                    .ok_or("frontend spec missing promotion")?,
+            }),
+            other => Err(format!("unknown frontend kind {other:?}")),
         }
     }
 
@@ -97,12 +157,19 @@ impl FrontendSpec {
             FrontendSpec::Bbtc { total_uops } => {
                 Box::new(BbtcFrontend::new(BbtcConfig { total_uops, ..Default::default() }))
             }
-            FrontendSpec::Tc { total_uops, ways } => {
-                Box::new(TraceCacheFrontend::new(TcConfig { total_uops, ways, ..Default::default() }))
-            }
+            FrontendSpec::Tc { total_uops, ways } => Box::new(TraceCacheFrontend::new(TcConfig {
+                total_uops,
+                ways,
+                ..Default::default()
+            })),
             FrontendSpec::Xbc { total_uops, ways, promotion } => {
                 let promotion = if promotion { PromotionMode::Chain } else { PromotionMode::Off };
-                Box::new(XbcFrontend::new(XbcConfig { total_uops, ways, promotion, ..Default::default() }))
+                Box::new(XbcFrontend::new(XbcConfig {
+                    total_uops,
+                    ways,
+                    promotion,
+                    ..Default::default()
+                }))
             }
         }
     }
@@ -136,10 +203,26 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
-        let spec = FrontendSpec::Xbc { total_uops: 16384, ways: 2, promotion: true };
-        let json = serde_json::to_string(&spec).unwrap();
-        let back: FrontendSpec = serde_json::from_str(&json).unwrap();
-        assert_eq!(spec, back);
+    fn json_roundtrip() {
+        let specs = [
+            FrontendSpec::Ic,
+            FrontendSpec::UopCache { total_uops: 12288 },
+            FrontendSpec::Bbtc { total_uops: 8192 },
+            FrontendSpec::Tc { total_uops: 16384, ways: 4 },
+            FrontendSpec::Xbc { total_uops: 16384, ways: 2, promotion: true },
+            FrontendSpec::Xbc { total_uops: 4096, ways: 4, promotion: false },
+        ];
+        for spec in specs {
+            let j = Json::parse(&spec.to_json()).unwrap();
+            assert_eq!(FrontendSpec::from_json(&j).unwrap(), spec);
+        }
+        assert!(FrontendSpec::from_json(&Json::parse("{\"kind\":\"zap\"}").unwrap()).is_err());
+    }
+
+    #[test]
+    fn keys_distinguish_all_fields() {
+        let a = FrontendSpec::Xbc { total_uops: 16384, ways: 2, promotion: true };
+        let b = FrontendSpec::Xbc { total_uops: 16384, ways: 2, promotion: false };
+        assert_ne!(a.key(), b.key());
     }
 }

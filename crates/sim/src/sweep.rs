@@ -1,11 +1,37 @@
 //! The sweep engine: runs (trace × frontend-configuration) grids in
 //! parallel and collects result rows.
+//!
+//! When a [`Store`] is attached ([`Sweep::with_store`]), the engine is
+//! fully cached: each (trace, frontend, insts) cell first consults the
+//! result cache, and only cells that miss cost a capture + simulation.
+//! A re-run with unchanged parameters performs zero captures and zero
+//! simulations — it is a pure replay of cached rows.
 
-use crate::report::Row;
+use crate::report::{rows_from_json, Row};
 use crate::spec::FrontendSpec;
+use std::sync::Arc;
 use std::sync::Mutex;
+use std::time::Instant;
 use xbc_frontend::{Frontend, FrontendMetrics};
-use xbc_workload::TraceSpec;
+use xbc_store::Store;
+use xbc_workload::{Trace, TraceSpec};
+
+/// Bumped whenever simulator semantics change, so stale cached results
+/// are invalidated rather than silently replayed.
+pub const CODE_VERSION: u32 = 1;
+
+/// The result-cache key of one (trace, frontend, insts) cell: every
+/// input that determines the row, plus [`CODE_VERSION`].
+fn result_key(spec: &TraceSpec, fe: &FrontendSpec, insts: usize) -> String {
+    format!(
+        "row|name={}|suite={}|seed={}|functions={}|insts={insts}|fe={}|code={CODE_VERSION}",
+        spec.name,
+        spec.suite,
+        spec.seed,
+        spec.functions,
+        fe.key()
+    )
+}
 
 /// Sweep parameters.
 #[derive(Clone, Debug)]
@@ -18,11 +44,15 @@ pub struct Sweep {
     pub insts: usize,
     /// Worker threads (0 = one per available core).
     pub threads: usize,
+    /// Optional trace/result store; `None` disables caching.
+    pub store: Option<Arc<Store>>,
+    /// Emit per-trace progress lines to stderr (default on).
+    pub progress: bool,
 }
 
 impl Sweep {
-    /// Creates a sweep over the given traces and frontends with `insts`
-    /// instructions per trace.
+    /// Creates an uncached sweep over the given traces and frontends
+    /// with `insts` instructions per trace.
     ///
     /// # Panics
     ///
@@ -31,13 +61,22 @@ impl Sweep {
         assert!(!traces.is_empty(), "sweep needs at least one trace");
         assert!(!frontends.is_empty(), "sweep needs at least one frontend");
         assert!(insts > 0, "sweep needs a positive instruction budget");
-        Sweep { traces, frontends, insts, threads: 0 }
+        Sweep { traces, frontends, insts, threads: 0, store: None, progress: true }
+    }
+
+    /// Attaches a trace/result store; subsequent [`run`](Sweep::run)
+    /// calls consult it before capturing or simulating anything.
+    pub fn with_store(mut self, store: Arc<Store>) -> Self {
+        self.store = Some(store);
+        self
     }
 
     /// Runs the sweep. Traces are distributed over worker threads; each
     /// worker captures its trace once and replays it through every
     /// frontend configuration, so all configurations see the identical
-    /// committed path (the paper's trace-driven methodology).
+    /// committed path (the paper's trace-driven methodology). With a
+    /// store attached, cells whose results are cached skip both the
+    /// capture and the simulation.
     ///
     /// Rows are returned grouped by trace (in input order), then by
     /// frontend (in input order) — deterministic regardless of threading.
@@ -61,24 +100,85 @@ impl Sweep {
                     if idx >= self.traces.len() {
                         break;
                     }
-                    let spec = &self.traces[idx];
-                    let trace = spec.capture(self.insts);
-                    let rows: Vec<Row> = self
-                        .frontends
-                        .iter()
-                        .map(|f| {
-                            let mut fe = f.instantiate();
-                            let m = fe.run(&trace);
-                            Row::new(spec.name, &spec.suite.to_string(), *f, self.insts, &m)
-                        })
-                        .collect();
+                    let rows = self.run_trace(&self.traces[idx]);
                     results.lock().expect("sweep result lock").push((idx, rows));
                 });
             }
         });
+        if let Some(store) = &self.store {
+            if self.progress {
+                eprintln!("[xbc-store] {}", store.stats());
+            }
+        }
         let mut grouped = results.into_inner().expect("threads joined");
         grouped.sort_by_key(|(idx, _)| *idx);
         grouped.into_iter().flat_map(|(_, rows)| rows).collect()
+    }
+
+    /// Produces the rows of one trace: cached cells come straight from
+    /// the store, the rest are simulated (capturing the trace at most
+    /// once) and written back.
+    fn run_trace(&self, spec: &TraceSpec) -> Vec<Row> {
+        let t0 = Instant::now();
+        let mut rows: Vec<Option<Row>> = vec![None; self.frontends.len()];
+        if let Some(store) = &self.store {
+            for (i, fe) in self.frontends.iter().enumerate() {
+                if let Some(body) = store.load_result(&result_key(spec, fe, self.insts)) {
+                    match rows_from_json(&body) {
+                        Ok(parsed) if parsed.len() == 1 => {
+                            rows[i] = parsed.into_iter().next();
+                        }
+                        Ok(_) | Err(_) => {
+                            // CRC-valid but not a single row (e.g. written
+                            // by an older schema): recompute this cell.
+                            eprintln!(
+                                "[sweep] undecodable cached row for {} / {}; recomputing",
+                                spec.name,
+                                fe.label()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        let cached = rows.iter().filter(|r| r.is_some()).count();
+        let missing = rows.len() - cached;
+        if missing > 0 {
+            let cap0 = Instant::now();
+            let trace: Trace = match &self.store {
+                Some(store) => store.get_or_capture(spec, self.insts),
+                None => spec.capture(self.insts),
+            };
+            // Charge the capture evenly to the cells that needed it.
+            let capture_share_ms = cap0.elapsed().as_millis() as u64 / missing as u64;
+            for (i, fe) in self.frontends.iter().enumerate() {
+                if rows[i].is_some() {
+                    continue;
+                }
+                let sim0 = Instant::now();
+                let mut frontend = fe.instantiate();
+                let m = frontend.run(&trace);
+                let mut row = Row::new(spec.name, &spec.suite.to_string(), *fe, self.insts, &m);
+                row.elapsed_ms = capture_share_ms + sim0.elapsed().as_millis() as u64;
+                if let Some(store) = &self.store {
+                    store.store_result(
+                        &result_key(spec, fe, self.insts),
+                        &crate::report::to_json(std::slice::from_ref(&row)),
+                    );
+                }
+                rows[i] = Some(row);
+            }
+        }
+        if self.progress {
+            eprintln!(
+                "[sweep] {:<18} {} cached, {} simulated, {} ms",
+                spec.name,
+                cached,
+                missing,
+                t0.elapsed().as_millis()
+            );
+        }
+        rows.into_iter().map(|r| r.expect("every cell filled")).collect()
     }
 }
 
@@ -89,11 +189,16 @@ pub type CustomRow = (String, String, FrontendMetrics);
 /// frontend for each labelled configuration; every trace is captured once
 /// per worker and replayed through all of them. Returns
 /// `(trace, label, metrics)` tuples in deterministic trace-major order.
+///
+/// With a `store`, captures go through the trace cache; results are not
+/// cached (the configurations are opaque closures, so they have no
+/// stable identity to key on).
 pub fn sweep_custom<F>(
     traces: &[TraceSpec],
     insts: usize,
     labels: &[&str],
     threads: usize,
+    store: Option<&Store>,
     make: F,
 ) -> Vec<CustomRow>
 where
@@ -120,7 +225,10 @@ where
                     break;
                 }
                 let spec = &traces[idx];
-                let trace = spec.capture(insts);
+                let trace = match store {
+                    Some(s) => s.get_or_capture(spec, insts),
+                    None => spec.capture(insts),
+                };
                 let rows: Vec<CustomRow> = labels
                     .iter()
                     .enumerate()
@@ -189,10 +297,39 @@ mod tests {
     }
 
     #[test]
+    fn cached_rerun_simulates_nothing_and_matches() {
+        let dir = std::env::temp_dir().join(format!("xbc-sweep-cache-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let traces: Vec<TraceSpec> = standard_traces().into_iter().take(2).collect();
+        let frontends = vec![FrontendSpec::Ic, FrontendSpec::xbc_default()];
+        let store = Arc::new(Store::open(&dir).unwrap());
+        let mut sweep = Sweep::new(traces, frontends, 3_000).with_store(Arc::clone(&store));
+        sweep.progress = false;
+        let fresh = sweep.run();
+        let after_fresh = store.stats();
+        assert_eq!(after_fresh.result_misses, 4);
+        assert_eq!(after_fresh.result_hits, 0);
+        let cached = sweep.run();
+        let after_cached = store.stats();
+        // The re-run hit every result cell and never touched a trace.
+        assert_eq!(after_cached.result_hits, 4);
+        assert_eq!(after_cached.trace_hits, 0);
+        assert_eq!(after_cached.trace_misses, after_fresh.trace_misses);
+        for (f, c) in fresh.iter().zip(&cached) {
+            assert_eq!(f.trace, c.trace);
+            assert_eq!(f.frontend, c.frontend);
+            assert_eq!(f.cycles, c.cycles);
+            assert_eq!(f.miss_rate, c.miss_rate);
+            assert_eq!(f.elapsed_ms, c.elapsed_ms, "cached rows keep the original cost");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn custom_sweep_runs_all_configs() {
         use xbc::{XbcConfig, XbcFrontend};
         let traces: Vec<TraceSpec> = standard_traces().into_iter().take(2).collect();
-        let rows = sweep_custom(&traces, 3_000, &["promo", "nopromo"], 0, |i| {
+        let rows = sweep_custom(&traces, 3_000, &["promo", "nopromo"], 0, None, |i| {
             use xbc::PromotionMode;
             Box::new(XbcFrontend::new(XbcConfig {
                 total_uops: 4096,

@@ -1,0 +1,504 @@
+//! # xbc-store — content-addressed trace & result store
+//!
+//! The paper's methodology is trace-driven: capture a committed
+//! instruction stream *once*, replay it through every frontend (§4).
+//! This crate makes "once" literal across process boundaries. It is a
+//! two-layer on-disk artifact cache:
+//!
+//! * **Trace store** — captured [`Trace`]s in the compact `XBT1` binary
+//!   encoding (varint deltas, CRC32 trailer; see `xbc_workload::codec`),
+//!   keyed by a content hash of `(TraceSpec, insts, format_version)`.
+//!   Files are written atomically (tmp + rename) so concurrent sweeps
+//!   never observe a half-written trace.
+//! * **Result cache** — opaque result blobs (the sim layer stores sweep
+//!   `Row`s as JSON) keyed by a caller-composed string that includes the
+//!   trace identity, the frontend configuration, the instruction budget
+//!   and a code-version stamp. Re-running any figure binary with
+//!   unchanged parameters is a pure cache hit: zero captures, zero
+//!   simulations.
+//!
+//! Corruption — a flipped bit, a truncated file, a stale format version —
+//! degrades gracefully: the store logs the problem to stderr, deletes the
+//! entry, and reports a miss so the caller regenerates. It never panics
+//! on bad cache contents.
+//!
+//! # Examples
+//!
+//! ```
+//! use xbc_store::Store;
+//! use xbc_workload::standard_traces;
+//!
+//! let dir = std::env::temp_dir().join(format!("xbc-store-doc-{}", std::process::id()));
+//! let store = Store::open(&dir).unwrap();
+//! let spec = &standard_traces()[0];
+//! let first = store.get_or_capture(spec, 2_000);   // capture + store
+//! let second = store.get_or_capture(spec, 2_000);  // pure disk hit
+//! assert_eq!(first.insts(), second.insts());
+//! assert_eq!(store.stats().trace_hits, 1);
+//! std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use xbc_workload::codec::{crc32, FORMAT_VERSION};
+use xbc_workload::{Trace, TraceSpec};
+
+/// Magic of result-cache entries.
+const RESULT_MAGIC: [u8; 4] = *b"XBR1";
+
+/// FNV-1a 64-bit hash — the store's content-addressing primitive.
+/// Stable by construction (unlike `DefaultHasher`, whose algorithm is
+/// explicitly unspecified across releases), so cache keys survive
+/// toolchain upgrades.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Counter snapshot of one [`Store`]'s activity (see [`Store::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Trace loads served from disk.
+    pub trace_hits: u64,
+    /// Trace loads that missed (no entry, or a corrupt entry deleted).
+    pub trace_misses: u64,
+    /// Result loads served from disk.
+    pub result_hits: u64,
+    /// Result loads that missed.
+    pub result_misses: u64,
+    /// Bytes read from cache files.
+    pub bytes_read: u64,
+    /// Bytes written to cache files.
+    pub bytes_written: u64,
+    /// Corrupt entries detected and deleted.
+    pub corrupt_entries: u64,
+}
+
+impl fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "traces {}/{} hit, results {}/{} hit, {} KiB read, {} KiB written{}",
+            self.trace_hits,
+            self.trace_hits + self.trace_misses,
+            self.result_hits,
+            self.result_hits + self.result_misses,
+            self.bytes_read / 1024,
+            self.bytes_written / 1024,
+            if self.corrupt_entries > 0 {
+                format!(", {} corrupt entries regenerated", self.corrupt_entries)
+            } else {
+                String::new()
+            }
+        )
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    trace_hits: AtomicU64,
+    trace_misses: AtomicU64,
+    result_hits: AtomicU64,
+    result_misses: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    corrupt_entries: AtomicU64,
+}
+
+/// A content-addressed artifact store rooted at one directory
+/// (`<root>/traces/*.xbt`, `<root>/results/*.xbr`).
+///
+/// All methods take `&self`; the store is safe to share across sweep
+/// worker threads (stats are atomic, writes are tmp + rename).
+pub struct Store {
+    root: PathBuf,
+    c: Counters,
+}
+
+impl fmt::Debug for Store {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Store").field("root", &self.root).finish()
+    }
+}
+
+impl Store {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the directory tree cannot be created.
+    pub fn open<P: AsRef<Path>>(dir: P) -> std::io::Result<Store> {
+        let root = dir.as_ref().to_path_buf();
+        fs::create_dir_all(root.join("traces"))?;
+        fs::create_dir_all(root.join("results"))?;
+        Ok(Store { root, c: Counters::default() })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Snapshot of hit/miss/byte counters since `open`.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            trace_hits: self.c.trace_hits.load(Ordering::Relaxed),
+            trace_misses: self.c.trace_misses.load(Ordering::Relaxed),
+            result_hits: self.c.result_hits.load(Ordering::Relaxed),
+            result_misses: self.c.result_misses.load(Ordering::Relaxed),
+            bytes_read: self.c.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.c.bytes_written.load(Ordering::Relaxed),
+            corrupt_entries: self.c.corrupt_entries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The identity of a `(spec, insts)` capture: every field that
+    /// determines the committed stream, plus the on-disk format version
+    /// so format bumps invalidate rather than misdecode.
+    fn trace_key(spec: &TraceSpec, insts: usize) -> u64 {
+        let canon = format!(
+            "trace|name={}|suite={}|seed={}|functions={}|insts={insts}|fmt={FORMAT_VERSION}",
+            spec.name, spec.suite, spec.seed, spec.functions
+        );
+        fnv1a64(canon.as_bytes())
+    }
+
+    fn trace_path(&self, spec: &TraceSpec, insts: usize) -> PathBuf {
+        let key = Self::trace_key(spec, insts);
+        self.root.join("traces").join(format!("{}-{key:016x}.xbt", spec.name))
+    }
+
+    /// Loads a cached trace, or returns `None` on a miss. A corrupt or
+    /// mismatched entry is logged, deleted and reported as a miss.
+    pub fn load_trace(&self, spec: &TraceSpec, insts: usize) -> Option<Trace> {
+        let path = self.trace_path(spec, insts);
+        let file = match fs::File::open(&path) {
+            Ok(f) => f,
+            Err(_) => {
+                self.c.trace_misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        let size = file.metadata().map(|m| m.len()).unwrap_or(0);
+        match Trace::load(BufReader::new(file)) {
+            Ok(trace) if trace.name() == spec.name && trace.inst_count() == insts => {
+                self.c.trace_hits.fetch_add(1, Ordering::Relaxed);
+                self.c.bytes_read.fetch_add(size, Ordering::Relaxed);
+                Some(trace)
+            }
+            Ok(trace) => {
+                self.evict(
+                    &path,
+                    &format!(
+                        "entry is {} x {} insts, wanted {} x {insts} insts",
+                        trace.name(),
+                        trace.inst_count(),
+                        spec.name
+                    ),
+                );
+                None
+            }
+            Err(e) => {
+                self.evict(&path, &e.to_string());
+                None
+            }
+        }
+    }
+
+    /// Writes a captured trace atomically (tmp + rename). A failure to
+    /// persist is logged and swallowed: the cache is an accelerator, not
+    /// a correctness dependency.
+    pub fn store_trace(&self, spec: &TraceSpec, insts: usize, trace: &Trace) {
+        let path = self.trace_path(spec, insts);
+        match self.write_atomic(&path, |w| trace.save(w).map_err(std::io::Error::other)) {
+            Ok(bytes) => {
+                self.c.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+            }
+            Err(e) => eprintln!("[xbc-store] failed to store trace {}: {e}", path.display()),
+        }
+    }
+
+    /// Loads the trace from the store or captures it fresh (storing the
+    /// capture for next time). The returned trace is identical either
+    /// way — that is the store's whole contract.
+    pub fn get_or_capture(&self, spec: &TraceSpec, insts: usize) -> Trace {
+        if let Some(t) = self.load_trace(spec, insts) {
+            return t;
+        }
+        let t = spec.capture(insts);
+        self.store_trace(spec, insts, &t);
+        t
+    }
+
+    fn result_path(&self, key: &str) -> PathBuf {
+        self.root.join("results").join(format!("{:016x}.xbr", fnv1a64(key.as_bytes())))
+    }
+
+    /// Loads a cached result blob for `key`, or `None` on a miss.
+    /// Entries failing the CRC check are logged, deleted and reported as
+    /// misses.
+    pub fn load_result(&self, key: &str) -> Option<String> {
+        let path = self.result_path(key);
+        let mut file = match fs::File::open(&path) {
+            Ok(f) => f,
+            Err(_) => {
+                self.c.result_misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        let mut raw = Vec::new();
+        if let Err(e) = file.read_to_end(&mut raw) {
+            self.evict(&path, &format!("read failed: {e}"));
+            return None;
+        }
+        match Self::parse_result(&raw, key) {
+            Ok(body) => {
+                self.c.result_hits.fetch_add(1, Ordering::Relaxed);
+                self.c.bytes_read.fetch_add(raw.len() as u64, Ordering::Relaxed);
+                Some(body)
+            }
+            Err(why) => {
+                self.evict(&path, &why);
+                None
+            }
+        }
+    }
+
+    /// Parses and validates a result-cache entry: magic, CRC over the
+    /// key + body, and the full key string (so hash collisions read as
+    /// misses, not as wrong results).
+    fn parse_result(raw: &[u8], key: &str) -> Result<String, String> {
+        if raw.len() < 12 || raw[..4] != RESULT_MAGIC {
+            return Err("bad result magic".into());
+        }
+        let stored_crc = u32::from_le_bytes(raw[4..8].try_into().expect("4 bytes"));
+        let key_len = u32::from_le_bytes(raw[8..12].try_into().expect("4 bytes")) as usize;
+        let rest = &raw[12..];
+        if key_len > rest.len() {
+            return Err("truncated result entry".into());
+        }
+        let computed = crc32(rest);
+        if computed != stored_crc {
+            return Err(format!(
+                "CRC mismatch: stored {stored_crc:#010x}, computed {computed:#010x}"
+            ));
+        }
+        let (stored_key, body) = rest.split_at(key_len);
+        if stored_key != key.as_bytes() {
+            return Err("key collision (different key hashed to this entry)".into());
+        }
+        String::from_utf8(body.to_vec()).map_err(|_| "result body is not UTF-8".into())
+    }
+
+    /// Stores a result blob under `key`, atomically. Failures are logged
+    /// and swallowed.
+    pub fn store_result(&self, key: &str, body: &str) {
+        let path = self.result_path(key);
+        let mut payload = Vec::with_capacity(key.len() + body.len());
+        payload.extend_from_slice(key.as_bytes());
+        payload.extend_from_slice(body.as_bytes());
+        let crc = crc32(&payload);
+        let write = |w: &mut dyn Write| -> std::io::Result<()> {
+            w.write_all(&RESULT_MAGIC)?;
+            w.write_all(&crc.to_le_bytes())?;
+            w.write_all(&(key.len() as u32).to_le_bytes())?;
+            w.write_all(&payload)
+        };
+        match self.write_atomic(&path, write) {
+            Ok(bytes) => {
+                self.c.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+            }
+            Err(e) => eprintln!("[xbc-store] failed to store result {}: {e}", path.display()),
+        }
+    }
+
+    /// Writes `path` via a unique same-directory temp file and a final
+    /// rename, so readers only ever see complete files. Returns bytes
+    /// written.
+    fn write_atomic<F>(&self, path: &Path, write: F) -> std::io::Result<u64>
+    where
+        F: FnOnce(&mut dyn Write) -> std::io::Result<()>,
+    {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = path.parent().expect("store paths have a parent");
+        let tmp = dir.join(format!(
+            ".tmp-{}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed),
+            path.file_name().and_then(|n| n.to_str()).unwrap_or("entry")
+        ));
+        let result = (|| {
+            let file = fs::File::create(&tmp)?;
+            let mut w = BufWriter::new(file);
+            write(&mut w)?;
+            w.flush()?;
+            let bytes = w.get_ref().metadata()?.len();
+            drop(w);
+            fs::rename(&tmp, path)?;
+            Ok(bytes)
+        })();
+        if result.is_err() {
+            fs::remove_file(&tmp).ok();
+        }
+        result
+    }
+
+    /// Logs and deletes a bad entry, counting it as corrupt + miss.
+    fn evict(&self, path: &Path, why: &str) {
+        eprintln!("[xbc-store] discarding {}: {why}; regenerating", path.display());
+        fs::remove_file(path).ok();
+        self.c.corrupt_entries.fetch_add(1, Ordering::Relaxed);
+        if path.extension().is_some_and(|e| e == "xbt") {
+            self.c.trace_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.c.result_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbc_workload::standard_traces;
+
+    /// Unique per-test scratch directory (removed on drop).
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Scratch {
+            let dir =
+                std::env::temp_dir().join(format!("xbc-store-test-{}-{tag}", std::process::id()));
+            fs::remove_dir_all(&dir).ok();
+            Scratch(dir)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    #[test]
+    fn trace_roundtrip_and_hit_accounting() {
+        let s = Scratch::new("roundtrip");
+        let store = Store::open(&s.0).unwrap();
+        let spec = &standard_traces()[0];
+        let fresh = store.get_or_capture(spec, 1_500);
+        assert_eq!(store.stats().trace_misses, 1);
+        assert!(store.stats().bytes_written > 0);
+        let cached = store.get_or_capture(spec, 1_500);
+        assert_eq!(store.stats().trace_hits, 1);
+        assert_eq!(fresh.insts(), cached.insts());
+        assert_eq!(fresh.uop_count(), cached.uop_count());
+        assert_eq!(fresh.exec_stats(), cached.exec_stats());
+    }
+
+    #[test]
+    fn different_insts_are_different_entries() {
+        let s = Scratch::new("insts");
+        let store = Store::open(&s.0).unwrap();
+        let spec = &standard_traces()[1];
+        store.get_or_capture(spec, 1_000);
+        store.get_or_capture(spec, 2_000);
+        assert_eq!(store.stats().trace_misses, 2);
+        assert_eq!(fs::read_dir(s.0.join("traces")).unwrap().count(), 2);
+    }
+
+    #[test]
+    fn corrupt_trace_is_evicted_and_regenerated() {
+        let s = Scratch::new("corrupt");
+        let store = Store::open(&s.0).unwrap();
+        let spec = &standard_traces()[2];
+        let fresh = store.get_or_capture(spec, 1_200);
+        // Flip a byte in the middle of the single cache file.
+        let path = fs::read_dir(s.0.join("traces")).unwrap().next().unwrap().unwrap().path();
+        let mut raw = fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x5A;
+        fs::write(&path, &raw).unwrap();
+        // The corrupt entry must read as a miss and be deleted...
+        let again = store.get_or_capture(spec, 1_200);
+        assert_eq!(again.insts(), fresh.insts());
+        assert_eq!(store.stats().corrupt_entries, 1);
+        // ...and the regenerated file must now hit.
+        assert!(store.load_trace(spec, 1_200).is_some());
+    }
+
+    #[test]
+    fn truncated_trace_is_evicted() {
+        let s = Scratch::new("trunc");
+        let store = Store::open(&s.0).unwrap();
+        let spec = &standard_traces()[3];
+        store.get_or_capture(spec, 1_000);
+        let path = fs::read_dir(s.0.join("traces")).unwrap().next().unwrap().unwrap().path();
+        let raw = fs::read(&path).unwrap();
+        fs::write(&path, &raw[..raw.len() / 3]).unwrap();
+        assert!(store.load_trace(spec, 1_000).is_none());
+        assert!(!path.exists(), "truncated entry must be deleted");
+        assert_eq!(store.stats().corrupt_entries, 1);
+    }
+
+    #[test]
+    fn result_cache_roundtrip() {
+        let s = Scratch::new("result");
+        let store = Store::open(&s.0).unwrap();
+        let key = "row|trace=spec.gcc|fe=xbc-32k|insts=1000|code=1";
+        assert!(store.load_result(key).is_none());
+        store.store_result(key, "{\"miss_rate\":0.25}");
+        assert_eq!(store.load_result(key).as_deref(), Some("{\"miss_rate\":0.25}"));
+        let st = store.stats();
+        assert_eq!((st.result_hits, st.result_misses), (1, 1));
+    }
+
+    #[test]
+    fn corrupt_result_is_evicted() {
+        let s = Scratch::new("result-corrupt");
+        let store = Store::open(&s.0).unwrap();
+        store.store_result("k", "body-bytes");
+        let path = fs::read_dir(s.0.join("results")).unwrap().next().unwrap().unwrap().path();
+        let mut raw = fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 1;
+        fs::write(&path, &raw).unwrap();
+        assert!(store.load_result("k").is_none());
+        assert!(!path.exists());
+        // Different key, same store: independent entry.
+        store.store_result("k2", "other");
+        assert_eq!(store.load_result("k2").as_deref(), Some("other"));
+    }
+
+    #[test]
+    fn keys_are_stable() {
+        // The content address must never change between runs or builds:
+        // pin the FNV-1a primitive with a known vector.
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+    }
+
+    #[test]
+    fn store_is_shareable_across_threads() {
+        let s = Scratch::new("threads");
+        let store = Store::open(&s.0).unwrap();
+        let specs = standard_traces();
+        std::thread::scope(|scope| {
+            for spec in specs.iter().take(4) {
+                scope.spawn(|| {
+                    let t = store.get_or_capture(spec, 800);
+                    assert_eq!(t.inst_count(), 800);
+                });
+            }
+        });
+        assert_eq!(store.stats().trace_misses, 4);
+    }
+}

@@ -164,11 +164,7 @@ impl<T> SetAssoc<T> {
     /// Checks presence without touching LRU or statistics.
     pub fn probe(&self, set: usize, tag: u64) -> Option<&T> {
         let base = self.base(set);
-        self.lines[base..base + self.ways]
-            .iter()
-            .flatten()
-            .find(|l| l.tag == tag)
-            .map(|l| &l.data)
+        self.lines[base..base + self.ways].iter().flatten().find(|l| l.tag == tag).map(|l| &l.data)
     }
 
     /// Inserts `(set, tag) -> data`, replacing an existing line with the same

@@ -57,7 +57,10 @@ impl Decoder {
     ///
     /// Panics if either width is zero.
     pub fn new(cfg: DecoderConfig) -> Self {
-        assert!(cfg.insts_per_cycle > 0 && cfg.uops_per_cycle > 0, "decoder widths must be non-zero");
+        assert!(
+            cfg.insts_per_cycle > 0 && cfg.uops_per_cycle > 0,
+            "decoder widths must be non-zero"
+        );
         Decoder { cfg, insts_left: 0, uops_left: 0 }
     }
 

@@ -177,6 +177,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_line_size_rejected() {
-        let _ = ICache::new(ICacheConfig { size_bytes: 90, line_bytes: 30, ways: 1, miss_penalty: 0 });
+        let _ =
+            ICache::new(ICacheConfig { size_bytes: 90, line_bytes: 30, ways: 1, miss_penalty: 0 });
     }
 }

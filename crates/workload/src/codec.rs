@@ -1,0 +1,618 @@
+//! Compact binary trace encoding (the `XBT1` format).
+//!
+//! The paper's methodology captures each committed instruction stream
+//! *once* and replays it through every frontend. The on-disk format this
+//! module implements is what makes "once" cheap enough to be the default:
+//!
+//! * **varint deltas** — instruction pointers are stored as zigzag
+//!   varints relative to the previous instruction's `next_ip`, which is a
+//!   0-byte field for a connected stream; branch targets are deltas from
+//!   the instruction's own IP;
+//! * **enum packing** — branch kind, taken bit and presence flags share
+//!   one byte; encoded length and uop count share another;
+//! * **CRC32 trailer** — a hand-rolled IEEE CRC32 over everything after
+//!   the magic, so truncation and bit-flips are detected on read;
+//! * **no serde** — the codec is ~300 lines of std-only Rust, so the
+//!   workspace builds offline.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   b"XBT1"
+//! version u32                  (= FORMAT_VERSION)
+//! name    u16 length + UTF-8 bytes
+//! count   u64                  dynamic instruction count
+//! stats   5 x u64              ExecStats of the capture
+//! records count x record       (see Record encoding below)
+//! crc     u32                  CRC32 of version..records
+//! ```
+//!
+//! Record encoding: `flags` byte (bits 0–2 branch kind, 3 taken, 4
+//! has-target, 5 next-is-sequential, 6 ip-is-expected), `shape` byte
+//! (bits 0–3 length, 4–5 uops−1), then up to three zigzag varints: the
+//! IP delta (only when not the expected continuation), the target delta
+//! (only for direct branches) and the next-IP delta (only for taken
+//! transfers).
+//!
+//! [`TraceReader`] decodes *streaming*: one record at a time, O(1)
+//! memory, so multi-million-instruction traces can be validated or
+//! replayed without materializing a `Vec<DynInst>`.
+
+use crate::exec::{DynInst, ExecStats};
+use std::fmt;
+use std::io::{Read, Write};
+use xbc_isa::{Addr, BranchKind, Inst};
+
+/// Version stamp of the `XBT1` container. Bump on any layout change so
+/// stale cache entries are rejected (and regenerated) instead of
+/// misdecoded.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// File magic of encoded traces.
+pub const MAGIC: [u8; 4] = *b"XBT1";
+
+const FLAG_TAKEN: u8 = 1 << 3;
+const FLAG_HAS_TARGET: u8 = 1 << 4;
+const FLAG_NEXT_SEQ: u8 = 1 << 5;
+const FLAG_IP_EXPECTED: u8 = 1 << 6;
+
+/// Errors produced by the trace codec.
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structurally invalid or corrupted data (bad magic, CRC mismatch,
+    /// truncation, out-of-range field). The string says which.
+    Corrupt(String),
+    /// The file is a valid container of an unsupported format version.
+    Version(u32),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Corrupt(what) => write!(f, "corrupt trace: {what}"),
+            TraceError::Version(v) => {
+                write!(f, "unsupported trace format version {v} (expected {FORMAT_VERSION})")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        // Short reads surface as UnexpectedEof: that is truncation, which
+        // callers treat as corruption, not as an environment error.
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            TraceError::Corrupt("truncated file".into())
+        } else {
+            TraceError::Io(e)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected), table-driven.
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// Feeds `bytes` into a running CRC32 (start from `0`, use the returned
+/// value as the next call's `crc`).
+pub fn crc32_update(crc: u32, bytes: &[u8]) -> u32 {
+    let mut c = !crc;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// One-shot CRC32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_update(0, bytes)
+}
+
+// ---------------------------------------------------------------------------
+// Varint + zigzag primitives.
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoder.
+
+/// Writer half of the codec: call [`Encoder::record`] once per dynamic
+/// instruction, then [`Encoder::finish`] to emit the CRC trailer.
+pub struct Encoder<W: Write> {
+    out: W,
+    buf: Vec<u8>,
+    crc: u32,
+    expected_ip: Addr,
+    remaining: u64,
+}
+
+impl<W: Write> Encoder<W> {
+    /// Writes the header for a trace of exactly `count` instructions.
+    pub fn new(mut out: W, name: &str, count: u64, stats: ExecStats) -> Result<Self, TraceError> {
+        out.write_all(&MAGIC)?;
+        let mut buf = Vec::with_capacity(64 + name.len());
+        buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        let name_len = u16::try_from(name.len())
+            .map_err(|_| TraceError::Corrupt("trace name longer than 64 KiB".into()))?;
+        buf.extend_from_slice(&name_len.to_le_bytes());
+        buf.extend_from_slice(name.as_bytes());
+        buf.extend_from_slice(&count.to_le_bytes());
+        for v in
+            [stats.insts, stats.uops, stats.elided_calls, stats.wrapped_returns, stats.interrupts]
+        {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        out.write_all(&buf)?;
+        let crc = crc32_update(0, &buf);
+        buf.clear();
+        Ok(Encoder { out, buf, crc, expected_ip: Addr::NULL, remaining: count })
+    }
+
+    /// Appends one dynamic instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called more than `count` times.
+    pub fn record(&mut self, d: &DynInst) -> Result<(), TraceError> {
+        assert!(self.remaining > 0, "encoder received more records than declared");
+        self.remaining -= 1;
+        let ip = d.inst.ip;
+        let mut flags = branch_kind_code(d.inst.branch);
+        if d.taken {
+            flags |= FLAG_TAKEN;
+        }
+        if d.inst.target.is_some() {
+            flags |= FLAG_HAS_TARGET;
+        }
+        let next_seq = d.next_ip == d.inst.next_seq();
+        if next_seq {
+            flags |= FLAG_NEXT_SEQ;
+        }
+        let ip_expected = ip == self.expected_ip;
+        if ip_expected {
+            flags |= FLAG_IP_EXPECTED;
+        }
+        self.buf.push(flags);
+        debug_assert!((1..=15).contains(&d.inst.len) && (1..=4).contains(&d.inst.uops));
+        self.buf.push(d.inst.len | ((d.inst.uops - 1) << 4));
+        if !ip_expected {
+            let delta = ip.raw().wrapping_sub(self.expected_ip.raw()) as i64;
+            write_varint(&mut self.buf, zigzag(delta));
+        }
+        if let Some(t) = d.inst.target {
+            write_varint(&mut self.buf, zigzag(t.raw().wrapping_sub(ip.raw()) as i64));
+        }
+        if !next_seq {
+            write_varint(&mut self.buf, zigzag(d.next_ip.raw().wrapping_sub(ip.raw()) as i64));
+        }
+        self.crc = crc32_update(self.crc, &self.buf);
+        self.out.write_all(&self.buf)?;
+        self.buf.clear();
+        self.expected_ip = d.next_ip;
+        Ok(())
+    }
+
+    /// Writes the CRC trailer and flushes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer records were written than declared in the header.
+    pub fn finish(mut self) -> Result<(), TraceError> {
+        assert_eq!(self.remaining, 0, "encoder finished before all declared records");
+        self.out.write_all(&self.crc.to_le_bytes())?;
+        self.out.flush()?;
+        Ok(())
+    }
+}
+
+fn branch_kind_code(k: BranchKind) -> u8 {
+    match k {
+        BranchKind::None => 0,
+        BranchKind::CondDirect => 1,
+        BranchKind::UncondDirect => 2,
+        BranchKind::CallDirect => 3,
+        BranchKind::IndirectJump => 4,
+        BranchKind::IndirectCall => 5,
+        BranchKind::Return => 6,
+    }
+}
+
+fn branch_kind_from_code(code: u8) -> Option<BranchKind> {
+    Some(match code {
+        0 => BranchKind::None,
+        1 => BranchKind::CondDirect,
+        2 => BranchKind::UncondDirect,
+        3 => BranchKind::CallDirect,
+        4 => BranchKind::IndirectJump,
+        5 => BranchKind::IndirectCall,
+        6 => BranchKind::Return,
+        _ => return None,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Streaming decoder.
+
+/// Streaming trace decoder: an iterator of [`DynInst`]s over any byte
+/// source. Reads one record at a time — a 30M-instruction replay touches
+/// O(1) memory. The CRC trailer is verified after the final record; a
+/// mismatch (or any truncation / field corruption) surfaces as an `Err`
+/// item, never a panic.
+///
+/// # Examples
+///
+/// ```
+/// use xbc_workload::{standard_traces, Trace, TraceReader};
+///
+/// let trace = standard_traces()[0].capture(500);
+/// let mut buf = Vec::new();
+/// trace.save(&mut buf).unwrap();
+/// let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+/// assert_eq!(reader.name(), trace.name());
+/// assert_eq!(reader.inst_count(), 500);
+/// let insts: Result<Vec<_>, _> = reader.by_ref().collect();
+/// assert_eq!(insts.unwrap(), trace.insts());
+/// ```
+pub struct TraceReader<R: Read> {
+    input: R,
+    crc: u32,
+    name: String,
+    count: u64,
+    stats: ExecStats,
+    expected_ip: Addr,
+    remaining: u64,
+    /// Set after the trailer has been verified (or an error was yielded);
+    /// the iterator is fused from then on.
+    done: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Reads and validates the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Corrupt`] on bad magic or malformed header
+    /// fields, [`TraceError::Version`] on a format-version mismatch.
+    pub fn new(mut input: R) -> Result<Self, TraceError> {
+        let mut magic = [0u8; 4];
+        input.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(TraceError::Corrupt("bad magic (not an XBT trace file)".into()));
+        }
+        let mut crc = 0u32;
+        let version = read_u32(&mut input, &mut crc)?;
+        if version != FORMAT_VERSION {
+            return Err(TraceError::Version(version));
+        }
+        let name_len = read_u16(&mut input, &mut crc)? as usize;
+        let mut name_bytes = vec![0u8; name_len];
+        input.read_exact(&mut name_bytes)?;
+        crc = crc32_update(crc, &name_bytes);
+        let name = String::from_utf8(name_bytes)
+            .map_err(|_| TraceError::Corrupt("trace name is not UTF-8".into()))?;
+        let count = read_u64(&mut input, &mut crc)?;
+        let mut s = [0u64; 5];
+        for v in &mut s {
+            *v = read_u64(&mut input, &mut crc)?;
+        }
+        let stats = ExecStats {
+            insts: s[0],
+            uops: s[1],
+            elided_calls: s[2],
+            wrapped_returns: s[3],
+            interrupts: s[4],
+        };
+        Ok(TraceReader {
+            input,
+            crc,
+            name,
+            count,
+            stats,
+            expected_ip: Addr::NULL,
+            remaining: count,
+            done: false,
+        })
+    }
+
+    /// Trace name from the header.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared dynamic instruction count.
+    pub fn inst_count(&self) -> u64 {
+        self.count
+    }
+
+    /// Capture-time executor statistics from the header.
+    pub fn exec_stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    fn read_record(&mut self) -> Result<DynInst, TraceError> {
+        let flags = self.read_byte()?;
+        if flags & 0x80 != 0 {
+            return Err(TraceError::Corrupt("reserved flag bit set".into()));
+        }
+        let branch = branch_kind_from_code(flags & 0x07)
+            .ok_or_else(|| TraceError::Corrupt("invalid branch kind".into()))?;
+        let shape = self.read_byte()?;
+        let len = shape & 0x0F;
+        let uops = (shape >> 4) + 1;
+        if len == 0 || uops > Inst::MAX_UOPS || shape >> 6 != 0 {
+            return Err(TraceError::Corrupt(format!("invalid shape byte {shape:#04x}")));
+        }
+        let ip = if flags & FLAG_IP_EXPECTED != 0 {
+            self.expected_ip
+        } else {
+            let delta = unzigzag(self.read_varint()?);
+            Addr::new(self.expected_ip.raw().wrapping_add(delta as u64))
+        };
+        let wants_target = matches!(
+            branch,
+            BranchKind::CondDirect | BranchKind::UncondDirect | BranchKind::CallDirect
+        );
+        if wants_target != (flags & FLAG_HAS_TARGET != 0) {
+            return Err(TraceError::Corrupt(format!(
+                "target presence contradicts branch kind {branch:?}"
+            )));
+        }
+        let target = if flags & FLAG_HAS_TARGET != 0 {
+            let delta = unzigzag(self.read_varint()?);
+            Some(Addr::new(ip.raw().wrapping_add(delta as u64)))
+        } else {
+            None
+        };
+        let inst = Inst::new(ip, len, uops, branch, target);
+        let next_ip = if flags & FLAG_NEXT_SEQ != 0 {
+            inst.next_seq()
+        } else {
+            let delta = unzigzag(self.read_varint()?);
+            Addr::new(ip.raw().wrapping_add(delta as u64))
+        };
+        self.expected_ip = next_ip;
+        Ok(DynInst { inst, taken: flags & FLAG_TAKEN != 0, next_ip })
+    }
+
+    fn read_byte(&mut self) -> Result<u8, TraceError> {
+        let mut b = [0u8; 1];
+        self.input.read_exact(&mut b)?;
+        self.crc = crc32_update(self.crc, &b);
+        Ok(b[0])
+    }
+
+    fn read_varint(&mut self) -> Result<u64, TraceError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.read_byte()?;
+            if shift >= 63 && byte > 1 {
+                return Err(TraceError::Corrupt("varint overflows 64 bits".into()));
+            }
+            v |= ((byte & 0x7F) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn read_trailer(&mut self) -> Result<(), TraceError> {
+        let mut t = [0u8; 4];
+        self.input.read_exact(&mut t)?;
+        let stored = u32::from_le_bytes(t);
+        if stored != self.crc {
+            return Err(TraceError::Corrupt(format!(
+                "CRC mismatch: stored {stored:#010x}, computed {:#010x}",
+                self.crc
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn read_u16<R: Read>(input: &mut R, crc: &mut u32) -> Result<u16, TraceError> {
+    let mut b = [0u8; 2];
+    input.read_exact(&mut b)?;
+    *crc = crc32_update(*crc, &b);
+    Ok(u16::from_le_bytes(b))
+}
+
+fn read_u32<R: Read>(input: &mut R, crc: &mut u32) -> Result<u32, TraceError> {
+    let mut b = [0u8; 4];
+    input.read_exact(&mut b)?;
+    *crc = crc32_update(*crc, &b);
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(input: &mut R, crc: &mut u32) -> Result<u64, TraceError> {
+    let mut b = [0u8; 8];
+    input.read_exact(&mut b)?;
+    *crc = crc32_update(*crc, &b);
+    Ok(u64::from_le_bytes(b))
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<DynInst, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        if self.remaining == 0 {
+            self.done = true;
+            return match self.read_trailer() {
+                Ok(()) => None,
+                Err(e) => Some(Err(e)),
+            };
+        }
+        self.remaining -= 1;
+        match self.read_record() {
+            Ok(d) => Some(Ok(d)),
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.done {
+            (0, Some(0))
+        } else {
+            // +1 for the possible trailing CRC error item.
+            (self.remaining as usize, Some(self.remaining as usize + 1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{standard_traces, Trace};
+
+    fn sample_trace() -> Trace {
+        standard_traces()[0].capture(2_000)
+    }
+
+    fn encode(trace: &Trace) -> Vec<u8> {
+        let mut buf = Vec::new();
+        trace.save(&mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // Incremental == one-shot.
+        let a = crc32_update(crc32_update(0, b"1234"), b"56789");
+        assert_eq!(a, 0xCBF4_3926);
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample_trace();
+        let buf = encode(&t);
+        let mut r = TraceReader::new(buf.as_slice()).unwrap();
+        assert_eq!(r.name(), t.name());
+        assert_eq!(r.inst_count(), t.inst_count() as u64);
+        assert_eq!(r.exec_stats(), t.exec_stats());
+        let decoded: Vec<DynInst> = r.by_ref().map(|d| d.unwrap()).collect();
+        assert_eq!(decoded, t.insts());
+    }
+
+    #[test]
+    fn compact_relative_to_fixed_width() {
+        // A connected trace should cost only a few bytes per instruction —
+        // far below the ~26-byte fixed-width lower bound (ip, next_ip,
+        // target, shape).
+        let t = sample_trace();
+        let buf = encode(&t);
+        let per_inst = buf.len() as f64 / t.inst_count() as f64;
+        assert!(per_inst < 6.0, "encoding too fat: {per_inst:.2} bytes/inst");
+    }
+
+    #[test]
+    fn every_flipped_byte_is_detected() {
+        // Flip one byte at a time across a small file: every corruption
+        // must surface as Err (CRC at minimum), never a panic, and never
+        // a silently different stream.
+        let t = standard_traces()[0].capture(50);
+        let buf = encode(&t);
+        for pos in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[pos] ^= 0x41;
+            let outcome: Result<Vec<DynInst>, TraceError> = match TraceReader::new(bad.as_slice()) {
+                Ok(r) => r.collect(),
+                Err(e) => Err(e),
+            };
+            match outcome {
+                Err(_) => {}
+                Ok(decoded) => {
+                    panic!("flip at byte {pos} went undetected ({} insts decoded)", decoded.len())
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let t = sample_trace();
+        let buf = encode(&t);
+        for cut in [3, 10, buf.len() / 2, buf.len() - 1] {
+            let outcome: Result<Vec<DynInst>, TraceError> = match TraceReader::new(&buf[..cut]) {
+                Ok(r) => r.collect(),
+                Err(e) => Err(e),
+            };
+            assert!(outcome.is_err(), "truncation at {cut} went undetected");
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_reported() {
+        let t = standard_traces()[0].capture(10);
+        let mut buf = encode(&t);
+        buf[4] = 99; // version field follows the 4-byte magic
+        match TraceReader::new(buf.as_slice()) {
+            Err(TraceError::Version(99)) => {}
+            Err(other) => panic!("expected version error, got {other}"),
+            Ok(_) => panic!("expected version error, got a reader"),
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 0x1234_5678_9ABC] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

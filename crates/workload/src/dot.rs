@@ -89,10 +89,7 @@ pub fn function_dot(program: &Program, entry: Addr) -> String {
             uops += inst.uops as usize;
             let next = inst.next_seq();
             if inst.branch.is_branch() || leaders.contains(&next) {
-                blocks.insert(
-                    start.raw(),
-                    Block { start, end: ip, uops, kind: inst.branch },
-                );
+                blocks.insert(start.raw(), Block { start, end: ip, uops, kind: inst.branch });
                 break;
             }
             ip = next;
@@ -105,7 +102,9 @@ pub fn function_dot(program: &Program, entry: Addr) -> String {
     for b in blocks.values() {
         let style = match b.kind {
             BranchKind::Return => ", style=filled, fillcolor=lightgrey",
-            BranchKind::IndirectJump | BranchKind::IndirectCall => ", style=filled, fillcolor=lightyellow",
+            BranchKind::IndirectJump | BranchKind::IndirectCall => {
+                ", style=filled, fillcolor=lightyellow"
+            }
             _ => "",
         };
         let _ = writeln!(
@@ -153,7 +152,12 @@ pub fn function_dot(program: &Program, entry: Addr) -> String {
             BranchKind::UncondDirect => {
                 if let Some(t) = inst.target {
                     if blocks.contains_key(&t.raw()) {
-                        let _ = writeln!(out, "  n{:x} -> n{:x} [label=\"jmp\"];", b.start.raw(), t.raw());
+                        let _ = writeln!(
+                            out,
+                            "  n{:x} -> n{:x} [label=\"jmp\"];",
+                            b.start.raw(),
+                            t.raw()
+                        );
                     }
                 }
             }

@@ -7,16 +7,14 @@
 //! predictors against it (trace-driven methodology, paper §4).
 
 use crate::program::{CondBehavior, Program};
-use xbc_isa::Addr as ExecAddr;
-use serde::{Deserialize, Serialize};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng64;
 use std::collections::HashMap;
+use xbc_isa::Addr as ExecAddr;
 use xbc_isa::{Addr, BranchKind, Inst};
 
 /// One committed dynamic instruction: the static instruction plus how its
 /// control flow resolved.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DynInst {
     /// The static instruction.
     pub inst: Inst,
@@ -76,7 +74,7 @@ pub struct ExecStats {
 #[derive(Debug)]
 pub struct Executor<'a> {
     program: &'a Program,
-    rng: StdRng,
+    rng: Rng64,
     ip: Addr,
     stack: Vec<Addr>,
     /// Per-branch execution counters for deterministic loop behaviour.
@@ -133,7 +131,7 @@ impl<'a> Executor<'a> {
         }
         Executor {
             program,
-            rng: StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15),
+            rng: Rng64::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15),
             ip: program.entry(),
             stack: Vec::with_capacity(MAX_STACK),
             loop_state: HashMap::new(),

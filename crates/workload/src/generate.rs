@@ -11,8 +11,7 @@
 
 use crate::profile::WorkloadProfile;
 use crate::program::{CondBehavior, IndirectTargets, Program, ProgramBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng64;
 use xbc_isa::{Addr, BranchKind, Inst};
 
 /// Byte distance between consecutive function images. Functions are far
@@ -67,7 +66,7 @@ struct PlannedFunction {
 #[derive(Debug)]
 pub struct ProgramGenerator {
     profile: WorkloadProfile,
-    rng: StdRng,
+    rng: Rng64,
 }
 
 impl ProgramGenerator {
@@ -78,7 +77,7 @@ impl ProgramGenerator {
     /// Panics if the profile fails [`WorkloadProfile::validate`].
     pub fn new(profile: WorkloadProfile, seed: u64) -> Self {
         profile.validate();
-        ProgramGenerator { profile, rng: StdRng::seed_from_u64(seed) }
+        ProgramGenerator { profile, rng: Rng64::seed_from_u64(seed) }
     }
 
     /// Generates the program (consumes the generator; the RNG state is
@@ -179,10 +178,12 @@ impl ProgramGenerator {
 
     fn term_shape(&mut self, term: TermKind) -> (u8, u8) {
         match term {
-            TermKind::Cond | TermKind::Jmp => (2 + self.rng.gen_range(0..4), 1),
+            TermKind::Cond | TermKind::Jmp => (2 + self.rng.gen_range(0u8..4), 1),
             TermKind::Call => (5, 1),
             TermKind::Ret => (1, 1),
-            TermKind::IndirectJmp | TermKind::IndirectCall => (2 + self.rng.gen_range(0..2), 1 + self.rng.gen_range(0..2)),
+            TermKind::IndirectJmp | TermKind::IndirectCall => {
+                (2 + self.rng.gen_range(0u8..2), 1 + self.rng.gen_range(0u8..2))
+            }
         }
     }
 
@@ -322,7 +323,11 @@ impl ProgramGenerator {
     /// Emits the dispatcher (function 0): a loop of indirect-call sites
     /// fanning out over the program, ended by a deterministic back-edge and
     /// a return (which wraps the trace).
-    fn build_dispatcher(&mut self, builder: &mut ProgramBuilder, functions: &[PlannedFunction]) -> Addr {
+    fn build_dispatcher(
+        &mut self,
+        builder: &mut ProgramBuilder,
+        functions: &[PlannedFunction],
+    ) -> Addr {
         let entry = Addr::new(IMAGE_BASE);
         let nfun = functions.len() + 1; // combined numbering includes us
         let mut ip = entry;
@@ -430,7 +435,13 @@ impl ProgramGenerator {
                     }
                     TermKind::Jmp => {
                         let target = self.pick_branch_target(f, bi, false);
-                        builder.push(Inst::new(ip, tlen, tuops, BranchKind::UncondDirect, Some(target)));
+                        builder.push(Inst::new(
+                            ip,
+                            tlen,
+                            tuops,
+                            BranchKind::UncondDirect,
+                            Some(target),
+                        ));
                     }
                     TermKind::Call => {
                         let callee = self.sample_callee(nfun, fi);
@@ -462,7 +473,8 @@ impl ProgramGenerator {
                         builder.push(Inst::new(ip, tlen, tuops, BranchKind::Return, None));
                     }
                     TermKind::IndirectJmp => {
-                        let n = 2 + self.rng.gen_range(0..self.profile.indirect_targets_max.max(2) - 1);
+                        let n =
+                            2 + self.rng.gen_range(0..self.profile.indirect_targets_max.max(2) - 1);
                         let weighted: Vec<(Addr, f64)> = (0..n)
                             .map(|k| {
                                 let t = self.pick_branch_target(f, bi.min(nb - 1), false);
@@ -475,7 +487,8 @@ impl ProgramGenerator {
                         );
                     }
                     TermKind::IndirectCall => {
-                        let n = 2 + self.rng.gen_range(0..self.profile.indirect_targets_max.max(2) - 1);
+                        let n =
+                            2 + self.rng.gen_range(0..self.profile.indirect_targets_max.max(2) - 1);
                         let weighted: Vec<(Addr, f64)> = (0..n)
                             .map(|k| {
                                 let callee = self.sample_callee(nfun, fi);

@@ -30,22 +30,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 mod dot;
 mod exec;
 mod generate;
 mod profile;
 mod program;
 mod report;
+mod rng;
 mod stats;
 mod suite;
 mod trace;
 
+pub use codec::{TraceError, TraceReader};
 pub use dot::function_dot;
 pub use exec::{DynInst, ExecStats, Executor};
 pub use generate::ProgramGenerator;
 pub use profile::{TerminatorMix, WorkloadProfile};
-pub use report::{analyze, BranchMix, WorkloadReport};
 pub use program::{CondBehavior, IndirectTargets, Program, ProgramBuilder, ProgramStats};
+pub use report::{analyze, BranchMix, WorkloadReport};
+pub use rng::{Rng64, Sample, SampleRange};
 pub use stats::{block_length_stats, BlockLengthStats, BLOCK_QUOTA};
 pub use suite::{standard_traces, Suite, TraceSpec};
 pub use trace::Trace;

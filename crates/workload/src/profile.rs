@@ -159,11 +159,7 @@ impl WorkloadProfile {
     /// Expected uops per instruction under the configured weights.
     pub fn mean_uops_per_inst(&self) -> f64 {
         let total: f64 = self.uops_per_inst_weights.iter().sum();
-        self.uops_per_inst_weights
-            .iter()
-            .enumerate()
-            .map(|(i, w)| (i + 1) as f64 * w)
-            .sum::<f64>()
+        self.uops_per_inst_weights.iter().enumerate().map(|(i, w)| (i + 1) as f64 * w).sum::<f64>()
             / total
     }
 
@@ -219,7 +215,8 @@ mod tests {
 
     #[test]
     fn mean_uops_matches_weights() {
-        let p = WorkloadProfile { uops_per_inst_weights: [1.0, 0.0, 0.0, 1.0], ..Default::default() };
+        let p =
+            WorkloadProfile { uops_per_inst_weights: [1.0, 0.0, 0.0, 1.0], ..Default::default() };
         assert!((p.mean_uops_per_inst() - 2.5).abs() < 1e-12);
     }
 

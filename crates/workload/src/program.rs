@@ -7,7 +7,7 @@
 //! ([`crate::ProgramGenerator`]) or hand-built through [`ProgramBuilder`]
 //! in tests and examples.
 
-use rand::Rng;
+use crate::rng::Rng64;
 use std::collections::HashMap;
 use std::fmt;
 use xbc_isa::{Addr, BranchKind, Inst};
@@ -64,7 +64,7 @@ impl IndirectTargets {
     }
 
     /// Samples a target according to the weights.
-    pub fn choose<R: Rng>(&self, rng: &mut R) -> Addr {
+    pub fn choose(&self, rng: &mut Rng64) -> Addr {
         let x: f64 = rng.gen();
         let idx = self.cumulative.partition_point(|&c| c < x);
         self.targets[idx.min(self.targets.len() - 1)]
@@ -270,8 +270,6 @@ impl ProgramBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn builder_roundtrip() {
@@ -302,7 +300,7 @@ mod tests {
     #[test]
     fn indirect_targets_weighted_choice() {
         let t = IndirectTargets::new(&[(Addr::new(1), 1.0), (Addr::new(2), 99.0)]);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng64::seed_from_u64(7);
         let picks = (0..1000).filter(|_| t.choose(&mut rng) == Addr::new(2)).count();
         assert!(picks > 950, "dominant target should win ~99%: {picks}");
         assert_eq!(t.targets().len(), 2);

@@ -80,7 +80,7 @@ pub struct WorkloadReport {
 ///
 /// let report = analyze(&standard_traces()[0].capture(20_000));
 /// assert!(report.mix.cond > 0.05, "integer code is branchy");
-/// assert!(report.gshare_accuracy > 0.7);
+/// assert!(report.gshare_accuracy > 0.6, "branches are predictable, not random");
 /// assert!(report.mean_fanin >= 1.0);
 /// ```
 pub fn analyze(trace: &Trace) -> WorkloadReport {

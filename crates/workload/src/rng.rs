@@ -1,0 +1,252 @@
+//! In-tree pseudo-random number generation.
+//!
+//! The workload generator and executor need a fast, seedable,
+//! deterministic PRNG — nothing cryptographic. This module provides
+//! xoshiro256** (Blackman & Vigna) seeded through SplitMix64, the
+//! standard pairing: SplitMix64 turns an arbitrary 64-bit seed into a
+//! well-mixed 256-bit state, xoshiro256** generates from it.
+//!
+//! Keeping the PRNG in-tree makes the build hermetic (no registry
+//! dependency) and freezes the generated workloads: they can never shift
+//! underneath us because an external crate changed its stream.
+//!
+//! # Examples
+//!
+//! ```
+//! use xbc_workload::Rng64;
+//!
+//! let mut a = Rng64::seed_from_u64(42);
+//! let mut b = Rng64::seed_from_u64(42);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! let x: f64 = a.gen();
+//! assert!((0.0..1.0).contains(&x));
+//! assert!((0..10).contains(&a.gen_range(0u64..10)));
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64 step: advances `state` and returns the next output.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic xoshiro256** generator.
+#[derive(Clone, Debug)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Creates a generator from a 64-bit seed (SplitMix64 state fill).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        Rng64 { s }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform integer in `[0, span)` (Lemire's multiply-shift with
+    /// rejection, so the distribution is exactly uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span` is zero.
+    #[inline]
+    pub fn uniform(&mut self, span: u64) -> u64 {
+        assert!(span > 0, "empty range");
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let m = (self.next_u64() as u128) * (span as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Samples a value of type `T` (`f64` uniform in `[0,1)`, fair `bool`).
+    #[inline]
+    pub fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform sample from a (half-open or inclusive) range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+}
+
+/// Types [`Rng64::gen`] can produce.
+pub trait Sample {
+    /// Draws one value.
+    fn sample(rng: &mut Rng64) -> Self;
+}
+
+impl Sample for f64 {
+    #[inline]
+    fn sample(rng: &mut Rng64) -> f64 {
+        // 53 top bits -> [0, 1) with full double precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for bool {
+    #[inline]
+    fn sample(rng: &mut Rng64) -> bool {
+        rng.next_u64() >> 63 != 0
+    }
+}
+
+impl Sample for u64 {
+    #[inline]
+    fn sample(rng: &mut Rng64) -> u64 {
+        rng.next_u64()
+    }
+}
+
+/// Ranges [`Rng64::gen_range`] can sample from.
+pub trait SampleRange {
+    /// Element type of the range.
+    type Output;
+    /// Draws one value uniformly from the range.
+    fn sample(self, rng: &mut Rng64) -> Self::Output;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut Rng64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.uniform(span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut Rng64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as u64) - (lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.uniform(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample(self, rng: &mut Rng64) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.gen::<f64>() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = Rng64::seed_from_u64(7);
+        let mut b = Rng64::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = Rng64::seed_from_u64(1);
+        let mut b = Rng64::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng64::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        // Mean of 10k uniforms is ~0.5 (sd ~0.003).
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = Rng64::seed_from_u64(4);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..1_000 {
+            let x = r.gen_range(3usize..7);
+            assert!((3..7).contains(&x));
+            let y = r.gen_range(0u8..=2);
+            assert!(y <= 2);
+            seen_lo |= y == 0;
+            seen_hi |= y == 2;
+            let f = r.gen_range(1.5f64..2.5);
+            assert!((1.5..2.5).contains(&f));
+        }
+        assert!(seen_lo && seen_hi, "inclusive range must reach both ends");
+    }
+
+    #[test]
+    fn uniform_is_roughly_balanced() {
+        let mut r = Rng64::seed_from_u64(5);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[r.uniform(4) as usize] += 1;
+        }
+        for c in counts {
+            assert!((9_000..11_000).contains(&c), "bucket count {c} out of band");
+        }
+    }
+
+    #[test]
+    fn bool_is_fair() {
+        let mut r = Rng64::seed_from_u64(6);
+        let trues = (0..10_000).filter(|_| r.gen::<bool>()).count();
+        assert!((4_500..5_500).contains(&trues));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_rejected() {
+        let mut r = Rng64::seed_from_u64(0);
+        let _ = r.gen_range(5usize..5);
+    }
+}

@@ -160,8 +160,7 @@ pub fn block_length_stats(trace: &Trace) -> BlockLengthStats {
         promo.add(uops, &mut stats.xb_promoted);
         let ends_promoted = if branch == BranchKind::CondDirect {
             let c = bias.entry(d.inst.ip.raw()).or_default();
-            let monotonic_and_behaving =
-                c.bias().map(|b| b.as_taken() == d.taken).unwrap_or(false);
+            let monotonic_and_behaving = c.bias().map(|b| b.as_taken() == d.taken).unwrap_or(false);
             c.update(d.taken);
             !monotonic_and_behaving
         } else {

@@ -5,18 +5,11 @@
 //! see identical committed paths. [`Trace`] materializes a stream from the
 //! executor once and hands out slices to any number of simulations.
 
+use crate::codec::{Encoder, TraceError, TraceReader};
 use crate::exec::{DynInst, ExecStats, Executor};
 use crate::program::Program;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io::{Read, Write};
-
-/// On-disk form of a [`Trace`] (JSON via serde).
-#[derive(Serialize, Deserialize)]
-struct TraceFile {
-    name: String,
-    insts: Vec<DynInst>,
-}
 
 /// A named, captured dynamic instruction stream.
 ///
@@ -121,37 +114,45 @@ impl Trace {
         self.insts.iter()
     }
 
-    /// Serializes the trace as JSON to `writer` (interchange format for
-    /// the `xbcsim capture` / `xbcsim run --from` workflow).
+    /// Serializes the trace in the compact `XBT1` binary format (varint
+    /// deltas, CRC32 trailer — see [`crate::codec`]). Interchange format
+    /// for the `xbcsim capture` / `xbcsim run --from` workflow and the
+    /// on-disk unit of `xbc-store`'s trace cache.
     ///
     /// # Errors
     ///
-    /// Returns any I/O or serialization error.
-    pub fn save<W: Write>(&self, writer: W) -> Result<(), Box<dyn std::error::Error>> {
-        let file = TraceFile { name: self.name.clone(), insts: self.insts.clone() };
-        serde_json::to_writer(writer, &file)?;
-        Ok(())
+    /// Returns any I/O error from the writer.
+    pub fn save<W: Write>(&self, writer: W) -> Result<(), TraceError> {
+        let mut enc = Encoder::new(writer, &self.name, self.insts.len() as u64, self.exec_stats)?;
+        for d in &self.insts {
+            enc.record(d)?;
+        }
+        enc.finish()
     }
 
-    /// Deserializes a trace previously written by [`Trace::save`].
+    /// Deserializes a trace previously written by [`Trace::save`],
+    /// verifying the CRC trailer.
     ///
     /// # Errors
     ///
-    /// Returns any I/O or parse error, or a validation error if the stream
-    /// is empty or disconnected (`next_ip` not matching the next
-    /// instruction).
-    pub fn load<R: Read>(reader: R) -> Result<Self, Box<dyn std::error::Error>> {
-        let file: TraceFile = serde_json::from_reader(reader)?;
-        if file.insts.is_empty() {
-            return Err("trace file contains no instructions".into());
+    /// Returns [`TraceError`] on I/O failure, corruption (bad magic,
+    /// truncation, CRC mismatch, out-of-range fields), a format-version
+    /// mismatch, or an empty instruction stream.
+    pub fn load<R: Read>(reader: R) -> Result<Self, TraceError> {
+        let mut r = TraceReader::new(reader)?;
+        let name = r.name().to_owned();
+        let exec_stats = r.exec_stats();
+        let mut insts = Vec::with_capacity(r.inst_count() as usize);
+        let mut uops = 0u64;
+        for d in r.by_ref() {
+            let d = d?;
+            uops += d.uops() as u64;
+            insts.push(d);
         }
-        for w in file.insts.windows(2) {
-            if w[0].next_ip != w[1].inst.ip {
-                return Err(format!("disconnected trace at {}", w[0].inst.ip).into());
-            }
+        if insts.is_empty() {
+            return Err(TraceError::Corrupt("trace file contains no instructions".into()));
         }
-        let uops = file.insts.iter().map(|d| d.uops() as u64).sum();
-        Ok(Trace { name: file.name, insts: file.insts, uops, exec_stats: ExecStats::default() })
+        Ok(Trace { name, insts, uops, exec_stats })
     }
 }
 
@@ -224,20 +225,21 @@ mod tests {
         assert_eq!(back.name(), "roundtrip");
         assert_eq!(back.insts(), t.insts());
         assert_eq!(back.uop_count(), t.uop_count());
+        assert_eq!(back.exec_stats(), t.exec_stats());
     }
 
     #[test]
-    fn load_rejects_garbage_and_disconnected() {
-        assert!(Trace::load(&b"not json"[..]).is_err());
-        assert!(Trace::load(&br#"{"name":"x","insts":[]}"#[..]).is_err());
-        // Disconnected: next_ip of the first inst does not match the second.
+    fn load_rejects_garbage_and_corruption() {
+        // Not a trace file at all.
+        assert!(Trace::load(&b"not a trace"[..]).is_err());
+        assert!(Trace::load(&b""[..]).is_err());
+        // A flipped payload byte fails the CRC check.
         let p = program();
         let t = Trace::capture("x", &p, 4, 3);
         let mut buf = Vec::new();
         t.save(&mut buf).unwrap();
-        let mut v: serde_json::Value = serde_json::from_slice(&buf).unwrap();
-        v["insts"][0]["next_ip"] = serde_json::json!(12345);
-        let bad = serde_json::to_vec(&v).unwrap();
-        assert!(Trace::load(bad.as_slice()).is_err());
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0xFF;
+        assert!(Trace::load(buf.as_slice()).is_err());
     }
 }

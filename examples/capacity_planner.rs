@@ -11,13 +11,10 @@ use xbc_workload::standard_traces;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "sys.access".to_owned());
-    let spec = standard_traces()
-        .into_iter()
-        .find(|t| t.name == name)
-        .unwrap_or_else(|| {
-            eprintln!("unknown trace {name}");
-            std::process::exit(2);
-        });
+    let spec = standard_traces().into_iter().find(|t| t.name == name).unwrap_or_else(|| {
+        eprintln!("unknown trace {name}");
+        std::process::exit(2);
+    });
 
     let sizes = [4096usize, 8192, 16384, 32768, 65536];
     let mut frontends = Vec::new();
@@ -36,7 +33,10 @@ fn main() {
             .map(|&s| {
                 let r = rows
                     .iter()
-                    .find(|r| r.frontend.label().starts_with(label) && r.frontend.label().contains(&format!("-{}k", s / 1024)))
+                    .find(|r| {
+                        r.frontend.label().starts_with(label)
+                            && r.frontend.label().contains(&format!("-{}k", s / 1024))
+                    })
                     .expect("swept");
                 (s, r.miss_rate)
             })
@@ -52,7 +52,12 @@ fn main() {
     for (s, x) in &xbc {
         match tc.iter().find(|(_, t)| t <= x) {
             Some((ts, _)) if ts > s => {
-                println!("XBC @ {}K is only matched by a TC @ {}K — {}x the capacity", s / 1024, ts / 1024, ts / s)
+                println!(
+                    "XBC @ {}K is only matched by a TC @ {}K — {}x the capacity",
+                    s / 1024,
+                    ts / 1024,
+                    ts / s
+                )
             }
             Some((ts, _)) => println!("XBC @ {}K matched by TC @ {}K", s / 1024, ts / 1024),
             None => println!("XBC @ {}K beats every swept TC size", s / 1024),

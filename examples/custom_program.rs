@@ -48,7 +48,11 @@ fn main() {
     let program = b.build(Addr::new(0x100), 2);
 
     let trace = Trace::capture("custom", &program, 7, 50_000);
-    println!("custom program: {} static uops, trace of {} uops", program.stats().static_uops, trace.uop_count());
+    println!(
+        "custom program: {} static uops, trace of {} uops",
+        program.stats().static_uops,
+        trace.uop_count()
+    );
 
     let mut fe = XbcFrontend::new(XbcConfig { total_uops: 1024, ..XbcConfig::default() });
     let m = fe.run(&trace);
@@ -60,7 +64,12 @@ fn main() {
     println!("  promotions    {} (the 99.5%-taken branch at 0x203 qualifies)", m.promotions);
     println!("  cond mispred  {} (the 97% loop branch misses ~3% of trips)", m.cond_mispredicts);
     let (stored, distinct) = fe.array().redundancy();
-    println!("  array         {} lines, {} stored uops, {} distinct", fe.array().valid_lines(), stored, distinct);
+    println!(
+        "  array         {} lines, {} stored uops, {} distinct",
+        fe.array().valid_lines(),
+        stored,
+        distinct
+    );
     assert!(m.promotions >= 1, "the monotonic branch should promote");
     println!();
     println!("note how the whole program fits in a handful of XBs: one per");

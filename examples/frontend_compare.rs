@@ -15,16 +15,13 @@ use xbc_workload::standard_traces;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "sys.winword".to_owned());
-    let spec = standard_traces()
-        .into_iter()
-        .find(|t| t.name == name)
-        .unwrap_or_else(|| {
-            eprintln!("unknown trace {name}; try one of:");
-            for t in standard_traces() {
-                eprintln!("  {}", t.name);
-            }
-            std::process::exit(2);
-        });
+    let spec = standard_traces().into_iter().find(|t| t.name == name).unwrap_or_else(|| {
+        eprintln!("unknown trace {name}; try one of:");
+        for t in standard_traces() {
+            eprintln!("  {}", t.name);
+        }
+        std::process::exit(2);
+    });
     println!("capturing {} (300k instructions)...", spec.name);
     let trace = spec.capture(300_000);
 

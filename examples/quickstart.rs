@@ -14,11 +14,7 @@ fn main() {
     let spec = &standard_traces()[0];
     println!("capturing {} (100k instructions)...", spec.name);
     let trace = spec.capture(100_000);
-    println!(
-        "  {} dynamic instructions, {} uops",
-        trace.inst_count(),
-        trace.uop_count()
-    );
+    println!("  {} dynamic instructions, {} uops", trace.inst_count(), trace.uop_count());
 
     // The paper's headline configuration: 32K uops, 4 banks x 2 ways,
     // 8K-entry XBTB, branch promotion, set search, smart placement.
@@ -27,10 +23,16 @@ fn main() {
 
     println!();
     println!("XBC @ 32K uops:");
-    println!("  uop miss rate      {:.2}% (uops fetched through the IC)", 100.0 * metrics.uop_miss_rate());
+    println!(
+        "  uop miss rate      {:.2}% (uops fetched through the IC)",
+        100.0 * metrics.uop_miss_rate()
+    );
     println!("  delivery bandwidth {:.2} uops/cycle (on XBC hits)", metrics.delivery_bandwidth());
     println!("  overall throughput {:.2} uops/cycle", metrics.overall_uops_per_cycle());
-    println!("  mode switches      {} to build, {} back", metrics.delivery_to_build, metrics.build_to_delivery);
+    println!(
+        "  mode switches      {} to build, {} back",
+        metrics.delivery_to_build, metrics.build_to_delivery
+    );
     println!("  promotions         {}", metrics.promotions);
 
     // The XBC's central structural claim: (nearly) no uop is stored twice.

@@ -15,7 +15,17 @@ fn main() {
     println!();
     println!(
         "{:<18} {:>6} {:>6} {:>6} {:>6} | {:>6} {:>7} {:>7} {:>6} {:>6} {:>9}",
-        "trace", "bb", "xb", "promo", "dual", "cond%", "gshare%", "sticky%", "fanin", "join%", "footprint"
+        "trace",
+        "bb",
+        "xb",
+        "promo",
+        "dual",
+        "cond%",
+        "gshare%",
+        "sticky%",
+        "fanin",
+        "join%",
+        "footprint"
     );
     for spec in standard_traces() {
         let r = analyze(&spec.capture(insts));

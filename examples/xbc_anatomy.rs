@@ -12,13 +12,10 @@ use xbc_workload::standard_traces;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "spec.gcc".to_owned());
-    let spec = standard_traces()
-        .into_iter()
-        .find(|t| t.name == name)
-        .unwrap_or_else(|| {
-            eprintln!("unknown trace {name}");
-            std::process::exit(2);
-        });
+    let spec = standard_traces().into_iter().find(|t| t.name == name).unwrap_or_else(|| {
+        eprintln!("unknown trace {name}");
+        std::process::exit(2);
+    });
 
     println!("anatomy of an XBC running {} (32K uops)", spec.name);
     println!();

@@ -1,20 +1,42 @@
 #!/usr/bin/env bash
 # Regenerates every figure, table and ablation recorded in EXPERIMENTS.md.
-# Usage: scripts/regen.sh [INSTS] (default 1000000)
+# Usage: scripts/regen.sh [INSTS] [THREADS] (defaults: 1000000, all cores)
+#
+# Captured traces and sweep rows are cached in XBC_CACHE_DIR (default
+# target/xbc-cache), so a re-run with the same INSTS replays cached
+# results instead of re-simulating. Delete the cache dir (or pass a
+# fresh one) to force full regeneration.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 INSTS="${1:-1000000}"
+THREADS="${2:-0}"
 ABL_INSTS=$((INSTS / 3))
+if [ "$ABL_INSTS" -lt 1 ]; then
+  ABL_INSTS=1
+fi
+CACHE_DIR="${XBC_CACHE_DIR:-target/xbc-cache}"
 mkdir -p results
 cargo build --release -p xbc-bench
 
 B=target/release
-$B/fig1    --inst "$INSTS"                                  | tee results/fig1.txt
-$B/fig8    --inst "$INSTS" --json results/fig8.json         | tee results/fig8.txt
-$B/fig9    --inst "$INSTS" --json results/fig9.json         | tee results/fig9.txt
-$B/fig10   --inst "$INSTS" --json results/fig10.json        | tee results/fig10.txt
-$B/summary --inst "$INSTS"                                  | tee results/summary.txt
+COMMON=(--threads "$THREADS" --cache-dir "$CACHE_DIR")
+
+# step NAME CMD... — runs CMD, tees to results/NAME.txt, prints wall-clock.
+step() {
+  local name="$1"
+  shift
+  local t0
+  t0=$(date +%s)
+  "$@" | tee "results/$name.txt"
+  echo "[regen] $name: $(($(date +%s) - t0))s"
+}
+
+step fig1    "$B/fig1"    --inst "$INSTS" "${COMMON[@]}"
+step fig8    "$B/fig8"    --inst "$INSTS" "${COMMON[@]}" --json results/fig8.json
+step fig9    "$B/fig9"    --inst "$INSTS" "${COMMON[@]}" --json results/fig9.json
+step fig10   "$B/fig10"   --inst "$INSTS" "${COMMON[@]}" --json results/fig10.json
+step summary "$B/summary" --inst "$INSTS" "${COMMON[@]}"
 for m in promotion banks placement setsearch xbtb xbs xbq predictor tcpath baselines; do
-  $B/ablation "$m" --inst "$ABL_INSTS" | tee "results/ablation_$m.txt"
+  step "ablation_$m" "$B/ablation" "$m" --inst "$ABL_INSTS" "${COMMON[@]}"
 done
-echo "all results regenerated under results/"
+echo "all results regenerated under results/ (cache: $CACHE_DIR)"

@@ -1,3 +1,2 @@
 //! Workspace-level umbrella crate; see README.md.
 pub use xbc as core;
-

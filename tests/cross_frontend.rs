@@ -96,6 +96,43 @@ fn warm_restart_reuses_state() {
 }
 
 #[test]
+fn cached_sweep_rows_are_byte_identical_to_fresh() {
+    use std::sync::Arc;
+    use xbc_sim::{to_json, FrontendSpec, Sweep};
+    use xbc_store::Store;
+
+    let dir = std::env::temp_dir().join(format!("xbc-cross-frontend-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let traces: Vec<_> = standard_traces().into_iter().step_by(9).collect();
+    let frontends = vec![FrontendSpec::tc_default(), FrontendSpec::xbc_default()];
+
+    // Fresh: no store at all.
+    let mut fresh_sweep = Sweep::new(traces.clone(), frontends.clone(), 8_000);
+    fresh_sweep.progress = false;
+    let fresh = fresh_sweep.run();
+
+    // Cached: populate the store, then replay purely from it.
+    let store = Arc::new(Store::open(&dir).unwrap());
+    let mut cached_sweep = Sweep::new(traces, frontends, 8_000).with_store(Arc::clone(&store));
+    cached_sweep.progress = false;
+    cached_sweep.run();
+    let replayed = cached_sweep.run();
+    assert_eq!(store.stats().result_hits, replayed.len() as u64, "replay must be all hits");
+
+    // Timing aside (wall clock is the one legitimately nondeterministic
+    // field), the replayed rows serialize byte-for-byte like fresh ones.
+    let strip = |rows: &[xbc_sim::Row]| {
+        let mut rows = rows.to_vec();
+        for r in &mut rows {
+            r.elapsed_ms = 0;
+        }
+        to_json(&rows)
+    };
+    assert_eq!(strip(&fresh), strip(&replayed));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn xbc_redundancy_stays_negligible_across_suites() {
     for spec in standard_traces().iter().step_by(5) {
         let trace = spec.capture(40_000);

@@ -37,13 +37,11 @@ fn figure1_block_length_ordering_and_bands() {
 
 #[test]
 fn figure8_bandwidth_is_comparable() {
-    let rows = Sweep::new(
-        subset(),
-        vec![FrontendSpec::tc_default(), FrontendSpec::xbc_default()],
-        60_000,
-    )
-    .run();
-    let tc: Vec<_> = rows.iter().filter(|r| r.frontend == FrontendSpec::tc_default()).cloned().collect();
+    let rows =
+        Sweep::new(subset(), vec![FrontendSpec::tc_default(), FrontendSpec::xbc_default()], 60_000)
+            .run();
+    let tc: Vec<_> =
+        rows.iter().filter(|r| r.frontend == FrontendSpec::tc_default()).cloned().collect();
     let xbc: Vec<_> =
         rows.iter().filter(|r| r.frontend == FrontendSpec::xbc_default()).cloned().collect();
     let (bt, bx) = (average_bandwidth(&tc), average_bandwidth(&xbc));
@@ -65,15 +63,20 @@ fn figure9_xbc_misses_less_at_capacity_dominated_sizes() {
         )
         .run();
         let tc = average_miss_rate(
-            &rows.iter().filter(|r| r.frontend.label().starts_with("tc")).cloned().collect::<Vec<_>>(),
+            &rows
+                .iter()
+                .filter(|r| r.frontend.label().starts_with("tc"))
+                .cloned()
+                .collect::<Vec<_>>(),
         );
         let xbc = average_miss_rate(
-            &rows.iter().filter(|r| r.frontend.label().starts_with("xbc")).cloned().collect::<Vec<_>>(),
+            &rows
+                .iter()
+                .filter(|r| r.frontend.label().starts_with("xbc"))
+                .cloned()
+                .collect::<Vec<_>>(),
         );
-        assert!(
-            xbc < tc,
-            "at {size} uops the XBC ({xbc:.3}) must miss less than the TC ({tc:.3})"
-        );
+        assert!(xbc < tc, "at {size} uops the XBC ({xbc:.3}) must miss less than the TC ({tc:.3})");
     }
 }
 
@@ -89,7 +92,9 @@ fn figure9_miss_rate_decreases_with_size() {
         average_miss_rate(
             &rows
                 .iter()
-                .filter(|r| r.frontend == FrontendSpec::Xbc { total_uops: s, ways: 2, promotion: true })
+                .filter(|r| {
+                    r.frontend == FrontendSpec::Xbc { total_uops: s, ways: 2, promotion: true }
+                })
                 .cloned()
                 .collect::<Vec<_>>(),
         )

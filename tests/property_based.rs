@@ -1,114 +1,138 @@
-//! Property-based tests (proptest) of the core data-structure invariants.
+//! Property-style tests of the core data-structure invariants.
+//!
+//! Instead of a registry property-testing framework, these tests drive
+//! each invariant with many randomized cases from the in-tree,
+//! deterministically seeded [`Rng64`] — same coverage philosophy, fully
+//! hermetic build, and failures reproduce exactly (the case seed is in
+//! the assertion message).
 
-use proptest::prelude::*;
 use xbc::{BankMask, XbPtr, XbcArray, XbcConfig};
 use xbc_isa::{decode, Addr, BranchKind, Inst, Uop};
 use xbc_uarch::Histogram;
-use xbc_workload::{ProgramGenerator, Trace, WorkloadProfile};
+use xbc_workload::{ProgramGenerator, Rng64, Trace, WorkloadProfile};
 
-/// Strategy: a plausible uop sequence for one XB (1..=16 uops), ending on
-/// a conditional branch.
-fn arb_xb_uops() -> impl Strategy<Value = Vec<Uop>> {
-    // Build from instruction shapes so uop identities look real.
-    proptest::collection::vec((1u8..=4, 1u8..=11), 1..=4).prop_map(|shapes| {
-        let mut uops = Vec::new();
-        let mut ip = 0x4000u64;
-        let total: usize = shapes.iter().map(|(u, _)| *u as usize).sum();
-        for (i, (u, len)) in shapes.iter().enumerate() {
-            let last = i + 1 == shapes.len();
-            let inst = if last {
-                Inst::new(Addr::new(ip), *len, *u, BranchKind::CondDirect, Some(Addr::new(0x100)))
-            } else {
-                Inst::plain(Addr::new(ip), *len, *u)
-            };
-            uops.extend(decode(&inst));
-            ip += *len as u64;
-        }
-        assert!(total <= 16);
-        uops
-    })
+/// A plausible uop sequence for one XB (1..=16 uops), ending on a
+/// conditional branch. Built from instruction shapes so uop identities
+/// look real.
+fn arb_xb_uops(rng: &mut Rng64) -> Vec<Uop> {
+    let n_shapes = rng.gen_range(1usize..=4);
+    let shapes: Vec<(u8, u8)> =
+        (0..n_shapes).map(|_| (rng.gen_range(1u8..=4), rng.gen_range(1u8..=11))).collect();
+    let mut uops = Vec::new();
+    let mut ip = 0x4000u64;
+    let total: usize = shapes.iter().map(|(u, _)| *u as usize).sum();
+    for (i, (u, len)) in shapes.iter().enumerate() {
+        let last = i + 1 == shapes.len();
+        let inst = if last {
+            Inst::new(Addr::new(ip), *len, *u, BranchKind::CondDirect, Some(Addr::new(0x100)))
+        } else {
+            Inst::plain(Addr::new(ip), *len, *u)
+        };
+        uops.extend(decode(&inst));
+        ip += *len as u64;
+    }
+    assert!(total <= 16);
+    uops
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Whatever is inserted into the array reads back identically
-    /// (reverse-order storage is an implementation detail, not an
-    /// observable one).
-    #[test]
-    fn array_insert_read_roundtrip(uops in arb_xb_uops(), ip_raw in 0u64..1_000_000) {
+/// Whatever is inserted into the array reads back identically
+/// (reverse-order storage is an implementation detail, not an
+/// observable one).
+#[test]
+fn array_insert_read_roundtrip() {
+    for case in 0..64u64 {
+        let mut rng = Rng64::seed_from_u64(0xA110 + case);
+        let uops = arb_xb_uops(&mut rng);
+        let ip_raw = rng.gen_range(0u64..1_000_000);
         let cfg = XbcConfig { total_uops: 1024, ..XbcConfig::default() };
         let mut a = XbcArray::new(&cfg);
         let end_ip = Addr::new(ip_raw + uops.len() as u64);
         let mask = a.insert(end_ip, &uops, 0, BankMask::EMPTY, BankMask::EMPTY);
-        prop_assert_eq!(mask.count(), uops.len().div_ceil(4));
+        assert_eq!(mask.count(), uops.len().div_ceil(4), "case {case}");
         let (set, tag) = a.set_and_tag(end_ip);
         let asm = a.assemble(set, tag, None).expect("just inserted");
-        prop_assert_eq!(asm.total_uops, uops.len());
-        prop_assert_eq!(a.read_uops(set, &asm), uops);
+        assert_eq!(asm.total_uops, uops.len(), "case {case}");
+        assert_eq!(a.read_uops(set, &asm), uops, "case {case}");
     }
+}
 
-    /// Any mid-block entry offset is fetchable after insertion.
-    #[test]
-    fn array_every_entry_offset_fetchable(uops in arb_xb_uops(), ip_raw in 0u64..1_000_000) {
+/// Any mid-block entry offset is fetchable after insertion.
+#[test]
+fn array_every_entry_offset_fetchable() {
+    for case in 0..64u64 {
+        let mut rng = Rng64::seed_from_u64(0xB220 + case);
+        let uops = arb_xb_uops(&mut rng);
+        let ip_raw = rng.gen_range(0u64..1_000_000);
         let cfg = XbcConfig { total_uops: 1024, ..XbcConfig::default() };
         let mut a = XbcArray::new(&cfg);
         let end_ip = Addr::new(ip_raw + uops.len() as u64);
         let mask = a.insert(end_ip, &uops, 0, BankMask::EMPTY, BankMask::EMPTY);
         for offset in 1..=uops.len() as u8 {
             let ptr = XbPtr::new(end_ip, Addr::new(0), mask, offset);
-            prop_assert!(a.lookup(&ptr).is_some(), "offset {} must hit", offset);
+            assert!(a.lookup(&ptr).is_some(), "case {case}: offset {offset} must hit");
             let mut used = BankMask::EMPTY;
             let r = a.fetch_one(&ptr, &mut used);
-            prop_assert_eq!(r, xbc::XbFetch::Full);
-            prop_assert_eq!(used.count(), (offset as usize).div_ceil(4));
+            assert_eq!(r, xbc::XbFetch::Full, "case {case}");
+            assert_eq!(used.count(), (offset as usize).div_ceil(4), "case {case}");
         }
     }
+}
 
-    /// Histogram mean/count stay consistent under arbitrary inputs.
-    #[test]
-    fn histogram_invariants(values in proptest::collection::vec(1usize..200, 1..100)) {
+/// Histogram mean/count stay consistent under arbitrary inputs.
+#[test]
+fn histogram_invariants() {
+    for case in 0..64u64 {
+        let mut rng = Rng64::seed_from_u64(0xC330 + case);
+        let n = rng.gen_range(1usize..100);
+        let values: Vec<usize> = (0..n).map(|_| rng.gen_range(1usize..200)).collect();
         let mut h = Histogram::new(16);
         for &v in &values {
             h.record(v);
         }
-        prop_assert_eq!(h.count(), values.len() as u64);
-        let clamped: f64 = values.iter().map(|&v| v.min(16) as f64).sum::<f64>() / values.len() as f64;
-        prop_assert!((h.mean() - clamped).abs() < 1e-9);
+        assert_eq!(h.count(), values.len() as u64, "case {case}");
+        let clamped: f64 =
+            values.iter().map(|&v| v.min(16) as f64).sum::<f64>() / values.len() as f64;
+        assert!((h.mean() - clamped).abs() < 1e-9, "case {case}");
         let total: u64 = (1..=16).map(|v| h.bin(v)).sum();
-        prop_assert_eq!(total, h.count());
+        assert_eq!(total, h.count(), "case {case}");
         // Quantiles are monotone.
-        prop_assert!(h.quantile(0.25) <= h.quantile(0.75));
+        assert!(h.quantile(0.25) <= h.quantile(0.75), "case {case}");
     }
+}
 
-    /// BankMask set algebra.
-    #[test]
-    fn bank_mask_algebra(a in 0u8..16, b in 0u8..16) {
-        let (ma, mb) = (BankMask::from_bits(a), BankMask::from_bits(b));
-        prop_assert_eq!(ma.union(mb).bits(), a | b);
-        prop_assert_eq!(ma.intersects(mb), a & b != 0);
-        prop_assert_eq!(ma.count(), a.count_ones() as usize);
-        let collected: Vec<usize> = ma.iter().collect();
-        prop_assert_eq!(collected.len(), ma.count());
-        for bank in collected {
-            prop_assert!(ma.contains(bank));
+/// BankMask set algebra, exhaustively over all 16x16 mask pairs.
+#[test]
+fn bank_mask_algebra() {
+    for a in 0u8..16 {
+        for b in 0u8..16 {
+            let (ma, mb) = (BankMask::from_bits(a), BankMask::from_bits(b));
+            assert_eq!(ma.union(mb).bits(), a | b);
+            assert_eq!(ma.intersects(mb), a & b != 0);
+            assert_eq!(ma.count(), a.count_ones() as usize);
+            let collected: Vec<usize> = ma.iter().collect();
+            assert_eq!(collected.len(), ma.count());
+            for bank in collected {
+                assert!(ma.contains(bank));
+            }
         }
     }
+}
 
-    /// Generated programs always execute safely for any seed, and the
-    /// committed stream stays connected.
-    #[test]
-    fn generated_program_always_executes(seed in 0u64..500) {
+/// Generated programs always execute safely for any seed, and the
+/// committed stream stays connected.
+#[test]
+fn generated_program_always_executes() {
+    for seed in (0u64..500).step_by(11) {
         let profile = WorkloadProfile { functions: 12, ..WorkloadProfile::default() };
         let program = ProgramGenerator::new(profile, seed).generate();
         let trace = Trace::capture("prop", &program, seed, 3_000);
-        prop_assert_eq!(trace.inst_count(), 3_000);
+        assert_eq!(trace.inst_count(), 3_000, "seed {seed}");
         for w in trace.insts().windows(2) {
-            prop_assert_eq!(w[0].next_ip, w[1].inst.ip);
+            assert_eq!(w[0].next_ip, w[1].inst.ip, "seed {seed}");
         }
         // uop accounting holds.
         let total: u64 = trace.iter().map(|d| d.uops() as u64).sum();
-        prop_assert_eq!(total, trace.uop_count());
+        assert_eq!(total, trace.uop_count(), "seed {seed}");
     }
 }
 
@@ -133,7 +157,13 @@ fn overlapping_installs_bounded_duplication() {
             let inst = Inst::plain(Addr::new(prefix_ip + i), 1, 1);
             xfu.observe(&DynInst { inst, taken: false, next_ip: Addr::new(prefix_ip + i + 1) });
         }
-        let jmp = Inst::new(Addr::new(prefix_ip + 3), 1, 1, BranchKind::UncondDirect, Some(Addr::new(0x900)));
+        let jmp = Inst::new(
+            Addr::new(prefix_ip + 3),
+            1,
+            1,
+            BranchKind::UncondDirect,
+            Some(Addr::new(0x900)),
+        );
         xfu.observe(&DynInst { inst: jmp, taken: true, next_ip: Addr::new(0x900) });
         for i in 0..4 {
             let inst = Inst::plain(Addr::new(0x900 + i), 1, 1);
