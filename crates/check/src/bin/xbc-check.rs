@@ -1,0 +1,148 @@
+//! Seeded fuzz driver for the XBC correctness harness.
+//!
+//! Runs randomly generated workload/configuration cases through every
+//! frontend under the lockstep differential oracle. On failure, greedily
+//! shrinks the case and writes a JSON reproducer that
+//! `crates/check/tests/repro_replay.rs` replays on every `cargo test`.
+//!
+//! ```text
+//! xbc-check [--seeds N | --seeds A..B] [--budget SECS[s]] [--out DIR] [--inject]
+//!   --seeds N      fuzz seeds 0..N (default 32)
+//!   --seeds A..B   fuzz the half-open seed range A..B
+//!   --budget 60s   stop after ~60 seconds even if seeds remain
+//!   --out DIR      where reproducers are written (default: repros)
+//!   --inject       corrupt every subject stream — harness self-test;
+//!                  every case must FAIL, and failures are not written out
+//! ```
+//!
+//! Exit status: 0 if the campaign found no real failure, 1 otherwise.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+use xbc_check::{run_case, shrink, FuzzCase};
+
+struct Args {
+    seeds: std::ops::Range<u64>,
+    budget: Option<Duration>,
+    out: PathBuf,
+    inject: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { seeds: 0..32, budget: None, out: PathBuf::from("repros"), inject: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seeds" => {
+                let v = it.next().ok_or("--seeds needs a value")?;
+                args.seeds = if let Some((a, b)) = v.split_once("..") {
+                    let a = a.parse::<u64>().map_err(|e| format!("bad seed range start: {e}"))?;
+                    let b = b.parse::<u64>().map_err(|e| format!("bad seed range end: {e}"))?;
+                    a..b
+                } else {
+                    let n = v.parse::<u64>().map_err(|e| format!("bad seed count: {e}"))?;
+                    0..n
+                };
+            }
+            "--budget" => {
+                let v = it.next().ok_or("--budget needs a value")?;
+                let secs = v
+                    .strip_suffix('s')
+                    .unwrap_or(&v)
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad budget: {e}"))?;
+                args.budget = Some(Duration::from_secs(secs));
+            }
+            "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a value")?),
+            "--inject" => args.inject = true,
+            "--help" | "-h" => {
+                eprintln!("{}", HELP);
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+const HELP: &str = "xbc-check: differential fuzzer for the XBC frontends
+usage: xbc-check [--seeds N | --seeds A..B] [--budget SECS[s]] [--out DIR] [--inject]";
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("xbc-check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let start = Instant::now();
+    let mut ran = 0u64;
+    let mut failures = 0u64;
+    for seed in args.seeds.clone() {
+        if let Some(budget) = args.budget {
+            if start.elapsed() >= budget {
+                println!(
+                    "budget exhausted after {ran} cases ({:.1}s)",
+                    start.elapsed().as_secs_f64()
+                );
+                break;
+            }
+        }
+        let mut case = FuzzCase::from_seed(seed);
+        if args.inject {
+            // Self-test mode: corrupt one committed instruction so the
+            // harness MUST report a stream divergence.
+            case.corrupt = Some(seed as usize * 7919 + 13);
+        }
+        ran += 1;
+        match run_case(&case) {
+            Ok(results) => {
+                if args.inject {
+                    eprintln!("seed {seed}: injected corruption was NOT detected — harness bug");
+                    failures += 1;
+                } else {
+                    let uops: u64 = results.first().map(|(_, m)| m.total_uops()).unwrap_or(0);
+                    println!("seed {seed}: ok ({} frontends, {} uops)", results.len(), uops);
+                }
+            }
+            Err(_) => {
+                println!("seed {seed}: FAILURE — shrinking…");
+                let shrunk = shrink(&case, 200);
+                println!(
+                    "seed {seed}: shrunk to {} insts / {} fn in {} attempts",
+                    shrunk.case.insts, shrunk.case.functions, shrunk.attempts
+                );
+                println!("{}", shrunk.failure);
+                if args.inject {
+                    // Expected to fail: detection is the passing outcome.
+                    println!("seed {seed}: injected divergence detected and shrunk (self-test ok)");
+                } else {
+                    failures += 1;
+                    if let Err(e) = std::fs::create_dir_all(&args.out) {
+                        eprintln!("xbc-check: cannot create {}: {e}", args.out.display());
+                        return ExitCode::from(2);
+                    }
+                    let path = args.out.join(format!("repro-{seed}.json"));
+                    if let Err(e) = std::fs::write(&path, shrunk.case.to_json() + "\n") {
+                        eprintln!("xbc-check: cannot write {}: {e}", path.display());
+                        return ExitCode::from(2);
+                    }
+                    println!("seed {seed}: reproducer written to {}", path.display());
+                }
+            }
+        }
+    }
+
+    println!(
+        "campaign done: {ran} cases, {failures} failure(s), {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

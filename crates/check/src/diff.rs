@@ -1,0 +1,347 @@
+//! The lockstep differential oracle.
+//!
+//! [`DiffHarness`] drives any [`Frontend`] one [`Frontend::step`] at a time
+//! against a *reference* committed stream and fails on the **first**
+//! divergence, with a window of context (IP, instruction/uop index, cycle,
+//! frontend mode, recent history) instead of an end-of-run aggregate
+//! mismatch. Between cycles it checks the accounting identities every
+//! frontend must maintain:
+//!
+//! * **uop conservation** — `metrics.total_uops()` equals the uops the
+//!   oracle cursor has handed out, every cycle;
+//! * **cycle partition** — `cycles == build + delivery + stall`, and every
+//!   step costs at least one cycle;
+//! * **stream equality** — each instruction the frontend completes matches
+//!   the reference stream at the same index (this is where an injected
+//!   corruption, or a frontend skipping/duplicating work, surfaces);
+//! * **forward progress** — a watchdog converts livelock into a reported
+//!   divergence rather than a hang;
+//! * **structural invariants** — [`Frontend::check_invariants`] runs
+//!   periodically and at the end of the run.
+
+use std::collections::VecDeque;
+use std::fmt;
+use xbc_frontend::{Frontend, FrontendMetrics, OracleStream};
+use xbc_workload::{DynInst, Trace};
+
+/// How many recently completed instructions a [`Divergence`] carries.
+const WINDOW: usize = 8;
+
+/// Steps a frontend may run without delivering a uop before the harness
+/// declares livelock (mirrors the `Frontend::run` watchdog).
+const STUCK_LIMIT: u32 = 10_000;
+
+/// What went wrong, where, with a window of context.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Which check tripped.
+    pub kind: DivergenceKind,
+    /// Human-readable detail of the mismatch.
+    pub detail: String,
+    /// Frontend name (`"xbc"`, `"tc"`, …).
+    pub frontend: String,
+    /// Frontend mode label at the failing cycle.
+    pub mode: &'static str,
+    /// Frontend state summary at the failing cycle.
+    pub state: String,
+    /// Index of the instruction being delivered when the check tripped.
+    pub inst_index: usize,
+    /// Fetch IP at the failing cycle (`None` at end of stream).
+    pub ip: Option<xbc_isa::Addr>,
+    /// Uops delivered before the check tripped.
+    pub uop_index: u64,
+    /// Cycle count at the failing step.
+    pub cycle: u64,
+    /// The last few completed instructions, oldest first, then the next
+    /// expected reference instruction — the context window.
+    pub window: Vec<String>,
+}
+
+/// Classification of a [`Divergence`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// A completed instruction differs from the reference stream.
+    Stream,
+    /// `total_uops()` disagrees with the oracle cursor.
+    Conservation,
+    /// `cycles != build + delivery + stall`, or a step cost no cycle.
+    CycleAccounting,
+    /// No uop delivered for [`STUCK_LIMIT`] consecutive cycles.
+    Livelock,
+    /// [`Frontend::check_invariants`] reported a violation.
+    Invariant,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:?} divergence in `{}` at inst {} (ip {}), uop {}, cycle {} [mode {}]",
+            self.kind,
+            self.frontend,
+            self.inst_index,
+            self.ip.map(|a| a.to_string()).unwrap_or_else(|| "<end>".into()),
+            self.uop_index,
+            self.cycle,
+            self.mode,
+        )?;
+        writeln!(f, "  {}", self.detail)?;
+        if !self.state.is_empty() {
+            writeln!(f, "  state: {}", self.state)?;
+        }
+        for line in &self.window {
+            writeln!(f, "  | {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Options for a differential run.
+#[derive(Clone, Copy, Debug)]
+pub struct DiffOptions {
+    /// Run [`Frontend::check_invariants`] every this many steps (0 = only
+    /// at the end of the run).
+    pub invariant_period: u64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions { invariant_period: 4096 }
+    }
+}
+
+/// The lockstep differential harness. Stateless between runs; create once
+/// and reuse across frontends and traces.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DiffHarness {
+    opts: DiffOptions,
+}
+
+impl DiffHarness {
+    /// Creates a harness with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a harness with explicit options.
+    pub fn with_options(opts: DiffOptions) -> Self {
+        DiffHarness { opts }
+    }
+
+    /// Replays `subject_trace` through `frontend`, checking every cycle
+    /// against `reference` (usually the pristine capture of the same
+    /// stream; the fuzzer passes a deliberately corrupted subject).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Divergence`] found.
+    pub fn run<F: Frontend + ?Sized>(
+        &self,
+        frontend: &mut F,
+        subject_trace: &Trace,
+        reference: &Trace,
+    ) -> Result<FrontendMetrics, Divergence> {
+        let mut oracle = OracleStream::new(subject_trace);
+        let mut metrics = FrontendMetrics::default();
+        let mut window: VecDeque<String> = VecDeque::with_capacity(WINDOW);
+        let mut compared = 0usize; // instructions checked against the reference
+        let mut last_delivered = 0u64;
+        let mut stuck = 0u32;
+        let mut steps = 0u64;
+
+        let diverge = |kind: DivergenceKind,
+                       detail: String,
+                       frontend: &F,
+                       oracle: &OracleStream<'_>,
+                       metrics: &FrontendMetrics,
+                       window: &VecDeque<String>,
+                       compared: usize| {
+            let mut w: Vec<String> = window.iter().cloned().collect();
+            if let Some(next) = reference.insts().get(compared) {
+                w.push(format!("next expected ref[{}]: {}", compared, brief(next)));
+            }
+            Divergence {
+                kind,
+                detail,
+                frontend: frontend.name().to_owned(),
+                mode: frontend.mode_label(),
+                state: frontend.state_brief(),
+                inst_index: oracle.inst_index(),
+                ip: oracle.current().map(|d| d.inst.ip),
+                uop_index: oracle.delivered_uops(),
+                cycle: metrics.cycles,
+                window: w,
+            }
+        };
+
+        while !oracle.done() {
+            let cycles_before = metrics.cycles;
+            frontend.step(&mut oracle, &mut metrics);
+            steps += 1;
+
+            if metrics.cycles <= cycles_before {
+                return Err(diverge(
+                    DivergenceKind::CycleAccounting,
+                    format!("step added no cycle (still {})", metrics.cycles),
+                    frontend,
+                    &oracle,
+                    &metrics,
+                    &window,
+                    compared,
+                ));
+            }
+            if metrics.cycles
+                != metrics.build_cycles + metrics.delivery_cycles + metrics.stall_cycles
+            {
+                return Err(diverge(
+                    DivergenceKind::CycleAccounting,
+                    format!(
+                        "cycle partition broken: {} != {} build + {} delivery + {} stall",
+                        metrics.cycles,
+                        metrics.build_cycles,
+                        metrics.delivery_cycles,
+                        metrics.stall_cycles
+                    ),
+                    frontend,
+                    &oracle,
+                    &metrics,
+                    &window,
+                    compared,
+                ));
+            }
+            if metrics.total_uops() != oracle.delivered_uops() {
+                return Err(diverge(
+                    DivergenceKind::Conservation,
+                    format!(
+                        "uop conservation broken: metrics count {} but the oracle handed out {}",
+                        metrics.total_uops(),
+                        oracle.delivered_uops()
+                    ),
+                    frontend,
+                    &oracle,
+                    &metrics,
+                    &window,
+                    compared,
+                ));
+            }
+
+            // Compare every instruction completed since the last step with
+            // the reference stream at the same index.
+            while compared < oracle.inst_index() {
+                let got = &subject_trace.insts()[compared];
+                match reference.insts().get(compared) {
+                    Some(want) if want == got => {
+                        if window.len() == WINDOW {
+                            window.pop_front();
+                        }
+                        window.push_back(format!("ok   [{}]: {}", compared, brief(got)));
+                        compared += 1;
+                    }
+                    Some(want) => {
+                        return Err(diverge(
+                            DivergenceKind::Stream,
+                            format!(
+                                "inst {} differs from the reference: delivered {} but expected {}",
+                                compared,
+                                brief(got),
+                                brief(want)
+                            ),
+                            frontend,
+                            &oracle,
+                            &metrics,
+                            &window,
+                            compared,
+                        ));
+                    }
+                    None => {
+                        return Err(diverge(
+                            DivergenceKind::Stream,
+                            format!(
+                                "delivered {} insts but the reference has only {}",
+                                compared + 1,
+                                reference.inst_count()
+                            ),
+                            frontend,
+                            &oracle,
+                            &metrics,
+                            &window,
+                            compared,
+                        ));
+                    }
+                }
+            }
+
+            if oracle.delivered_uops() == last_delivered {
+                stuck += 1;
+                if stuck >= STUCK_LIMIT {
+                    return Err(diverge(
+                        DivergenceKind::Livelock,
+                        format!("no uop delivered for {STUCK_LIMIT} cycles"),
+                        frontend,
+                        &oracle,
+                        &metrics,
+                        &window,
+                        compared,
+                    ));
+                }
+            } else {
+                last_delivered = oracle.delivered_uops();
+                stuck = 0;
+            }
+
+            if self.opts.invariant_period > 0 && steps.is_multiple_of(self.opts.invariant_period) {
+                if let Err(e) = frontend.check_invariants() {
+                    return Err(diverge(
+                        DivergenceKind::Invariant,
+                        e,
+                        frontend,
+                        &oracle,
+                        &metrics,
+                        &window,
+                        compared,
+                    ));
+                }
+            }
+        }
+
+        if let Err(e) = frontend.check_invariants() {
+            return Err(diverge(
+                DivergenceKind::Invariant,
+                e,
+                frontend,
+                &oracle,
+                &metrics,
+                &window,
+                compared,
+            ));
+        }
+        if compared != reference.inst_count() {
+            return Err(diverge(
+                DivergenceKind::Stream,
+                format!(
+                    "run ended after {} insts; the reference has {}",
+                    compared,
+                    reference.inst_count()
+                ),
+                frontend,
+                &oracle,
+                &metrics,
+                &window,
+                compared,
+            ));
+        }
+        Ok(metrics)
+    }
+}
+
+/// One-line rendering of a dynamic instruction for context windows.
+fn brief(d: &DynInst) -> String {
+    format!(
+        "{} ({} uops, {:?}{}) -> {}",
+        d.inst.ip,
+        d.inst.uops,
+        d.inst.branch,
+        if d.taken { ", taken" } else { "" },
+        d.next_ip
+    )
+}

@@ -1,0 +1,130 @@
+//! Greedy reproducer shrinking.
+//!
+//! Given a failing [`FuzzCase`], repeatedly try simpler variants — shorter
+//! trace, fewer functions, features switched off — and keep any variant
+//! that *still fails*. The result is a minimal-ish case whose replay is
+//! fast and whose failure is easy to stare at. Greedy one-knob-at-a-time
+//! shrinking is not globally minimal, but it converges in a few dozen
+//! replays and that is what a reproducer needs.
+
+use crate::fuzz::{run_case, Failure, FuzzCase};
+
+/// Floor for the trace length during shrinking: short enough to replay in
+/// milliseconds, long enough that caches still see real traffic.
+pub const MIN_INSTS: usize = 200;
+
+/// Outcome of a shrink campaign.
+#[derive(Debug)]
+pub struct Shrunk {
+    /// The smallest still-failing case found.
+    pub case: FuzzCase,
+    /// Its failure (re-validated on the final case).
+    pub failure: Failure,
+    /// How many candidate replays the search spent.
+    pub attempts: usize,
+}
+
+/// Shrinks `case` (which must fail) to a smaller still-failing case.
+///
+/// `max_attempts` bounds the total number of candidate replays, so a slow
+/// pathological case cannot stall a fuzz campaign indefinitely.
+///
+/// # Panics
+///
+/// Panics if `case` does not fail when replayed.
+pub fn shrink(case: &FuzzCase, max_attempts: usize) -> Shrunk {
+    let mut best = case.clone();
+    let mut failure = match run_case(&best) {
+        Err(f) => f,
+        Ok(_) => panic!("shrink() called on a passing case: {}", best.to_json()),
+    };
+    let mut attempts = 0usize;
+
+    loop {
+        let mut improved = false;
+        for candidate in candidates(&best) {
+            if attempts >= max_attempts {
+                return Shrunk { case: best, failure, attempts };
+            }
+            attempts += 1;
+            if let Err(f) = run_case(&candidate) {
+                best = candidate;
+                failure = f;
+                improved = true;
+                break; // restart candidate generation from the new best
+            }
+        }
+        if !improved {
+            return Shrunk { case: best, failure, attempts };
+        }
+    }
+}
+
+/// Simpler variants of `case`, most aggressive first. Each differs from
+/// `case` in exactly one knob so the greedy loop attributes progress
+/// correctly.
+fn candidates(case: &FuzzCase) -> Vec<FuzzCase> {
+    let mut out = Vec::new();
+    let mut push = |c: FuzzCase| {
+        if &c != case {
+            out.push(c);
+        }
+    };
+
+    // Trace length dominates replay time: halve it first, then trim by
+    // quarters as the halving stops working.
+    if case.insts / 2 >= MIN_INSTS {
+        push(FuzzCase { insts: case.insts / 2, ..case.clone() });
+    }
+    if case.insts * 3 / 4 >= MIN_INSTS && case.insts * 3 / 4 < case.insts {
+        push(FuzzCase { insts: case.insts * 3 / 4, ..case.clone() });
+    }
+    if case.insts > MIN_INSTS {
+        push(FuzzCase { insts: MIN_INSTS, ..case.clone() });
+    }
+
+    // Fewer functions = a smaller program to stare at.
+    if case.functions / 2 >= 1 {
+        push(FuzzCase { functions: case.functions / 2, ..case.clone() });
+    }
+    if case.functions > 1 {
+        push(FuzzCase { functions: 1, ..case.clone() });
+    }
+
+    // Feature knobs, simplest configuration last so the reproducer names
+    // the feature only when it is actually implicated.
+    if case.interrupts.is_some() {
+        push(FuzzCase { interrupts: None, ..case.clone() });
+    }
+    if case.xbq_depth != 0 {
+        push(FuzzCase { xbq_depth: 0, ..case.clone() });
+    }
+    if case.set_search {
+        push(FuzzCase { set_search: false, ..case.clone() });
+    }
+    if case.promotion != 0 {
+        push(FuzzCase { promotion: 0, ..case.clone() });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrink_reaches_the_floor_on_an_injected_corruption() {
+        // A corrupted stream fails at ANY size, so a correct greedy
+        // shrinker must ride it all the way down to the floor.
+        let case = FuzzCase { corrupt: Some(12345), ..FuzzCase::from_seed(21) };
+        assert!(case.insts > MIN_INSTS);
+        let shrunk = shrink(&case, 200);
+        assert_eq!(shrunk.case.insts, MIN_INSTS);
+        assert_eq!(shrunk.case.functions, 1);
+        assert!(shrunk.case.interrupts.is_none());
+        assert_eq!(shrunk.case.xbq_depth, 0);
+        // The shrunk case still fails, deterministically.
+        assert!(run_case(&shrunk.case).is_err());
+        assert!(run_case(&shrunk.case).is_err());
+    }
+}

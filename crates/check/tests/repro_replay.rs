@@ -1,0 +1,45 @@
+//! Replays every committed fuzz reproducer.
+//!
+//! When `xbc-check` finds a divergence it writes a shrunk JSON reproducer
+//! into `repros/` at the workspace root. Committing such a file turns the
+//! bug into a permanent regression test: this test scans the directory and
+//! re-runs every case, failing while the bug is alive. Once the bug is
+//! fixed the case passes and the file documents history (or is deleted).
+//!
+//! With no `repros/` directory (the healthy state) the test passes
+//! trivially.
+
+use std::path::PathBuf;
+use xbc_check::{run_case, FuzzCase};
+
+fn repros_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../repros")
+}
+
+#[test]
+fn committed_reproducers_replay_clean() {
+    let dir = repros_dir();
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return; // no repros directory: nothing outstanding
+    };
+    let mut checked = 0;
+    for entry in entries {
+        let path = entry.expect("readable repros entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let case = FuzzCase::from_json(text.trim())
+            .unwrap_or_else(|e| panic!("malformed reproducer {}: {e}", path.display()));
+        if let Err(failure) = run_case(&case) {
+            panic!(
+                "reproducer {} still fails:\n{failure}\ncase: {}",
+                path.display(),
+                case.to_json()
+            );
+        }
+        checked += 1;
+    }
+    println!("replayed {checked} reproducer(s) from {}", dir.display());
+}

@@ -140,6 +140,11 @@ impl XbcArray {
         self.banks
     }
 
+    /// Number of ways per bank.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
     /// Uops per bank line.
     pub fn line_uops(&self) -> usize {
         self.line_uops
@@ -738,6 +743,95 @@ impl XbcArray {
             }
         }
         pop
+    }
+
+    /// Metadata of one line, if valid: `(tag, order, uop count)`. Together
+    /// with [`XbcArray::line_uops_at`] this exposes enough state for an
+    /// *independent* census (see `xbc::XbcInvariants`), so the checker does
+    /// not have to trust [`XbcArray::population`].
+    pub fn line_meta(&self, set: usize, bank: usize, way: usize) -> Option<(u64, u8, usize)> {
+        self.lines[self.idx(set, bank, way)].as_ref().map(|l| (l.tag, l.order, l.uops.len()))
+    }
+
+    /// Structural audit of one set (paper §3.2–§3.4 storage rules):
+    ///
+    /// * line geometry — `order < banks`, `1..=line_uops` uops per line;
+    /// * reverse-order storage — adjacent slots of the same instruction
+    ///   carry descending uop slots, a branch kind implies `ends_inst`, and
+    ///   interior uops carry [`BranchKind::None`](xbc_isa::BranchKind);
+    /// * single exit — a boundary-ending branch uop may only sit at
+    ///   position-from-end 0 (order 0, slot 0). Tags in `merged_tags` are
+    ///   exempt: merge-mode combinations (§3.8) legally bury the promoted
+    ///   conditional mid-block.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated storage rule.
+    pub fn audit_set(
+        &self,
+        set: usize,
+        merged_tags: &std::collections::HashSet<(usize, u64)>,
+    ) -> Result<(), String> {
+        for bank in 0..self.banks {
+            for way in 0..self.ways {
+                let Some(line) = &self.lines[self.idx(set, bank, way)] else { continue };
+                let at = format!("set {set} bank {bank} way {way} tag {:#x}", line.tag);
+                if (line.order as usize) >= self.banks {
+                    return Err(format!("{at}: order {} >= banks {}", line.order, self.banks));
+                }
+                if line.uops.is_empty() || line.uops.len() > self.line_uops {
+                    return Err(format!(
+                        "{at}: {} uops in a {}-uop line",
+                        line.uops.len(),
+                        self.line_uops
+                    ));
+                }
+                let merged = merged_tags.contains(&(set, line.tag));
+                for (slot, u) in line.uops.iter().enumerate() {
+                    if !u.ends_inst && u.branch != xbc_isa::BranchKind::None {
+                        return Err(format!(
+                            "{at} slot {slot}: interior uop carries branch {:?}",
+                            u.branch
+                        ));
+                    }
+                    // Position-from-end of this uop within the XB.
+                    let pos = line.order as usize * self.line_uops + slot;
+                    if pos != 0 && u.ends_inst && u.branch.ends_xb_boundary() && !merged {
+                        return Err(format!(
+                            "{at} slot {slot}: XB-ending branch {:?} at interior position {pos}",
+                            u.branch
+                        ));
+                    }
+                    // Reverse storage: slot s holds a *later* uop than s+1,
+                    // so same-instruction neighbours have descending slots.
+                    if slot + 1 < line.uops.len() {
+                        let prev = &line.uops[slot + 1];
+                        if prev.id.inst_ip == u.id.inst_ip && prev.id.slot + 1 != u.id.slot {
+                            return Err(format!(
+                                "{at} slot {slot}: uop slots not descending ({} then {})",
+                                prev.id, u.id
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// [`XbcArray::audit_set`] over every set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated storage rule.
+    pub fn audit(
+        &self,
+        merged_tags: &std::collections::HashSet<(usize, u64)>,
+    ) -> Result<(), String> {
+        for set in 0..self.sets {
+            self.audit_set(set, merged_tags)?;
+        }
+        Ok(())
     }
 
     /// Redundancy audit: `(stored uop slots, distinct uop identities)`.

@@ -13,13 +13,15 @@
 
 use crate::array::{XbFetch, XbcArray};
 use crate::config::{PromotionMode, XbcConfig};
+use crate::invariants::XbcInvariants;
 use crate::ptr::{BankMask, XbPtr};
 use crate::xbtb::{MergedXb, XbEndKind, Xbtb, XbtbEntry, XbtbStats};
 use crate::xfu::{install, InstallKind, Xfu};
+use std::collections::HashSet;
 use xbc_frontend::{BuildEngine, Frontend, FrontendMetrics, OracleStream, Predictors};
 use xbc_isa::Addr;
 use xbc_predict::{IndirectPredictor, ReturnStack};
-use xbc_workload::{DynInst, Trace};
+use xbc_workload::DynInst;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Mode {
@@ -100,6 +102,14 @@ pub struct XbcFrontend {
     link_from: Option<LinkFrom>,
     /// Banks of the most recently placed XB (smart placement).
     last_mask: BankMask,
+    /// Identities of merge-mode combined blocks ever created. Their tags
+    /// legally bury a promoted conditional mid-block, so the structural
+    /// audit exempts them from the single-exit rule. Kept as a
+    /// conservative superset: de-promotion dissolves a combination
+    /// logically, but its lines stay in the array until evicted.
+    merged_ids: HashSet<Addr>,
+    /// Install/extend events since creation (paces the full audits).
+    audit_events: u64,
     /// Debug counters for return-misprediction causes:
     /// `[frame-none, entry-gone, ptr-none, mismatch]`.
     #[doc(hidden)]
@@ -136,6 +146,8 @@ impl XbcFrontend {
             stall: 0,
             link_from: None,
             last_mask: BankMask::EMPTY,
+            merged_ids: HashSet::new(),
+            audit_events: 0,
             ret_debug: [0; 4],
             stale_debug: [0; 5],
             cfg,
@@ -161,6 +173,43 @@ impl XbcFrontend {
     /// XBTB statistics.
     pub fn xbtb_stats(&self) -> XbtbStats {
         self.xbtb.stats()
+    }
+
+    /// The array-coordinate form of [`XbcFrontend::merged_ids`], for the
+    /// single-exit exemption.
+    fn merged_tags(&self) -> HashSet<(usize, u64)> {
+        self.merged_ids.iter().map(|&ip| self.array.set_and_tag(ip)).collect()
+    }
+
+    /// Full structural audit: array storage rules + differential census,
+    /// XBTB pointer sanity, XFU build state. Always compiled (and cheap
+    /// relative to a whole run), so checkers can call it explicitly via
+    /// [`Frontend::check_invariants`] regardless of build flavour.
+    fn audit_full(&self) -> Result<(), String> {
+        XbcInvariants::check_with(&self.array, &self.merged_tags())?;
+        XbcInvariants::check_xbtb(&self.xbtb, &self.array)?;
+        XbcInvariants::check_xfu(&self.xfu)
+    }
+
+    /// Invariant hook after an install/extend event: audits the touched
+    /// set every time and everything every 1024 events. The audit body is
+    /// compiled only under the `check` feature or `debug_assertions`, so
+    /// release throughput is untouched.
+    #[inline]
+    #[allow(unused_variables)]
+    fn audit_after_install(&mut self, set: usize) {
+        self.audit_events += 1;
+        #[cfg(any(feature = "check", debug_assertions))]
+        {
+            if let Err(e) = self.array.audit_set(set, &self.merged_tags()) {
+                panic!("XBC invariant violated after install (set {set}): {e}");
+            }
+            if self.audit_events.is_multiple_of(1024) {
+                if let Err(e) = self.audit_full() {
+                    panic!("XBC invariant violated: {e}");
+                }
+            }
+        }
     }
 
     fn refresh_promotion(cfg: &XbcConfig, entry: &mut XbtbEntry, metrics: &mut FrontendMetrics) {
@@ -217,18 +266,23 @@ impl XbcFrontend {
         }
         let added = self.array.insert(ptr1.xb_ip, &combined, shared, suffix_mask, BankMask::EMPTY);
         self.array.demote_lru(xb0_ip);
+        // The combined lines are in the array whatever happens below, so
+        // the audit exemption must cover them from here on.
+        self.merged_ids.insert(ptr1.xb_ip);
         let merged = MergedXb {
             xb_ip: ptr1.xb_ip,
             mask: suffix_mask.union(added),
             total_len: combined_len as u8,
             suffix_len: ptr1.offset,
         };
-        if let Some(e0) = self.xbtb.get_mut(xb0_ip) {
+        let ok = if let Some(e0) = self.xbtb.get_mut(xb0_ip) {
             e0.merged = Some(merged);
             true
         } else {
             false
-        }
+        };
+        self.audit_after_install(set1);
+        ok
     }
 
     /// In merge mode, rewrites a pointer into a promoted-and-merged XB0 so
@@ -724,7 +778,10 @@ impl XbcFrontend {
         let room = if self.cfg.xbq_depth == 0 {
             self.pending_uops == 0
         } else {
-            self.pending_uops + fetch_width <= self.cfg.xbq_depth
+            // A queue shallower than one fetch group could otherwise never
+            // accept anything; once empty it must take a group regardless
+            // (degenerating to the undecoupled depth-0 pacing).
+            self.pending_uops == 0 || self.pending_uops + fetch_width <= self.cfg.xbq_depth
         };
         if room && self.after_drain.is_none() && self.stall == 0 {
             let accepted = self.fetch_into_queue(oracle, metrics);
@@ -806,6 +863,8 @@ impl XbcFrontend {
                 }
             }
             last = Some((ptr, kind, end));
+            let (set, _) = self.array.set_and_tag(ptr.xb_ip);
+            self.audit_after_install(set);
         }
         // Switch check (§3.5): delivery resumes when the block just built
         // was already cached (XBC hit) and the XBTB can point onward.
@@ -856,40 +915,29 @@ impl Frontend for XbcFrontend {
         "xbc"
     }
 
-    fn run(&mut self, trace: &Trace) -> FrontendMetrics {
-        let mut oracle = OracleStream::new(trace);
-        let mut metrics = FrontendMetrics::default();
-        // Forward-progress watchdog: no legal frontend state needs more
-        // than a few hundred cycles without delivering a uop (the longest
-        // stall is one misprediction penalty plus an IC miss); a violation
-        // means a livelocked pointer-repair loop and must fail loudly
-        // rather than spin.
-        let mut last_delivered = 0u64;
-        let mut stuck_cycles = 0u32;
-        while !oracle.done() {
-            match self.mode {
-                Mode::Build => self.build_cycle(&mut oracle, &mut metrics),
-                Mode::Delivery => self.delivery_cycle(&mut oracle, &mut metrics),
-            }
-            if oracle.delivered_uops() == last_delivered {
-                stuck_cycles += 1;
-                assert!(
-                    stuck_cycles < 10_000,
-                    "frontend livelock at inst {} (ip {}): mode={:?} cur={:?} pending={} stall={} after={:?}",
-                    oracle.inst_index(),
-                    oracle.fetch_ip(),
-                    self.mode,
-                    self.cur,
-                    self.pending_uops,
-                    self.stall,
-                    self.after_drain
-                );
-            } else {
-                last_delivered = oracle.delivered_uops();
-                stuck_cycles = 0;
-            }
+    fn step(&mut self, oracle: &mut OracleStream<'_>, metrics: &mut FrontendMetrics) {
+        match self.mode {
+            Mode::Build => self.build_cycle(oracle, metrics),
+            Mode::Delivery => self.delivery_cycle(oracle, metrics),
         }
-        metrics
+    }
+
+    fn mode_label(&self) -> &'static str {
+        match self.mode {
+            Mode::Build => "build",
+            Mode::Delivery => "delivery",
+        }
+    }
+
+    fn state_brief(&self) -> String {
+        format!(
+            "mode={:?} cur={:?} pending={} stall={} after={:?}",
+            self.mode, self.cur, self.pending_uops, self.stall, self.after_drain
+        )
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        self.audit_full()
     }
 }
 
@@ -897,7 +945,7 @@ impl Frontend for XbcFrontend {
 mod tests {
     use super::*;
     use xbc_isa::{BranchKind, Inst};
-    use xbc_workload::{standard_traces, CondBehavior, ProgramBuilder};
+    use xbc_workload::{standard_traces, CondBehavior, ProgramBuilder, Trace};
 
     fn small() -> XbcConfig {
         XbcConfig { total_uops: 4096, ..XbcConfig::default() }

@@ -40,6 +40,7 @@ mod align;
 mod array;
 mod config;
 mod frontend;
+mod invariants;
 mod ptr;
 mod xbtb;
 mod xfu;
@@ -48,6 +49,7 @@ pub use align::{align, fetch_through_network, reorder, BankOutput};
 pub use array::{ArrayStats, Assembly, Population, XbFetch, XbcArray};
 pub use config::{PromotionMode, XbcConfig};
 pub use frontend::XbcFrontend;
+pub use invariants::XbcInvariants;
 pub use ptr::{BankMask, XbPtr};
 pub use xbtb::{MergedXb, XbEndKind, Xbtb, XbtbEntry, XbtbStats};
 pub use xfu::{install, BuiltXb, InstallKind, Xfu};

@@ -248,6 +248,81 @@ impl Xbtb {
         self.stats
     }
 
+    /// Iterates over the valid entries (for audits and reports).
+    pub fn entries(&self) -> impl Iterator<Item = &XbtbEntry> {
+        self.entries.iter().flatten()
+    }
+
+    /// Structural audit of the pointer table (paper §3.5):
+    ///
+    /// * residency — every entry sits in the set its identity hashes to,
+    ///   and no identity appears twice;
+    /// * pointer sanity — every stored [`XbPtr`] has `1..=max_offset` entry
+    ///   offset and a bank mask with at least `ceil(offset / line_uops)`
+    ///   bits (an XB spans one distinct bank per line, so a thinner mask
+    ///   can never fetch the window it promises);
+    /// * promotion — a merged combination (§3.8) exists only while its
+    ///   branch is promoted, and its suffix window fits its total length.
+    ///
+    /// Stored pointers may be *stale* with respect to the array (that is
+    /// what set search repairs, §3.9), so this audit checks only intrinsic
+    /// pointer well-formedness, never array residency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation.
+    pub fn audit(&self, line_uops: usize, max_offset: usize) -> Result<(), String> {
+        let check_ptr = |who: &str, p: &XbPtr| -> Result<(), String> {
+            if p.offset == 0 || p.offset as usize > max_offset {
+                return Err(format!("{who}: offset {} out of 1..={max_offset}", p.offset));
+            }
+            let needed = (p.offset as usize).div_ceil(line_uops);
+            if p.mask.count() < needed {
+                return Err(format!(
+                    "{who}: mask {:?} has {} banks but offset {} needs {}",
+                    p.mask,
+                    p.mask.count(),
+                    p.offset,
+                    needed
+                ));
+            }
+            Ok(())
+        };
+        let mut seen = std::collections::HashSet::new();
+        for (i, e) in self.entries.iter().enumerate() {
+            let Some(e) = e else { continue };
+            let who = format!("XBTB entry {} at slot {i}", e.xb_ip);
+            let base = self.set_base(e.xb_ip);
+            if !(base..base + self.ways).contains(&i) {
+                return Err(format!("{who}: resident outside its set (base {base})"));
+            }
+            if !seen.insert(e.xb_ip) {
+                return Err(format!("{who}: duplicate identity"));
+            }
+            if let Some(p) = &e.taken {
+                check_ptr(&format!("{who} taken-ptr"), p)?;
+            }
+            if let Some(p) = &e.not_taken {
+                check_ptr(&format!("{who} not-taken-ptr"), p)?;
+            }
+            if let Some(m) = &e.merged {
+                if e.promoted.is_none() {
+                    return Err(format!("{who}: merged combination without promotion"));
+                }
+                if m.suffix_len > m.total_len || m.total_len as usize > max_offset {
+                    return Err(format!(
+                        "{who}: merged lengths suffix {} / total {} exceed {max_offset}",
+                        m.suffix_len, m.total_len
+                    ));
+                }
+                if m.mask.count() == 0 {
+                    return Err(format!("{who}: merged combination with an empty mask"));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Number of valid entries.
     pub fn len(&self) -> usize {
         self.entries.iter().filter(|e| e.is_some()).count()

@@ -166,6 +166,63 @@ impl Xfu {
         self.cur_uops = 0;
         self.done.clear();
     }
+
+    /// Structural audit of the build state (paper §3.3):
+    ///
+    /// * the running uop total matches a recount of the open block and
+    ///   stays within the XB quota;
+    /// * no instruction *inside* an open or finalized block ends an XB —
+    ///   boundaries finalize immediately, so only a block's last
+    ///   instruction may carry a boundary-ending branch;
+    /// * finalized blocks are non-empty, within quota, and their recorded
+    ///   uop counts match a recount.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation.
+    pub fn audit(&self) -> Result<(), String> {
+        let recount: usize = self.cur.iter().map(|d| d.inst.uops as usize).sum();
+        if recount != self.cur_uops {
+            return Err(format!("XFU open block counts {} uops, recount {recount}", self.cur_uops));
+        }
+        if self.cur_uops > self.max_uops {
+            return Err(format!(
+                "XFU open block of {} uops exceeds quota {}",
+                self.cur_uops, self.max_uops
+            ));
+        }
+        for d in &self.cur {
+            if d.inst.branch.ends_xb_boundary() {
+                return Err(format!("XFU open block holds boundary-ending inst at {}", d.inst.ip));
+            }
+        }
+        for b in &self.done {
+            if b.insts.is_empty() {
+                return Err("XFU finalized an empty block".to_string());
+            }
+            let n: usize = b.insts.iter().map(|d| d.inst.uops as usize).sum();
+            if n != b.uop_count {
+                return Err(format!(
+                    "built XB at {} counts {} uops, recount {n}",
+                    b.end_ip(),
+                    b.uop_count
+                ));
+            }
+            if b.uop_count > self.max_uops {
+                return Err(format!("built XB at {} exceeds quota {}", b.end_ip(), self.max_uops));
+            }
+            for d in &b.insts[..b.insts.len() - 1] {
+                if d.inst.branch.ends_xb_boundary() {
+                    return Err(format!(
+                        "built XB at {} holds interior boundary-ending inst at {}",
+                        b.end_ip(),
+                        d.inst.ip
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 impl FillSink for Xfu {

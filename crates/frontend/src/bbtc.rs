@@ -21,7 +21,7 @@ use crate::oracle::OracleStream;
 use xbc_isa::{Addr, BranchKind};
 use xbc_predict::{BtbConfig, GshareConfig};
 use xbc_uarch::{DecoderConfig, ICacheConfig, SetAssoc};
-use xbc_workload::{DynInst, Trace};
+use xbc_workload::DynInst;
 
 /// Configuration of a [`BbtcFrontend`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -433,16 +433,18 @@ impl Frontend for BbtcFrontend {
         "bbtc"
     }
 
-    fn run(&mut self, trace: &Trace) -> FrontendMetrics {
-        let mut oracle = OracleStream::new(trace);
-        let mut metrics = FrontendMetrics::default();
-        while !oracle.done() {
-            match self.mode {
-                Mode::Build => self.build_cycle(&mut oracle, &mut metrics),
-                Mode::Delivery => self.delivery_cycle(&mut oracle, &mut metrics),
-            }
+    fn step(&mut self, oracle: &mut OracleStream<'_>, metrics: &mut FrontendMetrics) {
+        match self.mode {
+            Mode::Build => self.build_cycle(oracle, metrics),
+            Mode::Delivery => self.delivery_cycle(oracle, metrics),
         }
-        metrics
+    }
+
+    fn mode_label(&self) -> &'static str {
+        match self.mode {
+            Mode::Build => "build",
+            Mode::Delivery => "delivery",
+        }
     }
 }
 
@@ -450,7 +452,7 @@ impl Frontend for BbtcFrontend {
 mod tests {
     use super::*;
     use xbc_isa::Inst;
-    use xbc_workload::{standard_traces, CondBehavior, ProgramBuilder};
+    use xbc_workload::{standard_traces, CondBehavior, ProgramBuilder, Trace};
 
     #[test]
     fn geometry() {

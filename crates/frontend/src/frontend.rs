@@ -1,6 +1,7 @@
 //! The common frontend interface.
 
 use crate::metrics::FrontendMetrics;
+use crate::oracle::OracleStream;
 use xbc_workload::Trace;
 
 /// A trace-driven frontend model: replays a committed instruction stream
@@ -10,14 +11,84 @@ use xbc_workload::Trace;
 /// instruction cache), [`crate::UopCacheFrontend`] (decoded cache, paper
 /// §2.2), [`crate::TraceCacheFrontend`] (paper §2.3), and the XBC frontend
 /// in the `xbc` crate (paper §3).
+///
+/// The unit of progress is [`Frontend::step`]: one machine cycle against
+/// the oracle cursor. [`Frontend::run`] is a provided whole-trace loop
+/// over `step` with a forward-progress watchdog; checkers (the `xbc-check`
+/// crate's lockstep differential harness) drive `step` directly so they
+/// can compare streams and audit state *between* cycles instead of only at
+/// the end of a run.
 pub trait Frontend {
     /// Short machine-readable name (used in report tables).
     fn name(&self) -> &str;
+
+    /// Advances the model by exactly one cycle against `oracle`,
+    /// accumulating into `metrics`. Every call must add at least one cycle
+    /// to `metrics.cycles`.
+    ///
+    /// # Panics
+    ///
+    /// May panic if called when `oracle.done()` — callers check first.
+    fn step(&mut self, oracle: &mut OracleStream<'_>, metrics: &mut FrontendMetrics);
+
+    /// Label of the current internal mode (`"build"` / `"delivery"`), for
+    /// divergence reports. Single-mode frontends report `"build"`.
+    fn mode_label(&self) -> &'static str {
+        "build"
+    }
+
+    /// One-line summary of internal state for watchdog / divergence
+    /// diagnostics. Default: empty.
+    fn state_brief(&self) -> String {
+        String::new()
+    }
+
+    /// Structural self-audit: verifies the model's internal invariants
+    /// (duplicate-free arrays, consistent counters, valid pointers).
+    /// Returns a description of the first violation found. Frontends
+    /// without auditable structure report `Ok(())`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violated invariant.
+    fn check_invariants(&self) -> Result<(), String> {
+        Ok(())
+    }
 
     /// Replays the whole trace, returning accumulated metrics.
     ///
     /// A frontend is single-shot per run: internal predictor/cache state
     /// persists across calls, which models a warm restart; create a fresh
     /// instance for an independent run.
-    fn run(&mut self, trace: &Trace) -> FrontendMetrics;
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frontend stops delivering uops for 10,000 consecutive
+    /// cycles (a livelocked pointer-repair loop must fail loudly rather
+    /// than spin; the longest legal stall is one misprediction penalty
+    /// plus an IC miss).
+    fn run(&mut self, trace: &Trace) -> FrontendMetrics {
+        let mut oracle = OracleStream::new(trace);
+        let mut metrics = FrontendMetrics::default();
+        let mut last_delivered = 0u64;
+        let mut stuck_cycles = 0u32;
+        while !oracle.done() {
+            self.step(&mut oracle, &mut metrics);
+            if oracle.delivered_uops() == last_delivered {
+                stuck_cycles += 1;
+                assert!(
+                    stuck_cycles < 10_000,
+                    "{} frontend livelock at inst {} (ip {}): {}",
+                    self.name(),
+                    oracle.inst_index(),
+                    oracle.fetch_ip(),
+                    self.state_brief()
+                );
+            } else {
+                last_delivered = oracle.delivered_uops();
+                stuck_cycles = 0;
+            }
+        }
+        metrics
+    }
 }

@@ -11,7 +11,6 @@ use crate::metrics::FrontendMetrics;
 use crate::oracle::OracleStream;
 use xbc_predict::{BtbConfig, GshareConfig};
 use xbc_uarch::{DecoderConfig, ICacheConfig};
-use xbc_workload::Trace;
 
 /// Configuration of an [`IcFrontend`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -63,13 +62,8 @@ impl Frontend for IcFrontend {
         "ic"
     }
 
-    fn run(&mut self, trace: &Trace) -> FrontendMetrics {
-        let mut oracle = OracleStream::new(trace);
-        let mut metrics = FrontendMetrics::default();
-        while !oracle.done() {
-            self.engine.cycle(&mut oracle, &mut self.preds, &mut metrics, &mut NoFill);
-        }
-        metrics
+    fn step(&mut self, oracle: &mut OracleStream<'_>, metrics: &mut FrontendMetrics) {
+        self.engine.cycle(oracle, &mut self.preds, metrics, &mut NoFill);
     }
 }
 

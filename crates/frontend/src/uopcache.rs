@@ -14,7 +14,7 @@ use crate::oracle::OracleStream;
 use xbc_isa::Inst;
 use xbc_predict::{BtbConfig, GshareConfig};
 use xbc_uarch::{DecoderConfig, ICacheConfig, SetAssoc};
-use xbc_workload::{DynInst, Trace};
+use xbc_workload::DynInst;
 
 /// Configuration of a [`UopCacheFrontend`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -196,26 +196,28 @@ impl Frontend for UopCacheFrontend {
         "uopcache"
     }
 
-    fn run(&mut self, trace: &Trace) -> FrontendMetrics {
-        let mut oracle = OracleStream::new(trace);
-        let mut metrics = FrontendMetrics::default();
-        while !oracle.done() {
-            match self.mode {
-                Mode::Build => {
-                    self.engine.cycle(&mut oracle, &mut self.preds, &mut metrics, &mut self.fill);
-                    self.install_pending();
-                    if !oracle.done() && oracle.uop_offset() == 0 {
-                        let (set, tag) = self.set_and_tag(oracle.fetch_ip());
-                        if self.cache.probe(set, tag).is_some() {
-                            self.mode = Mode::Delivery;
-                            metrics.build_to_delivery += 1;
-                        }
+    fn step(&mut self, oracle: &mut OracleStream<'_>, metrics: &mut FrontendMetrics) {
+        match self.mode {
+            Mode::Build => {
+                self.engine.cycle(oracle, &mut self.preds, metrics, &mut self.fill);
+                self.install_pending();
+                if !oracle.done() && oracle.uop_offset() == 0 {
+                    let (set, tag) = self.set_and_tag(oracle.fetch_ip());
+                    if self.cache.probe(set, tag).is_some() {
+                        self.mode = Mode::Delivery;
+                        metrics.build_to_delivery += 1;
                     }
                 }
-                Mode::Delivery => self.delivery_cycle(&mut oracle, &mut metrics),
             }
+            Mode::Delivery => self.delivery_cycle(oracle, metrics),
         }
-        metrics
+    }
+
+    fn mode_label(&self) -> &'static str {
+        match self.mode {
+            Mode::Build => "build",
+            Mode::Delivery => "delivery",
+        }
     }
 }
 

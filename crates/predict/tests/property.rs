@@ -1,0 +1,173 @@
+//! Seeded property tests for the promotion bias counter and the return
+//! stack: random operation sequences checked against simple reference
+//! models and the paper's §3.8 promotion semantics.
+
+use xbc_predict::{Bias, BiasCounter, ReturnStack};
+use xbc_workload::Rng64;
+
+/// Reference model for the saturating bias counter: just clamp a wide
+/// integer. Any disagreement with the 7-bit hardware counter is a bug.
+#[derive(Clone, Copy)]
+struct RefCounter {
+    value: i64,
+    updates: u64,
+}
+
+impl RefCounter {
+    fn update(&mut self, taken: bool) {
+        self.value = (self.value + if taken { 1 } else { -1 }).clamp(0, BiasCounter::MAX as i64);
+        self.updates += 1;
+    }
+
+    fn bias(&self) -> Option<Bias> {
+        if self.updates < BiasCounter::WARMUP as u64 {
+            None
+        } else if self.value >= BiasCounter::TAKEN_THRESHOLD as i64 {
+            Some(Bias::Taken)
+        } else if self.value <= BiasCounter::NOT_TAKEN_THRESHOLD as i64 {
+            Some(Bias::NotTaken)
+        } else {
+            None
+        }
+    }
+}
+
+#[test]
+fn bias_counter_matches_reference_on_random_streams() {
+    for case in 0..64u64 {
+        let mut rng = Rng64::seed_from_u64(0xB1A5 + case);
+        // Vary the taken probability per case so some streams promote,
+        // some demote, and some hover around the midpoint.
+        let p_taken = rng.gen::<f64>();
+        let mut hw = BiasCounter::new();
+        let mut model = RefCounter { value: 64, updates: 0 };
+        for step in 0..2_000 {
+            let taken = rng.gen::<f64>() < p_taken;
+            hw.update(taken);
+            model.update(taken);
+            assert_eq!(
+                hw.value() as i64,
+                model.value,
+                "case {case} step {step}: counter diverged from reference"
+            );
+            assert_eq!(hw.bias(), model.bias(), "case {case} step {step}: bias diverged");
+        }
+    }
+}
+
+#[test]
+fn bias_counter_never_promotes_before_warmup() {
+    let mut c = BiasCounter::new();
+    for i in 0..BiasCounter::WARMUP {
+        assert_eq!(c.bias(), None, "promoted after only {i} updates");
+        c.update(true);
+    }
+    // 64 consecutive takens from the midpoint leave the counter one short
+    // of the threshold (64 + 64 = 128, saturated to 127 ≥ 126): promoted.
+    assert_eq!(c.bias(), Some(Bias::Taken));
+}
+
+#[test]
+fn promotion_threshold_tolerates_exactly_one_dissent() {
+    // Saturate taken, then dissent once: still promoted (126 ≥ threshold).
+    let mut c = BiasCounter::new();
+    for _ in 0..256 {
+        c.update(true);
+    }
+    assert_eq!(c.value(), BiasCounter::MAX);
+    c.update(false);
+    assert_eq!(c.bias(), Some(Bias::Taken), "one dissent must not demote");
+    // A second dissent drops below the threshold: demoted.
+    c.update(false);
+    assert_eq!(c.bias(), None, "two dissents must demote");
+    // From 125, one taken update climbs back over the threshold.
+    c.update(true);
+    assert_eq!(c.bias(), Some(Bias::Taken));
+}
+
+#[test]
+fn not_taken_promotion_is_symmetric() {
+    let mut c = BiasCounter::new();
+    for _ in 0..256 {
+        c.update(false);
+    }
+    assert_eq!(c.value(), 0);
+    assert_eq!(c.bias(), Some(Bias::NotTaken));
+    c.update(true);
+    assert_eq!(c.bias(), Some(Bias::NotTaken), "one dissent must not demote");
+    c.update(true);
+    assert_eq!(c.bias(), None, "two dissents must demote");
+}
+
+/// Reference model for the wrap-around return stack: an unbounded Vec
+/// truncated from the *front* (oldest frames lost first) on overflow.
+struct RefStack {
+    frames: Vec<u64>,
+    depth: usize,
+    overflows: u64,
+    underflows: u64,
+}
+
+impl RefStack {
+    fn push(&mut self, v: u64) {
+        if self.frames.len() == self.depth {
+            self.frames.remove(0); // oldest frame is overwritten
+            self.overflows += 1;
+        }
+        self.frames.push(v);
+    }
+
+    fn pop(&mut self) -> Option<u64> {
+        let v = self.frames.pop();
+        if v.is_none() {
+            self.underflows += 1;
+        }
+        v
+    }
+}
+
+#[test]
+fn return_stack_matches_reference_under_random_call_return_interleavings() {
+    for case in 0..64u64 {
+        let mut rng = Rng64::seed_from_u64(0xA110 + case);
+        let depth = 1 + rng.uniform(12) as usize;
+        let mut hw = ReturnStack::new(depth);
+        let mut model = RefStack { frames: Vec::new(), depth, overflows: 0, underflows: 0 };
+        // Skew the call/return ratio per case so some cases overflow
+        // heavily, others underflow heavily.
+        let p_call = 0.25 + 0.5 * rng.gen::<f64>();
+        let mut next_id = 0u64;
+        for step in 0..4_000 {
+            if rng.gen::<f64>() < p_call {
+                hw.push(next_id);
+                model.push(next_id);
+                next_id += 1;
+            } else {
+                let got = hw.pop();
+                let want = model.pop();
+                assert_eq!(got, want, "case {case} (depth {depth}) step {step}: pop diverged");
+            }
+            assert_eq!(hw.len(), model.frames.len(), "case {case} step {step}: length diverged");
+            assert_eq!(hw.peek(), model.frames.last(), "case {case} step {step}: peek diverged");
+            assert_eq!(hw.overflows(), model.overflows, "case {case} step {step}");
+            assert_eq!(hw.underflows(), model.underflows, "case {case} step {step}");
+        }
+    }
+}
+
+#[test]
+fn return_stack_clear_resets_contents_but_keeps_statistics() {
+    let mut rsb = ReturnStack::new(4);
+    for v in 0..6u64 {
+        rsb.push(v); // two overflows
+    }
+    rsb.pop();
+    rsb.clear();
+    assert!(rsb.is_empty());
+    assert_eq!(rsb.pop(), None);
+    assert_eq!(rsb.overflows(), 2, "clear must not erase the overflow history");
+    assert!(rsb.underflows() >= 1);
+    // Still fully usable after the flush.
+    rsb.push(9);
+    assert_eq!(rsb.pop(), Some(9));
+}

@@ -17,8 +17,8 @@ use xbc_workload::{function_dot, standard_traces, Trace};
 fn usage() -> ! {
     eprintln!("usage:");
     eprintln!("  xbcsim list");
-    eprintln!("  xbcsim run --frontend ic|uopcache|bbtc|tc|xbc [--size N] (--trace NAME --inst N | --from FILE)");
-    eprintln!("  xbcsim sweep [--frontends tc,xbc] [--sizes 8192,32768] [--inst N] [--json FILE] [--cache DIR|off]");
+    eprintln!("  xbcsim run --frontend ic|uopcache|bbtc|tc|xbc [--size N] [--check on] (--trace NAME --inst N | --from FILE)");
+    eprintln!("  xbcsim sweep [--frontends tc,xbc] [--sizes 8192,32768] [--inst N] [--json FILE] [--cache DIR|off] [--check on]");
     eprintln!("  xbcsim capture --trace NAME --inst N --out FILE");
     eprintln!("  xbcsim dot --trace NAME [--function K]   (DOT CFG to stdout)");
     exit(2);
@@ -54,6 +54,15 @@ impl Flags {
         match self.get(key) {
             None => default,
             Some(v) => v.parse().unwrap_or_else(|_| fail(&format!("bad --{key}: {v}"))),
+        }
+    }
+
+    fn get_bool(&self, key: &str, default: bool) -> bool {
+        match self.get(key) {
+            None => default,
+            Some("true" | "on" | "1") => true,
+            Some("false" | "off" | "0") => false,
+            Some(v) => fail(&format!("bad --{key}: {v} (want on|off)")),
         }
     }
 }
@@ -96,7 +105,13 @@ fn cmd_run(flags: &Flags) {
     };
     let spec = frontend_spec(kind, size);
     let mut fe = spec.instantiate();
-    let m = fe.run(&trace);
+    let m = if flags.get_bool("check", false) {
+        // Verified replay: per-cycle accounting identities + structural
+        // audit, same metrics as the plain run.
+        xbc_sim::run_checked(&mut *fe, &trace, trace.name())
+    } else {
+        fe.run(&trace)
+    };
     println!("{} on {} ({} uops):", spec.label(), trace.name(), trace.uop_count());
     println!("{m}");
 }
@@ -124,6 +139,7 @@ fn cmd_sweep(flags: &Flags) {
         .or_else(|| std::env::var("XBC_CACHE_DIR").ok())
         .unwrap_or_else(|| "target/xbc-cache".to_owned());
     let mut sweep = Sweep::new(standard_traces(), frontends, insts);
+    sweep.check = flags.get_bool("check", false);
     if cache != "off" {
         match xbc_store::Store::open(&cache) {
             Ok(store) => sweep = sweep.with_store(std::sync::Arc::new(store)),

@@ -27,6 +27,9 @@ pub struct HarnessArgs {
     pub threads: usize,
     /// xbc-store root directory; `None` means caching is disabled.
     pub cache_dir: Option<String>,
+    /// Verify accounting identities and structural invariants while
+    /// simulating (`--check`).
+    pub check: bool,
     /// Positional (non-flag) arguments, for harness-specific modes.
     pub positional: Vec<String>,
 }
@@ -47,6 +50,7 @@ impl HarnessArgs {
             json: None,
             threads: 0,
             cache_dir: Some(default_cache),
+            check: false,
             positional: Vec::new(),
         };
         let mut it = args.into_iter();
@@ -85,6 +89,9 @@ impl HarnessArgs {
                 "--no-cache" => {
                     out.cache_dir = None;
                 }
+                "--check" => {
+                    out.check = true;
+                }
                 other if other.starts_with("--") => {
                     return Err(format!("unknown flag: {other}"));
                 }
@@ -102,7 +109,7 @@ impl HarnessArgs {
                 eprintln!("error: {e}");
                 eprintln!(
                     "usage: [--inst N] [--traces a,b,c] [--json PATH] [--threads N] \
-                     [--cache-dir PATH | --no-cache] [mode...]"
+                     [--cache-dir PATH | --no-cache] [--check] [mode...]"
                 );
                 std::process::exit(2);
             }
@@ -129,6 +136,7 @@ impl HarnessArgs {
     pub fn sweep(&self, frontends: Vec<crate::FrontendSpec>) -> crate::Sweep {
         let mut sweep = crate::Sweep::new(self.traces.clone(), frontends, self.insts);
         sweep.threads = self.threads;
+        sweep.check = self.check;
         if let Some(store) = self.open_store() {
             sweep = sweep.with_store(store);
         }
@@ -160,6 +168,7 @@ mod tests {
         assert_eq!(a.insts, 1_000_000);
         assert_eq!(a.traces.len(), 21);
         assert!(a.json.is_none());
+        assert!(!a.check);
         assert!(a.positional.is_empty());
         // Caching defaults on ($XBC_CACHE_DIR or target/xbc-cache).
         assert!(a.cache_dir.is_some());
@@ -188,6 +197,7 @@ mod tests {
             "spec.gcc,games.quake",
             "--threads",
             "2",
+            "--check",
             "promotion",
         ])
         .unwrap();
@@ -195,6 +205,7 @@ mod tests {
         assert_eq!(a.traces.len(), 2);
         assert_eq!(a.traces[0].name, "spec.gcc");
         assert_eq!(a.threads, 2);
+        assert!(a.check);
         assert_eq!(a.positional, vec!["promotion"]);
     }
 

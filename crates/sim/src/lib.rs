@@ -40,4 +40,4 @@ mod sweep;
 pub use cli::HarnessArgs;
 pub use report::{average_bandwidth, average_miss_rate, pivot_table, rows_from_json, to_json, Row};
 pub use spec::FrontendSpec;
-pub use sweep::{sweep_custom, CustomRow, Sweep, CODE_VERSION};
+pub use sweep::{run_checked, sweep_custom, CustomRow, Sweep, CODE_VERSION};

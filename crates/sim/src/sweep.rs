@@ -12,7 +12,7 @@ use crate::spec::FrontendSpec;
 use std::sync::Arc;
 use std::sync::Mutex;
 use std::time::Instant;
-use xbc_frontend::{Frontend, FrontendMetrics};
+use xbc_frontend::{Frontend, FrontendMetrics, OracleStream};
 use xbc_store::Store;
 use xbc_workload::{Trace, TraceSpec};
 
@@ -48,6 +48,11 @@ pub struct Sweep {
     pub store: Option<Arc<Store>>,
     /// Emit per-trace progress lines to stderr (default on).
     pub progress: bool,
+    /// Verify accounting identities and structural invariants while
+    /// simulating (default off). Checked runs produce *identical* rows —
+    /// the checks observe, they never perturb — so [`CODE_VERSION`] is
+    /// unaffected; cells replayed from the result cache are not re-run.
+    pub check: bool,
 }
 
 impl Sweep {
@@ -61,7 +66,7 @@ impl Sweep {
         assert!(!traces.is_empty(), "sweep needs at least one trace");
         assert!(!frontends.is_empty(), "sweep needs at least one frontend");
         assert!(insts > 0, "sweep needs a positive instruction budget");
-        Sweep { traces, frontends, insts, threads: 0, store: None, progress: true }
+        Sweep { traces, frontends, insts, threads: 0, store: None, progress: true, check: false }
     }
 
     /// Attaches a trace/result store; subsequent [`run`](Sweep::run)
@@ -157,7 +162,11 @@ impl Sweep {
                 }
                 let sim0 = Instant::now();
                 let mut frontend = fe.instantiate();
-                let m = frontend.run(&trace);
+                let m = if self.check {
+                    run_checked(&mut *frontend, &trace, spec.name)
+                } else {
+                    frontend.run(&trace)
+                };
                 let mut row = Row::new(spec.name, &spec.suite.to_string(), *fe, self.insts, &m);
                 row.elapsed_ms = capture_share_ms + sim0.elapsed().as_millis() as u64;
                 if let Some(store) = &self.store {
@@ -180,6 +189,63 @@ impl Sweep {
         }
         rows.into_iter().map(|r| r.expect("every cell filled")).collect()
     }
+}
+
+/// Steps a frontend to completion while asserting, every cycle, the
+/// accounting identities any correct model maintains (uop conservation
+/// and the build/delivery/stall partition), then runs the frontend's
+/// structural self-audit. Behaviorally identical to [`Frontend::run`] —
+/// only observation is added — so checked and unchecked rows match.
+///
+/// # Panics
+///
+/// Panics with a diagnostic naming the frontend, trace, and cycle on the
+/// first violation.
+pub fn run_checked(fe: &mut dyn Frontend, trace: &Trace, trace_name: &str) -> FrontendMetrics {
+    let mut oracle = OracleStream::new(trace);
+    let mut metrics = FrontendMetrics::default();
+    let mut stuck = 0u32;
+    let mut last_delivered = 0u64;
+    while !oracle.done() {
+        let before = metrics.cycles;
+        fe.step(&mut oracle, &mut metrics);
+        assert!(
+            metrics.cycles > before,
+            "[--check] {} on {trace_name}: step added no cycle at uop {}",
+            fe.name(),
+            oracle.delivered_uops()
+        );
+        assert_eq!(
+            metrics.cycles,
+            metrics.build_cycles + metrics.delivery_cycles + metrics.stall_cycles,
+            "[--check] {} on {trace_name}: cycle partition broken at cycle {}",
+            fe.name(),
+            metrics.cycles
+        );
+        assert_eq!(
+            metrics.total_uops(),
+            oracle.delivered_uops(),
+            "[--check] {} on {trace_name}: uop conservation broken at cycle {}",
+            fe.name(),
+            metrics.cycles
+        );
+        if oracle.delivered_uops() == last_delivered {
+            stuck += 1;
+            assert!(
+                stuck < 10_000,
+                "[--check] {} on {trace_name}: livelock at inst {}",
+                fe.name(),
+                oracle.inst_index()
+            );
+        } else {
+            last_delivered = oracle.delivered_uops();
+            stuck = 0;
+        }
+    }
+    if let Err(e) = fe.check_invariants() {
+        panic!("[--check] {} on {trace_name}: invariant violation: {e}", fe.name());
+    }
+    metrics
 }
 
 /// One `(trace, label, metrics)` result of [`sweep_custom`].
@@ -323,6 +389,21 @@ mod tests {
             assert_eq!(f.elapsed_ms, c.elapsed_ms, "cached rows keep the original cost");
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checked_sweep_rows_match_unchecked() {
+        let traces: Vec<TraceSpec> = standard_traces().into_iter().take(2).collect();
+        let frontends = vec![FrontendSpec::Ic, FrontendSpec::xbc_default()];
+        let mut plain = Sweep::new(traces.clone(), frontends.clone(), 4_000);
+        plain.progress = false;
+        let mut checked = Sweep::new(traces, frontends, 4_000);
+        checked.progress = false;
+        checked.check = true;
+        for (p, c) in plain.run().iter().zip(&checked.run()) {
+            assert_eq!(p.cycles, c.cycles, "--check must observe, never perturb");
+            assert_eq!(p.miss_rate, c.miss_rate);
+        }
     }
 
     #[test]

@@ -84,6 +84,20 @@ impl Trace {
         Trace { name: name.to_owned(), insts, uops, exec_stats: exec.stats() }
     }
 
+    /// Builds a trace directly from a committed instruction sequence (the
+    /// uop count is recomputed; executor statistics are zeroed). This is
+    /// the mutation entry point for checkers: `xbc-check` injects
+    /// divergences by editing one [`DynInst`] of a captured stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `insts` is empty.
+    pub fn from_parts(name: &str, insts: Vec<DynInst>) -> Self {
+        assert!(!insts.is_empty(), "a trace needs at least one instruction");
+        let uops = insts.iter().map(|d| d.uops() as u64).sum();
+        Trace { name: name.to_owned(), insts, uops, exec_stats: ExecStats::default() }
+    }
+
     /// Trace name (e.g. `"spec.gcc"`).
     pub fn name(&self) -> &str {
         &self.name
@@ -142,7 +156,10 @@ impl Trace {
         let mut r = TraceReader::new(reader)?;
         let name = r.name().to_owned();
         let exec_stats = r.exec_stats();
-        let mut insts = Vec::with_capacity(r.inst_count() as usize);
+        // Cap the preallocation: the count field is read before the CRC is
+        // verified, so a corrupted header must not turn into a huge
+        // allocation — the reader streams and detects the lie itself.
+        let mut insts = Vec::with_capacity((r.inst_count() as usize).min(1 << 20));
         let mut uops = 0u64;
         for d in r.by_ref() {
             let d = d?;

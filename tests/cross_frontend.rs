@@ -3,9 +3,10 @@
 //! accounting.
 
 use xbc::{XbcConfig, XbcFrontend};
+use xbc_check::DiffHarness;
 use xbc_frontend::{
-    Frontend, IcFrontend, IcFrontendConfig, TcConfig, TraceCacheFrontend, UopCacheConfig,
-    UopCacheFrontend,
+    BbtcConfig, BbtcFrontend, Frontend, IcFrontend, IcFrontendConfig, TcConfig, TraceCacheFrontend,
+    UopCacheConfig, UopCacheFrontend,
 };
 use xbc_workload::standard_traces;
 
@@ -14,16 +15,25 @@ fn all_frontends(total_uops: usize) -> Vec<Box<dyn Frontend>> {
         Box::new(IcFrontend::new(IcFrontendConfig::default())),
         Box::new(UopCacheFrontend::new(UopCacheConfig { total_uops, ..Default::default() })),
         Box::new(TraceCacheFrontend::new(TcConfig { total_uops, ..Default::default() })),
+        Box::new(BbtcFrontend::new(BbtcConfig { total_uops, ..Default::default() })),
         Box::new(XbcFrontend::new(XbcConfig { total_uops, ..Default::default() })),
     ]
 }
 
 #[test]
-fn every_frontend_delivers_every_uop_exactly_once() {
-    for spec in standard_traces().iter().step_by(7) {
-        let trace = spec.capture(20_000);
+fn every_frontend_survives_the_differential_oracle_on_every_suite() {
+    // Lockstep replay of EVERY standard trace through every frontend: the
+    // harness checks stream equality, uop conservation, and the cycle
+    // partition after every single cycle, and runs the structural audits
+    // along the way — far stronger than the old end-of-run uop-count
+    // comparison, so a short per-trace budget suffices.
+    let harness = DiffHarness::new();
+    for spec in standard_traces() {
+        let trace = spec.capture(6_000);
         for fe in &mut all_frontends(8192) {
-            let m = fe.run(&trace);
+            let m = harness
+                .run(&mut **fe, &trace, &trace)
+                .unwrap_or_else(|d| panic!("{} diverged on {}:\n{d}", fe.name(), spec.name));
             assert_eq!(
                 m.total_uops(),
                 trace.uop_count(),

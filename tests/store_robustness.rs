@@ -1,0 +1,109 @@
+//! Exhaustive single-byte corruption sweep over the on-disk store formats.
+//!
+//! For a small cached `XBT1` trace entry and an `XBR1` result entry, flip
+//! every byte of the file in turn and verify that the store (a) never
+//! panics, (b) detects the corruption, logs it, evicts the entry, and
+//! reports a miss, and (c) regenerates a byte-identical replacement. This
+//! pins the whole corruption-handling surface — magic, header fields,
+//! varint payload, CRC trailer — not just one lucky offset.
+
+use std::fs;
+use std::path::PathBuf;
+use xbc_store::Store;
+use xbc_workload::standard_traces;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xbc-robust-{}-{tag}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// The single file in a store subdirectory.
+fn only_file(dir: &std::path::Path) -> PathBuf {
+    let mut it = fs::read_dir(dir).unwrap();
+    let path = it.next().expect("one cache file").unwrap().path();
+    assert!(it.next().is_none(), "expected exactly one cache file");
+    path
+}
+
+#[test]
+fn every_single_byte_flip_in_a_trace_entry_is_caught() {
+    let dir = scratch("trace-flips");
+    let store = Store::open(&dir).unwrap();
+    let spec = &standard_traces()[0];
+    // Small on purpose: the sweep is O(file size) loads.
+    let original = store.get_or_capture(spec, 40);
+    let path = only_file(&dir.join("traces"));
+    let pristine = fs::read(&path).unwrap();
+    assert!(pristine.len() < 4096, "keep the exhaustive sweep cheap");
+
+    for i in 0..pristine.len() {
+        let mut raw = pristine.clone();
+        raw[i] ^= 0xA5;
+        fs::write(&path, &raw).unwrap();
+        // Must be detected: a miss, never a panic, never wrong data.
+        assert!(
+            store.load_trace(spec, 40).is_none(),
+            "flip at byte {i}/{} went undetected",
+            pristine.len()
+        );
+        assert!(!path.exists(), "flip at byte {i}: corrupt entry must be deleted");
+    }
+    assert_eq!(store.stats().corrupt_entries, pristine.len() as u64);
+
+    // Regeneration restores a byte-identical entry.
+    let regenerated = store.get_or_capture(spec, 40);
+    assert_eq!(regenerated.insts(), original.insts());
+    assert_eq!(fs::read(&path).unwrap(), pristine, "regenerated entry must be byte-identical");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn every_single_byte_flip_in_a_result_entry_is_caught() {
+    let dir = scratch("result-flips");
+    let store = Store::open(&dir).unwrap();
+    let key = "row|trace=spec.gcc|fe=xbc-32k|insts=1000|code=1";
+    let body = "{\"miss_rate\":0.25,\"uops_per_cycle\":11.5}";
+    store.store_result(key, body);
+    let path = only_file(&dir.join("results"));
+    let pristine = fs::read(&path).unwrap();
+
+    for i in 0..pristine.len() {
+        let mut raw = pristine.clone();
+        raw[i] ^= 0xA5;
+        fs::write(&path, &raw).unwrap();
+        assert!(
+            store.load_result(key).is_none(),
+            "flip at byte {i}/{} went undetected",
+            pristine.len()
+        );
+        assert!(!path.exists(), "flip at byte {i}: corrupt entry must be deleted");
+    }
+    assert_eq!(store.stats().corrupt_entries, pristine.len() as u64);
+
+    // Regenerate and verify the store serves the true body again.
+    store.store_result(key, body);
+    assert_eq!(store.load_result(key).as_deref(), Some(body));
+    assert_eq!(fs::read(&path).unwrap(), pristine, "rewritten entry must be byte-identical");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncation_at_every_length_is_caught() {
+    // Complement of the flip sweep: drop the tail at every possible
+    // length, including zero-length files.
+    let dir = scratch("trunc-all");
+    let store = Store::open(&dir).unwrap();
+    let spec = &standard_traces()[1];
+    store.get_or_capture(spec, 30);
+    let path = only_file(&dir.join("traces"));
+    let pristine = fs::read(&path).unwrap();
+
+    for len in 0..pristine.len() {
+        fs::write(&path, &pristine[..len]).unwrap();
+        assert!(store.load_trace(spec, 30).is_none(), "truncation to {len} bytes went undetected");
+    }
+    fs::write(&path, &pristine).unwrap();
+    assert!(store.load_trace(spec, 30).is_some(), "pristine entry must still load");
+    fs::remove_dir_all(&dir).ok();
+}
