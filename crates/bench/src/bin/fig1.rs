@@ -9,28 +9,35 @@
 //! cargo run --release -p xbc-bench --bin fig1 [-- --inst N --traces a,b]
 //! ```
 
-use xbc_sim::HarnessArgs;
+use xbc_sim::{map_traces_parallel, HarnessArgs};
 use xbc_uarch::Histogram;
 use xbc_workload::{block_length_stats, BLOCK_QUOTA};
 
 fn main() {
     let args = HarnessArgs::from_env();
     let store = args.open_store();
+    // Capture + histogram each trace in parallel (`--threads` workers);
+    // results come back in input order, so the merge is deterministic.
+    let per_trace = map_traces_parallel(
+        &args.traces,
+        args.insts,
+        args.threads,
+        store.as_deref(),
+        |spec, trace| {
+            let s = block_length_stats(trace);
+            eprintln!(
+                "{:<18} bb={:5.2} xb={:5.2} promo={:5.2} dual={:5.2}",
+                spec.name,
+                s.basic_block.mean(),
+                s.xb.mean(),
+                s.xb_promoted.mean(),
+                s.dual_xb.mean()
+            );
+            s
+        },
+    );
     let mut agg: Option<xbc_workload::BlockLengthStats> = None;
-    for spec in &args.traces {
-        let trace = match &store {
-            Some(s) => s.get_or_capture(spec, args.insts),
-            None => spec.capture(args.insts),
-        };
-        let s = block_length_stats(&trace);
-        eprintln!(
-            "{:<18} bb={:5.2} xb={:5.2} promo={:5.2} dual={:5.2}",
-            spec.name,
-            s.basic_block.mean(),
-            s.xb.mean(),
-            s.xb_promoted.mean(),
-            s.dual_xb.mean()
-        );
+    for s in per_trace {
         match &mut agg {
             None => agg = Some(s),
             Some(a) => a.merge(&s),

@@ -21,8 +21,7 @@ fn main() {
         frontends.push(FrontendSpec::Tc { total_uops: SIZE, ways: w });
         frontends.push(FrontendSpec::Xbc { total_uops: SIZE, ways: w, promotion: true });
     }
-    let sweep = args.sweep(frontends);
-    let rows = sweep.run();
+    let rows = args.run_sweep(frontends);
 
     println!(
         "{}",

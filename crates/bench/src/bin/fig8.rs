@@ -12,8 +12,7 @@ use xbc_sim::{average_bandwidth, pivot_table, FrontendSpec, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::from_env();
-    let sweep = args.sweep(vec![FrontendSpec::tc_default(), FrontendSpec::xbc_default()]);
-    let rows = sweep.run();
+    let rows = args.run_sweep(vec![FrontendSpec::tc_default(), FrontendSpec::xbc_default()]);
 
     println!(
         "{}",

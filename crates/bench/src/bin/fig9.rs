@@ -22,8 +22,7 @@ fn main() {
         frontends.push(FrontendSpec::Tc { total_uops: s, ways: 4 });
         frontends.push(FrontendSpec::Xbc { total_uops: s, ways: 2, promotion: true });
     }
-    let sweep = args.sweep(frontends);
-    let rows = sweep.run();
+    let rows = args.run_sweep(frontends);
 
     println!(
         "{}",

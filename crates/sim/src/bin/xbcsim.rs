@@ -4,7 +4,7 @@
 //! xbcsim list
 //! xbcsim run   --frontend xbc --size 32768 --trace spec.gcc --inst 500000
 //! xbcsim run   --frontend tc  --from trace.xbt
-//! xbcsim sweep --frontends tc,xbc --sizes 8192,32768 --inst 200000 [--json out.json] [--cache DIR|off]
+//! xbcsim sweep --frontends tc,xbc --sizes 8192,32768 --inst 200000 [--json out.json] [--bench-json BENCH_sweep.json] [--threads N] [--cache DIR|off]
 //! xbcsim capture --trace sys.access --inst 100000 --out trace.xbt
 //! xbcsim dot --trace spec.gcc --function 3 > f3.dot
 //! ```
@@ -18,7 +18,7 @@ fn usage() -> ! {
     eprintln!("usage:");
     eprintln!("  xbcsim list");
     eprintln!("  xbcsim run --frontend ic|uopcache|bbtc|tc|xbc [--size N] [--check on] (--trace NAME --inst N | --from FILE)");
-    eprintln!("  xbcsim sweep [--frontends tc,xbc] [--sizes 8192,32768] [--inst N] [--json FILE] [--cache DIR|off] [--check on]");
+    eprintln!("  xbcsim sweep [--frontends tc,xbc] [--sizes 8192,32768] [--inst N] [--json FILE] [--bench-json FILE] [--threads N] [--cache DIR|off] [--check on]");
     eprintln!("  xbcsim capture --trace NAME --inst N --out FILE");
     eprintln!("  xbcsim dot --trace NAME [--function K]   (DOT CFG to stdout)");
     exit(2);
@@ -139,6 +139,7 @@ fn cmd_sweep(flags: &Flags) {
         .or_else(|| std::env::var("XBC_CACHE_DIR").ok())
         .unwrap_or_else(|| "target/xbc-cache".to_owned());
     let mut sweep = Sweep::new(standard_traces(), frontends, insts);
+    sweep.threads = flags.get_usize("threads", 0);
     sweep.check = flags.get_bool("check", false);
     if cache != "off" {
         match xbc_store::Store::open(&cache) {
@@ -146,11 +147,16 @@ fn cmd_sweep(flags: &Flags) {
             Err(e) => eprintln!("[xbc-store] cannot open {cache}: {e}; running uncached"),
         }
     }
-    let rows: Vec<Row> = sweep.run();
+    let (rows, bench): (Vec<Row>, _) = sweep.run_with_bench();
     println!("{}", pivot_table(&rows, "uop miss rate (%)", |r| 100.0 * r.miss_rate));
     println!("{}", pivot_table(&rows, "delivery bandwidth (uops/cycle)", |r| r.bandwidth));
     if let Some(path) = flags.get("json") {
         std::fs::write(path, xbc_sim::to_json(&rows))
+            .unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = flags.get("bench-json") {
+        std::fs::write(path, bench.to_json())
             .unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
         eprintln!("wrote {path}");
     }

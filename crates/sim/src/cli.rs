@@ -5,7 +5,11 @@
 //! * `--inst N` — dynamic instructions per trace (default 1,000,000),
 //! * `--traces a,b,c` — restrict to named traces (default: all 21),
 //! * `--json PATH` — also dump rows as JSON,
-//! * `--threads N` — worker threads (default: all cores),
+//! * `--threads N` — worker threads (default: all cores; work is
+//!   scheduled per (trace × frontend) cell, so threads beyond the trace
+//!   count still help),
+//! * `--bench-json PATH` — dump scheduler performance accounting
+//!   (wall time, capture/sim split, worker utilization) as JSON,
 //! * `--cache-dir PATH` — xbc-store root (default `$XBC_CACHE_DIR`,
 //!   falling back to `target/xbc-cache`),
 //! * `--no-cache` — disable the trace/result store entirely.
@@ -23,6 +27,8 @@ pub struct HarnessArgs {
     pub traces: Vec<TraceSpec>,
     /// Optional JSON output path.
     pub json: Option<String>,
+    /// Optional sweep-bench JSON output path (`--bench-json`).
+    pub bench_json: Option<String>,
     /// Worker threads (0 = all cores).
     pub threads: usize,
     /// xbc-store root directory; `None` means caching is disabled.
@@ -48,6 +54,7 @@ impl HarnessArgs {
             insts: 1_000_000,
             traces: standard_traces(),
             json: None,
+            bench_json: None,
             threads: 0,
             cache_dir: Some(default_cache),
             check: false,
@@ -79,6 +86,9 @@ impl HarnessArgs {
                 "--json" => {
                     out.json = Some(it.next().ok_or("--json needs a path")?);
                 }
+                "--bench-json" => {
+                    out.bench_json = Some(it.next().ok_or("--bench-json needs a path")?);
+                }
                 "--threads" => {
                     let v = it.next().ok_or("--threads needs a value")?;
                     out.threads = v.parse().map_err(|_| format!("bad --threads value: {v}"))?;
@@ -108,8 +118,8 @@ impl HarnessArgs {
             Err(e) => {
                 eprintln!("error: {e}");
                 eprintln!(
-                    "usage: [--inst N] [--traces a,b,c] [--json PATH] [--threads N] \
-                     [--cache-dir PATH | --no-cache] [--check] [mode...]"
+                    "usage: [--inst N] [--traces a,b,c] [--json PATH] [--bench-json PATH] \
+                     [--threads N] [--cache-dir PATH | --no-cache] [--check] [mode...]"
                 );
                 std::process::exit(2);
             }
@@ -143,10 +153,30 @@ impl HarnessArgs {
         sweep
     }
 
+    /// Builds and runs the sweep in one step, honoring `--bench-json`:
+    /// the scheduler's performance accounting is written there when the
+    /// flag was given. This is what the figure binaries call.
+    pub fn run_sweep(&self, frontends: Vec<crate::FrontendSpec>) -> Vec<crate::Row> {
+        let (rows, bench) = self.sweep(frontends).run_with_bench();
+        self.maybe_dump_bench(&bench);
+        rows
+    }
+
     /// Writes rows to the `--json` path, if one was given.
     pub fn maybe_dump_json(&self, rows: &[crate::Row]) {
         if let Some(path) = &self.json {
             match std::fs::write(path, crate::to_json(rows)) {
+                Ok(()) => eprintln!("wrote {path}"),
+                Err(e) => eprintln!("failed to write {path}: {e}"),
+            }
+        }
+    }
+
+    /// Writes the sweep bench to the `--bench-json` path, if one was
+    /// given.
+    pub fn maybe_dump_bench(&self, bench: &crate::SweepBench) {
+        if let Some(path) = &self.bench_json {
+            match std::fs::write(path, bench.to_json()) {
                 Ok(()) => eprintln!("wrote {path}"),
                 Err(e) => eprintln!("failed to write {path}: {e}"),
             }
@@ -168,6 +198,7 @@ mod tests {
         assert_eq!(a.insts, 1_000_000);
         assert_eq!(a.traces.len(), 21);
         assert!(a.json.is_none());
+        assert!(a.bench_json.is_none());
         assert!(!a.check);
         assert!(a.positional.is_empty());
         // Caching defaults on ($XBC_CACHE_DIR or target/xbc-cache).
@@ -197,6 +228,8 @@ mod tests {
             "spec.gcc,games.quake",
             "--threads",
             "2",
+            "--bench-json",
+            "bench.json",
             "--check",
             "promotion",
         ])
@@ -205,6 +238,7 @@ mod tests {
         assert_eq!(a.traces.len(), 2);
         assert_eq!(a.traces[0].name, "spec.gcc");
         assert_eq!(a.threads, 2);
+        assert_eq!(a.bench_json.as_deref(), Some("bench.json"));
         assert!(a.check);
         assert_eq!(a.positional, vec!["promotion"]);
     }

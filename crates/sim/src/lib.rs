@@ -5,7 +5,11 @@
 //! * [`FrontendSpec`] — serializable frontend configurations
 //!   (IC / uop-cache / trace-cache / XBC at any size),
 //! * [`Sweep`] — parallel (trace × frontend) grids where every
-//!   configuration replays the identical committed path,
+//!   configuration replays the identical committed path; scheduling is
+//!   cell-level, so a grid of N configurations over M traces keeps
+//!   `min(threads, N×M)` workers busy,
+//! * [`SweepBench`] — per-run scheduler accounting (wall time,
+//!   capture/sim split, worker utilization), emitted via `--bench-json`,
 //! * [`Row`] / [`pivot_table`] / [`to_json`] — result collection and the
 //!   table rendering used by the figure-regeneration binaries,
 //! * [`HarnessArgs`] — the common CLI of those binaries.
@@ -31,13 +35,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bench;
 mod cli;
 pub mod json;
 mod report;
 mod spec;
 mod sweep;
 
+pub use bench::{SweepBench, WorkerStat};
 pub use cli::HarnessArgs;
 pub use report::{average_bandwidth, average_miss_rate, pivot_table, rows_from_json, to_json, Row};
 pub use spec::FrontendSpec;
-pub use sweep::{run_checked, sweep_custom, CustomRow, Sweep, CODE_VERSION};
+pub use sweep::{
+    map_traces_parallel, resolve_threads, result_key, run_checked, sweep_custom, CustomRow, Sweep,
+    CODE_VERSION,
+};

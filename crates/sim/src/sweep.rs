@@ -1,17 +1,28 @@
 //! The sweep engine: runs (trace × frontend-configuration) grids in
 //! parallel and collects result rows.
 //!
+//! Parallelism is **cell-level**: the unit of scheduled work is one
+//! `(trace, frontend)` cell pulled from a single shared queue, so a
+//! sweep of N configurations over M traces scales to `min(threads, N×M)`
+//! busy workers — not `min(threads, M)` as a trace-major scheduler
+//! would. Each trace is still captured exactly once per run: the first
+//! worker that needs it captures into an `Arc<Trace>` behind a per-trace
+//! [`OnceLock`]; workers that reach sibling cells in the meantime block
+//! on that lock and then share the capture. Row order stays
+//! deterministic (trace-major, frontend-minor) regardless of threading.
+//!
 //! When a [`Store`] is attached ([`Sweep::with_store`]), the engine is
 //! fully cached: each (trace, frontend, insts) cell first consults the
 //! result cache, and only cells that miss cost a capture + simulation.
 //! A re-run with unchanged parameters performs zero captures and zero
 //! simulations — it is a pure replay of cached rows.
 
+use crate::bench::{SweepBench, WorkerStat};
 use crate::report::{rows_from_json, Row};
 use crate::spec::FrontendSpec;
-use std::sync::Arc;
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 use xbc_frontend::{Frontend, FrontendMetrics, OracleStream};
 use xbc_store::Store;
 use xbc_workload::{Trace, TraceSpec};
@@ -21,8 +32,10 @@ use xbc_workload::{Trace, TraceSpec};
 pub const CODE_VERSION: u32 = 1;
 
 /// The result-cache key of one (trace, frontend, insts) cell: every
-/// input that determines the row, plus [`CODE_VERSION`].
-fn result_key(spec: &TraceSpec, fe: &FrontendSpec, insts: usize) -> String {
+/// input that determines the row, plus [`CODE_VERSION`]. Public so
+/// tests and tooling can address individual cells (e.g. to forge or
+/// evict an entry).
+pub fn result_key(spec: &TraceSpec, fe: &FrontendSpec, insts: usize) -> String {
     format!(
         "row|name={}|suite={}|seed={}|functions={}|insts={insts}|fe={}|code={CODE_VERSION}",
         spec.name,
@@ -31,6 +44,70 @@ fn result_key(spec: &TraceSpec, fe: &FrontendSpec, insts: usize) -> String {
         spec.functions,
         fe.key()
     )
+}
+
+/// Resolves a requested worker count: `0` means one worker per
+/// available core (falling back to 4 when the core count is unknown).
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        requested
+    }
+}
+
+/// Runs `work(i)` for every cell index in `0..cells`, distributing the
+/// cells over at most `threads` workers that pull from one shared
+/// atomic queue. Returns one [`WorkerStat`] per spawned worker.
+fn parallel_cells<F>(cells: usize, threads: usize, work: F) -> Vec<WorkerStat>
+where
+    F: Fn(usize) + Sync,
+{
+    let next = AtomicUsize::new(0);
+    let stats: Mutex<Vec<WorkerStat>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(cells) {
+            scope.spawn(|| {
+                let mut busy = Duration::ZERO;
+                let mut done = 0usize;
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= cells {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    work(idx);
+                    busy += t0.elapsed();
+                    done += 1;
+                }
+                stats
+                    .lock()
+                    .expect("worker stats lock")
+                    .push(WorkerStat { cells: done, busy_ms: busy.as_millis() as u64 });
+            });
+        }
+    });
+    stats.into_inner().expect("workers joined")
+}
+
+/// The capture-cost share of the `rank`-th cell (0-based) among the
+/// `missing` cells whose shared capture cost `total_ms`: every cell
+/// gets the truncated average, and the first `total_ms % missing` cells
+/// get one extra millisecond, so the shares sum to exactly `total_ms`
+/// — no remainder is dropped.
+fn capture_share(total_ms: u64, missing: usize, rank: usize) -> u64 {
+    debug_assert!(rank < missing, "share rank out of range");
+    total_ms / missing as u64 + u64::from((rank as u64) < total_ms % missing as u64)
+}
+
+/// One unit of scheduled work: a (trace, frontend) cell that missed the
+/// result cache, plus its rank among the trace's missing cells (used to
+/// apportion the shared capture cost deterministically).
+struct Cell {
+    trace: usize,
+    fe: usize,
+    rank: usize,
+    missing: usize,
 }
 
 /// Sweep parameters.
@@ -76,118 +153,166 @@ impl Sweep {
         self
     }
 
-    /// Runs the sweep. Traces are distributed over worker threads; each
-    /// worker captures its trace once and replays it through every
-    /// frontend configuration, so all configurations see the identical
-    /// committed path (the paper's trace-driven methodology). With a
-    /// store attached, cells whose results are cached skip both the
-    /// capture and the simulation.
+    /// Runs the sweep. Every `(trace, frontend)` cell is one unit of
+    /// work on a shared queue; each trace is captured at most once and
+    /// shared by all its cells, so every configuration sees the
+    /// identical committed path (the paper's trace-driven methodology).
+    /// With a store attached, cells whose results are cached skip both
+    /// the capture and the simulation.
     ///
     /// Rows are returned grouped by trace (in input order), then by
     /// frontend (in input order) — deterministic regardless of threading.
     pub fn run(&self) -> Vec<Row> {
-        let threads = if self.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-        } else {
-            self.threads
-        };
-        let next = Mutex::new(0usize);
-        let results: Mutex<Vec<(usize, Vec<Row>)>> = Mutex::new(Vec::new());
-        std::thread::scope(|scope| {
-            for _ in 0..threads.min(self.traces.len()) {
-                scope.spawn(|| loop {
-                    let idx = {
-                        let mut n = next.lock().expect("sweep index lock");
-                        let idx = *n;
-                        *n += 1;
-                        idx
-                    };
-                    if idx >= self.traces.len() {
-                        break;
-                    }
-                    let rows = self.run_trace(&self.traces[idx]);
-                    results.lock().expect("sweep result lock").push((idx, rows));
-                });
-            }
-        });
-        if let Some(store) = &self.store {
-            if self.progress {
-                eprintln!("[xbc-store] {}", store.stats());
-            }
-        }
-        let mut grouped = results.into_inner().expect("threads joined");
-        grouped.sort_by_key(|(idx, _)| *idx);
-        grouped.into_iter().flat_map(|(_, rows)| rows).collect()
+        self.run_with_bench().0
     }
 
-    /// Produces the rows of one trace: cached cells come straight from
-    /// the store, the rest are simulated (capturing the trace at most
-    /// once) and written back.
-    fn run_trace(&self, spec: &TraceSpec) -> Vec<Row> {
-        let t0 = Instant::now();
-        let mut rows: Vec<Option<Row>> = vec![None; self.frontends.len()];
+    /// Runs the sweep and also returns the scheduler's performance
+    /// accounting: wall time, capture/sim split, cache effectiveness,
+    /// and per-worker utilization (the `--bench-json` payload).
+    pub fn run_with_bench(&self) -> (Vec<Row>, SweepBench) {
+        let wall0 = Instant::now();
+        let n_fe = self.frontends.len();
+        let n_cells = self.traces.len() * n_fe;
+        let mut rows: Vec<Option<Row>> = vec![None; n_cells];
+
+        // Phase 1: probe the result cache. Sequential on purpose — each
+        // probe is one small CRC-checked read, negligible next to a
+        // simulation, and a single pass gives a deterministic view of
+        // which cells miss before any work is scheduled.
         if let Some(store) = &self.store {
-            for (i, fe) in self.frontends.iter().enumerate() {
-                if let Some(body) = store.load_result(&result_key(spec, fe, self.insts)) {
+            for (ti, spec) in self.traces.iter().enumerate() {
+                for (fi, fe) in self.frontends.iter().enumerate() {
+                    let key = result_key(spec, fe, self.insts);
+                    let Some(body) = store.load_result(&key) else { continue };
                     match rows_from_json(&body) {
                         Ok(parsed) if parsed.len() == 1 => {
-                            rows[i] = parsed.into_iter().next();
+                            rows[ti * n_fe + fi] = parsed.into_iter().next();
                         }
-                        Ok(_) | Err(_) => {
+                        Ok(parsed) => {
                             // CRC-valid but not a single row (e.g. written
-                            // by an older schema): recompute this cell.
-                            eprintln!(
-                                "[sweep] undecodable cached row for {} / {}; recomputing",
-                                spec.name,
-                                fe.label()
+                            // by an older schema): evict so the stale entry
+                            // stops costing a recompute on every run.
+                            store.evict_result(
+                                &key,
+                                &format!("expected 1 cached row, found {}", parsed.len()),
                             );
+                        }
+                        Err(e) => {
+                            store.evict_result(&key, &format!("undecodable cached row: {e}"));
                         }
                     }
                 }
             }
         }
-        let cached = rows.iter().filter(|r| r.is_some()).count();
-        let missing = rows.len() - cached;
-        if missing > 0 {
-            let cap0 = Instant::now();
-            let trace: Trace = match &self.store {
-                Some(store) => store.get_or_capture(spec, self.insts),
-                None => spec.capture(self.insts),
-            };
-            // Charge the capture evenly to the cells that needed it.
-            let capture_share_ms = cap0.elapsed().as_millis() as u64 / missing as u64;
-            for (i, fe) in self.frontends.iter().enumerate() {
-                if rows[i].is_some() {
-                    continue;
+
+        // Phase 2: plan the missing cells, trace-major, so each cell's
+        // rank among its trace's misses — and therefore its share of
+        // the capture cost — is deterministic.
+        let mut cells: Vec<Cell> = Vec::new();
+        let mut trace_missing = vec![0usize; self.traces.len()];
+        for (ti, tm) in trace_missing.iter_mut().enumerate() {
+            let start = cells.len();
+            for fi in 0..n_fe {
+                if rows[ti * n_fe + fi].is_none() {
+                    cells.push(Cell { trace: ti, fe: fi, rank: cells.len() - start, missing: 0 });
                 }
-                let sim0 = Instant::now();
-                let mut frontend = fe.instantiate();
-                let m = if self.check {
-                    run_checked(&mut *frontend, &trace, spec.name)
-                } else {
-                    frontend.run(&trace)
-                };
-                let mut row = Row::new(spec.name, &spec.suite.to_string(), *fe, self.insts, &m);
-                row.elapsed_ms = capture_share_ms + sim0.elapsed().as_millis() as u64;
-                if let Some(store) = &self.store {
-                    store.store_result(
-                        &result_key(spec, fe, self.insts),
-                        &crate::report::to_json(std::slice::from_ref(&row)),
-                    );
-                }
-                rows[i] = Some(row);
+            }
+            *tm = cells.len() - start;
+            for c in &mut cells[start..] {
+                c.missing = *tm;
+            }
+            if self.progress && *tm == 0 {
+                eprintln!("[sweep] {:<18} {n_fe} cached, 0 simulated", self.traces[ti].name);
             }
         }
-        if self.progress {
-            eprintln!(
-                "[sweep] {:<18} {} cached, {} simulated, {} ms",
-                spec.name,
-                cached,
-                missing,
-                t0.elapsed().as_millis()
-            );
+
+        // Phase 3: drain the cell queue. The first cell of a trace to
+        // run captures it behind the trace's OnceLock (with the store,
+        // through the trace cache); sibling cells block there and share
+        // the Arc. Workers then simulate independently.
+        let threads = resolve_threads(self.threads);
+        let shared: Vec<OnceLock<(Arc<Trace>, u64)>> =
+            (0..self.traces.len()).map(|_| OnceLock::new()).collect();
+        let done_rows: Mutex<Vec<(usize, Row)>> = Mutex::new(Vec::new());
+        let remaining: Vec<AtomicUsize> =
+            trace_missing.iter().map(|&m| AtomicUsize::new(m)).collect();
+        let trace_sim_ms: Vec<AtomicU64> =
+            (0..self.traces.len()).map(|_| AtomicU64::new(0)).collect();
+        let captures = AtomicU64::new(0);
+        let capture_ms_total = AtomicU64::new(0);
+        let sim_ms_total = AtomicU64::new(0);
+        let workers = parallel_cells(cells.len(), threads, |i| {
+            let cell = &cells[i];
+            let spec = &self.traces[cell.trace];
+            let (trace, cap_ms) = {
+                let entry = shared[cell.trace].get_or_init(|| {
+                    let c0 = Instant::now();
+                    let t = match &self.store {
+                        Some(store) => store.get_or_capture(spec, self.insts),
+                        None => spec.capture(self.insts),
+                    };
+                    let ms = c0.elapsed().as_millis() as u64;
+                    captures.fetch_add(1, Ordering::Relaxed);
+                    capture_ms_total.fetch_add(ms, Ordering::Relaxed);
+                    (Arc::new(t), ms)
+                });
+                (Arc::clone(&entry.0), entry.1)
+            };
+            let fe = &self.frontends[cell.fe];
+            let sim0 = Instant::now();
+            let mut frontend = fe.instantiate();
+            let m = if self.check {
+                run_checked(&mut *frontend, &trace, spec.name)
+            } else {
+                frontend.run(&trace)
+            };
+            let sim_ms = sim0.elapsed().as_millis() as u64;
+            sim_ms_total.fetch_add(sim_ms, Ordering::Relaxed);
+            trace_sim_ms[cell.trace].fetch_add(sim_ms, Ordering::Relaxed);
+            let mut row = Row::new(spec.name, &spec.suite.to_string(), *fe, self.insts, &m);
+            row.elapsed_ms = capture_share(cap_ms, cell.missing, cell.rank) + sim_ms;
+            if let Some(store) = &self.store {
+                store.store_result(
+                    &result_key(spec, fe, self.insts),
+                    &crate::report::to_json(std::slice::from_ref(&row)),
+                );
+            }
+            done_rows.lock().expect("sweep result lock").push((cell.trace * n_fe + cell.fe, row));
+            if remaining[cell.trace].fetch_sub(1, Ordering::AcqRel) == 1 && self.progress {
+                eprintln!(
+                    "[sweep] {:<18} {} cached, {} simulated, capture {} ms, sim {} ms",
+                    spec.name,
+                    n_fe - cell.missing,
+                    cell.missing,
+                    cap_ms,
+                    trace_sim_ms[cell.trace].load(Ordering::Relaxed)
+                );
+            }
+        });
+        for (idx, row) in done_rows.into_inner().expect("workers joined") {
+            rows[idx] = Some(row);
         }
-        rows.into_iter().map(|r| r.expect("every cell filled")).collect()
+
+        let bench = SweepBench {
+            threads,
+            traces: self.traces.len(),
+            frontends: n_fe,
+            total_cells: n_cells,
+            cached_cells: n_cells - cells.len(),
+            simulated_cells: cells.len(),
+            captures: captures.into_inner(),
+            capture_ms: capture_ms_total.into_inner(),
+            sim_ms: sim_ms_total.into_inner(),
+            wall_ms: wall0.elapsed().as_millis() as u64,
+            workers,
+        };
+        if self.progress {
+            if let Some(store) = &self.store {
+                eprintln!("[xbc-store] {}", store.stats());
+            }
+            eprintln!("[sweep-bench] {bench}");
+        }
+        (rows.into_iter().map(|r| r.expect("every cell filled")).collect(), bench)
     }
 }
 
@@ -252,8 +377,9 @@ pub fn run_checked(fe: &mut dyn Frontend, trace: &Trace, trace_name: &str) -> Fr
 pub type CustomRow = (String, String, FrontendMetrics);
 
 /// A fully custom sweep for ablations: `make(config_index)` builds a cold
-/// frontend for each labelled configuration; every trace is captured once
-/// per worker and replayed through all of them. Returns
+/// frontend for each labelled configuration. Scheduling is cell-level,
+/// like [`Sweep::run`]: every (trace, label) cell is one queue item, and
+/// each trace is captured once and shared by all its cells. Returns
 /// `(trace, label, metrics)` tuples in deterministic trace-major order.
 ///
 /// With a `store`, captures go through the trace cache; results are not
@@ -271,46 +397,58 @@ where
     F: Fn(usize) -> Box<dyn Frontend + Send> + Sync,
 {
     assert!(!traces.is_empty() && !labels.is_empty() && insts > 0, "empty custom sweep");
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-    } else {
-        threads
-    };
-    let next = Mutex::new(0usize);
-    let results: Mutex<Vec<(usize, Vec<CustomRow>)>> = Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(traces.len()) {
-            scope.spawn(|| loop {
-                let idx = {
-                    let mut n = next.lock().expect("sweep index lock");
-                    let idx = *n;
-                    *n += 1;
-                    idx
-                };
-                if idx >= traces.len() {
-                    break;
-                }
-                let spec = &traces[idx];
-                let trace = match store {
-                    Some(s) => s.get_or_capture(spec, insts),
-                    None => spec.capture(insts),
-                };
-                let rows: Vec<CustomRow> = labels
-                    .iter()
-                    .enumerate()
-                    .map(|(i, label)| {
-                        let mut fe = make(i);
-                        let m = fe.run(&trace);
-                        (spec.name.to_owned(), (*label).to_owned(), m)
-                    })
-                    .collect();
-                results.lock().expect("sweep result lock").push((idx, rows));
-            });
-        }
+    let n_cfg = labels.len();
+    let shared: Vec<OnceLock<Arc<Trace>>> = (0..traces.len()).map(|_| OnceLock::new()).collect();
+    let results: Mutex<Vec<(usize, CustomRow)>> = Mutex::new(Vec::new());
+    parallel_cells(traces.len() * n_cfg, resolve_threads(threads), |cell| {
+        let (ti, ci) = (cell / n_cfg, cell % n_cfg);
+        let spec = &traces[ti];
+        let trace = Arc::clone(shared[ti].get_or_init(|| {
+            Arc::new(match store {
+                Some(s) => s.get_or_capture(spec, insts),
+                None => spec.capture(insts),
+            })
+        }));
+        let mut fe = make(ci);
+        let m = fe.run(&trace);
+        results
+            .lock()
+            .expect("sweep result lock")
+            .push((cell, (spec.name.to_owned(), labels[ci].to_owned(), m)));
     });
-    let mut grouped = results.into_inner().expect("threads joined");
-    grouped.sort_by_key(|(idx, _)| *idx);
-    grouped.into_iter().flat_map(|(_, rows)| rows).collect()
+    let mut rows = results.into_inner().expect("workers joined");
+    rows.sort_by_key(|(idx, _)| *idx);
+    rows.into_iter().map(|(_, row)| row).collect()
+}
+
+/// Captures (or loads, with a `store`) each trace and applies `f` to it,
+/// distributing the traces over `threads` workers. Results come back in
+/// input order. This is the per-trace building block for harnesses that
+/// analyze traces without sweeping frontends (e.g. fig1), so they scale
+/// with `--threads` too.
+pub fn map_traces_parallel<T, F>(
+    specs: &[TraceSpec],
+    insts: usize,
+    threads: usize,
+    store: Option<&Store>,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&TraceSpec, &Trace) -> T + Sync,
+{
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::new());
+    parallel_cells(specs.len(), resolve_threads(threads), |i| {
+        let spec = &specs[i];
+        let trace = match store {
+            Some(s) => s.get_or_capture(spec, insts),
+            None => spec.capture(insts),
+        };
+        results.lock().expect("map result lock").push((i, f(spec, &trace)));
+    });
+    let mut out = results.into_inner().expect("workers joined");
+    out.sort_by_key(|(i, _)| *i);
+    out.into_iter().map(|(_, v)| v).collect()
 }
 
 #[cfg(test)]
@@ -357,6 +495,27 @@ mod tests {
     }
 
     #[test]
+    fn capture_shares_sum_to_the_measured_time() {
+        // The remainder is spread over the first `total % missing`
+        // cells, one extra millisecond each, so nothing is dropped.
+        for (total, missing) in
+            [(0u64, 1usize), (1, 3), (7, 3), (9, 3), (100, 7), (6, 6), (5, 8), (1234, 11)]
+        {
+            let shares: Vec<u64> = (0..missing).map(|r| capture_share(total, missing, r)).collect();
+            assert_eq!(shares.iter().sum::<u64>(), total, "total={total} missing={missing}");
+            // Shares are within 1 ms of each other, largest first.
+            assert!(shares.windows(2).all(|w| w[0] >= w[1] && w[0] - w[1] <= 1));
+        }
+    }
+
+    #[test]
+    fn thread_resolution() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
+    }
+
+    #[test]
     #[should_panic(expected = "at least one trace")]
     fn empty_traces_rejected() {
         let _ = Sweep::new(vec![], vec![FrontendSpec::Ic], 10);
@@ -375,12 +534,16 @@ mod tests {
         let after_fresh = store.stats();
         assert_eq!(after_fresh.result_misses, 4);
         assert_eq!(after_fresh.result_hits, 0);
-        let cached = sweep.run();
+        let (cached, bench) = sweep.run_with_bench();
         let after_cached = store.stats();
         // The re-run hit every result cell and never touched a trace.
         assert_eq!(after_cached.result_hits, 4);
         assert_eq!(after_cached.trace_hits, 0);
         assert_eq!(after_cached.trace_misses, after_fresh.trace_misses);
+        assert_eq!(bench.cached_cells, 4);
+        assert_eq!(bench.simulated_cells, 0);
+        assert_eq!(bench.captures, 0);
+        assert!(bench.workers.is_empty(), "a fully cached sweep spawns no workers");
         for (f, c) in fresh.iter().zip(&cached) {
             assert_eq!(f.trace, c.trace);
             assert_eq!(f.frontend, c.frontend);
@@ -422,5 +585,16 @@ mod tests {
         assert_eq!(rows[0].1, "promo");
         assert_eq!(rows[1].1, "nopromo");
         assert_eq!(rows[0].0, traces[0].name);
+    }
+
+    #[test]
+    fn map_traces_parallel_keeps_input_order() {
+        let specs: Vec<TraceSpec> = standard_traces().into_iter().take(3).collect();
+        let names = map_traces_parallel(&specs, 1_000, 0, None, |spec, trace| {
+            assert_eq!(trace.inst_count(), 1_000);
+            spec.name.to_owned()
+        });
+        let expected: Vec<String> = specs.iter().map(|s| s.name.to_owned()).collect();
+        assert_eq!(names, expected);
     }
 }

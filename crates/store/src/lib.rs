@@ -322,6 +322,19 @@ impl Store {
         }
     }
 
+    /// Deletes the result entry for `key` and counts it as corrupt.
+    ///
+    /// For callers that loaded a CRC-valid body ([`Store::load_result`]
+    /// returned it, counting a hit) but found it undecodable at a higher
+    /// layer — e.g. a sweep row written by an older schema. Eviction
+    /// takes the same log + delete + `corrupt_entries` path as any other
+    /// bad entry (plus a result miss, since the caller is about to
+    /// recompute), so the stale file stops costing a recompute on every
+    /// subsequent run.
+    pub fn evict_result(&self, key: &str, why: &str) {
+        self.evict(&self.result_path(key), why);
+    }
+
     /// Writes `path` via a unique same-directory temp file and a final
     /// rename, so readers only ever see complete files. Returns bytes
     /// written.
@@ -476,6 +489,19 @@ mod tests {
         // Different key, same store: independent entry.
         store.store_result("k2", "other");
         assert_eq!(store.load_result("k2").as_deref(), Some("other"));
+    }
+
+    #[test]
+    fn evict_result_removes_stale_entry() {
+        let s = Scratch::new("evict-result");
+        let store = Store::open(&s.0).unwrap();
+        store.store_result("k", "stale-schema-body");
+        assert!(store.load_result("k").is_some());
+        // A higher layer found the (CRC-valid) body undecodable.
+        store.evict_result("k", "undecodable at the sweep layer");
+        assert_eq!(fs::read_dir(s.0.join("results")).unwrap().count(), 0);
+        assert_eq!(store.stats().corrupt_entries, 1);
+        assert!(store.load_result("k").is_none());
     }
 
     #[test]

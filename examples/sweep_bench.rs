@@ -1,0 +1,44 @@
+//! Measures cell-level sweep-scheduler throughput on a fig9-style grid:
+//! 8 frontend configurations over 2 traces — many more configs than
+//! traces, the shape a trace-major scheduler cannot parallelize beyond
+//! the trace count.
+//!
+//! ```text
+//! cargo run --release --example sweep_bench -- [THREADS] [INSTS] [BENCH_JSON]
+//! ```
+//!
+//! Prints the run's `SweepBench` summary and, with a third argument,
+//! writes the full `BENCH_sweep.json`.
+
+use xbc_sim::{FrontendSpec, Sweep};
+use xbc_workload::{standard_traces, TraceSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads: usize = args.first().map_or(0, |v| v.parse().expect("THREADS"));
+    let insts: usize = args.get(1).map_or(200_000, |v| v.parse().expect("INSTS"));
+
+    let traces: Vec<TraceSpec> = standard_traces().into_iter().take(2).collect();
+    let mut frontends = Vec::new();
+    for &s in &[4096usize, 8192, 16384, 32768] {
+        frontends.push(FrontendSpec::Tc { total_uops: s, ways: 4 });
+        frontends.push(FrontendSpec::Xbc { total_uops: s, ways: 2, promotion: true });
+    }
+    assert_eq!(frontends.len(), 8);
+
+    let mut sweep = Sweep::new(traces, frontends, insts);
+    sweep.threads = threads;
+    sweep.progress = false;
+    let (rows, bench) = sweep.run_with_bench();
+    assert_eq!(rows.len(), 16);
+
+    println!("{bench}");
+    println!(
+        "schedulable parallelism: {} cells (trace-major scheduling would cap at {} workers)",
+        bench.total_cells, bench.traces
+    );
+    if let Some(path) = args.get(2) {
+        std::fs::write(path, bench.to_json()).expect("write bench json");
+        println!("wrote {path}");
+    }
+}

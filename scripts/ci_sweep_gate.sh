@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI gate for the cell-level sweep scheduler:
+#
+#   1. runs a small fig9-style sweep twice, --threads 1 vs --threads 0,
+#      both uncached, and fails if any row differs (elapsed_ms excluded —
+#      it is a wall-clock measurement, not simulation output);
+#   2. emits results/BENCH_sweep.json from the parallel run, which CI
+#      uploads as an artifact so sweep throughput is tracked per commit.
+#
+# Usage: scripts/ci_sweep_gate.sh [INSTS] (default 20000)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+INSTS="${1:-20000}"
+TRACES="spec.gcc,games.quake"
+
+cargo build --release -p xbc-bench
+mkdir -p results
+B=target/release
+
+"$B/fig9" --inst "$INSTS" --traces "$TRACES" --threads 1 --no-cache \
+  --json results/ci_rows_t1.json > /dev/null
+"$B/fig9" --inst "$INSTS" --traces "$TRACES" --threads 0 --no-cache \
+  --json results/ci_rows_t0.json --bench-json results/BENCH_sweep.json > /dev/null
+
+# Strip the one timing-derived field; everything else must be
+# bit-identical across thread counts.
+grep -v '"elapsed_ms"' results/ci_rows_t1.json > results/ci_rows_t1.cmp
+grep -v '"elapsed_ms"' results/ci_rows_t0.json > results/ci_rows_t0.cmp
+if ! diff -u results/ci_rows_t1.cmp results/ci_rows_t0.cmp; then
+  echo "FAIL: parallel sweep rows differ from --threads 1" >&2
+  exit 1
+fi
+echo "OK: rows bit-identical across thread counts ($TRACES x 12 configs, $INSTS insts)"
+echo "bench: $(cat results/BENCH_sweep.json)"

@@ -2,6 +2,13 @@
 # Regenerates every figure, table and ablation recorded in EXPERIMENTS.md.
 # Usage: scripts/regen.sh [INSTS] [THREADS] (defaults: 1000000, all cores)
 #
+# THREADS caps the sweep worker pool (0 = one worker per core). Work is
+# scheduled per (trace x frontend) cell, so threads beyond the trace
+# count still help — a sweep of N configs over M traces keeps up to
+# min(THREADS, N*M) workers busy. The summary step also writes
+# results/BENCH_sweep.json (wall time, capture/sim split, per-worker
+# utilization) so sweep throughput is tracked run over run.
+#
 # Captured traces and sweep rows are cached in XBC_CACHE_DIR (default
 # target/xbc-cache), so a re-run with the same INSTS replays cached
 # results instead of re-simulating. Delete the cache dir (or pass a
@@ -35,7 +42,7 @@ step fig1    "$B/fig1"    --inst "$INSTS" "${COMMON[@]}"
 step fig8    "$B/fig8"    --inst "$INSTS" "${COMMON[@]}" --json results/fig8.json
 step fig9    "$B/fig9"    --inst "$INSTS" "${COMMON[@]}" --json results/fig9.json
 step fig10   "$B/fig10"   --inst "$INSTS" "${COMMON[@]}" --json results/fig10.json
-step summary "$B/summary" --inst "$INSTS" "${COMMON[@]}"
+step summary "$B/summary" --inst "$INSTS" "${COMMON[@]}" --bench-json results/BENCH_sweep.json
 for m in promotion banks placement setsearch xbtb xbs xbq predictor tcpath baselines; do
   step "ablation_$m" "$B/ablation" "$m" --inst "$ABL_INSTS" "${COMMON[@]}"
 done

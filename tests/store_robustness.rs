@@ -9,8 +9,10 @@
 
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Arc;
+use xbc_sim::{result_key, FrontendSpec, Sweep};
 use xbc_store::Store;
-use xbc_workload::standard_traces;
+use xbc_workload::{standard_traces, TraceSpec};
 
 fn scratch(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("xbc-robust-{}-{tag}", std::process::id()));
@@ -85,6 +87,47 @@ fn every_single_byte_flip_in_a_result_entry_is_caught() {
     store.store_result(key, body);
     assert_eq!(store.load_result(key).as_deref(), Some(body));
     assert_eq!(fs::read(&path).unwrap(), pristine, "rewritten entry must be byte-identical");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn undecodable_cached_row_is_evicted_and_regenerated() {
+    // A result entry can pass the store's CRC yet fail to decode at the
+    // sweep layer (e.g. a row written by an older schema). The sweep
+    // must evict the stale entry — not just recompute around it — so the
+    // next run replays a freshly written, decodable row.
+    let dir = scratch("undecodable-row");
+    let store = Arc::new(Store::open(&dir).unwrap());
+    let traces: Vec<TraceSpec> = standard_traces().into_iter().take(2).collect();
+    let frontends = vec![FrontendSpec::Ic, FrontendSpec::xbc_default()];
+    let mut sweep =
+        Sweep::new(traces.clone(), frontends.clone(), 2_000).with_store(Arc::clone(&store));
+    sweep.progress = false;
+    let fresh = sweep.run();
+    assert_eq!(store.stats().result_misses, 4);
+
+    // Forge a CRC-valid entry whose body is not a single-row array.
+    let key = result_key(&traces[0], &frontends[1], 2_000);
+    store.store_result(&key, "[]");
+    let before = store.stats();
+    let again = sweep.run();
+    let after = store.stats();
+    assert_eq!(after.corrupt_entries, before.corrupt_entries + 1, "stale entry must be evicted");
+    for (f, a) in fresh.iter().zip(&again) {
+        assert_eq!(f.cycles, a.cycles);
+        assert_eq!(f.miss_rate, a.miss_rate);
+    }
+
+    // The recomputed cell was written back: a third run decodes all four
+    // rows from cache with no further eviction and no simulation.
+    let third = sweep.run();
+    let done = store.stats();
+    assert_eq!(done.corrupt_entries, after.corrupt_entries, "no repeat eviction");
+    assert_eq!(done.result_hits, after.result_hits + 4);
+    assert_eq!(done.trace_hits, after.trace_hits, "a fully cached run touches no trace");
+    for (f, t) in fresh.iter().zip(&third) {
+        assert_eq!(f.cycles, t.cycles);
+    }
     fs::remove_dir_all(&dir).ok();
 }
 
