@@ -18,8 +18,11 @@ use crate::ptr::{BankMask, XbPtr};
 use crate::xbtb::{MergedXb, XbEndKind, Xbtb, XbtbEntry, XbtbStats};
 use crate::xfu::{install, InstallKind, Xfu};
 use std::collections::HashSet;
-use xbc_frontend::{BuildEngine, Frontend, FrontendMetrics, OracleStream, Predictors};
+use xbc_frontend::{BuildEngine, Frontend, FrontendMetrics, OracleStream, Predictors, Probe};
 use xbc_isa::Addr;
+use xbc_obs::{
+    CycleKind, D2bCause, Event, EventSink, FillKind, LookupKind, MispredictKind, UopSource,
+};
 use xbc_predict::{IndirectPredictor, ReturnStack};
 use xbc_workload::DynInst;
 
@@ -48,11 +51,13 @@ enum LinkFrom {
     Indirect { xb_ip: Addr, history: u64 },
 }
 
-/// What to do once the XBQ drains.
+/// What to do once the XBQ drains. `build` carries the delivery→build
+/// switch cause so the eventual [`Event::SwitchToBuild`] emission charges
+/// the right counter — every switch has exactly one cause by construction.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 struct AfterDrain {
     penalty: u64,
-    to_build: bool,
+    build: Option<D2bCause>,
 }
 
 /// Outcome of resolving an XB's ending branch during fetch.
@@ -212,19 +217,23 @@ impl XbcFrontend {
         }
     }
 
-    fn refresh_promotion(cfg: &XbcConfig, entry: &mut XbtbEntry, metrics: &mut FrontendMetrics) {
+    fn refresh_promotion<S: EventSink>(
+        cfg: &XbcConfig,
+        entry: &mut XbtbEntry,
+        probe: &mut Probe<'_, S>,
+    ) {
         if !cfg.promotion.enabled() {
             return;
         }
         match (entry.promoted, entry.bias.bias()) {
             (None, Some(b)) => {
                 entry.promoted = Some(b);
-                metrics.promotions += 1;
+                probe.emit(Event::Promotion);
             }
             (Some(p), cur) if cur != Some(p) => {
                 entry.promoted = None;
                 entry.merged = None; // de-promotion dissolves the combination
-                metrics.depromotions += 1;
+                probe.emit(Event::Depromotion);
             }
             _ => {}
         }
@@ -290,12 +299,12 @@ impl XbcFrontend {
     /// direction against the committed path first; on a violation the
     /// original pointer is kept and normal resolution charges the
     /// mis-fetch. `window` is the uops already accepted this cycle.
-    fn substitute_merged(
+    fn substitute_merged<S: EventSink>(
         &mut self,
         ptr: XbPtr,
         window: usize,
         oracle: &OracleStream<'_>,
-        metrics: &mut FrontendMetrics,
+        probe: &mut Probe<'_, S>,
     ) -> Option<XbPtr> {
         if self.cfg.promotion != PromotionMode::Merge {
             return None;
@@ -323,7 +332,7 @@ impl XbcFrontend {
         let d0 = *d0;
         let e = self.xbtb.get_mut(ptr.xb_ip).expect("still resident");
         e.bias.update(d0.taken);
-        Self::refresh_promotion(&self.cfg, e, metrics);
+        Self::refresh_promotion(&self.cfg, e, probe);
         let comb = XbPtr::new(m.xb_ip, ptr.entry_ip, m.mask, ptr.offset + m.suffix_len);
         // Heal the source pointer to the combined block (§3.8: "the XBTB
         // entry is then updated to point to XB_comb").
@@ -355,14 +364,16 @@ impl XbcFrontend {
     /// resolution, updating the predictors and XRSB.
     ///
     /// Returns `(next, consumed_slot, mispredicted)`.
-    fn select_successor(
+    fn select_successor<S: EventSink>(
         &mut self,
         xb_ip: Addr,
         d_end: &DynInst,
-        metrics: &mut FrontendMetrics,
+        probe: &mut Probe<'_, S>,
     ) -> (Option<XbPtr>, bool, bool) {
         // Count XBTB access statistics through `get`.
-        if self.xbtb.get(xb_ip).is_none() {
+        let xbtb_hit = self.xbtb.get(xb_ip).is_some();
+        probe.note(|| Event::Lookup { what: LookupKind::Xbtb, hit: xbtb_hit });
+        if !xbtb_hit {
             return (None, true, false);
         }
         let kind = self.xbtb.get_mut(xb_ip).expect("just hit").kind;
@@ -380,13 +391,13 @@ impl XbcFrontend {
                     // recovery pointer lives in the same entry (§3.8).
                     let e = self.xbtb.get_mut(xb_ip).expect("hit");
                     e.bias.update(taken);
-                    Self::refresh_promotion(&self.cfg, e, metrics);
+                    Self::refresh_promotion(&self.cfg, e, probe);
                     let follows = dir.as_taken() == taken;
                     let next = e.successor(taken);
                     if follows {
                         (next, false, false)
                     } else {
-                        metrics.cond_mispredicts += 1;
+                        probe.emit(Event::Mispredict(MispredictKind::Cond));
                         (next, false, true)
                     }
                 } else {
@@ -394,12 +405,12 @@ impl XbcFrontend {
                     self.preds.dir.update(xb_ip, taken);
                     let e = self.xbtb.get_mut(xb_ip).expect("hit");
                     e.bias.update(taken);
-                    Self::refresh_promotion(&self.cfg, e, metrics);
+                    Self::refresh_promotion(&self.cfg, e, probe);
                     let next = e.successor(taken);
                     if pred == taken {
                         (next, true, false)
                     } else {
-                        metrics.cond_mispredicts += 1;
+                        probe.emit(Event::Mispredict(MispredictKind::Cond));
                         (next, true, true)
                     }
                 }
@@ -412,6 +423,7 @@ impl XbcFrontend {
             }
             XbEndKind::Return => {
                 let frame = self.xrsb.pop();
+                probe.note(|| Event::Lookup { what: LookupKind::Xrsb, hit: frame.is_some() });
                 if let Some(f) = frame {
                     // The XB after the return will refresh the call entry's
                     // return-point pointer.
@@ -440,7 +452,7 @@ impl XbcFrontend {
                         (Some(p), true, false)
                     }
                     _ => {
-                        metrics.target_mispredicts += 1;
+                        probe.emit(Event::Mispredict(MispredictKind::Target));
                         (None, true, true)
                     }
                 }
@@ -451,6 +463,7 @@ impl XbcFrontend {
                 }
                 let history = self.preds.dir.history();
                 let predicted = self.xibtb.predict(xb_ip, history);
+                probe.note(|| Event::Lookup { what: LookupKind::Xibtb, hit: predicted.is_some() });
                 self.link_from = Some(LinkFrom::Indirect { xb_ip, history });
                 match predicted {
                     Some(p) if p.entry_ip == d_end.next_ip => {
@@ -459,7 +472,7 @@ impl XbcFrontend {
                         (Some(p), true, false)
                     }
                     _ => {
-                        metrics.target_mispredicts += 1;
+                        probe.emit(Event::Mispredict(MispredictKind::Target));
                         (None, true, true)
                     }
                 }
@@ -516,12 +529,12 @@ impl XbcFrontend {
     /// Resolves the end of a fully fetched XB: picks the successor pointer,
     /// schedules penalties / build switches, and reports whether fetch may
     /// chain on within this cycle.
-    fn resolve_xb_end(
+    fn resolve_xb_end<S: EventSink>(
         &mut self,
         oracle: &OracleStream<'_>,
         window: usize,
         ptr: XbPtr,
-        metrics: &mut FrontendMetrics,
+        probe: &mut Probe<'_, S>,
     ) -> EndAction {
         let Some((d_end, _)) = oracle.window_end(window) else {
             // Trace ends inside this XB: nothing further to chain.
@@ -535,20 +548,21 @@ impl XbcFrontend {
             // (§3.8): the promoted conditional buried mid-window resolved
             // against its bias. Hardware discovers the divergence at
             // execute — a mis-fetch: flush, penalty, rebuild.
-            metrics.target_mispredicts += 1;
-            self.after_drain =
-                Some(AfterDrain { penalty: self.cfg.timing.mispredict_penalty, to_build: true });
+            probe.emit(Event::Mispredict(MispredictKind::Target));
+            self.after_drain = Some(AfterDrain {
+                penalty: self.cfg.timing.mispredict_penalty,
+                build: Some(D2bCause::Misfetch),
+            });
             self.cur = None;
             return EndAction::Stop;
         }
 
         let src = self.successor_source(ptr.xb_ip, d_end.taken);
-        let (next, consumed, mispredicted) = self.select_successor(ptr.xb_ip, &d_end, metrics);
+        let (next, consumed, mispredicted) = self.select_successor(ptr.xb_ip, &d_end, probe);
 
         if self.xbtb.get_mut(ptr.xb_ip).is_none() {
             // XBTB miss: must rebuild through the IC path (§3.5).
-            metrics.d2b_xbtb_miss += 1;
-            self.after_drain = Some(AfterDrain { penalty: 0, to_build: true });
+            self.after_drain = Some(AfterDrain { penalty: 0, build: Some(D2bCause::XbtbMiss) });
             self.cur = None;
             return EndAction::Stop;
         }
@@ -559,25 +573,25 @@ impl XbcFrontend {
             let penalty = self.cfg.timing.mispredict_penalty;
             match next {
                 Some(p) if p.entry_ip == d_end.next_ip => {
-                    self.after_drain = Some(AfterDrain { penalty, to_build: false });
+                    self.after_drain = Some(AfterDrain { penalty, build: None });
                     self.cur = Some(p);
                     // Recovery goes down the resolved direction.
                     self.cur_src = Some(LinkFrom::Slot { xb_ip: ptr.xb_ip, taken: d_end.taken });
                 }
                 _ => {
                     // Remember the slot so the rebuilt successor heals it.
-                    match self.xbtb.get_mut(ptr.xb_ip).expect("hit").kind {
+                    let cause = match self.xbtb.get_mut(ptr.xb_ip).expect("hit").kind {
                         XbEndKind::Cond | XbEndKind::Call | XbEndKind::Fall => {
-                            metrics.d2b_no_pointer += 1;
                             if self.link_from.is_none() {
                                 self.link_from =
                                     Some(LinkFrom::Slot { xb_ip: ptr.xb_ip, taken: d_end.taken });
                             }
+                            D2bCause::NoPointer
                         }
-                        XbEndKind::Return => metrics.d2b_return += 1,
-                        XbEndKind::Indirect | XbEndKind::IndirectCall => metrics.d2b_indirect += 1,
-                    }
-                    self.after_drain = Some(AfterDrain { penalty, to_build: true });
+                        XbEndKind::Return => D2bCause::Return,
+                        XbEndKind::Indirect | XbEndKind::IndirectCall => D2bCause::Indirect,
+                    };
+                    self.after_drain = Some(AfterDrain { penalty, build: Some(cause) });
                     self.cur = None;
                 }
             }
@@ -611,12 +625,11 @@ impl XbcFrontend {
                     Some(XbEndKind::Fall) => self.stale_debug[4] += 1,
                     None => {}
                 }
-                metrics.d2b_stale_pointer += 1;
-                metrics.target_mispredicts += 1;
+                probe.emit(Event::Mispredict(MispredictKind::Target));
                 self.link_from = Some(LinkFrom::Slot { xb_ip: ptr.xb_ip, taken: d_end.taken });
                 self.after_drain = Some(AfterDrain {
                     penalty: self.cfg.timing.mispredict_penalty,
-                    to_build: true,
+                    build: Some(D2bCause::StalePointer),
                 });
                 self.cur = None;
                 EndAction::Stop
@@ -624,7 +637,6 @@ impl XbcFrontend {
             None => {
                 // Pointer not yet recorded: switch to build, which will
                 // fill the slot.
-                metrics.d2b_no_pointer += 1;
                 if self.link_from.is_none() {
                     let kind = self.xbtb.get_mut(ptr.xb_ip).expect("hit").kind;
                     if let XbEndKind::Cond | XbEndKind::Call | XbEndKind::Fall = kind {
@@ -632,7 +644,8 @@ impl XbcFrontend {
                             Some(LinkFrom::Slot { xb_ip: ptr.xb_ip, taken: d_end.taken });
                     }
                 }
-                self.after_drain = Some(AfterDrain { penalty: 0, to_build: true });
+                self.after_drain =
+                    Some(AfterDrain { penalty: 0, build: Some(D2bCause::NoPointer) });
                 self.cur = None;
                 EndAction::Stop
             }
@@ -644,10 +657,10 @@ impl XbcFrontend {
     ///
     /// All oracle windows are measured from the *drain* cursor, so queued
     /// (fetched-ahead) uops offset every window by `pending_uops`.
-    fn fetch_into_queue(
+    fn fetch_into_queue<S: EventSink>(
         &mut self,
         oracle: &OracleStream<'_>,
-        metrics: &mut FrontendMetrics,
+        probe: &mut Probe<'_, S>,
     ) -> usize {
         let budget = self.cfg.banks * self.cfg.line_uops;
         let base = self.pending_uops;
@@ -660,7 +673,8 @@ impl XbcFrontend {
             guard += 1;
             let Some(ptr) = self.cur else {
                 if self.after_drain.is_none() {
-                    self.after_drain = Some(AfterDrain { penalty: 0, to_build: true });
+                    self.after_drain =
+                        Some(AfterDrain { penalty: 0, build: Some(D2bCause::NoPointer) });
                 }
                 break;
             };
@@ -669,14 +683,14 @@ impl XbcFrontend {
                     // A pointer wider than the fetch network can never be
                     // honoured; rebuild through the IC path instead of
                     // retrying forever.
-                    metrics.structure_misses += 1;
-                    metrics.d2b_array_miss += 1;
-                    self.after_drain = Some(AfterDrain { penalty: 0, to_build: true });
+                    probe.emit(Event::StructureMiss);
+                    self.after_drain =
+                        Some(AfterDrain { penalty: 0, build: Some(D2bCause::ArrayMiss) });
                 }
                 break; // alignment network is full this cycle
             }
             // Merge-mode promotion: enter the combined block instead.
-            if let Some(comb) = self.substitute_merged(ptr, base + accepted, oracle, metrics) {
+            if let Some(comb) = self.substitute_merged(ptr, base + accepted, oracle, probe) {
                 if accepted + comb.offset as usize <= budget {
                     self.cur = Some(comb);
                     continue;
@@ -685,7 +699,6 @@ impl XbcFrontend {
             match self.array.fetch_one(&ptr, &mut used) {
                 XbFetch::Miss => {
                     if self.cfg.set_search {
-                        metrics.set_searches += 1;
                         let repaired = self
                             .array
                             .set_search(ptr.xb_ip, ptr.offset)
@@ -693,12 +706,12 @@ impl XbcFrontend {
                             // Only accept a repair the next lookup will hit
                             // (a mask-vs-lookup disagreement would spin).
                             .filter(|r| self.array.lookup(r).is_some());
+                        probe.emit(Event::SetSearch { hit: repaired.is_some() });
                         if let Some(repaired) = repaired {
                             // Repaired: retry next cycle (one-cycle loss,
                             // §3.9), and write the fresh mask back to the
                             // slot the pointer came from so the search does
                             // not repeat on every visit.
-                            metrics.set_search_hits += 1;
                             self.cur = Some(repaired);
                             if let Some(src) = self.cur_src {
                                 self.write_slot(src, repaired);
@@ -706,13 +719,13 @@ impl XbcFrontend {
                             break;
                         }
                     }
-                    metrics.structure_misses += 1;
-                    metrics.d2b_array_miss += 1;
-                    self.after_drain = Some(AfterDrain { penalty: 0, to_build: true });
+                    probe.emit(Event::StructureMiss);
+                    self.after_drain =
+                        Some(AfterDrain { penalty: 0, build: Some(D2bCause::ArrayMiss) });
                     break;
                 }
                 XbFetch::Partial { fetched, deferred } => {
-                    metrics.bank_conflict_uops += deferred as u64;
+                    probe.emit(Event::BankConflict { deferred: deferred as u16 });
                     accepted += fetched as usize;
                     self.cur = Some(XbPtr { offset: deferred, ..ptr });
                     // A mid-XB continuation pointer must never be written
@@ -722,7 +735,7 @@ impl XbcFrontend {
                 }
                 XbFetch::Full => {
                     accepted += ptr.offset as usize;
-                    match self.resolve_xb_end(oracle, base + accepted, ptr, metrics) {
+                    match self.resolve_xb_end(oracle, base + accepted, ptr, probe) {
                         EndAction::Stop => break,
                         EndAction::Continue { free } => {
                             if !free {
@@ -739,34 +752,35 @@ impl XbcFrontend {
         accepted
     }
 
-    fn switch_to_build(&mut self, metrics: &mut FrontendMetrics) {
+    fn switch_to_build<S: EventSink>(&mut self, probe: &mut Probe<'_, S>, cause: D2bCause) {
         self.mode = Mode::Build;
         self.xfu.clear();
         self.engine.add_stall(std::mem::take(&mut self.stall));
-        metrics.delivery_to_build += 1;
+        probe.emit(Event::SwitchToBuild(cause));
     }
 
-    fn delivery_cycle(&mut self, oracle: &mut OracleStream<'_>, metrics: &mut FrontendMetrics) {
+    fn delivery_cycle<S: EventSink>(
+        &mut self,
+        oracle: &mut OracleStream<'_>,
+        probe: &mut Probe<'_, S>,
+    ) {
         if self.stall > 0 {
             self.stall -= 1;
-            metrics.cycles += 1;
-            metrics.stall_cycles += 1;
+            probe.emit(Event::Cycle(CycleKind::Stall));
             return;
         }
         if self.pending_uops == 0 {
             if let Some(ad) = self.after_drain.take() {
                 self.stall += ad.penalty;
-                if ad.to_build {
-                    self.switch_to_build(metrics);
+                if let Some(cause) = ad.build {
+                    self.switch_to_build(probe, cause);
                     // The transition consumes this cycle.
-                    metrics.cycles += 1;
-                    metrics.stall_cycles += 1;
+                    probe.emit(Event::Cycle(CycleKind::Stall));
                     return;
                 }
                 if self.stall > 0 {
                     self.stall -= 1;
-                    metrics.cycles += 1;
-                    metrics.stall_cycles += 1;
+                    probe.emit(Event::Cycle(CycleKind::Stall));
                     return;
                 }
             }
@@ -784,7 +798,7 @@ impl XbcFrontend {
             self.pending_uops == 0 || self.pending_uops + fetch_width <= self.cfg.xbq_depth
         };
         if room && self.after_drain.is_none() && self.stall == 0 {
-            let accepted = self.fetch_into_queue(oracle, metrics);
+            let accepted = self.fetch_into_queue(oracle, probe);
             self.pending_uops += accepted;
         }
         if self.pending_uops == 0 {
@@ -792,12 +806,11 @@ impl XbcFrontend {
             // miss-triggered transition; either way the cycle is lost.
             if let Some(ad) = self.after_drain.take() {
                 self.stall += ad.penalty;
-                if ad.to_build {
-                    self.switch_to_build(metrics);
+                if let Some(cause) = ad.build {
+                    self.switch_to_build(probe, cause);
                 }
             }
-            metrics.cycles += 1;
-            metrics.stall_cycles += 1;
+            probe.emit(Event::Cycle(CycleKind::Stall));
             return;
         }
         // Drain through the renamer.
@@ -813,18 +826,42 @@ impl XbcFrontend {
             delivered += n;
         }
         self.pending_uops -= delivered;
-        metrics.structure_uops += delivered as u64;
-        metrics.cycles += 1;
-        metrics.delivery_cycles += 1;
+        if delivered > 0 {
+            probe.emit(Event::Uops { src: UopSource::Structure, n: delivered as u16 });
+        }
+        probe.emit(Event::Cycle(CycleKind::Delivery));
     }
 
-    fn build_cycle(&mut self, oracle: &mut OracleStream<'_>, metrics: &mut FrontendMetrics) {
-        self.engine.cycle(oracle, &mut self.preds, metrics, &mut self.xfu);
+    fn build_cycle<S: EventSink>(
+        &mut self,
+        oracle: &mut OracleStream<'_>,
+        probe: &mut Probe<'_, S>,
+    ) {
+        let cycle_kind = self.engine.cycle(oracle, &mut self.preds, probe, &mut self.xfu);
         let built = std::mem::take(&mut self.xfu.done);
         let mut last: Option<(XbPtr, InstallKind, DynInst)> = None;
         for b in &built {
             let avoid = if self.cfg.smart_placement { self.last_mask } else { BankMask::EMPTY };
+            let evicted_before = self.array.stats().evicted_lines;
             let (ptr, kind) = install(b, &mut self.array, avoid);
+            probe.note(|| Event::Fill {
+                kind: match kind {
+                    InstallKind::Fresh => FillKind::Fresh,
+                    InstallKind::Contained => FillKind::Contained,
+                    InstallKind::Extended => FillKind::Extended,
+                    InstallKind::Complex => FillKind::Complex,
+                },
+                uops: b.uop_count() as u16,
+                banks: ptr.mask.count() as u8,
+            });
+            let evicted = self.array.stats().evicted_lines - evicted_before;
+            if evicted > 0 {
+                probe.note(|| Event::Eviction { lines: evicted as u16 });
+            }
+            probe.note(|| Event::Occupancy {
+                lines: self.array.valid_lines() as u32,
+                uops: self.array.stored_uops() as u32,
+            });
             self.last_mask = ptr.mask;
             let end = *b.end();
             let end_kind = XbEndKind::from_branch(end.inst.branch);
@@ -838,7 +875,7 @@ impl XbcFrontend {
                 XbEndKind::Cond => {
                     let e = self.xbtb.get_mut(ptr.xb_ip).expect("allocated");
                     e.bias.update(end.taken);
-                    Self::refresh_promotion(&self.cfg, e, metrics);
+                    Self::refresh_promotion(&self.cfg, e, probe);
                     self.link_from = Some(LinkFrom::Slot { xb_ip: ptr.xb_ip, taken: end.taken });
                 }
                 XbEndKind::Call => {
@@ -869,43 +906,55 @@ impl XbcFrontend {
         // Switch check (§3.5): delivery resumes when the block just built
         // was already cached (XBC hit) and the XBTB can point onward.
         if let Some((ptr, InstallKind::Contained, end)) = last {
-            if oracle.done() || oracle.uop_offset() != 0 {
-                return;
-            }
-            if let Some(p) = self.peek_successor(ptr.xb_ip, &end) {
-                if p.entry_ip == oracle.fetch_ip() {
-                    // The stored mask may be stale (the successor's lines
-                    // were re-placed); set search repairs it (§3.9).
-                    let repaired = if self.array.lookup(&p).is_some() {
-                        Some(p)
-                    } else if self.cfg.set_search {
-                        metrics.set_searches += 1;
-                        self.array.set_search(p.xb_ip, p.offset).map(|mask| {
-                            metrics.set_search_hits += 1;
-                            XbPtr { mask, ..p }
-                        })
-                    } else {
-                        None
-                    };
-                    if let Some(p) = repaired {
-                        self.mode = Mode::Delivery;
-                        self.cur_src = self.successor_source(ptr.xb_ip, end.taken);
-                        if let Some(src) = self.cur_src {
-                            self.write_slot(src, p);
+            if !oracle.done() && oracle.uop_offset() == 0 {
+                if let Some(p) = self.peek_successor(ptr.xb_ip, &end) {
+                    if p.entry_ip == oracle.fetch_ip() {
+                        // The stored mask may be stale (the successor's lines
+                        // were re-placed); set search repairs it (§3.9).
+                        let repaired = if self.array.lookup(&p).is_some() {
+                            Some(p)
+                        } else if self.cfg.set_search {
+                            let r = self
+                                .array
+                                .set_search(p.xb_ip, p.offset)
+                                .map(|mask| XbPtr { mask, ..p });
+                            probe.emit(Event::SetSearch { hit: r.is_some() });
+                            r
+                        } else {
+                            None
+                        };
+                        if let Some(p) = repaired {
+                            self.mode = Mode::Delivery;
+                            self.cur_src = self.successor_source(ptr.xb_ip, end.taken);
+                            if let Some(src) = self.cur_src {
+                                self.write_slot(src, p);
+                            }
+                            // The pending link described exactly this
+                            // transition; left dangling it would later be
+                            // applied to an unrelated XB and corrupt a slot.
+                            self.link_from = None;
+                            self.cur = Some(p);
+                            self.pending_uops = 0;
+                            self.after_drain = None;
+                            self.stall += self.engine.take_stall();
+                            self.xfu.clear();
+                            probe.emit(Event::SwitchToDelivery);
                         }
-                        // The pending link described exactly this
-                        // transition; left dangling it would later be
-                        // applied to an unrelated XB and corrupt a slot.
-                        self.link_from = None;
-                        self.cur = Some(p);
-                        self.pending_uops = 0;
-                        self.after_drain = None;
-                        self.stall += self.engine.take_stall();
-                        self.xfu.clear();
-                        metrics.build_to_delivery += 1;
                     }
                 }
             }
+        }
+        probe.emit(Event::Cycle(cycle_kind));
+    }
+
+    fn step_probe<S: EventSink>(
+        &mut self,
+        oracle: &mut OracleStream<'_>,
+        probe: &mut Probe<'_, S>,
+    ) {
+        match self.mode {
+            Mode::Build => self.build_cycle(oracle, probe),
+            Mode::Delivery => self.delivery_cycle(oracle, probe),
         }
     }
 }
@@ -916,10 +965,16 @@ impl Frontend for XbcFrontend {
     }
 
     fn step(&mut self, oracle: &mut OracleStream<'_>, metrics: &mut FrontendMetrics) {
-        match self.mode {
-            Mode::Build => self.build_cycle(oracle, metrics),
-            Mode::Delivery => self.delivery_cycle(oracle, metrics),
-        }
+        self.step_probe(oracle, &mut Probe::untraced(metrics));
+    }
+
+    fn step_traced(
+        &mut self,
+        oracle: &mut OracleStream<'_>,
+        metrics: &mut FrontendMetrics,
+        sink: &mut dyn EventSink,
+    ) {
+        self.step_probe(oracle, &mut Probe::traced(metrics, sink));
     }
 
     fn mode_label(&self) -> &'static str {

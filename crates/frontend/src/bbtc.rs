@@ -18,7 +18,9 @@ use crate::build::{BuildEngine, FillSink, Predictors, TimingConfig};
 use crate::frontend::Frontend;
 use crate::metrics::FrontendMetrics;
 use crate::oracle::OracleStream;
+use crate::probe::Probe;
 use xbc_isa::{Addr, BranchKind};
+use xbc_obs::{CycleKind, D2bCause, Event, EventSink, MispredictKind, UopSource};
 use xbc_predict::{BtbConfig, GshareConfig};
 use xbc_uarch::{DecoderConfig, ICacheConfig, SetAssoc};
 use xbc_workload::DynInst;
@@ -258,12 +260,15 @@ impl BbtcFrontend {
 
     /// Walks the pointed-to blocks against the oracle, mirroring the TC
     /// walk but going through the block cache for every pointer.
+    ///
+    /// Returns `(accepted uops, resteer penalty, leading-block miss,
+    /// mispredict kind)` — the walk does no accounting itself; the
+    /// caller emits the events (and thereby the counter bumps).
     fn walk(
         &mut self,
         ptrs: &TracePtrs,
         oracle: &OracleStream<'_>,
-        metrics: &mut FrontendMetrics,
-    ) -> (usize, Option<u64>) {
+    ) -> (usize, Option<u64>, bool, Option<MispredictKind>) {
         let mut accepted = 0usize;
         let mut j = 0usize; // oracle lookahead in instructions
         for (bi, &start) in ptrs.blocks.iter().enumerate() {
@@ -271,20 +276,17 @@ impl BbtcFrontend {
             // later blocks may have been evicted from the block cache.
             let (set, tag) = self.block_slot(start);
             let Some(block) = self.blocks.get(set, tag).cloned() else {
-                if bi == 0 {
-                    metrics.structure_misses += 1;
-                }
-                return (accepted, None);
+                return (accepted, None, bi == 0, None);
             };
             // Validate the pointer against the committed path.
             match oracle.peek(j) {
                 Some(od) if od.inst.ip == start => {}
-                _ => return (accepted, None),
+                _ => return (accepted, None, false, None),
             }
             for td in &block.insts {
-                let Some(od) = oracle.peek(j) else { return (accepted, None) };
+                let Some(od) = oracle.peek(j) else { return (accepted, None, false, None) };
                 if td.inst.ip != od.inst.ip {
-                    return (accepted, None);
+                    return (accepted, None, false, None);
                 }
                 accepted += td.inst.uops as usize;
                 j += 1;
@@ -298,12 +300,16 @@ impl BbtcFrontend {
                         let correct = pred == od.taken;
                         self.preds.dir.update(ip, od.taken);
                         if !correct {
-                            metrics.cond_mispredicts += 1;
-                            return (accepted, Some(self.cfg.timing.mispredict_penalty));
+                            return (
+                                accepted,
+                                Some(self.cfg.timing.mispredict_penalty),
+                                false,
+                                Some(MispredictKind::Cond),
+                            );
                         }
                         if pred != td.taken {
                             // Correctly predicted off the embedded path.
-                            return (accepted, None);
+                            return (accepted, None, false, None);
                         }
                     }
                     BranchKind::IndirectJump | BranchKind::IndirectCall => {
@@ -314,52 +320,67 @@ impl BbtcFrontend {
                             self.preds.rsb.push(td.inst.next_seq());
                         }
                         if pred != Some(od.next_ip) {
-                            metrics.target_mispredicts += 1;
-                            return (accepted, Some(self.cfg.timing.mispredict_penalty));
+                            return (
+                                accepted,
+                                Some(self.cfg.timing.mispredict_penalty),
+                                false,
+                                Some(MispredictKind::Target),
+                            );
                         }
-                        return (accepted, None);
+                        return (accepted, None, false, None);
                     }
                     BranchKind::Return => {
                         let pred = self.preds.rsb.pop();
                         if pred != Some(od.next_ip) {
-                            metrics.target_mispredicts += 1;
-                            return (accepted, Some(self.cfg.timing.mispredict_penalty));
+                            return (
+                                accepted,
+                                Some(self.cfg.timing.mispredict_penalty),
+                                false,
+                                Some(MispredictKind::Target),
+                            );
                         }
-                        return (accepted, None);
+                        return (accepted, None, false, None);
                     }
                 }
             }
         }
-        (accepted, None)
+        (accepted, None, false, None)
     }
 
-    fn delivery_cycle(&mut self, oracle: &mut OracleStream<'_>, metrics: &mut FrontendMetrics) {
+    fn delivery_cycle<S: EventSink>(
+        &mut self,
+        oracle: &mut OracleStream<'_>,
+        probe: &mut Probe<'_, S>,
+    ) {
         if self.stall > 0 {
             self.stall -= 1;
-            metrics.cycles += 1;
-            metrics.stall_cycles += 1;
+            probe.emit(Event::Cycle(CycleKind::Stall));
             return;
         }
         if self.pending_uops == 0 {
             let ip = oracle.fetch_ip();
             let (set, tag) = self.trace_slot(ip);
             let Some(ptrs) = self.traces.get(set, tag).cloned() else {
-                metrics.cycles += 1;
-                metrics.stall_cycles += 1;
-                metrics.structure_misses += 1;
-                metrics.delivery_to_build += 1;
+                probe.emit(Event::StructureMiss);
+                probe.emit(Event::SwitchToBuild(D2bCause::StructureMiss));
                 self.mode = Mode::Build;
                 self.fill.clear();
+                probe.emit(Event::Cycle(CycleKind::Stall));
                 return;
             };
-            let (accepted, resteer) = self.walk(&ptrs, oracle, metrics);
+            let (accepted, resteer, leading_miss, mispredict) = self.walk(&ptrs, oracle);
+            if leading_miss {
+                probe.emit(Event::StructureMiss);
+            }
+            if let Some(kind) = mispredict {
+                probe.emit(Event::Mispredict(kind));
+            }
             if accepted == 0 {
                 // Leading block evicted from the block cache.
-                metrics.cycles += 1;
-                metrics.stall_cycles += 1;
-                metrics.delivery_to_build += 1;
+                probe.emit(Event::SwitchToBuild(D2bCause::StructureMiss));
                 self.mode = Mode::Build;
                 self.fill.clear();
+                probe.emit(Event::Cycle(CycleKind::Stall));
                 return;
             }
             self.pending_uops = accepted;
@@ -376,9 +397,10 @@ impl BbtcFrontend {
             delivered += n;
         }
         self.pending_uops -= delivered;
-        metrics.structure_uops += delivered as u64;
-        metrics.cycles += 1;
-        metrics.delivery_cycles += 1;
+        if delivered > 0 {
+            probe.emit(Event::Uops { src: UopSource::Structure, n: delivered as u16 });
+        }
+        probe.emit(Event::Cycle(CycleKind::Delivery));
         if self.pending_uops == 0 {
             if let Some(p) = self.pending_resteer.take() {
                 self.stall += p;
@@ -386,8 +408,12 @@ impl BbtcFrontend {
         }
     }
 
-    fn build_cycle(&mut self, oracle: &mut OracleStream<'_>, metrics: &mut FrontendMetrics) {
-        self.engine.cycle(oracle, &mut self.preds, metrics, &mut self.fill);
+    fn build_cycle<S: EventSink>(
+        &mut self,
+        oracle: &mut OracleStream<'_>,
+        probe: &mut Probe<'_, S>,
+    ) {
+        let kind = self.engine.cycle(oracle, &mut self.preds, probe, &mut self.fill);
         for block in std::mem::take(&mut self.fill.done_blocks) {
             let (set, tag) = self.block_slot(block.insts[0].inst.ip);
             // One copy per block start: same-tag insertion replaces.
@@ -403,8 +429,20 @@ impl BbtcFrontend {
             if self.traces.probe(set, tag).is_some() {
                 self.mode = Mode::Delivery;
                 self.fill.clear();
-                metrics.build_to_delivery += 1;
+                probe.emit(Event::SwitchToDelivery);
             }
+        }
+        probe.emit(Event::Cycle(kind));
+    }
+
+    fn step_probe<S: EventSink>(
+        &mut self,
+        oracle: &mut OracleStream<'_>,
+        probe: &mut Probe<'_, S>,
+    ) {
+        match self.mode {
+            Mode::Build => self.build_cycle(oracle, probe),
+            Mode::Delivery => self.delivery_cycle(oracle, probe),
         }
     }
 
@@ -434,10 +472,16 @@ impl Frontend for BbtcFrontend {
     }
 
     fn step(&mut self, oracle: &mut OracleStream<'_>, metrics: &mut FrontendMetrics) {
-        match self.mode {
-            Mode::Build => self.build_cycle(oracle, metrics),
-            Mode::Delivery => self.delivery_cycle(oracle, metrics),
-        }
+        self.step_probe(oracle, &mut Probe::untraced(metrics));
+    }
+
+    fn step_traced(
+        &mut self,
+        oracle: &mut OracleStream<'_>,
+        metrics: &mut FrontendMetrics,
+        sink: &mut dyn EventSink,
+    ) {
+        self.step_probe(oracle, &mut Probe::traced(metrics, sink));
     }
 
     fn mode_label(&self) -> &'static str {

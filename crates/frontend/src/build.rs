@@ -7,9 +7,10 @@
 //! decoded uops go to the renamer — while a fill unit observes them to
 //! build traces/XBs.
 
-use crate::metrics::FrontendMetrics;
 use crate::oracle::OracleStream;
+use crate::probe::Probe;
 use xbc_isa::{Addr, BranchKind};
+use xbc_obs::{CycleKind, Event, EventSink, MispredictKind, UopSource};
 use xbc_predict::{
     Btb, BtbConfig, BtbEntry, DirPredictor, GshareConfig, IndirectPredictor, ReturnStack,
 };
@@ -161,34 +162,34 @@ impl BuildEngine {
     }
 
     /// Runs one build-mode cycle: delivers zero or more committed
-    /// instructions from the IC path, feeding `sink`. Updates metrics
-    /// (cycle accounting, IC uops, mispredictions).
+    /// instructions from the IC path, feeding `fill`. Emits IC-uop and
+    /// mispredict events through `probe` and returns the kind of cycle
+    /// this was — the *caller* closes the cycle by emitting
+    /// `Event::Cycle(kind)` as its last event, so installs and mode
+    /// switches that follow this call still land inside the same cycle.
     ///
     /// # Panics
     ///
     /// Panics if called when `oracle` is exhausted.
-    pub fn cycle<S: FillSink>(
+    pub fn cycle<E: EventSink, F: FillSink>(
         &mut self,
         oracle: &mut OracleStream<'_>,
         preds: &mut Predictors,
-        metrics: &mut FrontendMetrics,
-        sink: &mut S,
-    ) {
+        probe: &mut Probe<'_, E>,
+        fill: &mut F,
+    ) -> CycleKind {
         assert!(!oracle.done(), "build cycle past end of trace");
-        metrics.cycles += 1;
         if self.stall > 0 {
             self.stall -= 1;
-            metrics.stall_cycles += 1;
-            return;
+            return CycleKind::Stall;
         }
-        metrics.build_cycles += 1;
 
         let ip = oracle.fetch_ip();
         let access = self.icache.fetch(ip);
         if !access.hit {
             // This cycle initiated the fill; stall for the remainder.
             self.stall += access.penalty;
-            return;
+            return CycleKind::Build;
         }
         let line_start = self.icache.line_of(ip).raw();
         let line_bytes = self.icache.config().line_bytes as u64;
@@ -206,14 +207,13 @@ impl BuildEngine {
             if delivered + d.inst.uops as usize > self.timing.renamer_width {
                 break; // renamer width exhausted
             }
-            sink.observe(&d);
+            fill.observe(&d);
             // The instruction may already be partially delivered if a
             // structure frontend switched to build mode mid-instruction
             // (bank-conflict fetches stop at line, not instruction,
             // boundaries); only the remainder flows through here.
             let n = oracle.take_inst();
             debug_assert!(n >= 1 && n <= d.inst.uops as usize);
-            metrics.ic_uops += n as u64;
             delivered += n;
 
             if d.inst.branch.is_branch() {
@@ -223,11 +223,13 @@ impl BuildEngine {
                 self.btb.update(d.inst.ip, BtbEntry { kind: d.inst.branch, target: d.inst.target });
                 if !correct {
                     self.stall += self.timing.mispredict_penalty;
-                    if matches!(d.inst.branch, BranchKind::CondDirect) {
-                        metrics.cond_mispredicts += 1;
-                    } else {
-                        metrics.target_mispredicts += 1;
-                    }
+                    probe.emit(Event::Mispredict(
+                        if matches!(d.inst.branch, BranchKind::CondDirect) {
+                            MispredictKind::Cond
+                        } else {
+                            MispredictKind::Target
+                        },
+                    ));
                     break;
                 }
                 if d.taken {
@@ -235,6 +237,10 @@ impl BuildEngine {
                 }
             }
         }
+        if delivered > 0 {
+            probe.emit(Event::Uops { src: UopSource::Ic, n: delivered as u16 });
+        }
+        CycleKind::Build
     }
 
     /// Instruction-cache statistics.
@@ -246,8 +252,23 @@ impl BuildEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::FrontendMetrics;
     use xbc_isa::Inst;
     use xbc_workload::{CondBehavior, ProgramBuilder, Trace};
+
+    /// One engine cycle with the metrics-only probe, closing the cycle
+    /// the way a frontend's `step` does.
+    fn run_cycle<F: FillSink>(
+        e: &mut BuildEngine,
+        o: &mut OracleStream<'_>,
+        p: &mut Predictors,
+        m: &mut FrontendMetrics,
+        f: &mut F,
+    ) {
+        let mut probe = Probe::untraced(m);
+        let kind = e.cycle(o, p, &mut probe, f);
+        probe.emit(Event::Cycle(kind));
+    }
 
     fn straight_line_trace(n_insts: usize) -> Trace {
         // 32 plain 1-byte 1-uop insts then a return, looped by wrap.
@@ -277,7 +298,7 @@ mod tests {
         let mut p = Predictors::new(GshareConfig { history_bits: 8 });
         let mut m = FrontendMetrics::default();
         while !o.done() {
-            e.cycle(&mut o, &mut p, &mut m, &mut NoFill);
+            run_cycle(&mut e, &mut o, &mut p, &mut m, &mut NoFill);
         }
         assert_eq!(m.ic_uops, 64);
         // 4 insts/cycle max on 1-uop insts, plus IC misses and the return
@@ -294,15 +315,15 @@ mod tests {
         let mut p = Predictors::new(GshareConfig { history_bits: 8 });
         let mut m = FrontendMetrics::default();
         // First cycle: cold IC miss, nothing delivered.
-        e.cycle(&mut o, &mut p, &mut m, &mut NoFill);
+        run_cycle(&mut e, &mut o, &mut p, &mut m, &mut NoFill);
         assert_eq!(m.ic_uops, 0);
         assert!(e.stalled());
         // 3 stall cycles follow.
         for _ in 0..3 {
-            e.cycle(&mut o, &mut p, &mut m, &mut NoFill);
+            run_cycle(&mut e, &mut o, &mut p, &mut m, &mut NoFill);
         }
         assert!(!e.stalled());
-        e.cycle(&mut o, &mut p, &mut m, &mut NoFill);
+        run_cycle(&mut e, &mut o, &mut p, &mut m, &mut NoFill);
         assert!(m.ic_uops > 0);
         assert_eq!(m.stall_cycles, 3);
     }
@@ -325,7 +346,7 @@ mod tests {
         let mut preds = Predictors::new(GshareConfig { history_bits: 8 });
         let mut m = FrontendMetrics::default();
         while !o.done() {
-            e.cycle(&mut o, &mut preds, &mut m, &mut NoFill);
+            run_cycle(&mut e, &mut o, &mut preds, &mut m, &mut NoFill);
         }
         assert!(m.cond_mispredicts >= 1);
         // After warm-up the loop branch predicts perfectly: misses stay low.
@@ -348,7 +369,7 @@ mod tests {
         let mut m = FrontendMetrics::default();
         let mut c = Count(0);
         while !o.done() {
-            e.cycle(&mut o, &mut p, &mut m, &mut c);
+            run_cycle(&mut e, &mut o, &mut p, &mut m, &mut c);
         }
         assert_eq!(c.0, 40);
     }
@@ -372,12 +393,12 @@ mod tests {
         // at most 2 insts were delivered in its cycle even though all four
         // fit in one line.
         // Cycle 1: IC miss.
-        e.cycle(&mut o, &mut preds, &mut m, &mut NoFill);
+        run_cycle(&mut e, &mut o, &mut preds, &mut m, &mut NoFill);
         while e.stalled() {
-            e.cycle(&mut o, &mut preds, &mut m, &mut NoFill);
+            run_cycle(&mut e, &mut o, &mut preds, &mut m, &mut NoFill);
         }
         let before = o.inst_index();
-        e.cycle(&mut o, &mut preds, &mut m, &mut NoFill);
+        run_cycle(&mut e, &mut o, &mut preds, &mut m, &mut NoFill);
         let after = o.inst_index();
         assert!(after - before <= 2, "taken branch must stop the fetch cycle");
     }

@@ -2,6 +2,7 @@
 
 use crate::metrics::FrontendMetrics;
 use crate::oracle::OracleStream;
+use xbc_obs::EventSink;
 use xbc_workload::Trace;
 
 /// A trace-driven frontend model: replays a committed instruction stream
@@ -30,6 +31,28 @@ pub trait Frontend {
     ///
     /// May panic if called when `oracle.done()` — callers check first.
     fn step(&mut self, oracle: &mut OracleStream<'_>, metrics: &mut FrontendMetrics);
+
+    /// [`Frontend::step`], with cycle-level event tracing into `sink`.
+    ///
+    /// Emits one `Event` per counter bump (so a `Reconciler` fold of
+    /// the stream reproduces `metrics` exactly) plus observability-only
+    /// detail, closing with exactly one `Event::Cycle`. The default
+    /// ignores `sink` and just steps — every frontend in this workspace
+    /// overrides it; the default exists so external `Frontend` impls
+    /// (if any) keep compiling, degrading to an empty trace.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Frontend::step`].
+    fn step_traced(
+        &mut self,
+        oracle: &mut OracleStream<'_>,
+        metrics: &mut FrontendMetrics,
+        sink: &mut dyn EventSink,
+    ) {
+        let _ = sink;
+        self.step(oracle, metrics);
+    }
 
     /// Label of the current internal mode (`"build"` / `"delivery"`), for
     /// divergence reports. Single-mode frontends report `"build"`.
@@ -74,6 +97,39 @@ pub trait Frontend {
         let mut stuck_cycles = 0u32;
         while !oracle.done() {
             self.step(&mut oracle, &mut metrics);
+            if oracle.delivered_uops() == last_delivered {
+                stuck_cycles += 1;
+                assert!(
+                    stuck_cycles < 10_000,
+                    "{} frontend livelock at inst {} (ip {}): {}",
+                    self.name(),
+                    oracle.inst_index(),
+                    oracle.fetch_ip(),
+                    self.state_brief()
+                );
+            } else {
+                last_delivered = oracle.delivered_uops();
+                stuck_cycles = 0;
+            }
+        }
+        metrics
+    }
+
+    /// [`Frontend::run`], tracing every cycle's events into `sink`.
+    ///
+    /// Same replay loop and watchdog as [`Frontend::run`], driving
+    /// [`Frontend::step_traced`] instead of `step`.
+    ///
+    /// # Panics
+    ///
+    /// Same livelock watchdog as [`Frontend::run`].
+    fn run_traced(&mut self, trace: &Trace, sink: &mut dyn EventSink) -> FrontendMetrics {
+        let mut oracle = OracleStream::new(trace);
+        let mut metrics = FrontendMetrics::default();
+        let mut last_delivered = 0u64;
+        let mut stuck_cycles = 0u32;
+        while !oracle.done() {
+            self.step_traced(&mut oracle, &mut metrics, sink);
             if oracle.delivered_uops() == last_delivered {
                 stuck_cycles += 1;
                 assert!(

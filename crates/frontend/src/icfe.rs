@@ -9,6 +9,8 @@ use crate::build::{BuildEngine, NoFill, Predictors, TimingConfig};
 use crate::frontend::Frontend;
 use crate::metrics::FrontendMetrics;
 use crate::oracle::OracleStream;
+use crate::probe::Probe;
+use xbc_obs::{Event, EventSink};
 use xbc_predict::{BtbConfig, GshareConfig};
 use xbc_uarch::{DecoderConfig, ICacheConfig};
 
@@ -55,6 +57,15 @@ impl IcFrontend {
             preds: Predictors::new(cfg.gshare),
         }
     }
+
+    fn step_probe<S: EventSink>(
+        &mut self,
+        oracle: &mut OracleStream<'_>,
+        probe: &mut Probe<'_, S>,
+    ) {
+        let kind = self.engine.cycle(oracle, &mut self.preds, probe, &mut NoFill);
+        probe.emit(Event::Cycle(kind));
+    }
 }
 
 impl Frontend for IcFrontend {
@@ -63,7 +74,16 @@ impl Frontend for IcFrontend {
     }
 
     fn step(&mut self, oracle: &mut OracleStream<'_>, metrics: &mut FrontendMetrics) {
-        self.engine.cycle(oracle, &mut self.preds, metrics, &mut NoFill);
+        self.step_probe(oracle, &mut Probe::untraced(metrics));
+    }
+
+    fn step_traced(
+        &mut self,
+        oracle: &mut OracleStream<'_>,
+        metrics: &mut FrontendMetrics,
+        sink: &mut dyn EventSink,
+    ) {
+        self.step_probe(oracle, &mut Probe::traced(metrics, sink));
     }
 }
 

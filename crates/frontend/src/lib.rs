@@ -38,6 +38,7 @@ mod frontend;
 mod icfe;
 mod metrics;
 mod oracle;
+mod probe;
 mod tc;
 mod uopcache;
 
@@ -47,5 +48,6 @@ pub use frontend::Frontend;
 pub use icfe::{IcFrontend, IcFrontendConfig};
 pub use metrics::FrontendMetrics;
 pub use oracle::OracleStream;
+pub use probe::{Probe, Reconciler};
 pub use tc::{TcConfig, TraceCacheFrontend};
 pub use uopcache::{UopCacheConfig, UopCacheFrontend};

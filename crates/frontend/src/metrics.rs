@@ -9,6 +9,7 @@
 
 use std::fmt;
 use std::ops::AddAssign;
+use xbc_obs::{CycleKind, D2bCause, Event, MispredictKind, UopSource};
 
 /// Counters accumulated while a frontend runs over a trace.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -57,6 +58,12 @@ pub struct FrontendMetrics {
     pub d2b_return: u64,
     /// Delivery→build switches caused by indirect-target mispredictions.
     pub d2b_indirect: u64,
+    /// Delivery→build switches caused by a misfetch: the fetched
+    /// (merged) XB diverged from the committed path (XBC only).
+    pub d2b_misfetch: u64,
+    /// Delivery→build switches caused by a plain structure miss
+    /// (uop cache / TC / BBTC lookup failure).
+    pub d2b_structure_miss: u64,
 }
 
 impl FrontendMetrics {
@@ -134,6 +141,79 @@ impl FrontendMetrics {
             self.set_search_hits as f64 / self.set_searches as f64
         }
     }
+
+    /// Sum of the per-cause delivery→build counters.
+    ///
+    /// Every switch records exactly one cause (enforced structurally by
+    /// [`FrontendMetrics::apply_event`]), so this always equals
+    /// [`FrontendMetrics::delivery_to_build`] — the d2b-sum invariant.
+    pub fn d2b_cause_sum(&self) -> u64 {
+        self.d2b_xbtb_miss
+            + self.d2b_no_pointer
+            + self.d2b_stale_pointer
+            + self.d2b_array_miss
+            + self.d2b_return
+            + self.d2b_indirect
+            + self.d2b_misfetch
+            + self.d2b_structure_miss
+    }
+
+    /// Applies one trace event to the counters.
+    ///
+    /// This is the *only* way frontends bump their metrics on the step
+    /// path (via `Probe::emit`), and the only folding rule the
+    /// `Reconciler` uses — so the event stream and the aggregate
+    /// counters cannot disagree: they are the same arithmetic.
+    /// Observability-only events (`Lookup`, `Fill`, `Eviction`,
+    /// `Occupancy`) are no-ops here.
+    pub fn apply_event(&mut self, e: &Event) {
+        match e {
+            Event::Cycle(kind) => {
+                self.cycles += 1;
+                match kind {
+                    CycleKind::Build => self.build_cycles += 1,
+                    CycleKind::Delivery => self.delivery_cycles += 1,
+                    CycleKind::Stall => self.stall_cycles += 1,
+                }
+            }
+            Event::Uops { src, n } => match src {
+                UopSource::Structure => self.structure_uops += u64::from(*n),
+                UopSource::Ic => self.ic_uops += u64::from(*n),
+            },
+            Event::Mispredict(kind) => match kind {
+                MispredictKind::Cond => self.cond_mispredicts += 1,
+                MispredictKind::Target => self.target_mispredicts += 1,
+            },
+            Event::SwitchToBuild(cause) => {
+                self.delivery_to_build += 1;
+                match cause {
+                    D2bCause::XbtbMiss => self.d2b_xbtb_miss += 1,
+                    D2bCause::NoPointer => self.d2b_no_pointer += 1,
+                    D2bCause::StalePointer => self.d2b_stale_pointer += 1,
+                    D2bCause::ArrayMiss => self.d2b_array_miss += 1,
+                    D2bCause::Return => self.d2b_return += 1,
+                    D2bCause::Indirect => self.d2b_indirect += 1,
+                    D2bCause::Misfetch => self.d2b_misfetch += 1,
+                    D2bCause::StructureMiss => self.d2b_structure_miss += 1,
+                }
+            }
+            Event::SwitchToDelivery => self.build_to_delivery += 1,
+            Event::StructureMiss => self.structure_misses += 1,
+            Event::BankConflict { deferred } => self.bank_conflict_uops += u64::from(*deferred),
+            Event::SetSearch { hit } => {
+                self.set_searches += 1;
+                if *hit {
+                    self.set_search_hits += 1;
+                }
+            }
+            Event::Promotion => self.promotions += 1,
+            Event::Depromotion => self.depromotions += 1,
+            Event::Lookup { .. }
+            | Event::Fill { .. }
+            | Event::Eviction { .. }
+            | Event::Occupancy { .. } => {}
+        }
+    }
 }
 
 impl AddAssign for FrontendMetrics {
@@ -160,6 +240,8 @@ impl AddAssign for FrontendMetrics {
         self.d2b_array_miss += o.d2b_array_miss;
         self.d2b_return += o.d2b_return;
         self.d2b_indirect += o.d2b_indirect;
+        self.d2b_misfetch += o.d2b_misfetch;
+        self.d2b_structure_miss += o.d2b_structure_miss;
     }
 }
 
@@ -239,6 +321,46 @@ mod tests {
         a += FrontendMetrics { cycles: 7, structure_uops: 3, ..Default::default() };
         assert_eq!(a.cycles, 17);
         assert_eq!(a.total_uops(), 8);
+    }
+
+    #[test]
+    fn apply_event_mirrors_counters() {
+        let mut m = FrontendMetrics::default();
+        m.apply_event(&Event::Cycle(CycleKind::Delivery));
+        m.apply_event(&Event::Uops { src: UopSource::Structure, n: 6 });
+        m.apply_event(&Event::Mispredict(MispredictKind::Target));
+        m.apply_event(&Event::SwitchToBuild(D2bCause::StalePointer));
+        m.apply_event(&Event::SetSearch { hit: true });
+        m.apply_event(&Event::Lookup { what: xbc_obs::LookupKind::Xbtb, hit: false });
+        assert_eq!(m.cycles, 1);
+        assert_eq!(m.delivery_cycles, 1);
+        assert_eq!(m.structure_uops, 6);
+        assert_eq!(m.target_mispredicts, 1);
+        assert_eq!(m.delivery_to_build, 1);
+        assert_eq!(m.d2b_stale_pointer, 1);
+        assert_eq!(m.set_searches, 1);
+        assert_eq!(m.set_search_hits, 1);
+        assert_eq!(m.d2b_cause_sum(), m.delivery_to_build);
+    }
+
+    #[test]
+    fn every_d2b_cause_feeds_the_sum() {
+        let mut m = FrontendMetrics::default();
+        let causes = [
+            D2bCause::XbtbMiss,
+            D2bCause::NoPointer,
+            D2bCause::StalePointer,
+            D2bCause::ArrayMiss,
+            D2bCause::Return,
+            D2bCause::Indirect,
+            D2bCause::Misfetch,
+            D2bCause::StructureMiss,
+        ];
+        for c in causes {
+            m.apply_event(&Event::SwitchToBuild(c));
+        }
+        assert_eq!(m.delivery_to_build, causes.len() as u64);
+        assert_eq!(m.d2b_cause_sum(), m.delivery_to_build);
     }
 
     #[test]

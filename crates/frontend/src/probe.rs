@@ -1,0 +1,154 @@
+//! The [`Probe`]: the single funnel between frontends and their
+//! counters, and the [`Reconciler`] that proves it.
+//!
+//! A frontend never writes a `FrontendMetrics` field directly on the
+//! step path. It calls [`Probe::emit`], which routes the event through
+//! [`FrontendMetrics::apply_event`] *and* (when tracing) into the
+//! sink. The [`Reconciler`] folds a captured event stream through the
+//! same `apply_event` — so `Reconciler::fold(events) == metrics` holds
+//! bit-for-bit by construction: both sides execute identical
+//! arithmetic on the identical event sequence.
+//!
+//! The untraced path ([`Probe::untraced`]) instantiates the sink type
+//! parameter with [`NullSink`] and `active = false`; after inlining
+//! the emit collapses to the bare counter bump, so tracing costs
+//! nothing when disabled (the `cargo bench` guard in `crates/bench`
+//! watches this).
+
+use crate::metrics::FrontendMetrics;
+use xbc_obs::{Event, EventSink, NullSink};
+
+/// Routes counter bumps and trace events through one call site.
+///
+/// `S` is the sink type; the hot untraced path uses `S = NullSink`
+/// (monomorphized away), while `Frontend::step_traced` passes
+/// `S = &mut dyn EventSink`.
+pub struct Probe<'a, S: EventSink = NullSink> {
+    m: &'a mut FrontendMetrics,
+    sink: S,
+    active: bool,
+}
+
+impl<'a> Probe<'a, NullSink> {
+    /// A metrics-only probe: events update counters, nothing is traced.
+    #[inline(always)]
+    pub fn untraced(m: &'a mut FrontendMetrics) -> Self {
+        Probe { m, sink: NullSink, active: false }
+    }
+}
+
+impl<'a, S: EventSink> Probe<'a, S> {
+    /// A tracing probe: events update counters *and* reach `sink`.
+    #[inline]
+    pub fn traced(m: &'a mut FrontendMetrics, sink: S) -> Self {
+        Probe { m, sink, active: true }
+    }
+
+    /// Emits one event: applies it to the metrics, then forwards it to
+    /// the sink when tracing.
+    #[inline(always)]
+    pub fn emit(&mut self, e: Event) {
+        self.m.apply_event(&e);
+        if self.active {
+            self.sink.emit(e);
+        }
+    }
+
+    /// Emits an observability-only event (no metric effect). The
+    /// closure runs only when tracing into a sink that wants detail,
+    /// so neither the untraced path nor a (possibly `dyn`) [`NullSink`]
+    /// pays anything for constructing it — some detail events are
+    /// expensive to build (occupancy snapshots walk the array).
+    #[inline(always)]
+    pub fn note(&mut self, f: impl FnOnce() -> Event) {
+        if self.active && self.sink.wants_detail() {
+            let e = f();
+            debug_assert!(!e.is_metric(), "metric-bearing event routed through note(): {e:?}");
+            self.sink.emit(e);
+        }
+    }
+
+    /// Read access to the counters (frontends branch on totals, e.g.
+    /// the run-loop watchdog and delivery budgets).
+    #[inline(always)]
+    pub fn metrics(&self) -> &FrontendMetrics {
+        self.m
+    }
+}
+
+/// Folds an event stream back into aggregate metrics.
+///
+/// ```
+/// use xbc_frontend::{FrontendMetrics, Reconciler};
+/// use xbc_obs::{CycleKind, Event, UopSource};
+///
+/// let events = [
+///     Event::Uops { src: UopSource::Ic, n: 3 },
+///     Event::Cycle(CycleKind::Build),
+/// ];
+/// let m = Reconciler::fold(events.iter());
+/// assert_eq!(m.cycles, 1);
+/// assert_eq!(m.ic_uops, 3);
+/// assert_eq!(m, {
+///     let mut expect = FrontendMetrics::default();
+///     expect.ic_uops = 3;
+///     expect.cycles = 1;
+///     expect.build_cycles = 1;
+///     expect
+/// });
+/// ```
+pub struct Reconciler;
+
+impl Reconciler {
+    /// Replays `events` through [`FrontendMetrics::apply_event`].
+    pub fn fold<'e, I: IntoIterator<Item = &'e Event>>(events: I) -> FrontendMetrics {
+        let mut m = FrontendMetrics::default();
+        for e in events {
+            m.apply_event(e);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbc_obs::{CycleKind, D2bCause, UopSource, VecSink};
+
+    #[test]
+    fn untraced_probe_only_bumps_counters() {
+        let mut m = FrontendMetrics::default();
+        let mut p = Probe::untraced(&mut m);
+        p.emit(Event::Cycle(CycleKind::Stall));
+        p.note(|| unreachable!("note closure must not run untraced"));
+        assert_eq!(m.stall_cycles, 1);
+    }
+
+    #[test]
+    fn traced_probe_captures_and_reconciles() {
+        let mut m = FrontendMetrics::default();
+        let mut sink = VecSink::new();
+        {
+            let mut p = Probe::traced(&mut m, &mut sink);
+            p.emit(Event::Uops { src: UopSource::Structure, n: 4 });
+            p.emit(Event::SwitchToBuild(D2bCause::ArrayMiss));
+            p.emit(Event::Cycle(CycleKind::Delivery));
+            p.note(|| Event::Occupancy { lines: 1, uops: 4 });
+        }
+        assert_eq!(sink.events.len(), 4);
+        assert_eq!(Reconciler::fold(sink.events.iter()), m);
+    }
+
+    #[test]
+    fn dyn_sink_probe_works() {
+        let mut m = FrontendMetrics::default();
+        let mut sink = VecSink::new();
+        let dyn_sink: &mut dyn EventSink = &mut sink;
+        {
+            let mut p = Probe::traced(&mut m, dyn_sink);
+            p.emit(Event::Promotion);
+        }
+        assert_eq!(m.promotions, 1);
+        assert_eq!(sink.events, vec![Event::Promotion]);
+    }
+}

@@ -18,7 +18,9 @@ use crate::build::{BuildEngine, FillSink, Predictors, TimingConfig};
 use crate::frontend::Frontend;
 use crate::metrics::FrontendMetrics;
 use crate::oracle::OracleStream;
+use crate::probe::Probe;
 use xbc_isa::BranchKind;
+use xbc_obs::{CycleKind, D2bCause, Event, EventSink, MispredictKind, UopSource};
 use xbc_predict::{BtbConfig, GshareConfig, IndirectPredictor};
 use xbc_uarch::{DecoderConfig, ICacheConfig, SetAssoc};
 use xbc_workload::DynInst;
@@ -324,15 +326,17 @@ impl TraceCacheFrontend {
     }
 
     /// Walks a trace line against the oracle, performing all predictor
-    /// updates, and returns the number of uops accepted for delivery plus
-    /// any resteer penalty to charge after they drain.
+    /// updates, and returns the number of uops accepted for delivery,
+    /// any resteer penalty to charge after they drain, and the kind of
+    /// mispredict that truncated the walk (if one did) — the caller
+    /// turns that into the event/counter bump, keeping this walk free
+    /// of accounting.
     fn walk_line(
         line: &TraceLine,
         oracle: &OracleStream<'_>,
         preds: &mut Predictors,
-        metrics: &mut FrontendMetrics,
         timing: &TimingConfig,
-    ) -> (usize, Option<u64>) {
+    ) -> (usize, Option<u64>, Option<MispredictKind>) {
         let mut accepted = 0usize;
         for (j, td) in line.insts.iter().enumerate() {
             let Some(od) = oracle.peek(j) else {
@@ -357,14 +361,17 @@ impl TraceCacheFrontend {
                     let correct = pred == od.taken;
                     preds.dir.update(ip, od.taken);
                     if !correct {
-                        metrics.cond_mispredicts += 1;
-                        return (accepted, Some(timing.mispredict_penalty));
+                        return (
+                            accepted,
+                            Some(timing.mispredict_penalty),
+                            Some(MispredictKind::Cond),
+                        );
                     }
                     if pred != td.taken {
                         // Correctly predicted off the embedded path: the
                         // rest of the line is the wrong way — truncate the
                         // fetch, no penalty.
-                        return (accepted, None);
+                        return (accepted, None, None);
                     }
                 }
                 BranchKind::IndirectJump | BranchKind::IndirectCall => {
@@ -375,29 +382,38 @@ impl TraceCacheFrontend {
                         preds.rsb.push(td.inst.next_seq());
                     }
                     if pred != Some(od.next_ip) {
-                        metrics.target_mispredicts += 1;
-                        return (accepted, Some(timing.mispredict_penalty));
+                        return (
+                            accepted,
+                            Some(timing.mispredict_penalty),
+                            Some(MispredictKind::Target),
+                        );
                     }
-                    return (accepted, None); // traces end at indirects
+                    return (accepted, None, None); // traces end at indirects
                 }
                 BranchKind::Return => {
                     let pred = preds.rsb.pop();
                     if pred != Some(od.next_ip) {
-                        metrics.target_mispredicts += 1;
-                        return (accepted, Some(timing.mispredict_penalty));
+                        return (
+                            accepted,
+                            Some(timing.mispredict_penalty),
+                            Some(MispredictKind::Target),
+                        );
                     }
-                    return (accepted, None);
+                    return (accepted, None, None);
                 }
             }
         }
-        (accepted, None)
+        (accepted, None, None)
     }
 
-    fn delivery_cycle(&mut self, oracle: &mut OracleStream<'_>, metrics: &mut FrontendMetrics) {
+    fn delivery_cycle<S: EventSink>(
+        &mut self,
+        oracle: &mut OracleStream<'_>,
+        probe: &mut Probe<'_, S>,
+    ) {
         if self.stall > 0 {
             self.stall -= 1;
-            metrics.cycles += 1;
-            metrics.stall_cycles += 1;
+            probe.emit(Event::Cycle(CycleKind::Stall));
             return;
         }
         if self.pending_uops == 0 {
@@ -406,17 +422,19 @@ impl TraceCacheFrontend {
             let Some((key, line)) = self.lookup_next(ip) else {
                 // TC miss: back to build mode. The failed lookup costs one
                 // cycle of nothing.
-                metrics.cycles += 1;
-                metrics.stall_cycles += 1;
-                metrics.structure_misses += 1;
-                metrics.delivery_to_build += 1;
+                probe.emit(Event::StructureMiss);
+                probe.emit(Event::SwitchToBuild(D2bCause::StructureMiss));
                 self.mode = Mode::Build;
                 self.fill.clear();
+                probe.emit(Event::Cycle(CycleKind::Stall));
                 return;
             };
             self.note_transition(key);
-            let (accepted, resteer) =
-                Self::walk_line(&line, oracle, &mut self.preds, metrics, &self.cfg.timing);
+            let (accepted, resteer, mispredict) =
+                Self::walk_line(&line, oracle, &mut self.preds, &self.cfg.timing);
+            if let Some(kind) = mispredict {
+                probe.emit(Event::Mispredict(kind));
+            }
             debug_assert!(accepted > 0, "a hit line always supplies its first instruction");
             self.pending_uops = accepted;
             self.pending_resteer = resteer;
@@ -430,9 +448,10 @@ impl TraceCacheFrontend {
             delivered += n;
         }
         self.pending_uops -= delivered;
-        metrics.structure_uops += delivered as u64;
-        metrics.cycles += 1;
-        metrics.delivery_cycles += 1;
+        if delivered > 0 {
+            probe.emit(Event::Uops { src: UopSource::Structure, n: delivered as u16 });
+        }
+        probe.emit(Event::Cycle(CycleKind::Delivery));
         if self.pending_uops == 0 {
             if let Some(penalty) = self.pending_resteer.take() {
                 self.stall += penalty;
@@ -440,8 +459,12 @@ impl TraceCacheFrontend {
         }
     }
 
-    fn build_cycle(&mut self, oracle: &mut OracleStream<'_>, metrics: &mut FrontendMetrics) {
-        self.engine.cycle(oracle, &mut self.preds, metrics, &mut self.fill);
+    fn build_cycle<S: EventSink>(
+        &mut self,
+        oracle: &mut OracleStream<'_>,
+        probe: &mut Probe<'_, S>,
+    ) {
+        let kind = self.engine.cycle(oracle, &mut self.preds, probe, &mut self.fill);
         let completed: Vec<TraceLine> = std::mem::take(&mut self.fill.done);
         let built_any = !completed.is_empty();
         for line in completed {
@@ -463,8 +486,20 @@ impl TraceCacheFrontend {
             if self.lookup_next(ip).is_some() {
                 self.mode = Mode::Delivery;
                 self.fill.clear();
-                metrics.build_to_delivery += 1;
+                probe.emit(Event::SwitchToDelivery);
             }
+        }
+        probe.emit(Event::Cycle(kind));
+    }
+
+    fn step_probe<S: EventSink>(
+        &mut self,
+        oracle: &mut OracleStream<'_>,
+        probe: &mut Probe<'_, S>,
+    ) {
+        match self.mode {
+            Mode::Build => self.build_cycle(oracle, probe),
+            Mode::Delivery => self.delivery_cycle(oracle, probe),
         }
     }
 }
@@ -475,10 +510,16 @@ impl Frontend for TraceCacheFrontend {
     }
 
     fn step(&mut self, oracle: &mut OracleStream<'_>, metrics: &mut FrontendMetrics) {
-        match self.mode {
-            Mode::Build => self.build_cycle(oracle, metrics),
-            Mode::Delivery => self.delivery_cycle(oracle, metrics),
-        }
+        self.step_probe(oracle, &mut Probe::untraced(metrics));
+    }
+
+    fn step_traced(
+        &mut self,
+        oracle: &mut OracleStream<'_>,
+        metrics: &mut FrontendMetrics,
+        sink: &mut dyn EventSink,
+    ) {
+        self.step_probe(oracle, &mut Probe::traced(metrics, sink));
     }
 
     fn mode_label(&self) -> &'static str {

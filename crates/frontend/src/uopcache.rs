@@ -11,7 +11,9 @@ use crate::build::{BuildEngine, FillSink, Predictors, TimingConfig};
 use crate::frontend::Frontend;
 use crate::metrics::FrontendMetrics;
 use crate::oracle::OracleStream;
+use crate::probe::Probe;
 use xbc_isa::Inst;
+use xbc_obs::{CycleKind, D2bCause, Event, EventSink, MispredictKind, UopSource};
 use xbc_predict::{BtbConfig, GshareConfig};
 use xbc_uarch::{DecoderConfig, ICacheConfig, SetAssoc};
 use xbc_workload::DynInst;
@@ -137,11 +139,14 @@ impl UopCacheFrontend {
         }
     }
 
-    fn delivery_cycle(&mut self, oracle: &mut OracleStream<'_>, metrics: &mut FrontendMetrics) {
-        metrics.cycles += 1;
+    fn delivery_cycle<S: EventSink>(
+        &mut self,
+        oracle: &mut OracleStream<'_>,
+        probe: &mut Probe<'_, S>,
+    ) {
         if self.stall > 0 {
             self.stall -= 1;
-            metrics.stall_cycles += 1;
+            probe.emit(Event::Cycle(CycleKind::Stall));
             return;
         }
         // Deliver a consecutive run of cached instructions, up to the
@@ -154,10 +159,10 @@ impl UopCacheFrontend {
             if self.cache.get(set, tag).is_none() {
                 if !any_hit {
                     // Leading miss: switch to build mode.
-                    metrics.structure_misses += 1;
-                    metrics.delivery_to_build += 1;
+                    probe.emit(Event::StructureMiss);
+                    probe.emit(Event::SwitchToBuild(D2bCause::StructureMiss));
                     self.mode = Mode::Build;
-                    metrics.stall_cycles += 1;
+                    probe.emit(Event::Cycle(CycleKind::Stall));
                     return;
                 }
                 break;
@@ -167,18 +172,19 @@ impl UopCacheFrontend {
             }
             any_hit = true;
             let n = oracle.take_inst();
-            metrics.structure_uops += n as u64;
             delivered += n;
             if d.inst.branch.is_branch() {
                 // The uop cache entry knows the branch kind: fetch is
                 // BTB-independent on hits.
                 let correct = self.preds.resolve(&d, true);
                 if !correct {
-                    if d.inst.branch == xbc_isa::BranchKind::CondDirect {
-                        metrics.cond_mispredicts += 1;
-                    } else {
-                        metrics.target_mispredicts += 1;
-                    }
+                    probe.emit(Event::Mispredict(
+                        if d.inst.branch == xbc_isa::BranchKind::CondDirect {
+                            MispredictKind::Cond
+                        } else {
+                            MispredictKind::Target
+                        },
+                    ));
                     self.stall += self.cfg.timing.mispredict_penalty;
                     break;
                 }
@@ -187,7 +193,32 @@ impl UopCacheFrontend {
                 }
             }
         }
-        metrics.delivery_cycles += 1;
+        if delivered > 0 {
+            probe.emit(Event::Uops { src: UopSource::Structure, n: delivered as u16 });
+        }
+        probe.emit(Event::Cycle(CycleKind::Delivery));
+    }
+
+    fn step_probe<S: EventSink>(
+        &mut self,
+        oracle: &mut OracleStream<'_>,
+        probe: &mut Probe<'_, S>,
+    ) {
+        match self.mode {
+            Mode::Build => {
+                let kind = self.engine.cycle(oracle, &mut self.preds, probe, &mut self.fill);
+                self.install_pending();
+                if !oracle.done() && oracle.uop_offset() == 0 {
+                    let (set, tag) = self.set_and_tag(oracle.fetch_ip());
+                    if self.cache.probe(set, tag).is_some() {
+                        self.mode = Mode::Delivery;
+                        probe.emit(Event::SwitchToDelivery);
+                    }
+                }
+                probe.emit(Event::Cycle(kind));
+            }
+            Mode::Delivery => self.delivery_cycle(oracle, probe),
+        }
     }
 }
 
@@ -197,20 +228,16 @@ impl Frontend for UopCacheFrontend {
     }
 
     fn step(&mut self, oracle: &mut OracleStream<'_>, metrics: &mut FrontendMetrics) {
-        match self.mode {
-            Mode::Build => {
-                self.engine.cycle(oracle, &mut self.preds, metrics, &mut self.fill);
-                self.install_pending();
-                if !oracle.done() && oracle.uop_offset() == 0 {
-                    let (set, tag) = self.set_and_tag(oracle.fetch_ip());
-                    if self.cache.probe(set, tag).is_some() {
-                        self.mode = Mode::Delivery;
-                        metrics.build_to_delivery += 1;
-                    }
-                }
-            }
-            Mode::Delivery => self.delivery_cycle(oracle, metrics),
-        }
+        self.step_probe(oracle, &mut Probe::untraced(metrics));
+    }
+
+    fn step_traced(
+        &mut self,
+        oracle: &mut OracleStream<'_>,
+        metrics: &mut FrontendMetrics,
+        sink: &mut dyn EventSink,
+    ) {
+        self.step_probe(oracle, &mut Probe::traced(metrics, sink));
     }
 
     fn mode_label(&self) -> &'static str {

@@ -1,10 +1,12 @@
 //! Minimal in-tree JSON support.
 //!
-//! The sim layer needs JSON for exactly two things: dumping sweep rows
-//! for EXPERIMENTS.md, and round-tripping rows through the xbc-store
-//! result cache. That subset — objects, arrays, strings, numbers,
-//! booleans — does not justify a registry dependency, so this module
-//! implements it directly and keeps the build hermetic.
+//! The workspace needs JSON for exactly three things: dumping sweep
+//! rows for EXPERIMENTS.md, round-tripping rows through the xbc-store
+//! result cache, and the [`crate::jsonl`] event codec. That subset —
+//! objects, arrays, strings, numbers, booleans — does not justify a
+//! registry dependency, so this module implements it directly and
+//! keeps the build hermetic. (`xbc-sim` re-exports this module as
+//! `xbc_sim::json`, its home before `xbc-obs` existed.)
 //!
 //! Numbers are kept as their source text ([`Json::Num`] holds the
 //! literal): `u64` counters round-trip without passing through `f64`,

@@ -1,0 +1,341 @@
+//! JSON Lines serialization for event streams (schema `xbc-events-v1`).
+//!
+//! An event file is a sequence of *sections*. Each section opens with a
+//! header line naming the schema, frontend, and trace:
+//!
+//! ```text
+//! {"schema":"xbc-events-v1","frontend":"xbc-32k","trace":"spec.gcc"}
+//! {"ev":"cycle","kind":"build"}
+//! {"ev":"uops","src":"ic","n":3}
+//! ...
+//! ```
+//!
+//! and every following line (until the next header) is one [`Event`].
+//! Encoding is hand-rolled against the in-tree [`crate::json`] parser:
+//! every emitted line parses back to the identical event
+//! ([`decode_event`]`(`[`encode_event`]`(e)) == e` — the property
+//! tests in `crates/obs/tests/property.rs` fuzz this roundtrip).
+
+use crate::event::{CycleKind, D2bCause, Event, FillKind, LookupKind, MispredictKind, UopSource};
+use crate::json::{escape, Json};
+use std::fmt::Write as _;
+
+/// The schema tag written in every section header.
+pub const SCHEMA: &str = "xbc-events-v1";
+
+/// One header's worth of events: a (frontend × trace) run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Section {
+    /// Frontend label from the header line.
+    pub frontend: String,
+    /// Trace name from the header line.
+    pub trace: String,
+    /// The decoded events, in file order.
+    pub events: Vec<Event>,
+}
+
+fn cycle_kind_str(k: CycleKind) -> &'static str {
+    match k {
+        CycleKind::Build => "build",
+        CycleKind::Delivery => "delivery",
+        CycleKind::Stall => "stall",
+    }
+}
+
+fn uop_source_str(s: UopSource) -> &'static str {
+    match s {
+        UopSource::Structure => "structure",
+        UopSource::Ic => "ic",
+    }
+}
+
+fn mispredict_kind_str(k: MispredictKind) -> &'static str {
+    match k {
+        MispredictKind::Cond => "cond",
+        MispredictKind::Target => "target",
+    }
+}
+
+fn d2b_cause_str(c: D2bCause) -> &'static str {
+    match c {
+        D2bCause::XbtbMiss => "xbtb_miss",
+        D2bCause::NoPointer => "no_pointer",
+        D2bCause::StalePointer => "stale_pointer",
+        D2bCause::ArrayMiss => "array_miss",
+        D2bCause::Return => "return",
+        D2bCause::Indirect => "indirect",
+        D2bCause::Misfetch => "misfetch",
+        D2bCause::StructureMiss => "structure_miss",
+    }
+}
+
+fn lookup_kind_str(k: LookupKind) -> &'static str {
+    match k {
+        LookupKind::Xbtb => "xbtb",
+        LookupKind::Xibtb => "xibtb",
+        LookupKind::Xrsb => "xrsb",
+    }
+}
+
+fn fill_kind_str(k: FillKind) -> &'static str {
+    match k {
+        FillKind::Fresh => "fresh",
+        FillKind::Contained => "contained",
+        FillKind::Extended => "extended",
+        FillKind::Complex => "complex",
+    }
+}
+
+/// Encodes one event as a single JSON object (no trailing newline).
+pub fn encode_event(e: &Event) -> String {
+    match e {
+        Event::Cycle(k) => format!(r#"{{"ev":"cycle","kind":"{}"}}"#, cycle_kind_str(*k)),
+        Event::Uops { src, n } => {
+            format!(r#"{{"ev":"uops","src":"{}","n":{n}}}"#, uop_source_str(*src))
+        }
+        Event::Mispredict(k) => {
+            format!(r#"{{"ev":"mispredict","kind":"{}"}}"#, mispredict_kind_str(*k))
+        }
+        Event::SwitchToBuild(c) => format!(r#"{{"ev":"d2b","cause":"{}"}}"#, d2b_cause_str(*c)),
+        Event::SwitchToDelivery => r#"{"ev":"b2d"}"#.to_owned(),
+        Event::StructureMiss => r#"{"ev":"miss"}"#.to_owned(),
+        Event::BankConflict { deferred } => {
+            format!(r#"{{"ev":"bank_conflict","deferred":{deferred}}}"#)
+        }
+        Event::SetSearch { hit } => format!(r#"{{"ev":"set_search","hit":{hit}}}"#),
+        Event::Promotion => r#"{"ev":"promote"}"#.to_owned(),
+        Event::Depromotion => r#"{"ev":"depromote"}"#.to_owned(),
+        Event::Lookup { what, hit } => {
+            format!(r#"{{"ev":"lookup","what":"{}","hit":{hit}}}"#, lookup_kind_str(*what))
+        }
+        Event::Fill { kind, uops, banks } => {
+            format!(
+                r#"{{"ev":"fill","kind":"{}","uops":{uops},"banks":{banks}}}"#,
+                fill_kind_str(*kind)
+            )
+        }
+        Event::Eviction { lines } => format!(r#"{{"ev":"evict","lines":{lines}}}"#),
+        Event::Occupancy { lines, uops } => {
+            format!(r#"{{"ev":"occupancy","lines":{lines},"uops":{uops}}}"#)
+        }
+    }
+}
+
+fn str_field<'a>(j: &'a Json, key: &str) -> Result<&'a str, String> {
+    j.get(key).and_then(Json::as_str).ok_or_else(|| format!("missing/non-string field {key:?}"))
+}
+
+fn bool_field(j: &Json, key: &str) -> Result<bool, String> {
+    j.get(key).and_then(Json::as_bool).ok_or_else(|| format!("missing/non-bool field {key:?}"))
+}
+
+fn num_field<T: std::str::FromStr>(j: &Json, key: &str) -> Result<T, String> {
+    j.get(key)
+        .and_then(|v| match v {
+            Json::Num(n) => n.parse().ok(),
+            _ => None,
+        })
+        .ok_or_else(|| format!("missing/out-of-range field {key:?}"))
+}
+
+/// Decodes one event line.
+///
+/// # Errors
+///
+/// Returns a description of the malformed line.
+pub fn decode_event(line: &str) -> Result<Event, String> {
+    let j = Json::parse(line)?;
+    let ev = str_field(&j, "ev")?;
+    match ev {
+        "cycle" => {
+            let kind = match str_field(&j, "kind")? {
+                "build" => CycleKind::Build,
+                "delivery" => CycleKind::Delivery,
+                "stall" => CycleKind::Stall,
+                other => return Err(format!("bad cycle kind {other:?}")),
+            };
+            Ok(Event::Cycle(kind))
+        }
+        "uops" => {
+            let src = match str_field(&j, "src")? {
+                "structure" => UopSource::Structure,
+                "ic" => UopSource::Ic,
+                other => return Err(format!("bad uop source {other:?}")),
+            };
+            Ok(Event::Uops { src, n: num_field(&j, "n")? })
+        }
+        "mispredict" => {
+            let kind = match str_field(&j, "kind")? {
+                "cond" => MispredictKind::Cond,
+                "target" => MispredictKind::Target,
+                other => return Err(format!("bad mispredict kind {other:?}")),
+            };
+            Ok(Event::Mispredict(kind))
+        }
+        "d2b" => {
+            let cause = match str_field(&j, "cause")? {
+                "xbtb_miss" => D2bCause::XbtbMiss,
+                "no_pointer" => D2bCause::NoPointer,
+                "stale_pointer" => D2bCause::StalePointer,
+                "array_miss" => D2bCause::ArrayMiss,
+                "return" => D2bCause::Return,
+                "indirect" => D2bCause::Indirect,
+                "misfetch" => D2bCause::Misfetch,
+                "structure_miss" => D2bCause::StructureMiss,
+                other => return Err(format!("bad d2b cause {other:?}")),
+            };
+            Ok(Event::SwitchToBuild(cause))
+        }
+        "b2d" => Ok(Event::SwitchToDelivery),
+        "miss" => Ok(Event::StructureMiss),
+        "bank_conflict" => Ok(Event::BankConflict { deferred: num_field(&j, "deferred")? }),
+        "set_search" => Ok(Event::SetSearch { hit: bool_field(&j, "hit")? }),
+        "promote" => Ok(Event::Promotion),
+        "depromote" => Ok(Event::Depromotion),
+        "lookup" => {
+            let what = match str_field(&j, "what")? {
+                "xbtb" => LookupKind::Xbtb,
+                "xibtb" => LookupKind::Xibtb,
+                "xrsb" => LookupKind::Xrsb,
+                other => return Err(format!("bad lookup kind {other:?}")),
+            };
+            Ok(Event::Lookup { what, hit: bool_field(&j, "hit")? })
+        }
+        "fill" => {
+            let kind = match str_field(&j, "kind")? {
+                "fresh" => FillKind::Fresh,
+                "contained" => FillKind::Contained,
+                "extended" => FillKind::Extended,
+                "complex" => FillKind::Complex,
+                other => return Err(format!("bad fill kind {other:?}")),
+            };
+            Ok(Event::Fill { kind, uops: num_field(&j, "uops")?, banks: num_field(&j, "banks")? })
+        }
+        "evict" => Ok(Event::Eviction { lines: num_field(&j, "lines")? }),
+        "occupancy" => {
+            Ok(Event::Occupancy { lines: num_field(&j, "lines")?, uops: num_field(&j, "uops")? })
+        }
+        other => Err(format!("unknown event tag {other:?}")),
+    }
+}
+
+/// Formats a section header line (no trailing newline).
+pub fn header(frontend: &str, trace: &str) -> String {
+    format!(
+        r#"{{"schema":"{SCHEMA}","frontend":"{}","trace":"{}"}}"#,
+        escape(frontend),
+        escape(trace)
+    )
+}
+
+/// Appends a full section (header + events, one per line) to `out`.
+pub fn write_section(out: &mut String, frontend: &str, trace: &str, events: &[Event]) {
+    let _ = writeln!(out, "{}", header(frontend, trace));
+    for e in events {
+        let _ = writeln!(out, "{}", encode_event(e));
+    }
+}
+
+/// Parses a complete event file back into its sections, validating the
+/// schema tag of every header.
+///
+/// # Errors
+///
+/// Returns a line-annotated message on malformed lines, an unexpected
+/// schema, or event lines before the first header.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Section>, String> {
+    let mut sections: Vec<Section> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let j = Json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        if let Some(schema) = j.get("schema") {
+            let schema =
+                schema.as_str().ok_or_else(|| format!("line {lineno}: non-string schema"))?;
+            if schema != SCHEMA {
+                return Err(format!(
+                    "line {lineno}: unsupported schema {schema:?} (want {SCHEMA:?})"
+                ));
+            }
+            sections.push(Section {
+                frontend: str_field(&j, "frontend")
+                    .map_err(|e| format!("line {lineno}: {e}"))?
+                    .to_owned(),
+                trace: str_field(&j, "trace")
+                    .map_err(|e| format!("line {lineno}: {e}"))?
+                    .to_owned(),
+                events: Vec::new(),
+            });
+        } else {
+            let section = sections
+                .last_mut()
+                .ok_or_else(|| format!("line {lineno}: event before any section header"))?;
+            section.events.push(decode_event(line).map_err(|e| format!("line {lineno}: {e}"))?);
+        }
+    }
+    Ok(sections)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_every_variant() {
+        let events = [
+            Event::Cycle(CycleKind::Build),
+            Event::Cycle(CycleKind::Delivery),
+            Event::Cycle(CycleKind::Stall),
+            Event::Uops { src: UopSource::Structure, n: 8 },
+            Event::Uops { src: UopSource::Ic, n: 0 },
+            Event::Mispredict(MispredictKind::Cond),
+            Event::Mispredict(MispredictKind::Target),
+            Event::SwitchToBuild(D2bCause::XbtbMiss),
+            Event::SwitchToBuild(D2bCause::Misfetch),
+            Event::SwitchToBuild(D2bCause::StructureMiss),
+            Event::SwitchToDelivery,
+            Event::StructureMiss,
+            Event::BankConflict { deferred: 13 },
+            Event::SetSearch { hit: true },
+            Event::SetSearch { hit: false },
+            Event::Promotion,
+            Event::Depromotion,
+            Event::Lookup { what: LookupKind::Xibtb, hit: true },
+            Event::Fill { kind: FillKind::Extended, uops: 24, banks: 0b0110 },
+            Event::Eviction { lines: 3 },
+            Event::Occupancy { lines: 512, uops: 3100 },
+        ];
+        for e in events {
+            let line = encode_event(&e);
+            assert_eq!(decode_event(&line).unwrap(), e, "line {line}");
+        }
+    }
+
+    #[test]
+    fn sections_roundtrip() {
+        let mut out = String::new();
+        write_section(&mut out, "tc-32k", "spec.gcc", &[Event::Cycle(CycleKind::Build)]);
+        write_section(
+            &mut out,
+            "xbc-32k",
+            "games.quake",
+            &[Event::SwitchToDelivery, Event::Cycle(CycleKind::Delivery)],
+        );
+        let secs = parse_jsonl(&out).unwrap();
+        assert_eq!(secs.len(), 2);
+        assert_eq!(secs[0].frontend, "tc-32k");
+        assert_eq!(secs[0].events, vec![Event::Cycle(CycleKind::Build)]);
+        assert_eq!(secs[1].trace, "games.quake");
+        assert_eq!(secs[1].events.len(), 2);
+    }
+
+    #[test]
+    fn rejects_headerless_and_bad_schema() {
+        assert!(parse_jsonl("{\"ev\":\"b2d\"}\n").unwrap_err().contains("before any section"));
+        let bad = "{\"schema\":\"xbc-events-v0\",\"frontend\":\"a\",\"trace\":\"b\"}\n";
+        assert!(parse_jsonl(bad).unwrap_err().contains("unsupported schema"));
+        assert!(parse_jsonl("not json\n").is_err());
+    }
+}

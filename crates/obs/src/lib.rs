@@ -1,0 +1,43 @@
+//! # xbc-obs — cycle-level event tracing & observability
+//!
+//! The observability layer of the XBC reproduction. Every frontend in
+//! the workspace can emit a stream of compact structured [`Event`]s —
+//! one per counter bump, plus a handful of observability-only events
+//! (lookups, fills, occupancy snapshots) — into an [`EventSink`].
+//!
+//! The load-bearing design rule: **aggregates are derivable from
+//! events, bit-for-bit**. The frontends do not bump their
+//! `FrontendMetrics` counters next to the event emission; they bump
+//! them *through* it (`FrontendMetrics::apply_event` in
+//! `xbc-frontend`), so a `Reconciler` folding the event stream is
+//! guaranteed to reproduce the aggregate counters exactly, by
+//! construction rather than by parallel bookkeeping.
+//!
+//! Sinks:
+//!
+//! * [`NullSink`] — the disabled path. `Frontend::step` is generic over
+//!   the sink, so the null sink monomorphizes to nothing; the untraced
+//!   entry points compile to the same code as before this crate
+//!   existed (a `cargo bench` guard in `crates/bench` enforces <1%
+//!   overhead).
+//! * [`VecSink`] — unbounded capture, used by tests and the sweep's
+//!   `--trace-events` path.
+//! * [`RingSink`] — bounded capture for long runs: keeps the most
+//!   recent `cap` events, drops oldest-first, and reports an exact
+//!   [`RingSink::dropped`] count.
+//!
+//! The [`jsonl`] module serializes event streams as JSON Lines
+//! (schema [`jsonl::SCHEMA`] = `xbc-events-v1`) using the in-tree
+//! [`json`] parser — no external dependencies, the build stays
+//! hermetic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+pub mod json;
+pub mod jsonl;
+mod sink;
+
+pub use event::{CycleKind, D2bCause, Event, FillKind, LookupKind, MispredictKind, UopSource};
+pub use sink::{EventSink, NullSink, RingSink, VecSink};

@@ -1,0 +1,191 @@
+//! Event sinks: where emitted events go.
+//!
+//! The trait is object-safe (`&mut dyn EventSink` is the type the
+//! provided `Frontend::step_traced` takes), but the frontends'
+//! internal step paths are *generic* over the sink, so the untraced
+//! entry points instantiate with [`NullSink`] and the emit calls
+//! vanish entirely — tracing is zero-cost when disabled.
+
+use crate::event::Event;
+use std::collections::VecDeque;
+
+/// A consumer of trace events.
+pub trait EventSink {
+    /// Accepts one event. Called on the simulation hot path: implement
+    /// without allocation where possible.
+    fn emit(&mut self, e: Event);
+
+    /// Whether this sink cares about observability-only detail events
+    /// (`Lookup` / `Fill` / `Eviction` / `Occupancy`). Some of those
+    /// are costly to *construct* (occupancy snapshots walk the array),
+    /// so the probe consults this before building them. Defaults to
+    /// `true`; [`NullSink`] answers `false`, which makes a null sink —
+    /// even behind `&mut dyn EventSink` — behave as disabled tracing.
+    fn wants_detail(&self) -> bool {
+        true
+    }
+}
+
+impl<S: EventSink + ?Sized> EventSink for &mut S {
+    #[inline(always)]
+    fn emit(&mut self, e: Event) {
+        (**self).emit(e);
+    }
+
+    #[inline(always)]
+    fn wants_detail(&self) -> bool {
+        (**self).wants_detail()
+    }
+}
+
+/// The disabled sink: drops everything, compiles to nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    #[inline(always)]
+    fn emit(&mut self, _e: Event) {}
+
+    #[inline(always)]
+    fn wants_detail(&self) -> bool {
+        false
+    }
+}
+
+/// Unbounded capture into a `Vec`, for tests and file dumps.
+#[derive(Clone, Debug, Default)]
+pub struct VecSink {
+    /// The captured events, in emission order.
+    pub events: Vec<Event>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EventSink for VecSink {
+    #[inline]
+    fn emit(&mut self, e: Event) {
+        self.events.push(e);
+    }
+}
+
+/// Bounded capture: keeps the most recent `cap` events.
+///
+/// When full, the *oldest* event is dropped to make room, and
+/// [`RingSink::dropped`] counts exactly how many were lost — so a
+/// consumer always knows whether the retained window is complete.
+#[derive(Clone, Debug)]
+pub struct RingSink {
+    buf: VecDeque<Event>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `cap` events (`cap == 0` drops everything).
+    pub fn new(cap: usize) -> Self {
+        Self { buf: VecDeque::with_capacity(cap), cap, dropped: 0 }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Exact count of events dropped oldest-first since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Consumes the ring, returning the retained events oldest first.
+    pub fn into_events(self) -> Vec<Event> {
+        self.buf.into_iter().collect()
+    }
+}
+
+impl EventSink for RingSink {
+    #[inline]
+    fn emit(&mut self, e: Event) {
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::CycleKind;
+
+    fn cyc(n: u16) -> Event {
+        Event::Uops { src: crate::UopSource::Ic, n }
+    }
+
+    #[test]
+    fn vec_sink_captures_in_order() {
+        let mut s = VecSink::new();
+        s.emit(cyc(1));
+        s.emit(Event::Cycle(CycleKind::Build));
+        assert_eq!(s.events, vec![cyc(1), Event::Cycle(CycleKind::Build)]);
+    }
+
+    #[test]
+    fn ring_drops_oldest_with_exact_count() {
+        let mut s = RingSink::new(3);
+        for n in 0..10 {
+            s.emit(cyc(n));
+        }
+        assert_eq!(s.dropped(), 7);
+        assert_eq!(s.into_events(), vec![cyc(7), cyc(8), cyc(9)]);
+    }
+
+    #[test]
+    fn zero_cap_ring_drops_everything() {
+        let mut s = RingSink::new(0);
+        s.emit(cyc(1));
+        s.emit(cyc(2));
+        assert_eq!(s.dropped(), 2);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn dyn_and_reborrow_dispatch() {
+        let mut v = VecSink::new();
+        {
+            let d: &mut dyn EventSink = &mut v;
+            let r = &mut *d; // a reborrow of &mut dyn EventSink is itself a sink
+            r.emit(cyc(5));
+        }
+        assert_eq!(v.events.len(), 1);
+    }
+
+    #[test]
+    fn detail_interest_survives_dyn_dispatch() {
+        let mut null = NullSink;
+        let mut vec = VecSink::new();
+        let d: &mut dyn EventSink = &mut null;
+        assert!(!d.wants_detail(), "a null sink is disabled tracing, even boxed as dyn");
+        let d: &mut dyn EventSink = &mut vec;
+        assert!(d.wants_detail());
+    }
+}

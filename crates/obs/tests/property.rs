@@ -1,0 +1,144 @@
+//! Property tests for the event layer, seeded and hermetic (in-tree
+//! splitmix64, no external fuzzing deps):
+//!
+//! * every randomly generated event survives the JSONL
+//!   `encode_event` → `decode_event` roundtrip bit-for-bit,
+//! * random multi-section files survive `write_section` → `parse_jsonl`,
+//! * a [`RingSink`] of random capacity fed a random stream retains the
+//!   newest `cap` events, drops oldest-first, and reports the exact
+//!   `dropped` count.
+
+use xbc_obs::jsonl::{decode_event, encode_event, parse_jsonl, write_section};
+use xbc_obs::{
+    CycleKind, D2bCause, Event, EventSink, FillKind, LookupKind, MispredictKind, RingSink,
+    UopSource,
+};
+
+/// splitmix64: tiny, seedable, good enough to shake out encode bugs.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn event(&mut self) -> Event {
+        match self.below(14) {
+            0 => Event::Cycle(match self.below(3) {
+                0 => CycleKind::Build,
+                1 => CycleKind::Delivery,
+                _ => CycleKind::Stall,
+            }),
+            1 => Event::Uops {
+                src: if self.below(2) == 0 { UopSource::Structure } else { UopSource::Ic },
+                n: self.next() as u16,
+            },
+            2 => Event::Mispredict(if self.below(2) == 0 {
+                MispredictKind::Cond
+            } else {
+                MispredictKind::Target
+            }),
+            3 => Event::SwitchToBuild(match self.below(8) {
+                0 => D2bCause::XbtbMiss,
+                1 => D2bCause::NoPointer,
+                2 => D2bCause::StalePointer,
+                3 => D2bCause::ArrayMiss,
+                4 => D2bCause::Return,
+                5 => D2bCause::Indirect,
+                6 => D2bCause::Misfetch,
+                _ => D2bCause::StructureMiss,
+            }),
+            4 => Event::SwitchToDelivery,
+            5 => Event::StructureMiss,
+            6 => Event::BankConflict { deferred: self.next() as u16 },
+            7 => Event::SetSearch { hit: self.below(2) == 0 },
+            8 => Event::Promotion,
+            9 => Event::Depromotion,
+            10 => Event::Lookup {
+                what: match self.below(3) {
+                    0 => LookupKind::Xbtb,
+                    1 => LookupKind::Xibtb,
+                    _ => LookupKind::Xrsb,
+                },
+                hit: self.below(2) == 0,
+            },
+            11 => Event::Fill {
+                kind: match self.below(4) {
+                    0 => FillKind::Fresh,
+                    1 => FillKind::Contained,
+                    2 => FillKind::Extended,
+                    _ => FillKind::Complex,
+                },
+                uops: self.next() as u16,
+                banks: self.next() as u8,
+            },
+            12 => Event::Eviction { lines: self.next() as u16 },
+            _ => Event::Occupancy { lines: self.next() as u32, uops: self.next() as u32 },
+        }
+    }
+}
+
+#[test]
+fn random_events_roundtrip_encode_decode() {
+    let mut rng = Rng(0xce11_feed_0bad_cafe);
+    for i in 0..20_000 {
+        let e = rng.event();
+        let line = encode_event(&e);
+        let back = decode_event(&line)
+            .unwrap_or_else(|err| panic!("iteration {i}: {err} decoding {line}"));
+        assert_eq!(back, e, "iteration {i}: roundtrip mismatch for line {line}");
+    }
+}
+
+#[test]
+fn random_sections_roundtrip_through_files() {
+    let mut rng = Rng(0x5eed_0fda_7a5e_c7e5);
+    for round in 0..50 {
+        let n_sections = 1 + rng.below(4) as usize;
+        let mut file = String::new();
+        let mut expected = Vec::new();
+        for s in 0..n_sections {
+            let frontend = format!("fe-{round}-{s}");
+            let trace = format!("trace.{}", rng.below(100));
+            let events: Vec<Event> = (0..rng.below(200)).map(|_| rng.event()).collect();
+            write_section(&mut file, &frontend, &trace, &events);
+            expected.push((frontend, trace, events));
+        }
+        let sections = parse_jsonl(&file).expect("generated file must parse");
+        assert_eq!(sections.len(), expected.len());
+        for (sec, (frontend, trace, events)) in sections.iter().zip(&expected) {
+            assert_eq!(&sec.frontend, frontend);
+            assert_eq!(&sec.trace, trace);
+            assert_eq!(&sec.events, events);
+        }
+    }
+}
+
+#[test]
+fn ring_sink_retains_newest_and_counts_drops_exactly() {
+    let mut rng = Rng(0xb0a7_10ad);
+    for round in 0..200 {
+        let cap = rng.below(65) as usize; // 0..=64, including the degenerate cap
+        let len = rng.below(300) as usize;
+        let stream: Vec<Event> = (0..len).map(|_| rng.event()).collect();
+        let mut sink = RingSink::new(cap);
+        for e in &stream {
+            sink.emit(*e);
+        }
+        let expected_dropped = len.saturating_sub(cap) as u64;
+        assert_eq!(sink.dropped(), expected_dropped, "round {round}: cap {cap}, len {len}");
+        assert_eq!(sink.len(), len.min(cap), "round {round}");
+        // Oldest-first drops mean the retained window is the stream's tail.
+        let tail = &stream[len - len.min(cap)..];
+        let kept: Vec<Event> = sink.into_events();
+        assert_eq!(kept, tail, "round {round}: retained window is not the newest events");
+    }
+}

@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! xbcsim list
-//! xbcsim run   --frontend xbc --size 32768 --trace spec.gcc --inst 500000
+//! xbcsim run   --frontend xbc --size 32768 --trace spec.gcc --inst 500000 [--trace-events ev.jsonl]
 //! xbcsim run   --frontend tc  --from trace.xbt
-//! xbcsim sweep --frontends tc,xbc --sizes 8192,32768 --inst 200000 [--json out.json] [--bench-json BENCH_sweep.json] [--threads N] [--cache DIR|off]
+//! xbcsim sweep --frontends tc,xbc --sizes 8192,32768 --inst 200000 [--traces a,b] [--json out.json] [--bench-json BENCH_sweep.json] [--threads N] [--cache DIR|off] [--trace-events ev.jsonl]
+//! xbcsim inspect --events ev.jsonl
 //! xbcsim capture --trace sys.access --inst 100000 --out trace.xbt
 //! xbcsim dot --trace spec.gcc --function 3 > f3.dot
 //! ```
@@ -17,8 +18,9 @@ use xbc_workload::{function_dot, standard_traces, Trace};
 fn usage() -> ! {
     eprintln!("usage:");
     eprintln!("  xbcsim list");
-    eprintln!("  xbcsim run --frontend ic|uopcache|bbtc|tc|xbc [--size N] [--check on] (--trace NAME --inst N | --from FILE)");
-    eprintln!("  xbcsim sweep [--frontends tc,xbc] [--sizes 8192,32768] [--inst N] [--json FILE] [--bench-json FILE] [--threads N] [--cache DIR|off] [--check on]");
+    eprintln!("  xbcsim run --frontend ic|uopcache|bbtc|tc|xbc [--size N] [--check on] [--trace-events FILE] (--trace NAME --inst N | --from FILE)");
+    eprintln!("  xbcsim sweep [--frontends tc,xbc] [--sizes 8192,32768] [--traces a,b] [--inst N] [--json FILE] [--bench-json FILE] [--threads N] [--cache DIR|off] [--check on] [--trace-events FILE]");
+    eprintln!("  xbcsim inspect --events FILE   (render an xbc-events-v1 stream)");
     eprintln!("  xbcsim capture --trace NAME --inst N --out FILE");
     eprintln!("  xbcsim dot --trace NAME [--function K]   (DOT CFG to stdout)");
     exit(2);
@@ -105,7 +107,20 @@ fn cmd_run(flags: &Flags) {
     };
     let spec = frontend_spec(kind, size);
     let mut fe = spec.instantiate();
-    let m = if flags.get_bool("check", false) {
+    let check = flags.get_bool("check", false);
+    let m = if let Some(path) = flags.get("trace-events") {
+        let mut sink = xbc_obs::VecSink::new();
+        let m = if check {
+            xbc_sim::run_checked_traced(&mut *fe, &trace, trace.name(), &mut sink)
+        } else {
+            fe.run_traced(&trace, &mut sink)
+        };
+        let mut out = String::new();
+        xbc_obs::jsonl::write_section(&mut out, &spec.label(), trace.name(), &sink.events);
+        std::fs::write(path, out).unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+        eprintln!("wrote {path} ({} events)", sink.events.len());
+        m
+    } else if check {
         // Verified replay: per-cycle accounting identities + structural
         // audit, same metrics as the plain run.
         xbc_sim::run_checked(&mut *fe, &trace, trace.name())
@@ -116,7 +131,30 @@ fn cmd_run(flags: &Flags) {
     println!("{m}");
 }
 
+fn cmd_inspect(flags: &Flags) {
+    let path = flags.get("events").unwrap_or_else(|| fail("inspect needs --events FILE"));
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+    match xbc_sim::render_inspect(&text) {
+        Ok(report) => print!("{report}"),
+        Err(e) => fail(&format!("{path}: {e}")),
+    }
+}
+
 fn cmd_sweep(flags: &Flags) {
+    let traces: Vec<_> = match flags.get("traces") {
+        None => standard_traces(),
+        Some(list) => {
+            let all = standard_traces();
+            list.split(',')
+                .map(|name| {
+                    all.iter()
+                        .find(|t| t.name == name)
+                        .cloned()
+                        .unwrap_or_else(|| fail(&format!("unknown trace: {name}")))
+                })
+                .collect()
+        }
+    };
     let kinds: Vec<&str> = flags.get("frontends").unwrap_or("tc,xbc").split(',').collect();
     let sizes: Vec<usize> = flags
         .get("sizes")
@@ -138,9 +176,10 @@ fn cmd_sweep(flags: &Flags) {
         .map(str::to_owned)
         .or_else(|| std::env::var("XBC_CACHE_DIR").ok())
         .unwrap_or_else(|| "target/xbc-cache".to_owned());
-    let mut sweep = Sweep::new(standard_traces(), frontends, insts);
+    let mut sweep = Sweep::new(traces, frontends, insts);
     sweep.threads = flags.get_usize("threads", 0);
     sweep.check = flags.get_bool("check", false);
+    sweep.trace_events = flags.get("trace-events").map(str::to_owned);
     if cache != "off" {
         match xbc_store::Store::open(&cache) {
             Ok(store) => sweep = sweep.with_store(std::sync::Arc::new(store)),
@@ -195,6 +234,7 @@ fn main() {
         "list" => cmd_list(),
         "run" => cmd_run(&flags),
         "sweep" => cmd_sweep(&flags),
+        "inspect" => cmd_inspect(&flags),
         "capture" => cmd_capture(&flags),
         "dot" => cmd_dot(&flags),
         _ => usage(),

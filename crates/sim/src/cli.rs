@@ -12,7 +12,11 @@
 //!   (wall time, capture/sim split, worker utilization) as JSON,
 //! * `--cache-dir PATH` — xbc-store root (default `$XBC_CACHE_DIR`,
 //!   falling back to `target/xbc-cache`),
-//! * `--no-cache` — disable the trace/result store entirely.
+//! * `--no-cache` — disable the trace/result store entirely,
+//! * `--check` — assert accounting identities and structural invariants
+//!   every simulated cycle,
+//! * `--trace-events PATH` — write the cycle-level `xbc-events-v1`
+//!   JSONL event stream of every simulated cell to PATH.
 
 use std::sync::Arc;
 use xbc_store::Store;
@@ -36,6 +40,10 @@ pub struct HarnessArgs {
     /// Verify accounting identities and structural invariants while
     /// simulating (`--check`).
     pub check: bool,
+    /// Write the cycle-level `xbc-events-v1` JSONL event stream here
+    /// (`--trace-events`). Tracing bypasses the result cache so the
+    /// stream covers every cell.
+    pub trace_events: Option<String>,
     /// Positional (non-flag) arguments, for harness-specific modes.
     pub positional: Vec<String>,
 }
@@ -58,6 +66,7 @@ impl HarnessArgs {
             threads: 0,
             cache_dir: Some(default_cache),
             check: false,
+            trace_events: None,
             positional: Vec::new(),
         };
         let mut it = args.into_iter();
@@ -102,6 +111,9 @@ impl HarnessArgs {
                 "--check" => {
                     out.check = true;
                 }
+                "--trace-events" => {
+                    out.trace_events = Some(it.next().ok_or("--trace-events needs a path")?);
+                }
                 other if other.starts_with("--") => {
                     return Err(format!("unknown flag: {other}"));
                 }
@@ -119,7 +131,8 @@ impl HarnessArgs {
                 eprintln!("error: {e}");
                 eprintln!(
                     "usage: [--inst N] [--traces a,b,c] [--json PATH] [--bench-json PATH] \
-                     [--threads N] [--cache-dir PATH | --no-cache] [--check] [mode...]"
+                     [--threads N] [--cache-dir PATH | --no-cache] [--check] \
+                     [--trace-events PATH] [mode...]"
                 );
                 std::process::exit(2);
             }
@@ -147,6 +160,7 @@ impl HarnessArgs {
         let mut sweep = crate::Sweep::new(self.traces.clone(), frontends, self.insts);
         sweep.threads = self.threads;
         sweep.check = self.check;
+        sweep.trace_events = self.trace_events.clone();
         if let Some(store) = self.open_store() {
             sweep = sweep.with_store(store);
         }
@@ -231,6 +245,8 @@ mod tests {
             "--bench-json",
             "bench.json",
             "--check",
+            "--trace-events",
+            "events.jsonl",
             "promotion",
         ])
         .unwrap();
@@ -240,6 +256,7 @@ mod tests {
         assert_eq!(a.threads, 2);
         assert_eq!(a.bench_json.as_deref(), Some("bench.json"));
         assert!(a.check);
+        assert_eq!(a.trace_events.as_deref(), Some("events.jsonl"));
         assert_eq!(a.positional, vec!["promotion"]);
     }
 

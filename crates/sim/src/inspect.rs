@@ -1,0 +1,293 @@
+//! `xbcsim inspect` — renders an `xbc-events-v1` JSONL event stream as a
+//! human-readable run report: a per-cycle pipeline timeline, occupancy
+//! and XB-length histograms, the promotion lifecycle, and the metrics
+//! reconciled from the stream (fold of [`Reconciler`], so the numbers
+//! shown are — by construction — exactly what the live run counted).
+//!
+//! The output is fully deterministic for a given event file, which is
+//! what the golden-snapshot test under `tests/golden/` pins down.
+
+use xbc_frontend::Reconciler;
+use xbc_obs::jsonl::{parse_jsonl, Section};
+use xbc_obs::{CycleKind, D2bCause, Event, FillKind, LookupKind};
+
+/// Cycles shown in the timeline strip (8 rows of 64).
+const TIMELINE_CYCLES: usize = 512;
+
+/// Width of the longest histogram bar, in `#` characters.
+const BAR_WIDTH: usize = 32;
+
+fn bar(count: u64, max: u64) -> String {
+    if max == 0 {
+        return String::new();
+    }
+    let w = ((count as u128 * BAR_WIDTH as u128).div_ceil(max as u128)) as usize;
+    "#".repeat(w.min(BAR_WIDTH))
+}
+
+fn pct(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        100.0 * num as f64 / den as f64
+    }
+}
+
+/// Everything `inspect` derives from one section's event stream that the
+/// reconciled [`FrontendMetrics`](xbc_frontend::FrontendMetrics) does not
+/// already carry: timeline, histograms, lookup outcomes, lifecycles.
+#[derive(Default)]
+struct Digest {
+    timeline: String,
+    d2b: [u64; 8],
+    lookups: [(u64, u64); 3], // (hits, total) per LookupKind
+    fill_kinds: [u64; 4],
+    fill_count: u64,
+    /// XB length histogram: bucket i counts fills of 4i+1..=4(i+1) uops.
+    len_hist: [u64; 8],
+    /// Banks-per-fill histogram (1..=8 banks).
+    bank_hist: [u64; 8],
+    evicted_lines: u64,
+    occ_last: Option<(u32, u32)>,
+    occ_peak: (u32, u32),
+    bank_conflicts: u64,
+}
+
+fn digest(events: &[Event]) -> Digest {
+    let mut d = Digest::default();
+    let mut cycles = 0usize;
+    for e in events {
+        match *e {
+            Event::Cycle(kind) => {
+                if cycles < TIMELINE_CYCLES {
+                    d.timeline.push(match kind {
+                        CycleKind::Build => 'B',
+                        CycleKind::Delivery => 'D',
+                        CycleKind::Stall => 'S',
+                    });
+                }
+                cycles += 1;
+            }
+            Event::SwitchToBuild(cause) => {
+                d.d2b[match cause {
+                    D2bCause::XbtbMiss => 0,
+                    D2bCause::NoPointer => 1,
+                    D2bCause::StalePointer => 2,
+                    D2bCause::ArrayMiss => 3,
+                    D2bCause::Return => 4,
+                    D2bCause::Indirect => 5,
+                    D2bCause::Misfetch => 6,
+                    D2bCause::StructureMiss => 7,
+                }] += 1;
+            }
+            Event::Lookup { what, hit } => {
+                let slot = match what {
+                    LookupKind::Xbtb => 0,
+                    LookupKind::Xibtb => 1,
+                    LookupKind::Xrsb => 2,
+                };
+                d.lookups[slot].0 += u64::from(hit);
+                d.lookups[slot].1 += 1;
+            }
+            Event::Fill { kind, uops, banks } => {
+                d.fill_kinds[match kind {
+                    FillKind::Fresh => 0,
+                    FillKind::Contained => 1,
+                    FillKind::Extended => 2,
+                    FillKind::Complex => 3,
+                }] += 1;
+                d.fill_count += 1;
+                let bucket = ((uops.max(1) as usize - 1) / 4).min(7);
+                d.len_hist[bucket] += 1;
+                if banks >= 1 {
+                    d.bank_hist[(banks as usize - 1).min(7)] += 1;
+                }
+            }
+            Event::Eviction { lines } => d.evicted_lines += u64::from(lines),
+            Event::Occupancy { lines, uops } => {
+                d.occ_last = Some((lines, uops));
+                d.occ_peak.0 = d.occ_peak.0.max(lines);
+                d.occ_peak.1 = d.occ_peak.1.max(uops);
+            }
+            Event::BankConflict { .. } => d.bank_conflicts += 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+fn render_section(out: &mut String, s: &Section) {
+    use std::fmt::Write;
+    let m = Reconciler::fold(s.events.iter());
+    let d = digest(&s.events);
+
+    let _ = writeln!(out, "== {} on {} ==", s.frontend, s.trace);
+    let _ = writeln!(
+        out,
+        "cycles {}  (build {} / delivery {} / stall {})",
+        m.cycles, m.build_cycles, m.delivery_cycles, m.stall_cycles
+    );
+    let _ = writeln!(
+        out,
+        "uops {}  (structure {} / ic {})  upc {:.3}  miss {:.2}%",
+        m.total_uops(),
+        m.structure_uops,
+        m.ic_uops,
+        m.overall_uops_per_cycle(),
+        100.0 * m.uop_miss_rate()
+    );
+    let _ = writeln!(
+        out,
+        "mispredicts  cond {}  target {}   bank-conflict uops {} ({} conflicts)",
+        m.cond_mispredicts, m.target_mispredicts, m.bank_conflict_uops, d.bank_conflicts
+    );
+    let _ = writeln!(
+        out,
+        "set searches {} (hits {})   promotions {}  depromotions {}",
+        m.set_searches, m.set_search_hits, m.promotions, m.depromotions
+    );
+
+    let _ =
+        writeln!(out, "timeline (first {} cycles, B/D/S):", TIMELINE_CYCLES.min(m.cycles as usize));
+    for row in d.timeline.as_bytes().chunks(64) {
+        let _ = writeln!(out, "  {}", std::str::from_utf8(row).expect("ascii timeline"));
+    }
+
+    let _ = writeln!(out, "delivery->build switches ({} total):", m.delivery_to_build);
+    let labels = [
+        ("xbtb_miss", m.d2b_xbtb_miss),
+        ("no_pointer", m.d2b_no_pointer),
+        ("stale_pointer", m.d2b_stale_pointer),
+        ("array_miss", m.d2b_array_miss),
+        ("return", m.d2b_return),
+        ("indirect", m.d2b_indirect),
+        ("misfetch", m.d2b_misfetch),
+        ("structure_miss", m.d2b_structure_miss),
+    ];
+    let max = labels.iter().map(|&(_, n)| n).max().unwrap_or(0);
+    for (name, n) in labels {
+        if n > 0 {
+            let _ = writeln!(out, "  {name:<14} {n:>8}  {}", bar(n, max));
+        }
+    }
+    let _ = writeln!(out, "build->delivery switches: {}", m.build_to_delivery);
+
+    if d.lookups.iter().any(|&(_, t)| t > 0) {
+        let _ = writeln!(out, "pointer lookups (hit/total):");
+        for (name, (h, t)) in ["xbtb", "xibtb", "xrsb"].iter().zip(d.lookups) {
+            if t > 0 {
+                let _ = writeln!(out, "  {name:<6} {h:>8}/{t:<8} ({:.1}%)", pct(h, t));
+            }
+        }
+    }
+
+    if d.fill_count > 0 {
+        let _ = writeln!(
+            out,
+            "fills {} (fresh {}, contained {}, extended {}, complex {})  evicted lines {}",
+            d.fill_count,
+            d.fill_kinds[0],
+            d.fill_kinds[1],
+            d.fill_kinds[2],
+            d.fill_kinds[3],
+            d.evicted_lines
+        );
+        let _ = writeln!(out, "XB length at fill (uops):");
+        let max = d.len_hist.iter().copied().max().unwrap_or(0);
+        for (i, &n) in d.len_hist.iter().enumerate() {
+            if n > 0 {
+                let _ =
+                    writeln!(out, "  {:>2}-{:<2} {n:>8}  {}", 4 * i + 1, 4 * (i + 1), bar(n, max));
+            }
+        }
+        let _ = writeln!(out, "banks per fill:");
+        let max = d.bank_hist.iter().copied().max().unwrap_or(0);
+        for (i, &n) in d.bank_hist.iter().enumerate() {
+            if n > 0 {
+                let _ = writeln!(out, "  {:>2}   {n:>8}  {}", i + 1, bar(n, max));
+            }
+        }
+        if let Some((lines, uops)) = d.occ_last {
+            let _ = writeln!(
+                out,
+                "occupancy: final {lines} lines / {uops} uops, peak {} lines / {} uops",
+                d.occ_peak.0, d.occ_peak.1
+            );
+        }
+    }
+    out.push('\n');
+}
+
+/// Renders an `xbc-events-v1` JSONL event stream (the content of a
+/// `--trace-events` file) as a deterministic, human-readable report —
+/// one block per `(frontend, trace)` section.
+///
+/// # Errors
+///
+/// Returns a line-annotated message when the input is not a valid
+/// `xbc-events-v1` stream.
+pub fn render_inspect(text: &str) -> Result<String, String> {
+    let sections = parse_jsonl(text)?;
+    let mut out = String::new();
+    for s in &sections {
+        render_section(&mut out, s);
+    }
+    if sections.is_empty() {
+        out.push_str("(no event sections)\n");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbc_obs::jsonl::write_section;
+    use xbc_obs::{Event, MispredictKind, UopSource};
+
+    fn sample() -> String {
+        let events = vec![
+            Event::Cycle(CycleKind::Build),
+            Event::Fill { kind: FillKind::Fresh, uops: 9, banks: 3 },
+            Event::Occupancy { lines: 3, uops: 9 },
+            Event::SwitchToDelivery,
+            Event::Cycle(CycleKind::Build),
+            Event::Lookup { what: LookupKind::Xbtb, hit: true },
+            Event::Uops { src: UopSource::Structure, n: 8 },
+            Event::Cycle(CycleKind::Delivery),
+            Event::Mispredict(MispredictKind::Cond),
+            Event::SwitchToBuild(D2bCause::NoPointer),
+            Event::Cycle(CycleKind::Stall),
+        ];
+        let mut out = String::new();
+        write_section(&mut out, "xbc-4k", "spec.gcc", &events);
+        out
+    }
+
+    #[test]
+    fn renders_reconciled_numbers() {
+        let r = render_inspect(&sample()).unwrap();
+        assert!(r.contains("== xbc-4k on spec.gcc =="), "{r}");
+        assert!(r.contains("cycles 4  (build 2 / delivery 1 / stall 1)"), "{r}");
+        assert!(r.contains("BBDS"), "{r}");
+        assert!(r.contains("no_pointer"), "{r}");
+        assert!(r.contains("fills 1 (fresh 1, contained 0, extended 0, complex 0)"), "{r}");
+        assert!(r.contains("occupancy: final 3 lines / 9 uops"), "{r}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = render_inspect(&sample()).unwrap();
+        let b = render_inspect(&sample()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(render_inspect("{\"nope\":1}\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_report() {
+        assert_eq!(render_inspect("").unwrap(), "(no event sections)\n");
+    }
+}

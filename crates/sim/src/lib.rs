@@ -37,16 +37,20 @@
 
 mod bench;
 mod cli;
-pub mod json;
+mod inspect;
 mod report;
 mod spec;
 mod sweep;
 
 pub use bench::{SweepBench, WorkerStat};
 pub use cli::HarnessArgs;
+pub use inspect::render_inspect;
 pub use report::{average_bandwidth, average_miss_rate, pivot_table, rows_from_json, to_json, Row};
 pub use spec::FrontendSpec;
 pub use sweep::{
-    map_traces_parallel, resolve_threads, result_key, run_checked, sweep_custom, CustomRow, Sweep,
-    CODE_VERSION,
+    map_traces_parallel, resolve_threads, result_key, run_checked, run_checked_traced,
+    sweep_custom, CustomRow, Sweep, CODE_VERSION,
 };
+/// The in-tree JSON parser (now hosted by `xbc-obs`; re-exported here
+/// for the sim-layer consumers that grew up with `xbc_sim::json`).
+pub use xbc_obs::json;

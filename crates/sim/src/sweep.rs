@@ -23,7 +23,8 @@ use crate::spec::FrontendSpec;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
-use xbc_frontend::{Frontend, FrontendMetrics, OracleStream};
+use xbc_frontend::{Frontend, FrontendMetrics, OracleStream, Reconciler};
+use xbc_obs::{jsonl, EventSink, NullSink, VecSink};
 use xbc_store::Store;
 use xbc_workload::{Trace, TraceSpec};
 
@@ -130,6 +131,13 @@ pub struct Sweep {
     /// the checks observe, they never perturb — so [`CODE_VERSION`] is
     /// unaffected; cells replayed from the result cache are not re-run.
     pub check: bool,
+    /// Write a cycle-level `xbc-events-v1` JSONL event stream for every
+    /// cell to this path. Tracing bypasses the result cache (every cell
+    /// is simulated so the stream is complete) and the file is written
+    /// in deterministic trace-major cell order after all workers join —
+    /// byte-identical regardless of `threads`. Rows are unaffected:
+    /// tracing observes, it never perturbs.
+    pub trace_events: Option<String>,
 }
 
 impl Sweep {
@@ -143,7 +151,16 @@ impl Sweep {
         assert!(!traces.is_empty(), "sweep needs at least one trace");
         assert!(!frontends.is_empty(), "sweep needs at least one frontend");
         assert!(insts > 0, "sweep needs a positive instruction budget");
-        Sweep { traces, frontends, insts, threads: 0, store: None, progress: true, check: false }
+        Sweep {
+            traces,
+            frontends,
+            insts,
+            threads: 0,
+            store: None,
+            progress: true,
+            check: false,
+            trace_events: None,
+        }
     }
 
     /// Attaches a trace/result store; subsequent [`run`](Sweep::run)
@@ -178,8 +195,10 @@ impl Sweep {
         // Phase 1: probe the result cache. Sequential on purpose — each
         // probe is one small CRC-checked read, negligible next to a
         // simulation, and a single pass gives a deterministic view of
-        // which cells miss before any work is scheduled.
-        if let Some(store) = &self.store {
+        // which cells miss before any work is scheduled. A traced sweep
+        // skips the probe: cached cells would leave holes in the event
+        // stream, so every cell is simulated (captures stay cached).
+        if let Some(store) = self.store.as_ref().filter(|_| self.trace_events.is_none()) {
             for (ti, spec) in self.traces.iter().enumerate() {
                 for (fi, fe) in self.frontends.iter().enumerate() {
                     let key = result_key(spec, fe, self.insts);
@@ -234,6 +253,7 @@ impl Sweep {
         let shared: Vec<OnceLock<(Arc<Trace>, u64)>> =
             (0..self.traces.len()).map(|_| OnceLock::new()).collect();
         let done_rows: Mutex<Vec<(usize, Row)>> = Mutex::new(Vec::new());
+        let event_sections: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
         let remaining: Vec<AtomicUsize> =
             trace_missing.iter().map(|&m| AtomicUsize::new(m)).collect();
         let trace_sim_ms: Vec<AtomicU64> =
@@ -261,7 +281,31 @@ impl Sweep {
             let fe = &self.frontends[cell.fe];
             let sim0 = Instant::now();
             let mut frontend = fe.instantiate();
-            let m = if self.check {
+            let m = if self.trace_events.is_some() {
+                let mut sink = VecSink::new();
+                let m = if self.check {
+                    run_checked_traced(&mut *frontend, &trace, spec.name, &mut sink)
+                } else {
+                    frontend.run_traced(&trace, &mut sink)
+                };
+                if self.check {
+                    let folded = Reconciler::fold(sink.events.iter());
+                    assert_eq!(
+                        folded,
+                        m,
+                        "[--check] {} on {}: event stream does not reconcile to metrics",
+                        fe.label(),
+                        spec.name
+                    );
+                }
+                let mut section = String::new();
+                jsonl::write_section(&mut section, &fe.label(), spec.name, &sink.events);
+                event_sections
+                    .lock()
+                    .expect("event section lock")
+                    .push((cell.trace * n_fe + cell.fe, section));
+                m
+            } else if self.check {
                 run_checked(&mut *frontend, &trace, spec.name)
             } else {
                 frontend.run(&trace)
@@ -291,6 +335,21 @@ impl Sweep {
         });
         for (idx, row) in done_rows.into_inner().expect("workers joined") {
             rows[idx] = Some(row);
+        }
+        if let Some(path) = &self.trace_events {
+            // Deterministic trace-major cell order, whatever the thread
+            // interleaving was.
+            let mut sections = event_sections.into_inner().expect("workers joined");
+            sections.sort_by_key(|(idx, _)| *idx);
+            let out: String = sections.into_iter().map(|(_, s)| s).collect();
+            match std::fs::write(path, out) {
+                Ok(()) => {
+                    if self.progress {
+                        eprintln!("[sweep] wrote event trace {path}");
+                    }
+                }
+                Err(e) => eprintln!("[sweep] failed to write event trace {path}: {e}"),
+            }
         }
 
         let bench = SweepBench {
@@ -327,13 +386,31 @@ impl Sweep {
 /// Panics with a diagnostic naming the frontend, trace, and cycle on the
 /// first violation.
 pub fn run_checked(fe: &mut dyn Frontend, trace: &Trace, trace_name: &str) -> FrontendMetrics {
+    run_checked_traced(fe, trace, trace_name, &mut NullSink)
+}
+
+/// [`run_checked`] with an event sink attached: every step goes through
+/// [`Frontend::step_traced`], so the sink sees the full `xbc-obs` event
+/// stream while the per-cycle identities are asserted. With a
+/// [`NullSink`] this *is* `run_checked`.
+///
+/// # Panics
+///
+/// Panics with a diagnostic naming the frontend, trace, and cycle on the
+/// first violation.
+pub fn run_checked_traced(
+    fe: &mut dyn Frontend,
+    trace: &Trace,
+    trace_name: &str,
+    sink: &mut dyn EventSink,
+) -> FrontendMetrics {
     let mut oracle = OracleStream::new(trace);
     let mut metrics = FrontendMetrics::default();
     let mut stuck = 0u32;
     let mut last_delivered = 0u64;
     while !oracle.done() {
         let before = metrics.cycles;
-        fe.step(&mut oracle, &mut metrics);
+        fe.step_traced(&mut oracle, &mut metrics, sink);
         assert!(
             metrics.cycles > before,
             "[--check] {} on {trace_name}: step added no cycle at uop {}",
@@ -344,6 +421,13 @@ pub fn run_checked(fe: &mut dyn Frontend, trace: &Trace, trace_name: &str) -> Fr
             metrics.cycles,
             metrics.build_cycles + metrics.delivery_cycles + metrics.stall_cycles,
             "[--check] {} on {trace_name}: cycle partition broken at cycle {}",
+            fe.name(),
+            metrics.cycles
+        );
+        assert_eq!(
+            metrics.d2b_cause_sum(),
+            metrics.delivery_to_build,
+            "[--check] {} on {trace_name}: delivery-to-build switch without a cause at cycle {}",
             fe.name(),
             metrics.cycles
         );
@@ -369,6 +453,9 @@ pub fn run_checked(fe: &mut dyn Frontend, trace: &Trace, trace_name: &str) -> Fr
     }
     if let Err(e) = fe.check_invariants() {
         panic!("[--check] {} on {trace_name}: invariant violation: {e}", fe.name());
+    }
+    if let Err(e) = xbc::XbcInvariants::check_metrics(&metrics) {
+        panic!("[--check] {} on {trace_name}: metrics invariant violation: {e}", fe.name());
     }
     metrics
 }

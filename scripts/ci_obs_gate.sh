@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# CI gate for the observability layer (xbc-obs):
+#
+#   1. runs one traced sweep, writing the cycle-level event stream to
+#      results/ci_events.jsonl with --check on, so every cell asserts
+#      Reconciler::fold(events) == FrontendMetrics as it simulates;
+#   2. validates the file against the xbc-events-v1 schema by rendering
+#      it with `xbcsim inspect` (the parser rejects any malformed line,
+#      unknown event tag, or wrong schema header);
+#   3. sanity-checks the section count: one header per (trace x
+#      frontend) cell.
+#
+# CI uploads results/ci_events.jsonl as an artifact so a failing run's
+# full event stream can be replayed locally with `xbcsim inspect`.
+#
+# Usage: scripts/ci_obs_gate.sh [INSTS] (default 20000)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+INSTS="${1:-20000}"
+TRACES="spec.gcc,games.quake"
+
+cargo build --release -p xbc-sim
+mkdir -p results
+B=target/release
+
+# 2 traces x (ic, tc@8k, xbc@8k): small enough for CI, covers the IC
+# build path, a non-XBC structure, and the full XBC event vocabulary.
+"$B/xbcsim" sweep --frontends ic,tc,xbc --sizes 8192 --traces "$TRACES" \
+  --inst "$INSTS" --threads 0 --cache off --check on \
+  --trace-events results/ci_events.jsonl > /dev/null
+
+"$B/xbcsim" inspect --events results/ci_events.jsonl > results/ci_events_report.txt
+
+SECTIONS=$(grep -c '"schema":"xbc-events-v1"' results/ci_events.jsonl)
+echo "OK: $(wc -l < results/ci_events.jsonl) event lines in $SECTIONS sections, all reconciled"
+head -n 40 results/ci_events_report.txt

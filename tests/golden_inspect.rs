@@ -1,0 +1,57 @@
+//! Golden-snapshot test for `xbcsim inspect`.
+//!
+//! A small seeded trace through the XBC frontend renders a report that
+//! is pinned byte-for-byte under `tests/golden/`. Any change to the
+//! event vocabulary, the JSONL encoding, or the inspect renderer shows
+//! up here as a readable diff.
+//!
+//! To re-bless after an intentional format change:
+//!
+//! ```text
+//! XBC_BLESS=1 cargo test --test golden_inspect
+//! ```
+
+use xbc::{XbcConfig, XbcFrontend};
+use xbc_frontend::Frontend;
+use xbc_obs::jsonl::write_section;
+use xbc_obs::VecSink;
+use xbc_workload::standard_traces;
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+fn compare_or_bless(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("XBC_BLESS").is_some() {
+        std::fs::write(&path, actual).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {} ({e}); run with XBC_BLESS=1 to create it", path.display())
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "inspect output drifted from {}; if intentional, re-bless with XBC_BLESS=1",
+        path.display()
+    );
+}
+
+#[test]
+fn inspect_report_matches_golden_snapshot() {
+    // spec.compress, tiny budget: everything here is seeded, so the
+    // captured trace — and therefore the event stream and the report —
+    // is identical on every run and every machine.
+    let spec = standard_traces().into_iter().find(|t| t.name == "spec.compress").unwrap();
+    let trace = spec.capture(8_000);
+    let mut fe = XbcFrontend::new(XbcConfig { total_uops: 4096, ..Default::default() });
+    let mut sink = VecSink::new();
+    fe.run_traced(&trace, &mut sink);
+
+    let mut file = String::new();
+    write_section(&mut file, "xbc-4k", trace.name(), &sink.events);
+    let report = xbc_sim::render_inspect(&file).expect("generated stream must render");
+    compare_or_bless("inspect_xbc_small.txt", &report);
+}
