@@ -77,7 +77,7 @@ pub fn fetch_through_network(
     let needed = offset.div_ceil(line_uops);
     let mut outputs = Vec::with_capacity(needed);
     for (order, &(bank, way)) in asm.lines[..needed].iter().enumerate() {
-        let uops = array.line_uops_at(set, bank, way).expect("assembled line present");
+        let uops = array.line_uops_at(set, bank, way).expect("assembled line present").to_vec();
         let line_lo = order * line_uops; // position-from-end of slot 0
         let selected = (offset - line_lo).min(uops.len());
         outputs.push(BankOutput { xb_index, order: order as u8, uops, selected });
@@ -111,7 +111,7 @@ mod tests {
 
     #[test]
     fn network_reproduces_full_xb() {
-        let (a, ip, uops) = seeded_array(11);
+        let (mut a, ip, uops) = seeded_array(11);
         let (set, tag) = a.set_and_tag(ip);
         let asm = a.assemble(set, tag, None).unwrap();
         let ptr = XbPtr::new(ip, Addr::new(0x1000), asm.mask, 11);
@@ -121,7 +121,7 @@ mod tests {
 
     #[test]
     fn network_reproduces_every_entry_window() {
-        let (a, ip, uops) = seeded_array(13);
+        let (mut a, ip, uops) = seeded_array(13);
         let (set, tag) = a.set_and_tag(ip);
         let asm = a.assemble(set, tag, None).unwrap();
         for offset in 1..=13u8 {

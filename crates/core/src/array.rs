@@ -13,8 +13,13 @@
 //! sharing the suffix lines. Pointers disambiguate with their bank mask.
 
 use crate::config::XbcConfig;
+use crate::inline_vec::InlineVec;
 use crate::ptr::{BankMask, XbPtr};
 use xbc_isa::{Addr, Uop};
+
+/// Upper bound on `banks` (a [`BankMask`] is 8 bits), and therefore on the
+/// number of lines in any [`Assembly`].
+pub const MAX_BANKS: usize = 8;
 
 /// One bank line: up to `line_uops` uops of one XB, reverse-ordered.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -30,20 +35,48 @@ struct Line {
 }
 
 /// A resolved arrangement of one XB's lines: index `k` is the `(bank, way)`
-/// of the order-`k` line.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// of the order-`k` line. `Copy`, so the hot path passes assemblies by
+/// value without touching the heap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Assembly {
     /// `(bank, way)` per order, order ascending from 0.
-    pub lines: Vec<(usize, usize)>,
+    pub lines: InlineVec<(usize, usize), MAX_BANKS>,
     /// Banks used.
     pub mask: BankMask,
     /// Total uops stored across the lines.
     pub total_uops: usize,
 }
 
+/// Reusable buffers for [`XbcArray::assemble`] (DESIGN.md §12): candidate
+/// list and per-order buckets survive across calls so the steady-state
+/// delivery path never allocates.
+#[derive(Clone, Debug, Default)]
+struct AssembleScratch {
+    cands: Vec<(usize, usize, u8, usize)>,
+    by_order: Vec<Vec<(usize, usize, usize)>>,
+}
+
+/// One direct-mapped memo slot: the cached result of
+/// `assemble(set, tag, within)` at structural generation `generation`.
+#[derive(Clone, Copy, Debug)]
+struct MemoEntry {
+    set: u32,
+    tag: u64,
+    mask_key: u16,
+    generation: u64,
+    result: Option<Assembly>,
+}
+
+/// Direct-mapped assembly-memo size (power of two).
+const MEMO_SLOTS: usize = 2048;
+
 /// Outcome of one XB fetch attempt within a cycle.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum XbFetch {
+    /// Tag/assembly failure: the XB (or the entered part) is not in the
+    /// array (evicted or moved).
+    #[default]
+    Miss,
     /// All `offset` uops fetched.
     Full,
     /// Bank conflict: only the leading `fetched` uops (entry side) came
@@ -54,9 +87,6 @@ pub enum XbFetch {
         /// Uops deferred to the next cycle.
         deferred: u8,
     },
-    /// Tag/assembly failure: the XB (or the entered part) is not in the
-    /// array (evicted or moved).
-    Miss,
 }
 
 /// A census of the extended blocks resident in the array
@@ -105,6 +135,13 @@ pub struct XbcArray {
     conflict_threshold: u8,
     dynamic_placement: bool,
     stats: ArrayStats,
+    scratch: AssembleScratch,
+    /// Direct-mapped assembly memo (DESIGN.md §12). Entries are validated
+    /// against the owning set's structural generation.
+    memo: Vec<Option<MemoEntry>>,
+    /// Per-set structural generation: bumped on any line write, move,
+    /// eviction or `demote_lru`, never on fetch-time LRU-stamp bumps.
+    set_generation: Vec<u64>,
 }
 
 impl XbcArray {
@@ -115,6 +152,7 @@ impl XbcArray {
     /// Panics if the configuration is invalid.
     pub fn new(cfg: &XbcConfig) -> Self {
         let sets = cfg.sets();
+        assert!(cfg.banks <= MAX_BANKS, "at most {MAX_BANKS} banks (BankMask is 8 bits)");
         let mut lines = Vec::new();
         lines.resize_with(sets * cfg.banks * cfg.ways, || None);
         XbcArray {
@@ -127,6 +165,9 @@ impl XbcArray {
             conflict_threshold: cfg.conflict_threshold.max(1),
             dynamic_placement: cfg.dynamic_placement,
             stats: ArrayStats::default(),
+            scratch: AssembleScratch::default(),
+            memo: vec![None; MEMO_SLOTS],
+            set_generation: vec![0; sets],
         }
     }
 
@@ -151,9 +192,10 @@ impl XbcArray {
     }
 
     /// The raw (reverse-ordered) uops of one line, if valid — the bank's
-    /// datapath output feeding the reorder/align network (§3.7).
-    pub fn line_uops_at(&self, set: usize, bank: usize, way: usize) -> Option<Vec<Uop>> {
-        self.lines[self.idx(set, bank, way)].as_ref().map(|l| l.uops.clone())
+    /// datapath output feeding the reorder/align network (§3.7). Borrowed:
+    /// the datapath read does not copy the line.
+    pub fn line_uops_at(&self, set: usize, bank: usize, way: usize) -> Option<&[Uop]> {
+        self.lines[self.idx(set, bank, way)].as_ref().map(|l| l.uops.as_slice())
     }
 
     /// Statistics so far.
@@ -178,15 +220,34 @@ impl XbcArray {
         self.stamp
     }
 
-    /// Collects all `(bank, way)` whose line matches `tag`, optionally
-    /// restricted to banks in `within`.
-    fn candidates(
+    /// Marks `set` structurally changed: memo entries recorded against the
+    /// old generation stop validating. Cheap, so every mutating path calls
+    /// it (redundant bumps are harmless).
+    #[inline]
+    fn touch_structure(&mut self, set: usize) {
+        self.set_generation[set] += 1;
+    }
+
+    /// Direct-mapped memo slot for `(set, tag, mask_key)`.
+    #[inline]
+    fn memo_slot(set: usize, tag: u64, mask_key: u16) -> usize {
+        let h = (set as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(tag.wrapping_mul(0xA24B_AED4_963E_E407))
+            .wrapping_add(mask_key as u64);
+        ((h >> 48) ^ (h >> 21) ^ h) as usize & (MEMO_SLOTS - 1)
+    }
+
+    /// Collects all `(bank, way, order, count)` whose line matches `tag`,
+    /// optionally restricted to banks in `within`, into `out` (banks
+    /// ascending, ways ascending — the reference iteration order).
+    fn collect_candidates(
         &self,
         set: usize,
         tag: u64,
         within: Option<BankMask>,
-    ) -> Vec<(usize, usize, u8, usize)> {
-        let mut out = Vec::new();
+        out: &mut Vec<(usize, usize, u8, usize)>,
+    ) {
         for bank in 0..self.banks {
             if let Some(w) = within {
                 if !w.contains(bank) {
@@ -201,7 +262,6 @@ impl XbcArray {
                 }
             }
         }
-        out
     }
 
     /// Assembles the longest contiguous-order arrangement of `tag`'s lines,
@@ -211,12 +271,99 @@ impl XbcArray {
     /// (complex-XB prefixes), a bounded backtracking search finds the
     /// longest valid arrangement — greedy freshest-first picking can paint
     /// itself into a corner once merges populate sets with alternates.
-    pub fn assemble(&self, set: usize, tag: u64, within: Option<BankMask>) -> Option<Assembly> {
-        let cands = self.candidates(set, tag, within);
+    ///
+    /// Allocation-free: candidate collection and the per-order buckets use
+    /// scratch buffers reused across calls, and *unambiguous* results
+    /// (at most one candidate line per order, so LRU stamps cannot affect
+    /// the outcome) are memoized per `(set, tag, mask)` until the set next
+    /// changes structurally — the steady-state delivery path skips the DFS
+    /// entirely (DESIGN.md §12).
+    pub fn assemble(&mut self, set: usize, tag: u64, within: Option<BankMask>) -> Option<Assembly> {
+        let mask_key = within.map(|m| m.bits() as u16).unwrap_or(0x100);
+        let slot = Self::memo_slot(set, tag, mask_key);
+        let generation = self.set_generation[set];
+        if let Some(e) = &self.memo[slot] {
+            if e.set == set as u32
+                && e.tag == tag
+                && e.mask_key == mask_key
+                && e.generation == generation
+            {
+                return e.result;
+            }
+        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let (result, unambiguous) = self.assemble_in(set, tag, within, &mut scratch);
+        self.scratch = scratch;
+        if unambiguous {
+            self.memo[slot] =
+                Some(MemoEntry { set: set as u32, tag, mask_key, generation, result });
+        }
+        result
+    }
+
+    /// The scratch-buffer assembly: identical search to
+    /// [`XbcArray::assemble_reference`], but reusing `scratch` instead of
+    /// allocating. Also reports whether the result was *unambiguous*
+    /// (no order had more than one candidate), i.e. safe to memoize.
+    fn assemble_in(
+        &self,
+        set: usize,
+        tag: u64,
+        within: Option<BankMask>,
+        scratch: &mut AssembleScratch,
+    ) -> (Option<Assembly>, bool) {
+        scratch.cands.clear();
+        self.collect_candidates(set, tag, within, &mut scratch.cands);
+        if scratch.cands.is_empty() {
+            return (None, true);
+        }
+        // Candidates per order, freshest first (preference order for ties).
+        if scratch.by_order.len() < self.banks {
+            scratch.by_order.resize_with(self.banks, Vec::new);
+        }
+        let by_order = &mut scratch.by_order[..self.banks];
+        for v in by_order.iter_mut() {
+            v.clear();
+        }
+        let mut unambiguous = true;
+        for &(bank, way, order, count) in &scratch.cands {
+            if (order as usize) < self.banks {
+                let bucket = &mut by_order[order as usize];
+                if !bucket.is_empty() {
+                    unambiguous = false;
+                }
+                bucket.push((bank, way, count));
+            }
+        }
+        for v in by_order.iter_mut() {
+            v.sort_by_key(|&(bank, way, _)| {
+                std::cmp::Reverse(
+                    self.lines[self.idx(set, bank, way)].as_ref().map(|l| l.stamp).unwrap_or(0),
+                )
+            });
+        }
+        // DFS over per-order choices; the search space is tiny (≤ ways
+        // candidates per order, ≤ banks orders).
+        let mut best: Option<Assembly> = None;
+        let mut stack: InlineVec<(usize, usize), MAX_BANKS> = InlineVec::new();
+        self.assemble_dfs(by_order, 0, BankMask::EMPTY, 0, &mut stack, &mut best);
+        (best, unambiguous)
+    }
+
+    /// Naive reference assembly: the allocating implementation the memoized
+    /// path must agree with, kept for differential testing (it shares only
+    /// `assemble_dfs` with the scratch path). Not used on the hot path.
+    pub fn assemble_reference(
+        &self,
+        set: usize,
+        tag: u64,
+        within: Option<BankMask>,
+    ) -> Option<Assembly> {
+        let mut cands = Vec::new();
+        self.collect_candidates(set, tag, within, &mut cands);
         if cands.is_empty() {
             return None;
         }
-        // Candidates per order, freshest first (preference order for ties).
         let mut by_order: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); self.banks];
         for &(bank, way, order, count) in &cands {
             if (order as usize) < self.banks {
@@ -230,10 +377,8 @@ impl XbcArray {
                 )
             });
         }
-        // DFS over per-order choices; the search space is tiny (≤ ways
-        // candidates per order, ≤ banks orders).
         let mut best: Option<Assembly> = None;
-        let mut stack: Vec<(usize, usize)> = Vec::new();
+        let mut stack: InlineVec<(usize, usize), MAX_BANKS> = InlineVec::new();
         self.assemble_dfs(&by_order, 0, BankMask::EMPTY, 0, &mut stack, &mut best);
         best
     }
@@ -244,13 +389,13 @@ impl XbcArray {
         order: usize,
         used: BankMask,
         total: usize,
-        stack: &mut Vec<(usize, usize)>,
+        stack: &mut InlineVec<(usize, usize), MAX_BANKS>,
         best: &mut Option<Assembly>,
     ) {
         if order > 0 {
             let better = best.as_ref().map(|b| total > b.total_uops).unwrap_or(true);
             if better {
-                *best = Some(Assembly { lines: stack.clone(), mask: used, total_uops: total });
+                *best = Some(Assembly { lines: *stack, mask: used, total_uops: total });
             }
         }
         if order >= by_order.len() {
@@ -270,7 +415,7 @@ impl XbcArray {
                 let t = total + count;
                 let better = best.as_ref().map(|b| t > b.total_uops).unwrap_or(true);
                 if better {
-                    *best = Some(Assembly { lines: stack.clone(), mask: used2, total_uops: t });
+                    *best = Some(Assembly { lines: *stack, mask: used2, total_uops: t });
                 }
             }
             stack.pop();
@@ -280,6 +425,13 @@ impl XbcArray {
     /// Reads an assembled XB's uops in program order.
     pub fn read_uops(&self, set: usize, asm: &Assembly) -> Vec<Uop> {
         let mut out = Vec::with_capacity(asm.total_uops);
+        self.read_uops_into(set, asm, &mut out);
+        out
+    }
+
+    /// Appends an assembled XB's uops in program order to `out` — the
+    /// buffer-reusing form of [`XbcArray::read_uops`].
+    pub fn read_uops_into(&self, set: usize, asm: &Assembly, out: &mut Vec<Uop>) {
         // Highest order first (earliest uops), within a line highest slot
         // first (reverse storage).
         for &(bank, way) in asm.lines.iter().rev() {
@@ -288,7 +440,6 @@ impl XbcArray {
                 out.push(*uop);
             }
         }
-        out
     }
 
     /// Reads the **last** `offset` uops of an assembled XB, in program
@@ -298,15 +449,37 @@ impl XbcArray {
     ///
     /// Panics if `offset` exceeds the stored length.
     pub fn read_window(&self, set: usize, asm: &Assembly, offset: usize) -> Vec<Uop> {
+        let mut out = Vec::with_capacity(offset);
+        self.read_window_into(set, asm, offset, &mut out);
+        out
+    }
+
+    /// Appends the last `offset` uops of an assembled XB to `out` — the
+    /// buffer-reusing form of [`XbcArray::read_window`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` exceeds the stored length.
+    pub fn read_window_into(&self, set: usize, asm: &Assembly, offset: usize, out: &mut Vec<Uop>) {
         assert!(offset <= asm.total_uops, "window larger than the stored XB");
-        let all = self.read_uops(set, asm);
-        all[asm.total_uops - offset..].to_vec()
+        let mut skip = asm.total_uops - offset;
+        for &(bank, way) in asm.lines.iter().rev() {
+            let line = self.lines[self.idx(set, bank, way)].as_ref().expect("assembled line");
+            for uop in line.uops.iter().rev() {
+                if skip > 0 {
+                    skip -= 1;
+                } else {
+                    out.push(*uop);
+                }
+            }
+        }
     }
 
     /// Ages every line of `tag` in `set` to LRU-minimum (paper §3.8: a
     /// promoted XB0's original location is first in line for eviction).
     pub fn demote_lru(&mut self, xb_ip: Addr) {
         let (set, tag) = self.set_and_tag(xb_ip);
+        self.touch_structure(set);
         for bank in 0..self.banks {
             for way in 0..self.ways {
                 let idx = self.idx(set, bank, way);
@@ -321,7 +494,7 @@ impl XbcArray {
 
     /// Validates that pointer `ptr` can be fetched: enough contiguous
     /// orders within its mask to cover `ptr.offset` uops.
-    pub fn lookup(&self, ptr: &XbPtr) -> Option<Assembly> {
+    pub fn lookup(&mut self, ptr: &XbPtr) -> Option<Assembly> {
         let (set, tag) = self.set_and_tag(ptr.xb_ip);
         let asm = self.assemble(set, tag, Some(ptr.mask))?;
         if asm.total_uops >= ptr.offset as usize {
@@ -335,9 +508,11 @@ impl XbcArray {
     /// within one cycle (one line per bank). Returns per-XB outcomes and
     /// the overall bank usage. Also performs dynamic-placement bookkeeping
     /// for deferred fetches (§3.10).
-    pub fn fetch(&mut self, ptrs: &[XbPtr]) -> (Vec<XbFetch>, BankMask) {
+    pub fn fetch(&mut self, ptrs: &[XbPtr]) -> (InlineVec<XbFetch, { MAX_BANKS + 1 }>, BankMask) {
+        // At most MAX_BANKS Full results (each uses ≥1 bank) plus one
+        // terminating non-Full result fit in a cycle.
         let mut used = BankMask::EMPTY;
-        let mut results = Vec::with_capacity(ptrs.len());
+        let mut results = InlineVec::new();
         for ptr in ptrs {
             let r = self.fetch_one(ptr, &mut used);
             let stop = !matches!(r, XbFetch::Full);
@@ -416,6 +591,7 @@ impl XbcArray {
                     }
                     self.lines[tidx] = Some(line);
                     self.stats.relocations += 1;
+                    self.touch_structure(set);
                     return;
                 }
             }
@@ -492,6 +668,7 @@ impl XbcArray {
                 let moved = self.lines[didx].take();
                 let vidx = self.idx(set, vb, vw);
                 self.lines[vidx] = moved;
+                self.touch_structure(set);
                 return Some((db, dw));
             }
         }
@@ -520,6 +697,7 @@ impl XbcArray {
     fn evict(&mut self, set: usize, bank: usize, way: usize) {
         let idx = self.idx(set, bank, way);
         let Some(line) = self.lines[idx].take() else { return };
+        self.touch_structure(set);
         self.stats.evicted_lines += 1;
         let (tag, order) = (line.tag, line.order);
         // Invalidate same-tag lines with orders above the hole.
@@ -562,6 +740,7 @@ impl XbcArray {
         let len = uops.len();
         assert!(len <= self.banks * self.line_uops, "XB of {len} uops exceeds the fetch width");
         let (set, tag) = self.set_and_tag(xb_ip);
+        self.touch_structure(set);
         let n = len.div_ceil(self.line_uops);
         assert!(skip_orders <= n, "cannot skip more lines than the XB has");
         let mut forbidden = suffix_mask;
@@ -604,6 +783,7 @@ impl XbcArray {
         avoid: BankMask,
     ) -> BankMask {
         let (set, tag) = self.set_and_tag(xb_ip);
+        self.touch_structure(set);
         let old_len = asm.total_uops;
         let new_len = old_len + extra.len();
         assert!(
@@ -655,7 +835,7 @@ impl XbcArray {
     /// Set search (§3.9): on an XBTB hit whose pointer misses (the XB was
     /// re-placed in different banks), scan the whole set for the tag and
     /// return a repaired mask if the entry window is still stored.
-    pub fn set_search(&self, xb_ip: Addr, offset: u8) -> Option<BankMask> {
+    pub fn set_search(&mut self, xb_ip: Addr, offset: u8) -> Option<BankMask> {
         let (set, tag) = self.set_and_tag(xb_ip);
         let asm = self.assemble(set, tag, None)?;
         if asm.total_uops < offset as usize {
@@ -934,7 +1114,7 @@ mod tests {
         let (set, tag) = a.set_and_tag(ip);
         let asm = a.assemble(set, tag, None).unwrap();
         assert_eq!(asm.total_uops, 6);
-        let before: Vec<(usize, usize)> = asm.lines.clone();
+        let before: Vec<(usize, usize)> = asm.lines.to_vec();
         // Extend with the 4 earlier uops.
         let mask = a.extend(ip, &asm, &full[..4], BankMask::EMPTY);
         let asm2 = a.assemble(set, tag, None).unwrap();
@@ -960,7 +1140,7 @@ mod tests {
         let p1 = XbPtr::new(ip1, Addr::new(0x500), m1, 8);
         let p2 = XbPtr::new(ip2, Addr::new(0x600), m2, 8);
         let (results, used) = a.fetch(&[p1, p2]);
-        assert_eq!(results, vec![XbFetch::Full, XbFetch::Full]);
+        assert_eq!(results, [XbFetch::Full, XbFetch::Full]);
         assert_eq!(used.count(), 4);
     }
 
@@ -1011,7 +1191,7 @@ mod tests {
         // Enter with offset 5: only orders 0 and 1 needed.
         let p = XbPtr::new(ip, Addr::new(0x707), m, 5);
         let (results, used) = a.fetch(&[p]);
-        assert_eq!(results, vec![XbFetch::Full]);
+        assert_eq!(results, [XbFetch::Full]);
         assert_eq!(used.count(), 2);
     }
 

@@ -16,10 +16,10 @@ use crate::config::{PromotionMode, XbcConfig};
 use crate::invariants::XbcInvariants;
 use crate::ptr::{BankMask, XbPtr};
 use crate::xbtb::{MergedXb, XbEndKind, Xbtb, XbtbEntry, XbtbStats};
-use crate::xfu::{install, InstallKind, Xfu};
+use crate::xfu::{install_with, InstallKind, InstallScratch, Xfu};
 use std::collections::HashSet;
 use xbc_frontend::{BuildEngine, Frontend, FrontendMetrics, OracleStream, Predictors, Probe};
-use xbc_isa::Addr;
+use xbc_isa::{Addr, Uop};
 use xbc_obs::{
     CycleKind, D2bCause, Event, EventSink, FillKind, LookupKind, MispredictKind, UopSource,
 };
@@ -115,6 +115,11 @@ pub struct XbcFrontend {
     merged_ids: HashSet<Addr>,
     /// Install/extend events since creation (paces the full audits).
     audit_events: u64,
+    /// Reusable install buffers (decoded block + stored readback), so the
+    /// build path re-allocates nothing per installed XB (DESIGN.md §12).
+    install_scratch: InstallScratch,
+    /// Reusable combined-uop buffer for merge-mode block combination.
+    merge_buf: Vec<Uop>,
     /// Debug counters for return-misprediction causes:
     /// `[frame-none, entry-gone, ptr-none, mismatch]`.
     #[doc(hidden)]
@@ -153,6 +158,8 @@ impl XbcFrontend {
             last_mask: BankMask::EMPTY,
             merged_ids: HashSet::new(),
             audit_events: 0,
+            install_scratch: InstallScratch::default(),
+            merge_buf: Vec::new(),
             ret_debug: [0; 4],
             stale_debug: [0; 5],
             cfg,
@@ -264,8 +271,10 @@ impl XbcFrontend {
         if asm1.total_uops < ptr1.offset as usize {
             return false;
         }
-        let mut combined = self.array.read_uops(set0, &asm0);
-        combined.extend(self.array.read_window(set1, &asm1, ptr1.offset as usize));
+        let mut combined = std::mem::take(&mut self.merge_buf);
+        combined.clear();
+        self.array.read_uops_into(set0, &asm0, &mut combined);
+        self.array.read_window_into(set1, &asm1, ptr1.offset as usize, &mut combined);
         // Share XB1's whole suffix lines; the partially-shared line (if the
         // window is not line-aligned) duplicates, as in any complex XB.
         let shared = ptr1.offset as usize / self.array.line_uops();
@@ -274,6 +283,7 @@ impl XbcFrontend {
             suffix_mask.insert(bank);
         }
         let added = self.array.insert(ptr1.xb_ip, &combined, shared, suffix_mask, BankMask::EMPTY);
+        self.merge_buf = combined;
         self.array.demote_lru(xb0_ip);
         // The combined lines are in the array whatever happens below, so
         // the audit exemption must cover them from here on.
@@ -699,13 +709,17 @@ impl XbcFrontend {
             match self.array.fetch_one(&ptr, &mut used) {
                 XbFetch::Miss => {
                     if self.cfg.set_search {
-                        let repaired = self
+                        let mut repaired = self
                             .array
                             .set_search(ptr.xb_ip, ptr.offset)
-                            .map(|mask| XbPtr { mask, ..ptr })
-                            // Only accept a repair the next lookup will hit
-                            // (a mask-vs-lookup disagreement would spin).
-                            .filter(|r| self.array.lookup(r).is_some());
+                            .map(|mask| XbPtr { mask, ..ptr });
+                        // Only accept a repair the next lookup will hit
+                        // (a mask-vs-lookup disagreement would spin).
+                        if let Some(r) = repaired {
+                            if self.array.lookup(&r).is_none() {
+                                repaired = None;
+                            }
+                        }
                         probe.emit(Event::SetSearch { hit: repaired.is_some() });
                         if let Some(repaired) = repaired {
                             // Repaired: retry next cycle (one-cycle loss,
@@ -843,7 +857,7 @@ impl XbcFrontend {
         for b in &built {
             let avoid = if self.cfg.smart_placement { self.last_mask } else { BankMask::EMPTY };
             let evicted_before = self.array.stats().evicted_lines;
-            let (ptr, kind) = install(b, &mut self.array, avoid);
+            let (ptr, kind) = install_with(b, &mut self.array, avoid, &mut self.install_scratch);
             probe.note(|| Event::Fill {
                 kind: match kind {
                     InstallKind::Fresh => FillKind::Fresh,

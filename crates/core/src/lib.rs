@@ -40,16 +40,18 @@ mod align;
 mod array;
 mod config;
 mod frontend;
+mod inline_vec;
 mod invariants;
 mod ptr;
 mod xbtb;
 mod xfu;
 
 pub use align::{align, fetch_through_network, reorder, BankOutput};
-pub use array::{ArrayStats, Assembly, Population, XbFetch, XbcArray};
+pub use array::{ArrayStats, Assembly, Population, XbFetch, XbcArray, MAX_BANKS};
 pub use config::{PromotionMode, XbcConfig};
 pub use frontend::XbcFrontend;
+pub use inline_vec::InlineVec;
 pub use invariants::XbcInvariants;
 pub use ptr::{BankMask, XbPtr};
 pub use xbtb::{MergedXb, XbEndKind, Xbtb, XbtbEntry, XbtbStats};
-pub use xfu::{install, BuiltXb, InstallKind, Xfu};
+pub use xfu::{install, install_with, BuiltXb, InstallKind, InstallScratch, Xfu};

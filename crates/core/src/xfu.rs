@@ -54,11 +54,25 @@ impl BuiltXb {
     /// Decodes the block into its uop sequence, in program order.
     pub fn uops(&self) -> Vec<Uop> {
         let mut out = Vec::with_capacity(self.uop_count);
+        self.uops_into(&mut out);
+        out
+    }
+
+    /// Appends the decoded uop sequence to `out` — the buffer-reusing form
+    /// of [`BuiltXb::uops`].
+    pub fn uops_into(&self, out: &mut Vec<Uop>) {
         for d in &self.insts {
             out.extend(decode(&d.inst));
         }
-        out
     }
+}
+
+/// Reusable buffers for [`install_with`], owned by the caller so repeated
+/// installs do not re-allocate (DESIGN.md §12).
+#[derive(Clone, Debug, Default)]
+pub struct InstallScratch {
+    uops: Vec<Uop>,
+    stored: Vec<Uop>,
 }
 
 /// How [`install`] stored a built XB.
@@ -80,7 +94,20 @@ pub enum InstallKind {
 /// `avoid` biases fresh-line placement away from the previous XB's banks
 /// (smart placement, §3.10).
 pub fn install(built: &BuiltXb, array: &mut XbcArray, avoid: BankMask) -> (XbPtr, InstallKind) {
-    let uops = built.uops();
+    install_with(built, array, avoid, &mut InstallScratch::default())
+}
+
+/// [`install`] with caller-owned scratch buffers: the decoded block and the
+/// stored-XB readback land in `scratch` instead of fresh allocations.
+pub fn install_with(
+    built: &BuiltXb,
+    array: &mut XbcArray,
+    avoid: BankMask,
+    scratch: &mut InstallScratch,
+) -> (XbPtr, InstallKind) {
+    scratch.uops.clear();
+    built.uops_into(&mut scratch.uops);
+    let uops = &scratch.uops[..];
     let len = uops.len();
     debug_assert!(len >= 1);
     let end_ip = built.end_ip();
@@ -88,11 +115,13 @@ pub fn install(built: &BuiltXb, array: &mut XbcArray, avoid: BankMask) -> (XbPtr
     let line_uops = array.line_uops();
 
     let Some(asm) = array.assemble(set, tag, None) else {
-        let mask = array.insert(end_ip, &uops, 0, BankMask::EMPTY, avoid);
+        let mask = array.insert(end_ip, uops, 0, BankMask::EMPTY, avoid);
         return (XbPtr::new(end_ip, built.entry_ip(), mask, len as u8), InstallKind::Fresh);
     };
 
-    let stored = array.read_uops(set, &asm);
+    scratch.stored.clear();
+    array.read_uops_into(set, &asm, &mut scratch.stored);
+    let stored = &scratch.stored[..];
     // Length of the common suffix between the stored XB and the new one.
     let common = stored.iter().rev().zip(uops.iter().rev()).take_while(|(a, b)| a == b).count();
 
@@ -118,7 +147,7 @@ pub fn install(built: &BuiltXb, array: &mut XbcArray, avoid: BankMask) -> (XbPtr
         for &(bank, _) in &asm.lines[..shared_lines] {
             suffix_mask.insert(bank);
         }
-        let added = array.insert(end_ip, &uops, shared_lines, suffix_mask, avoid);
+        let added = array.insert(end_ip, uops, shared_lines, suffix_mask, avoid);
         (
             XbPtr::new(end_ip, built.entry_ip(), suffix_mask.union(added), len as u8),
             InstallKind::Complex,

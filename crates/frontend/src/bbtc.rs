@@ -248,24 +248,33 @@ impl BbtcFrontend {
         self.traces.len()
     }
 
+    fn slot_for(sets: u64, ip: Addr) -> (usize, u64) {
+        ((ip.raw() % sets) as usize, ip.raw() / sets)
+    }
+
     fn block_slot(&self, ip: Addr) -> (usize, u64) {
-        let sets = self.blocks.sets() as u64;
-        (((ip.raw()) % sets) as usize, ip.raw() / sets)
+        Self::slot_for(self.blocks.sets() as u64, ip)
     }
 
     fn trace_slot(&self, ip: Addr) -> (usize, u64) {
-        let sets = self.traces.sets() as u64;
-        (((ip.raw()) % sets) as usize, ip.raw() / sets)
+        Self::slot_for(self.traces.sets() as u64, ip)
     }
 
     /// Walks the pointed-to blocks against the oracle, mirroring the TC
     /// walk but going through the block cache for every pointer.
     ///
+    /// An associated fn over disjoint fields so the caller can keep the
+    /// `TracePtrs` borrowed from the trace table while the walk touches
+    /// the block cache and predictors — blocks are read in place via
+    /// index handles instead of being cloned per pointer.
+    ///
     /// Returns `(accepted uops, resteer penalty, leading-block miss,
     /// mispredict kind)` — the walk does no accounting itself; the
     /// caller emits the events (and thereby the counter bumps).
     fn walk(
-        &mut self,
+        blocks: &mut SetAssoc<Block>,
+        preds: &mut Predictors,
+        timing: &TimingConfig,
         ptrs: &TracePtrs,
         oracle: &OracleStream<'_>,
     ) -> (usize, Option<u64>, bool, Option<MispredictKind>) {
@@ -274,10 +283,11 @@ impl BbtcFrontend {
         for (bi, &start) in ptrs.blocks.iter().enumerate() {
             // The leading block was verified by the trace-table lookup;
             // later blocks may have been evicted from the block cache.
-            let (set, tag) = self.block_slot(start);
-            let Some(block) = self.blocks.get(set, tag).cloned() else {
+            let (set, tag) = Self::slot_for(blocks.sets() as u64, start);
+            let Some(idx) = blocks.get_index(set, tag) else {
                 return (accepted, None, bi == 0, None);
             };
+            let block = blocks.data_at(idx);
             // Validate the pointer against the committed path.
             match oracle.peek(j) {
                 Some(od) if od.inst.ip == start => {}
@@ -294,15 +304,15 @@ impl BbtcFrontend {
                 match td.inst.branch {
                     BranchKind::None => {}
                     BranchKind::UncondDirect => {}
-                    BranchKind::CallDirect => self.preds.rsb.push(td.inst.next_seq()),
+                    BranchKind::CallDirect => preds.rsb.push(td.inst.next_seq()),
                     BranchKind::CondDirect => {
-                        let pred = self.preds.dir.predict(ip);
+                        let pred = preds.dir.predict(ip);
                         let correct = pred == od.taken;
-                        self.preds.dir.update(ip, od.taken);
+                        preds.dir.update(ip, od.taken);
                         if !correct {
                             return (
                                 accepted,
-                                Some(self.cfg.timing.mispredict_penalty),
+                                Some(timing.mispredict_penalty),
                                 false,
                                 Some(MispredictKind::Cond),
                             );
@@ -313,16 +323,16 @@ impl BbtcFrontend {
                         }
                     }
                     BranchKind::IndirectJump | BranchKind::IndirectCall => {
-                        let hist = self.preds.dir.history();
-                        let pred = self.preds.indirect.predict(ip, hist);
-                        self.preds.indirect.update(ip, hist, od.next_ip);
+                        let hist = preds.dir.history();
+                        let pred = preds.indirect.predict(ip, hist);
+                        preds.indirect.update(ip, hist, od.next_ip);
                         if td.inst.branch == BranchKind::IndirectCall {
-                            self.preds.rsb.push(td.inst.next_seq());
+                            preds.rsb.push(td.inst.next_seq());
                         }
                         if pred != Some(od.next_ip) {
                             return (
                                 accepted,
-                                Some(self.cfg.timing.mispredict_penalty),
+                                Some(timing.mispredict_penalty),
                                 false,
                                 Some(MispredictKind::Target),
                             );
@@ -330,11 +340,11 @@ impl BbtcFrontend {
                         return (accepted, None, false, None);
                     }
                     BranchKind::Return => {
-                        let pred = self.preds.rsb.pop();
+                        let pred = preds.rsb.pop();
                         if pred != Some(od.next_ip) {
                             return (
                                 accepted,
-                                Some(self.cfg.timing.mispredict_penalty),
+                                Some(timing.mispredict_penalty),
                                 false,
                                 Some(MispredictKind::Target),
                             );
@@ -360,7 +370,7 @@ impl BbtcFrontend {
         if self.pending_uops == 0 {
             let ip = oracle.fetch_ip();
             let (set, tag) = self.trace_slot(ip);
-            let Some(ptrs) = self.traces.get(set, tag).cloned() else {
+            let Some(idx) = self.traces.get_index(set, tag) else {
                 probe.emit(Event::StructureMiss);
                 probe.emit(Event::SwitchToBuild(D2bCause::StructureMiss));
                 self.mode = Mode::Build;
@@ -368,7 +378,9 @@ impl BbtcFrontend {
                 probe.emit(Event::Cycle(CycleKind::Stall));
                 return;
             };
-            let (accepted, resteer, leading_miss, mispredict) = self.walk(&ptrs, oracle);
+            let ptrs = self.traces.data_at(idx);
+            let (accepted, resteer, leading_miss, mispredict) =
+                Self::walk(&mut self.blocks, &mut self.preds, &self.cfg.timing, ptrs, oracle);
             if leading_miss {
                 probe.emit(Event::StructureMiss);
             }

@@ -283,18 +283,22 @@ impl TraceCacheFrontend {
     /// path associativity this is a plain start-IP lookup; with it, the
     /// next-trace predictor proposes a variant, validated against the
     /// fetch address, with the zero-fold variant as fallback.
-    fn lookup_next(&mut self, ip: xbc_isa::Addr) -> Option<(u64, TraceLine)> {
+    ///
+    /// Returns the trace's identity key plus a line *index* into the cache
+    /// (read it with `data_at`) rather than cloning the `TraceLine` — a hit
+    /// used to copy the whole `Vec<DynInst>` every delivery cycle.
+    fn lookup_next(&mut self, ip: xbc_isa::Addr) -> Option<(u64, usize)> {
         if !self.cfg.path_associative {
             let key = self.trace_key(ip, 0);
             let (set, tag) = self.set_and_tag_for_key(key);
-            return self.cache.get(set, tag).cloned().map(|l| (key, l));
+            return self.cache.get_index(set, tag).map(|idx| (key, idx));
         }
         let hist = self.preds.dir.history();
         if let Some(key) = self.next_trace.predict(xbc_isa::Addr::new(self.last_path), hist) {
             let (set, tag) = self.set_and_tag_for_key(key);
-            if let Some(line) = self.cache.get(set, tag) {
-                if line.insts[0].inst.ip == ip {
-                    return Some((key, line.clone()));
+            if let Some(idx) = self.cache.get_index(set, tag) {
+                if self.cache.data_at(idx).insts[0].inst.ip == ip {
+                    return Some((key, idx));
                 }
             }
         }
@@ -302,17 +306,15 @@ impl TraceCacheFrontend {
         // bits), so scan it for any trace starting at the fetch address —
         // the way-comparators match on the start IP in hardware.
         let (set, _) = self.set_and_tag_for_key(self.trace_key(ip, 0));
-        let found = self
+        let key = self
             .cache
             .set_entries(set)
             .find(|(_, l)| l.insts[0].inst.ip == ip)
-            .map(|(_, l)| (self.trace_key(ip, l.dir_fold(self.cfg.path_bits)), l.clone()));
-        if let Some((key, _)) = &found {
-            // Touch for LRU.
-            let (s, tag) = self.set_and_tag_for_key(*key);
-            let _ = self.cache.get(s, tag);
-        }
-        found
+            .map(|(_, l)| self.trace_key(ip, l.dir_fold(self.cfg.path_bits)))?;
+        // Touch for LRU (the uncounted scan above doesn't).
+        let (s, tag) = self.set_and_tag_for_key(key);
+        let idx = self.cache.get_index(s, tag)?;
+        Some((key, idx))
     }
 
     /// Records the observed trace succession for the next-trace predictor
@@ -419,7 +421,7 @@ impl TraceCacheFrontend {
         if self.pending_uops == 0 {
             debug_assert_eq!(oracle.uop_offset(), 0, "line fetch must start at an inst boundary");
             let ip = oracle.fetch_ip();
-            let Some((key, line)) = self.lookup_next(ip) else {
+            let Some((key, idx)) = self.lookup_next(ip) else {
                 // TC miss: back to build mode. The failed lookup costs one
                 // cycle of nothing.
                 probe.emit(Event::StructureMiss);
@@ -430,8 +432,9 @@ impl TraceCacheFrontend {
                 return;
             };
             self.note_transition(key);
+            let line = self.cache.data_at(idx);
             let (accepted, resteer, mispredict) =
-                Self::walk_line(&line, oracle, &mut self.preds, &self.cfg.timing);
+                Self::walk_line(line, oracle, &mut self.preds, &self.cfg.timing);
             if let Some(kind) = mispredict {
                 probe.emit(Event::Mispredict(kind));
             }

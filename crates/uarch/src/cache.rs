@@ -161,6 +161,38 @@ impl<T> SetAssoc<T> {
         None
     }
 
+    /// Looks up `(set, tag)` like [`SetAssoc::get`] — identical LRU and
+    /// hit/miss bookkeeping — but returns the line's *index* instead of a
+    /// borrow, so callers can hold the handle across later `&mut self`
+    /// calls and read the payload with [`SetAssoc::data_at`] without
+    /// cloning it.
+    pub fn get_index(&mut self, set: usize, tag: u64) -> Option<usize> {
+        let base = self.base(set);
+        let stamp = self.bump();
+        for i in base..base + self.ways {
+            if let Some(line) = &mut self.lines[i] {
+                if line.tag == tag {
+                    line.stamp = stamp;
+                    self.stats.hits += 1;
+                    return Some(i);
+                }
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Borrows the payload at a line index returned by
+    /// [`SetAssoc::get_index`]. No LRU or statistics effects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index does not refer to a valid line (stale handles
+    /// are a caller bug: an index is only good until the next mutation).
+    pub fn data_at(&self, index: usize) -> &T {
+        self.lines[index].as_ref().map(|l| &l.data).expect("stale line index")
+    }
+
     /// Checks presence without touching LRU or statistics.
     pub fn probe(&self, set: usize, tag: u64) -> Option<&T> {
         let base = self.base(set);

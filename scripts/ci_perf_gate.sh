@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# CI gate for host-side simulator throughput (the perf job):
+#
+#   1. runs the in-tree throughput bench, writing the frontend-replay
+#      measurements to results/ci_throughput.json
+#      (schema xbc-throughput-bench-v1);
+#   2. diffs each frontend's muops_per_sec against the committed
+#      reference results/BENCH_throughput.json, failing if any frontend
+#      replays more than TOL slower than the reference. Speed-ups never
+#      fail; the tolerance absorbs shared-runner noise, so only a real
+#      hot-path regression (an allocation back on the delivery path, a
+#      lost memo hit) lands outside it.
+#
+# CI uploads results/ci_throughput.json as an artifact so a failing
+# run's numbers can be inspected without rerunning.
+#
+# Usage: scripts/ci_perf_gate.sh [TOL]  (fractional slowdown tolerance,
+#                                        default 0.25)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+TOL="${1:-0.25}"
+REF=results/BENCH_throughput.json
+OUT=results/ci_throughput.json
+
+[ -f "$REF" ] || { echo "missing reference $REF" >&2; exit 1; }
+mkdir -p results
+
+cargo bench -p xbc-bench --bench throughput -- --json "$PWD/$OUT"
+
+awk -v tol="$TOL" '
+  /"name":/ {
+    match($0, /"name": "[^"]+"/)
+    n = substr($0, RSTART + 9, RLENGTH - 10)
+    match($0, /"muops_per_sec": [0-9.]+/)
+    m = substr($0, RSTART + 17, RLENGTH - 17) + 0
+    if (NR == FNR) ref[n] = m; else cur[n] = m
+  }
+  END {
+    status = 0
+    for (n in ref) {
+      if (!(n in cur)) {
+        printf "%-18s missing from new bench output: FAIL\n", n
+        status = 1
+        continue
+      }
+      floor = ref[n] * (1 - tol)
+      verdict = cur[n] >= floor ? "ok" : "REGRESSED"
+      if (verdict == "REGRESSED") status = 1
+      printf "%-18s ref %7.1f Muops/s  now %7.1f Muops/s  floor %7.1f  %s\n", \
+             n, ref[n], cur[n], floor, verdict
+    }
+    exit status
+  }
+' "$REF" "$OUT"
+
+echo "OK: host throughput within ${TOL} of the committed reference"

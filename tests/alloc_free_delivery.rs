@@ -1,0 +1,94 @@
+//! Proof that the XBC's steady-state delivery path never touches the
+//! heap (DESIGN.md §12).
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; the test
+//! warms an `XbcFrontend` on a hot loop until it settles into delivery
+//! mode (builds done, XB promoted/merged, assembly memo populated), then
+//! asserts the allocation counter does not move across thousands of
+//! further delivery cycles. Any `Vec`/`Box`/clone creeping back into the
+//! fetch → lookup → assemble → deliver loop fails this test
+//! deterministically — unlike the throughput gate, which only catches it
+//! once it costs enough to clear the noise tolerance.
+//!
+//! This lives in `tests/` (its own crate) because `xbc` itself forbids
+//! `unsafe`, and a `GlobalAlloc` impl requires it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use xbc::{XbcConfig, XbcFrontend};
+use xbc_frontend::{Frontend, FrontendMetrics, OracleStream};
+use xbc_isa::{Addr, BranchKind, Inst};
+use xbc_workload::{CondBehavior, ProgramBuilder, Trace};
+
+/// Counts every allocation and reallocation; frees are uncounted (a
+/// delivery cycle that frees something must have allocated it earlier).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A tight always-taken loop: after one build pass the XBC serves it
+/// from the array forever — the pure steady state.
+fn hot_loop(n_insts: usize) -> Trace {
+    let mut b = ProgramBuilder::new();
+    for i in 0..6u64 {
+        b.push(Inst::plain(Addr::new(0x100 + i), 1, 2));
+    }
+    b.push_cond(
+        Inst::new(Addr::new(0x106), 2, 1, BranchKind::CondDirect, Some(Addr::new(0x100))),
+        CondBehavior::Bernoulli { p_taken: 1.0 },
+    );
+    b.push(Inst::new(Addr::new(0x108), 1, 1, BranchKind::Return, None));
+    let p = b.build(Addr::new(0x100), 1);
+    Trace::capture("hot-loop", &p, 0, n_insts)
+}
+
+#[test]
+fn delivery_steady_state_is_allocation_free() {
+    let trace = hot_loop(60_000);
+    let mut fe = XbcFrontend::new(XbcConfig::default());
+    let mut metrics = FrontendMetrics::default();
+    let mut oracle = OracleStream::new(&trace);
+
+    // Warm-up: build the XB, let promotion settle, populate the assembly
+    // memo and the frontend's reusable buffers. Generously longer than
+    // the handful of cycles the loop actually needs.
+    let mut steps = 0usize;
+    while fe.mode_label() != "delivery" || steps < 5_000 {
+        assert!(!oracle.done(), "trace drained before reaching steady state");
+        fe.step(&mut oracle, &mut metrics);
+        steps += 1;
+    }
+
+    let before = allocations();
+    for _ in 0..2_000 {
+        assert!(!oracle.done(), "trace drained mid-measurement");
+        fe.step(&mut oracle, &mut metrics);
+        assert_eq!(fe.mode_label(), "delivery", "steady state must hold for the measurement");
+    }
+    let delta = allocations() - before;
+    assert_eq!(delta, 0, "steady-state delivery cycles performed {delta} heap allocations");
+}
