@@ -3,7 +3,49 @@
 use crate::metrics::FrontendMetrics;
 use crate::oracle::OracleStream;
 use xbc_obs::EventSink;
-use xbc_workload::Trace;
+use xbc_workload::{InstSource, Trace};
+
+/// The one replay loop behind every `run*` entry point: steps `fe`
+/// against `oracle` (traced when `sink` is set) until the stream drains,
+/// with the forward-progress watchdog. Shared so the resident and
+/// streaming paths cannot drift apart.
+///
+/// # Panics
+///
+/// Panics if the frontend stops delivering uops for 10,000 consecutive
+/// cycles (a livelocked pointer-repair loop must fail loudly rather
+/// than spin; the longest legal stall is one misprediction penalty
+/// plus an IC miss).
+fn drive<F: Frontend + ?Sized>(
+    fe: &mut F,
+    oracle: &mut OracleStream<'_>,
+    mut sink: Option<&mut dyn EventSink>,
+) -> FrontendMetrics {
+    let mut metrics = FrontendMetrics::default();
+    let mut last_delivered = 0u64;
+    let mut stuck_cycles = 0u32;
+    while !oracle.done() {
+        match sink.as_deref_mut() {
+            Some(s) => fe.step_traced(oracle, &mut metrics, s),
+            None => fe.step(oracle, &mut metrics),
+        }
+        if oracle.delivered_uops() == last_delivered {
+            stuck_cycles += 1;
+            assert!(
+                stuck_cycles < 10_000,
+                "{} frontend livelock at inst {} (ip {}): {}",
+                fe.name(),
+                oracle.inst_index(),
+                oracle.fetch_ip(),
+                fe.state_brief()
+            );
+        } else {
+            last_delivered = oracle.delivered_uops();
+            stuck_cycles = 0;
+        }
+    }
+    metrics
+}
 
 /// A trace-driven frontend model: replays a committed instruction stream
 /// and reports how many cycles it took and where the uops came from.
@@ -91,28 +133,7 @@ pub trait Frontend {
     /// than spin; the longest legal stall is one misprediction penalty
     /// plus an IC miss).
     fn run(&mut self, trace: &Trace) -> FrontendMetrics {
-        let mut oracle = OracleStream::new(trace);
-        let mut metrics = FrontendMetrics::default();
-        let mut last_delivered = 0u64;
-        let mut stuck_cycles = 0u32;
-        while !oracle.done() {
-            self.step(&mut oracle, &mut metrics);
-            if oracle.delivered_uops() == last_delivered {
-                stuck_cycles += 1;
-                assert!(
-                    stuck_cycles < 10_000,
-                    "{} frontend livelock at inst {} (ip {}): {}",
-                    self.name(),
-                    oracle.inst_index(),
-                    oracle.fetch_ip(),
-                    self.state_brief()
-                );
-            } else {
-                last_delivered = oracle.delivered_uops();
-                stuck_cycles = 0;
-            }
-        }
-        metrics
+        drive(self, &mut OracleStream::new(trace), None)
     }
 
     /// [`Frontend::run`], tracing every cycle's events into `sink`.
@@ -124,27 +145,35 @@ pub trait Frontend {
     ///
     /// Same livelock watchdog as [`Frontend::run`].
     fn run_traced(&mut self, trace: &Trace, sink: &mut dyn EventSink) -> FrontendMetrics {
-        let mut oracle = OracleStream::new(trace);
-        let mut metrics = FrontendMetrics::default();
-        let mut last_delivered = 0u64;
-        let mut stuck_cycles = 0u32;
-        while !oracle.done() {
-            self.step_traced(&mut oracle, &mut metrics, sink);
-            if oracle.delivered_uops() == last_delivered {
-                stuck_cycles += 1;
-                assert!(
-                    stuck_cycles < 10_000,
-                    "{} frontend livelock at inst {} (ip {}): {}",
-                    self.name(),
-                    oracle.inst_index(),
-                    oracle.fetch_ip(),
-                    self.state_brief()
-                );
-            } else {
-                last_delivered = oracle.delivered_uops();
-                stuck_cycles = 0;
-            }
-        }
-        metrics
+        drive(self, &mut OracleStream::new(trace), Some(sink))
+    }
+
+    /// [`Frontend::run`] over a streaming instruction source: the trace
+    /// is pulled through a bounded window (default
+    /// [`crate::DEFAULT_STREAM_WINDOW`] instructions), so host memory is
+    /// O(window) however long the trace is. Metrics are bit-identical to
+    /// a resident [`Frontend::run`] of the same committed stream.
+    ///
+    /// # Panics
+    ///
+    /// Same livelock watchdog as [`Frontend::run`]; additionally panics
+    /// if the source yields corrupt data mid-stream (see
+    /// `xbc_workload::TraceStream`).
+    fn run_streamed(&mut self, source: &mut dyn InstSource) -> FrontendMetrics {
+        drive(self, &mut OracleStream::streaming(source), None)
+    }
+
+    /// [`Frontend::run_streamed`], tracing every cycle's events into
+    /// `sink`.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Frontend::run_streamed`].
+    fn run_streamed_traced(
+        &mut self,
+        source: &mut dyn InstSource,
+        sink: &mut dyn EventSink,
+    ) -> FrontendMetrics {
+        drive(self, &mut OracleStream::streaming(source), Some(sink))
     }
 }

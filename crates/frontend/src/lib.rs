@@ -47,7 +47,7 @@ pub use build::{BuildEngine, FillSink, NoFill, Predictors, TimingConfig};
 pub use frontend::Frontend;
 pub use icfe::{IcFrontend, IcFrontendConfig};
 pub use metrics::FrontendMetrics;
-pub use oracle::OracleStream;
+pub use oracle::{OracleStream, DEFAULT_STREAM_LOOKAHEAD, DEFAULT_STREAM_WINDOW};
 pub use probe::{Probe, Reconciler};
 pub use tc::{TcConfig, TraceCacheFrontend};
 pub use uopcache::{UopCacheConfig, UopCacheFrontend};

@@ -5,9 +5,28 @@
 //! deliver uops: it exposes the current instruction, uop-granular progress
 //! within it (the 8-uop renamer cap can split an instruction across
 //! cycles), and bounded lookahead for fill units.
+//!
+//! The cursor has two backings. [`OracleStream::new`] walks a resident
+//! `&[DynInst]` — the classic in-RAM replay. [`OracleStream::streaming`]
+//! pulls from an [`InstSource`] through a bounded sliding window, so a
+//! trace replays from disk in O(window) host memory however many
+//! instructions it has. Both backings expose the identical cursor API and
+//! produce bit-identical delivery sequences; the only observable
+//! difference is that streaming lookahead is capped (generously — see
+//! [`OracleStream::streaming_with_window`]) instead of trace-length.
 
 use xbc_isa::Addr;
-use xbc_workload::{DynInst, Trace};
+use xbc_workload::{DynInst, InstSource, Trace};
+
+/// Default sliding-window capacity of a streaming cursor, in
+/// instructions (~1.5 MiB of buffered `DynInst`s).
+pub const DEFAULT_STREAM_WINDOW: usize = 32 * 1024;
+
+/// Default guaranteed lookahead of a streaming cursor, in instructions.
+/// Far beyond what any frontend in this workspace peeks: the deepest
+/// lookahead is `window_end` over one XB (≤ fetch budget + a `u8` uop
+/// offset, so ≤ ~300 instructions even at one uop each).
+pub const DEFAULT_STREAM_LOOKAHEAD: usize = 4 * 1024;
 
 /// A uop-granular cursor over a trace's committed instructions.
 ///
@@ -20,13 +39,27 @@ use xbc_workload::{DynInst, Trace};
 /// let p = ProgramGenerator::new(WorkloadProfile::default(), 3).generate();
 /// let t = Trace::capture("t", &p, 3, 100);
 /// let mut o = OracleStream::new(&t);
-/// let first = o.current().unwrap();
+/// let first = *o.current().unwrap();
 /// o.take_uops(first.inst.uops as usize);
 /// assert_eq!(o.inst_index(), 1);
 /// ```
-#[derive(Clone, Debug)]
 pub struct OracleStream<'a> {
+    /// Resident committed stream (empty when streaming).
     insts: &'a [DynInst],
+    /// Streaming refill source; `None` selects the resident backing.
+    source: Option<&'a mut dyn InstSource>,
+    /// Sliding lookahead buffer (streaming only).
+    window: Vec<DynInst>,
+    /// Absolute instruction index of `window[0]`.
+    base: usize,
+    /// Window capacity in instructions (fixed; `window` never grows past
+    /// it, so refills after the first fill are allocation-free).
+    cap: usize,
+    /// Guaranteed buffered lookahead: unless the source is exhausted, at
+    /// least this many instructions past the cursor are in the window.
+    lookahead: usize,
+    /// The source returned `None`; the window holds the trace's tail.
+    eof: bool,
     pos: usize,
     /// Uops of the current instruction already delivered.
     uop_pos: u8,
@@ -36,19 +69,139 @@ pub struct OracleStream<'a> {
 impl<'a> OracleStream<'a> {
     /// Creates a cursor at the start of `trace`.
     pub fn new(trace: &'a Trace) -> Self {
-        OracleStream { insts: trace.insts(), pos: 0, uop_pos: 0, delivered_uops: 0 }
+        OracleStream {
+            insts: trace.insts(),
+            source: None,
+            window: Vec::new(),
+            base: 0,
+            cap: 0,
+            lookahead: 0,
+            eof: true,
+            pos: 0,
+            uop_pos: 0,
+            delivered_uops: 0,
+        }
+    }
+
+    /// Creates a streaming cursor over `source` with the default window
+    /// ([`DEFAULT_STREAM_WINDOW`] / [`DEFAULT_STREAM_LOOKAHEAD`]).
+    ///
+    /// The cursor buffers at most `DEFAULT_STREAM_WINDOW` instructions;
+    /// replay memory is O(window), independent of trace length, and the
+    /// delivery sequence is bit-identical to a resident replay of the
+    /// same stream.
+    pub fn streaming(source: &'a mut dyn InstSource) -> Self {
+        Self::streaming_with_window(source, DEFAULT_STREAM_WINDOW, DEFAULT_STREAM_LOOKAHEAD)
+    }
+
+    /// [`OracleStream::streaming`] with an explicit window capacity and
+    /// lookahead guarantee (both in instructions).
+    ///
+    /// `lookahead` is the contract with the consumer: [`peek`] /
+    /// [`window_end`] may reach at most that many instructions past the
+    /// cursor. Exceeding it while the source still has data panics
+    /// loudly (a silent `None` would change simulation results); hitting
+    /// the true end of the stream returns `None` exactly like the
+    /// resident backing.
+    ///
+    /// [`peek`]: OracleStream::peek
+    /// [`window_end`]: OracleStream::window_end
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lookahead` is zero or `window < 2 * lookahead` (the
+    /// window must fit the guarantee plus room to amortize refills).
+    pub fn streaming_with_window(
+        source: &'a mut dyn InstSource,
+        window: usize,
+        lookahead: usize,
+    ) -> Self {
+        assert!(lookahead > 0, "streaming oracle needs a positive lookahead");
+        assert!(
+            window >= 2 * lookahead,
+            "window ({window}) must be at least twice the lookahead ({lookahead})"
+        );
+        let mut o = OracleStream {
+            insts: &[],
+            source: Some(source),
+            window: Vec::with_capacity(window),
+            base: 0,
+            cap: window,
+            lookahead,
+            eof: false,
+            pos: 0,
+            uop_pos: 0,
+            delivered_uops: 0,
+        };
+        o.refill();
+        o
+    }
+
+    /// Slides and refills the streaming window until at least
+    /// `lookahead` instructions past the cursor are buffered (or the
+    /// source is exhausted). The consumed prefix is dropped with
+    /// `Vec::drain` (a memmove within the existing allocation) and the
+    /// tail is topped up to `cap`, so steady-state refills never touch
+    /// the heap.
+    fn refill(&mut self) {
+        if self.eof {
+            return;
+        }
+        if self.base + self.window.len() - self.pos >= self.lookahead {
+            return;
+        }
+        let consumed = self.pos - self.base;
+        if consumed > 0 {
+            self.window.drain(..consumed);
+            self.base = self.pos;
+        }
+        let src = self.source.as_deref_mut().expect("refill is streaming-only");
+        while self.window.len() < self.cap {
+            match src.next_inst() {
+                Some(d) => self.window.push(d),
+                None => {
+                    self.eof = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The instruction at absolute index `abs`, from whichever backing
+    /// is active. Streaming: `abs` must stay within the lookahead
+    /// contract (asserted); past-the-end reads return `None` only at the
+    /// true end of the stream.
+    #[inline]
+    fn at(&self, abs: usize) -> Option<&DynInst> {
+        match self.source {
+            None => self.insts.get(abs),
+            Some(_) => match self.window.get(abs.wrapping_sub(self.base)) {
+                Some(d) => Some(d),
+                None => {
+                    assert!(
+                        self.eof,
+                        "streaming oracle lookahead exceeded: instruction {} is {} past the \
+                         cursor but only {} are guaranteed (raise the window)",
+                        abs,
+                        abs - self.pos,
+                        self.lookahead
+                    );
+                    None
+                }
+            },
+        }
     }
 
     /// The current (not yet fully delivered) instruction, or `None` at end.
     #[inline]
-    pub fn current(&self) -> Option<&'a DynInst> {
-        self.insts.get(self.pos)
+    pub fn current(&self) -> Option<&DynInst> {
+        self.at(self.pos)
     }
 
     /// Looks ahead `k` whole instructions past the current one.
     #[inline]
-    pub fn peek(&self, k: usize) -> Option<&'a DynInst> {
-        self.insts.get(self.pos + k)
+    pub fn peek(&self, k: usize) -> Option<&DynInst> {
+        self.at(self.pos + k)
     }
 
     /// Index of the current instruction.
@@ -72,7 +225,7 @@ impl<'a> OracleStream<'a> {
     /// True once every instruction has been fully delivered.
     #[inline]
     pub fn done(&self) -> bool {
-        self.pos >= self.insts.len()
+        self.current().is_none()
     }
 
     /// Fetch address of the next undelivered work: the current instruction's
@@ -102,13 +255,17 @@ impl<'a> OracleStream<'a> {
     /// the current one completes.
     pub fn take_uops(&mut self, budget: usize) -> usize {
         let Some(d) = self.current() else { return 0 };
-        let remaining = (d.inst.uops - self.uop_pos) as usize;
+        let uops = d.inst.uops;
+        let remaining = (uops - self.uop_pos) as usize;
         let n = remaining.min(budget);
         self.uop_pos += n as u8;
         self.delivered_uops += n as u64;
-        if self.uop_pos == d.inst.uops {
+        if self.uop_pos == uops {
             self.pos += 1;
             self.uop_pos = 0;
+            if self.source.is_some() {
+                self.refill();
+            }
         }
         n
     }
@@ -128,11 +285,11 @@ impl<'a> OracleStream<'a> {
     /// and the XB's ending branch is the instruction closing that window.
     /// Returns `None` if the trace ends first or the window does not align
     /// with an instruction boundary.
-    pub fn window_end(&self, window_uops: usize) -> Option<(&'a DynInst, usize)> {
+    pub fn window_end(&self, window_uops: usize) -> Option<(&DynInst, usize)> {
         let mut remaining = window_uops;
         let mut j = 0usize;
         loop {
-            let d = self.insts.get(self.pos + j)?;
+            let d = self.at(self.pos + j)?;
             let avail =
                 if j == 0 { (d.inst.uops - self.uop_pos) as usize } else { d.inst.uops as usize };
             if remaining <= avail {
@@ -144,11 +301,30 @@ impl<'a> OracleStream<'a> {
     }
 }
 
+impl std::fmt::Debug for OracleStream<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OracleStream")
+            .field("backing", &if self.source.is_none() { "resident" } else { "streaming" })
+            .field("pos", &self.pos)
+            .field("uop_pos", &self.uop_pos)
+            .field("delivered_uops", &self.delivered_uops)
+            .field(
+                "buffered",
+                &if self.source.is_none() {
+                    self.insts.len() - self.pos.min(self.insts.len())
+                } else {
+                    self.base + self.window.len() - self.pos
+                },
+            )
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use xbc_isa::Inst;
-    use xbc_workload::{ProgramBuilder, Trace};
+    use xbc_workload::{IterSource, ProgramBuilder, Trace};
 
     fn trace() -> Trace {
         let mut b = ProgramBuilder::new();
@@ -225,5 +401,85 @@ mod tests {
         assert_eq!(o.window_end(1).unwrap().0.inst.ip, Addr::new(0x10));
         assert_eq!(o.window_end(3).unwrap().0.inst.ip, Addr::new(0x11));
         assert!(o.window_end(2).is_none());
+    }
+
+    /// A long trace for windowed-streaming tests: varied uop counts so
+    /// instruction/uop boundaries exercise the partial-delivery paths.
+    fn long_trace(n: usize) -> Trace {
+        use xbc_workload::{ProgramGenerator, WorkloadProfile};
+        let p = ProgramGenerator::new(WorkloadProfile::default(), 7).generate();
+        Trace::capture("long", &p, 7, n)
+    }
+
+    #[test]
+    fn streaming_matches_resident_with_a_tiny_window() {
+        let t = long_trace(5_000);
+        let mut src = IterSource::new(t.insts().iter().copied());
+        // Window far smaller than the trace forces hundreds of refills.
+        let mut s = OracleStream::streaming_with_window(&mut src, 64, 16);
+        let mut r = OracleStream::new(&t);
+        let mut k = 0usize;
+        while !r.done() {
+            assert!(!s.done(), "streaming ended early at inst {}", r.inst_index());
+            assert_eq!(s.current(), r.current());
+            assert_eq!(s.peek(3), r.peek(3));
+            assert_eq!(
+                s.window_end(7).map(|(d, j)| (*d, j)),
+                r.window_end(7).map(|(d, j)| (*d, j))
+            );
+            // Varied budgets hit partial and whole-instruction advances.
+            let budget = 1 + (k % 7);
+            assert_eq!(s.take_uops(budget), r.take_uops(budget));
+            assert_eq!(s.inst_index(), r.inst_index());
+            assert_eq!(s.uop_offset(), r.uop_offset());
+            k += 1;
+        }
+        assert!(s.done());
+        assert_eq!(s.delivered_uops(), r.delivered_uops());
+        assert_eq!(s.take_uops(4), 0);
+    }
+
+    #[test]
+    fn streaming_window_stays_bounded() {
+        let t = long_trace(3_000);
+        let mut src = IterSource::new(t.insts().iter().copied());
+        let mut s = OracleStream::streaming_with_window(&mut src, 128, 32);
+        let cap0 = s.window.capacity();
+        while !s.done() {
+            assert!(s.window.len() <= 128, "window overflowed: {}", s.window.len());
+            assert_eq!(s.window.capacity(), cap0, "window reallocated");
+            s.take_inst();
+        }
+    }
+
+    #[test]
+    fn streaming_peek_at_true_end_is_none() {
+        let t = trace();
+        let mut src = IterSource::new(t.insts().iter().copied());
+        let s = OracleStream::streaming_with_window(&mut src, 8, 4);
+        // The 3-inst trace is fully buffered; past-the-end reads are a
+        // clean None, exactly like the resident backing.
+        assert!(s.peek(2).is_some());
+        assert!(s.peek(3).is_none());
+        assert!(s.window_end(7).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead exceeded")]
+    fn streaming_overreach_panics_loudly() {
+        let t = long_trace(1_000);
+        let mut src = IterSource::new(t.insts().iter().copied());
+        let s = OracleStream::streaming_with_window(&mut src, 16, 4);
+        // The window holds 16; reaching past it while the source still
+        // has data must panic, not silently end the trace.
+        let _ = s.peek(40);
+    }
+
+    #[test]
+    #[should_panic(expected = "twice the lookahead")]
+    fn streaming_rejects_cramped_windows() {
+        let t = trace();
+        let mut src = IterSource::new(t.insts().iter().copied());
+        let _ = OracleStream::streaming_with_window(&mut src, 4, 4);
     }
 }

@@ -1,0 +1,140 @@
+//! The client side of the `xbc-serve-v1` protocol (`xbcsim submit`).
+
+use crate::protocol::{self, SweepRequest};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use xbc_sim::json::Json;
+use xbc_sim::{Row, SweepBench};
+use xbc_store::StoreStats;
+
+/// Everything one sweep submission returns.
+#[derive(Clone, Debug)]
+pub struct SubmitOutcome {
+    /// Result rows in deterministic trace-major, frontend-minor order —
+    /// the same order (and, for a warm store, the same bytes once
+    /// re-encoded) as a one-shot `Sweep` of the grid.
+    pub rows: Vec<Row>,
+    /// The daemon's per-request scheduler accounting.
+    pub bench: SweepBench,
+    /// Store-counter delta over the request (`None` when the daemon
+    /// runs uncached). The store is shared across clients, so this
+    /// includes concurrent requests' activity.
+    pub store: Option<StoreStats>,
+}
+
+/// Opens a connection and consumes the server hello.
+fn connect(socket: &Path) -> Result<(BufReader<UnixStream>, UnixStream), String> {
+    let stream = UnixStream::connect(socket)
+        .map_err(|e| format!("connect {}: {e} (is the daemon running?)", socket.display()))?;
+    let out = stream.try_clone().map_err(|e| format!("clone socket: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut hello = String::new();
+    reader.read_line(&mut hello).map_err(|e| format!("read hello: {e}"))?;
+    let j = Json::parse(hello.trim()).map_err(|e| format!("malformed hello: {e}"))?;
+    match j.get("schema").and_then(Json::as_str) {
+        Some(protocol::SCHEMA) => Ok((reader, out)),
+        Some(other) => Err(format!("server speaks {other:?}, expected {:?}", protocol::SCHEMA)),
+        None => Err("server hello carries no schema".into()),
+    }
+}
+
+fn send_line(out: &mut UnixStream, line: &str) -> Result<(), String> {
+    writeln!(out, "{line}").and_then(|()| out.flush()).map_err(|e| format!("send request: {e}"))
+}
+
+fn read_response_line(reader: &mut BufReader<UnixStream>) -> Result<Json, String> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).map_err(|e| format!("read response: {e}"))?;
+    if n == 0 {
+        return Err("server closed the connection mid-response".into());
+    }
+    Json::parse(line.trim()).map_err(|e| format!("malformed response line: {e}"))
+}
+
+/// Liveness probe: sends `ping`, expects `pong`.
+///
+/// # Errors
+///
+/// Returns a message describing the connection or protocol failure.
+pub fn ping(socket: &Path) -> Result<(), String> {
+    let (mut reader, mut out) = connect(socket)?;
+    send_line(&mut out, "{\"type\":\"ping\"}")?;
+    let j = read_response_line(&mut reader)?;
+    match j.get("type").and_then(Json::as_str) {
+        Some("pong") => Ok(()),
+        other => Err(format!("expected pong, got {other:?}")),
+    }
+}
+
+/// Asks the daemon to shut down gracefully (it drains queued work
+/// first). Returns once the daemon has acknowledged with `bye`.
+///
+/// # Errors
+///
+/// Returns a message describing the connection or protocol failure.
+pub fn shutdown(socket: &Path) -> Result<(), String> {
+    let (mut reader, mut out) = connect(socket)?;
+    send_line(&mut out, "{\"type\":\"shutdown\"}")?;
+    let j = read_response_line(&mut reader)?;
+    match j.get("type").and_then(Json::as_str) {
+        Some("bye") => Ok(()),
+        other => Err(format!("expected bye, got {other:?}")),
+    }
+}
+
+/// Submits a sweep grid and collects the full response: rows stream in
+/// index order (the protocol guarantees it; this client enforces it)
+/// followed by the `done` trailer.
+///
+/// # Errors
+///
+/// Returns the server's `error` message, or a description of any
+/// connection/protocol failure.
+pub fn submit(socket: &Path, req: &SweepRequest) -> Result<SubmitOutcome, String> {
+    let (mut reader, mut out) = connect(socket)?;
+    send_line(&mut out, &protocol::render_sweep_request(req))?;
+    let mut rows: Vec<Row> = Vec::new();
+    loop {
+        let j = read_response_line(&mut reader)?;
+        match j.get("type").and_then(Json::as_str) {
+            Some("row") => {
+                let index =
+                    j.get("index").and_then(Json::as_usize).ok_or("row line missing index")?;
+                if index != rows.len() {
+                    return Err(format!(
+                        "rows out of order: got index {index}, expected {}",
+                        rows.len()
+                    ));
+                }
+                let row = Row::from_json(j.get("row").ok_or("row line missing row")?)?;
+                rows.push(row);
+            }
+            Some("done") => {
+                let declared =
+                    j.get("rows").and_then(Json::as_usize).ok_or("done line missing rows")?;
+                if declared != rows.len() {
+                    return Err(format!(
+                        "done declares {declared} rows but {} arrived",
+                        rows.len()
+                    ));
+                }
+                let bench =
+                    protocol::bench_from_json(j.get("bench").ok_or("done line missing bench")?)?;
+                let store = match j.get("store") {
+                    None | Some(Json::Null) => None,
+                    Some(s) => Some(protocol::stats_from_json(s)?),
+                };
+                return Ok(SubmitOutcome { rows, bench, store });
+            }
+            Some("error") => {
+                return Err(j
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified server error")
+                    .to_owned());
+            }
+            other => return Err(format!("unexpected response type {other:?}")),
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! The sweep service daemon.
+//!
+//! One process holds the content-addressed [`Store`] and a fixed worker
+//! pool; clients connect over a Unix-domain socket, submit sweep grids,
+//! and stream rows back as cells complete. The scheduling model is the
+//! same cell model as `xbc_sim::Sweep`: the unit of work is one
+//! (trace × frontend) cell, cells from *all* concurrent requests drain
+//! through one shared queue, each request's rows are reassembled in
+//! deterministic trace-major order, and `elapsed_ms` is apportioned
+//! with the same [`capture_share`] arithmetic — so a daemon-simulated
+//! row is indistinguishable from a `Sweep`-simulated one.
+//!
+//! Replay is streaming-first: a cell whose trace is already stored
+//! replays through [`Store::open_trace_stream`] and
+//! `Frontend::run_streamed`, keeping worker memory O(window). The first
+//! cell of a not-yet-captured trace captures it resident (once, shared
+//! behind the trace's `OnceLock`, through the store when present) —
+//! which lands the trace on disk, so later cells of the same trace
+//! stream it.
+
+use crate::protocol::{self, Request, SweepRequest};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+use xbc_sim::{
+    capture_share, resolve_threads, result_key, rows_from_json, FrontendSpec, Row, SweepBench,
+};
+use xbc_store::Store;
+use xbc_workload::{standard_traces, Trace, TraceSpec};
+
+/// Daemon configuration for [`serve`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Unix-domain socket path to listen on. A stale socket file (left
+    /// by a dead daemon) is removed and rebound; a *live* one — another
+    /// daemon answers a connect probe — is an error.
+    pub socket: PathBuf,
+    /// Worker threads for the shared cell pool (0 = one per core,
+    /// resolved via `xbc_sim::resolve_threads`).
+    pub threads: usize,
+    /// Shared trace/result store; `None` disables caching (every
+    /// request re-simulates, nothing streams).
+    pub store: Option<Arc<Store>>,
+    /// Emit per-request progress lines to stderr.
+    pub progress: bool,
+}
+
+/// One (trace, frontend) cell of a request, with its rank among the
+/// trace's missing cells (for the deterministic capture-cost share).
+struct Cell {
+    trace: usize,
+    fe: usize,
+    rank: usize,
+    missing: usize,
+}
+
+/// One submitted sweep: the grid, its pending cells, and the slots its
+/// connection thread drains in index order.
+struct Job {
+    traces: Vec<TraceSpec>,
+    frontends: Vec<FrontendSpec>,
+    insts: usize,
+    cells: Vec<Cell>,
+    /// Per-trace resident capture, shared by the trace's fallback cells.
+    shared_traces: Vec<OnceLock<(Arc<Trace>, u64)>>,
+    /// The full grid; workers fill cells, the connection thread takes
+    /// them in trace-major order as the filled prefix grows.
+    rows: Mutex<Vec<Option<Row>>>,
+    row_cv: Condvar,
+    captures: AtomicU64,
+    capture_ms: AtomicU64,
+    sim_ms: AtomicU64,
+    /// Cells replayed via the streaming path (O(window) memory).
+    streamed_cells: AtomicU64,
+}
+
+/// State shared by the accept loop, connection threads, and workers.
+struct Shared {
+    socket: PathBuf,
+    store: Option<Arc<Store>>,
+    threads: usize,
+    progress: bool,
+    queue: Mutex<VecDeque<(Arc<Job>, usize)>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// Runs one cell: streaming replay when the trace is already stored,
+/// otherwise the shared resident capture — mirroring `Sweep`'s phase 3
+/// exactly (same `result_key`, same `capture_share` arithmetic, same
+/// result-cache write), so served rows match swept rows.
+fn run_cell(shared: &Shared, job: &Job, ci: usize) {
+    let cell = &job.cells[ci];
+    let spec = &job.traces[cell.trace];
+    let fespec = &job.frontends[cell.fe];
+    let mut frontend = fespec.instantiate();
+    let streamed = shared.store.as_ref().and_then(|store| {
+        let open0 = Instant::now();
+        let stream = store.open_trace_stream(spec, job.insts)?;
+        Some((stream, open0.elapsed().as_millis() as u64))
+    });
+    let row = match streamed {
+        Some((mut stream, open_ms)) => {
+            let sim0 = Instant::now();
+            let m = frontend.run_streamed(&mut stream);
+            let sim_ms = sim0.elapsed().as_millis() as u64;
+            job.capture_ms.fetch_add(open_ms, Ordering::Relaxed);
+            job.sim_ms.fetch_add(sim_ms, Ordering::Relaxed);
+            job.streamed_cells.fetch_add(1, Ordering::Relaxed);
+            let mut row = Row::new(spec.name, &spec.suite.to_string(), *fespec, job.insts, &m);
+            // The stream open+validation is this cell's own trace cost
+            // (streamed cells share nothing), analogous to a capture
+            // share of 1.
+            row.elapsed_ms = open_ms + sim_ms;
+            row
+        }
+        None => {
+            let (trace, cap_ms) = {
+                let entry = job.shared_traces[cell.trace].get_or_init(|| {
+                    let c0 = Instant::now();
+                    let t = match &shared.store {
+                        Some(store) => store.get_or_capture(spec, job.insts),
+                        None => spec.capture(job.insts),
+                    };
+                    let ms = c0.elapsed().as_millis() as u64;
+                    job.captures.fetch_add(1, Ordering::Relaxed);
+                    job.capture_ms.fetch_add(ms, Ordering::Relaxed);
+                    (Arc::new(t), ms)
+                });
+                (Arc::clone(&entry.0), entry.1)
+            };
+            let sim0 = Instant::now();
+            let m = frontend.run(&trace);
+            let sim_ms = sim0.elapsed().as_millis() as u64;
+            job.sim_ms.fetch_add(sim_ms, Ordering::Relaxed);
+            let mut row = Row::new(spec.name, &spec.suite.to_string(), *fespec, job.insts, &m);
+            row.elapsed_ms = capture_share(cap_ms, cell.missing, cell.rank) + sim_ms;
+            row
+        }
+    };
+    if let Some(store) = &shared.store {
+        store.store_result(
+            &result_key(spec, fespec, job.insts),
+            &xbc_sim::to_json(std::slice::from_ref(&row)),
+        );
+    }
+    let mut rows = job.rows.lock().expect("job rows lock");
+    rows[cell.trace * job.frontends.len() + cell.fe] = Some(row);
+    job.row_cv.notify_all();
+}
+
+/// Worker loop: drain the shared cell queue; exit once shutdown is
+/// flagged *and* the queue is empty (graceful shutdown finishes every
+/// accepted request).
+fn worker(shared: &Shared) {
+    loop {
+        let (job, ci) = {
+            let mut q = shared.queue.lock().expect("cell queue lock");
+            loop {
+                if let Some(item) = q.pop_front() {
+                    break item;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                q = shared.queue_cv.wait(q).expect("cell queue cv");
+            }
+        };
+        run_cell(shared, &job, ci);
+    }
+}
+
+/// Serves one sweep request on an open connection: probe the result
+/// cache, queue the missing cells, stream rows back in trace-major
+/// index order as the completed prefix grows, close with the `done`
+/// trailer (per-request bench + store-stats delta).
+fn handle_sweep(shared: &Shared, out: &mut UnixStream, req: SweepRequest) -> std::io::Result<()> {
+    let wall0 = Instant::now();
+    let all = standard_traces();
+    let mut specs: Vec<TraceSpec> = Vec::with_capacity(req.traces.len());
+    for name in &req.traces {
+        match all.iter().find(|t| t.name == *name) {
+            Some(s) => specs.push(s.clone()),
+            None => {
+                writeln!(out, "{}", protocol::error_line(&format!("unknown trace: {name}")))?;
+                return Ok(());
+            }
+        }
+    }
+    if specs.is_empty() || req.frontends.is_empty() || req.insts == 0 {
+        writeln!(
+            out,
+            "{}",
+            protocol::error_line("sweep needs at least one trace, one frontend, and insts > 0")
+        )?;
+        return Ok(());
+    }
+    let stats0 = shared.store.as_ref().map(|s| s.stats());
+    let n_fe = req.frontends.len();
+    let n_cells = specs.len() * n_fe;
+    let mut rows: Vec<Option<Row>> = vec![None; n_cells];
+
+    // Probe the result cache — same sequential pass, same eviction of
+    // undecodable entries, as `Sweep::run_with_bench` phase 1.
+    if let Some(store) = &shared.store {
+        for (ti, spec) in specs.iter().enumerate() {
+            for (fi, fe) in req.frontends.iter().enumerate() {
+                let key = result_key(spec, fe, req.insts);
+                let Some(body) = store.load_result(&key) else { continue };
+                match rows_from_json(&body) {
+                    Ok(parsed) if parsed.len() == 1 => {
+                        rows[ti * n_fe + fi] = parsed.into_iter().next();
+                    }
+                    Ok(parsed) => {
+                        store.evict_result(
+                            &key,
+                            &format!("expected 1 cached row, found {}", parsed.len()),
+                        );
+                    }
+                    Err(e) => {
+                        store.evict_result(&key, &format!("undecodable cached row: {e}"));
+                    }
+                }
+            }
+        }
+    }
+
+    // Plan the missing cells trace-major (phase 2: deterministic ranks).
+    let mut cells: Vec<Cell> = Vec::new();
+    for ti in 0..specs.len() {
+        let start = cells.len();
+        for fi in 0..n_fe {
+            if rows[ti * n_fe + fi].is_none() {
+                cells.push(Cell { trace: ti, fe: fi, rank: cells.len() - start, missing: 0 });
+            }
+        }
+        let missing = cells.len() - start;
+        for c in &mut cells[start..] {
+            c.missing = missing;
+        }
+    }
+    let cached_cells = n_cells - cells.len();
+    let simulated_cells = cells.len();
+
+    let job = Arc::new(Job {
+        shared_traces: (0..specs.len()).map(|_| OnceLock::new()).collect(),
+        traces: specs,
+        frontends: req.frontends,
+        insts: req.insts,
+        cells,
+        rows: Mutex::new(rows),
+        row_cv: Condvar::new(),
+        captures: AtomicU64::new(0),
+        capture_ms: AtomicU64::new(0),
+        sim_ms: AtomicU64::new(0),
+        streamed_cells: AtomicU64::new(0),
+    });
+    {
+        let mut q = shared.queue.lock().expect("cell queue lock");
+        for i in 0..job.cells.len() {
+            q.push_back((Arc::clone(&job), i));
+        }
+        shared.queue_cv.notify_all();
+    }
+
+    // Stream rows in index order as soon as each is available; cached
+    // rows flow out immediately.
+    for idx in 0..n_cells {
+        let row = {
+            let mut slots = job.rows.lock().expect("job rows lock");
+            loop {
+                if let Some(r) = slots[idx].take() {
+                    break r;
+                }
+                slots = job.row_cv.wait(slots).expect("job row cv");
+            }
+        };
+        writeln!(out, "{}", protocol::row_line(idx, &row))?;
+        out.flush()?;
+    }
+
+    let bench = SweepBench {
+        threads: shared.threads,
+        traces: job.traces.len(),
+        frontends: n_fe,
+        total_cells: n_cells,
+        cached_cells,
+        simulated_cells,
+        captures: job.captures.load(Ordering::Relaxed),
+        capture_ms: job.capture_ms.load(Ordering::Relaxed),
+        sim_ms: job.sim_ms.load(Ordering::Relaxed),
+        wall_ms: wall0.elapsed().as_millis() as u64,
+        // The pool is daemon-global, not per-request: per-worker stats
+        // are not attributable to one request, so the trailer's worker
+        // list is empty by design.
+        workers: Vec::new(),
+    };
+    let delta = stats0.map(|before| {
+        protocol::stats_delta(
+            &before,
+            &shared.store.as_ref().expect("stats0 implies store").stats(),
+        )
+    });
+    writeln!(out, "{}", protocol::done_line(n_cells, &bench, delta.as_ref()))?;
+    out.flush()?;
+    if shared.progress {
+        eprintln!(
+            "[xbc-serve] {} cells ({} cached, {} simulated, {} streamed) in {} ms",
+            n_cells,
+            cached_cells,
+            simulated_cells,
+            job.streamed_cells.load(Ordering::Relaxed),
+            bench.wall_ms,
+        );
+    }
+    Ok(())
+}
+
+/// One client connection: hello, then serve requests line by line until
+/// the client disconnects (or asks for shutdown).
+fn handle_connection(shared: &Shared, mut stream: UnixStream) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    writeln!(stream, "{}", protocol::hello_line(shared.threads))?;
+    stream.flush()?;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match protocol::parse_request(&line) {
+            Err(e) => {
+                writeln!(stream, "{}", protocol::error_line(&e))?;
+                stream.flush()?;
+            }
+            Ok(Request::Ping) => {
+                writeln!(stream, "{}", protocol::pong_line())?;
+                stream.flush()?;
+            }
+            Ok(Request::Shutdown) => {
+                writeln!(stream, "{}", protocol::bye_line())?;
+                stream.flush()?;
+                shared.shutdown.store(true, Ordering::Release);
+                shared.queue_cv.notify_all();
+                // Unblock the accept loop so it observes the flag.
+                let _ = UnixStream::connect(&shared.socket);
+                return Ok(());
+            }
+            Ok(Request::Sweep(req)) => handle_sweep(shared, &mut stream, req)?,
+        }
+    }
+    Ok(())
+}
+
+/// Runs the daemon: binds `config.socket`, spawns the worker pool, and
+/// accepts clients until one of them sends `shutdown`. Queued work is
+/// drained before returning; the socket file is removed on exit.
+///
+/// # Errors
+///
+/// Returns the bind/IO error if the socket cannot be set up, or if
+/// another live daemon already answers on it.
+pub fn serve(config: &ServeConfig) -> std::io::Result<()> {
+    let socket = &config.socket;
+    if socket.exists() {
+        // A socket file can outlive its daemon (SIGKILL). Probe it: a
+        // live daemon answers the connect; a dead one leaves ECONNREFUSED.
+        match UnixStream::connect(socket) {
+            Ok(_) => {
+                return Err(std::io::Error::other(format!(
+                    "{} is already served by a live daemon",
+                    socket.display()
+                )));
+            }
+            Err(_) => {
+                std::fs::remove_file(socket)?;
+            }
+        }
+    }
+    let listener = UnixListener::bind(socket)?;
+    let threads = resolve_threads(config.threads);
+    let shared = Shared {
+        socket: socket.clone(),
+        store: config.store.clone(),
+        threads,
+        progress: config.progress,
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+    };
+    if config.progress {
+        eprintln!(
+            "[xbc-serve] listening on {} ({} workers, store {})",
+            socket.display(),
+            threads,
+            match &shared.store {
+                Some(s) => s.root().display().to_string(),
+                None => "off".to_owned(),
+            }
+        );
+    }
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| worker(&shared));
+        }
+        for conn in listener.incoming() {
+            if shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            match conn {
+                Ok(stream) => {
+                    let shared = &shared;
+                    scope.spawn(move || {
+                        if let Err(e) = handle_connection(shared, stream) {
+                            // A client hanging up mid-response is its
+                            // prerogative, not a daemon failure.
+                            if shared.progress {
+                                eprintln!("[xbc-serve] connection ended: {e}");
+                            }
+                        }
+                    });
+                }
+                Err(e) => {
+                    if shared.progress {
+                        eprintln!("[xbc-serve] accept failed: {e}");
+                    }
+                }
+            }
+        }
+        // Shutdown: wake any workers parked on an empty queue.
+        shared.queue_cv.notify_all();
+    });
+    std::fs::remove_file(socket).ok();
+    if config.progress {
+        eprintln!("[xbc-serve] shut down");
+    }
+    Ok(())
+}

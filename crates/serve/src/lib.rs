@@ -1,0 +1,34 @@
+//! # xbc-serve — long-running sweep service
+//!
+//! A daemon that keeps one [`xbc_store::Store`] and one worker pool warm
+//! across many sweep requests, plus the matching client:
+//!
+//! * [`protocol`] — the `xbc-serve-v1` JSONL wire protocol (requests,
+//!   row/trailer lines, and the compact serializers they use),
+//! * [`serve`] / [`ServeConfig`] — the daemon: a Unix-domain-socket
+//!   accept loop feeding (trace × frontend) cells onto a shared
+//!   cell-level scheduler (the same cell model as `xbc_sim::Sweep`),
+//! * [`submit`] / [`ping`] / [`shutdown`] — the client side, used by
+//!   `xbcsim submit`.
+//!
+//! Replay inside the daemon is *streaming-first*: a cell whose trace is
+//! already in the store replays it through the bounded-window oracle
+//! (`Frontend::run_streamed`), so daemon memory stays O(window) per
+//! worker however long the traces are. Cells whose trace is not yet
+//! captured fall back to one shared resident capture per trace — which
+//! also lands the trace in the store, so every later cell streams.
+//!
+//! Rows served for a warm store are **byte-identical** to a one-shot
+//! `xbcsim sweep` of the same grid: cached rows are replayed verbatim
+//! (original `elapsed_ms` included), and the row JSON is a fixed point
+//! of parse → re-encode.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod daemon;
+pub mod protocol;
+
+pub use client::{ping, shutdown, submit, SubmitOutcome};
+pub use daemon::{serve, ServeConfig};

@@ -1,0 +1,418 @@
+//! The `xbc-serve-v1` wire protocol.
+//!
+//! JSONL over a Unix-domain socket: every message is one JSON object on
+//! one line. The conversation is strictly client-driven:
+//!
+//! ```text
+//! server → {"schema":"xbc-serve-v1","type":"hello","threads":8}
+//! client → {"type":"ping"}
+//! server → {"type":"pong"}
+//! client → {"type":"sweep","traces":["spec.gcc"],"frontends":[{"kind":"ic"}],"insts":20000}
+//! server → {"type":"row","index":0,"row":{...}}         (index order 0..rows-1)
+//! server → {"type":"done","rows":1,"bench":{...},"store":{...}}
+//! client → {"type":"shutdown"}
+//! server → {"type":"bye"}                               (daemon then exits)
+//! ```
+//!
+//! Errors come back as `{"type":"error","message":"..."}` and leave the
+//! connection usable for the next request.
+//!
+//! The compact row serializer here writes the *same values, in the same
+//! field order, with the same `f64` shortest-roundtrip formatting* as
+//! `xbc_sim::Row::to_json` — only the whitespace differs. A client that
+//! parses wire rows and re-encodes them with `xbc_sim::to_json` gets
+//! output byte-identical to a one-shot `xbcsim sweep --json` of the
+//! same grid (given the same store), which is what the CI serve gate
+//! diffs.
+
+use xbc_sim::json::{escape, Json};
+use xbc_sim::{FrontendSpec, Row, SweepBench, WorkerStat};
+use xbc_store::StoreStats;
+
+/// Protocol schema identifier, announced in the hello line.
+pub const SCHEMA: &str = "xbc-serve-v1";
+
+/// One sweep request: a (trace × frontend) grid at a fixed instruction
+/// budget — the same cell model as `xbc_sim::Sweep`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SweepRequest {
+    /// Standard-trace names (see `xbcsim list`).
+    pub traces: Vec<String>,
+    /// Frontend configurations, one column per entry.
+    pub frontends: Vec<FrontendSpec>,
+    /// Dynamic instructions per trace.
+    pub insts: usize,
+}
+
+/// A parsed client request line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe; the server answers `pong`.
+    Ping,
+    /// Graceful daemon shutdown; the server answers `bye`, drains
+    /// queued work, and exits.
+    Shutdown,
+    /// A sweep grid; the server streams `row` lines then one `done`.
+    Sweep(SweepRequest),
+}
+
+/// The server's greeting, sent once per connection.
+pub fn hello_line(threads: usize) -> String {
+    format!("{{\"schema\":\"{SCHEMA}\",\"type\":\"hello\",\"threads\":{threads}}}")
+}
+
+/// Reply to [`Request::Ping`].
+pub fn pong_line() -> String {
+    "{\"type\":\"pong\"}".to_owned()
+}
+
+/// Reply to [`Request::Shutdown`].
+pub fn bye_line() -> String {
+    "{\"type\":\"bye\"}".to_owned()
+}
+
+/// An error reply; the connection stays open.
+pub fn error_line(msg: &str) -> String {
+    format!("{{\"type\":\"error\",\"message\":\"{}\"}}", escape(msg))
+}
+
+/// Serializes a sweep request as its wire line.
+pub fn render_sweep_request(req: &SweepRequest) -> String {
+    let traces: Vec<String> = req.traces.iter().map(|t| format!("\"{}\"", escape(t))).collect();
+    let fes: Vec<String> = req.frontends.iter().map(FrontendSpec::to_json).collect();
+    format!(
+        "{{\"type\":\"sweep\",\"traces\":[{}],\"frontends\":[{}],\"insts\":{}}}",
+        traces.join(","),
+        fes.join(","),
+        req.insts
+    )
+}
+
+/// Parses one client request line.
+///
+/// # Errors
+///
+/// Returns a message naming the malformed or missing field; the caller
+/// reports it via [`error_line`] and keeps the connection.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let j = Json::parse(line)?;
+    match j.get("type").and_then(Json::as_str) {
+        Some("ping") => Ok(Request::Ping),
+        Some("shutdown") => Ok(Request::Shutdown),
+        Some("sweep") => {
+            let traces = j
+                .get("traces")
+                .and_then(Json::as_arr)
+                .ok_or("sweep request missing traces")?
+                .iter()
+                .map(|t| {
+                    t.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| "trace names must be strings".to_owned())
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let frontends = j
+                .get("frontends")
+                .and_then(Json::as_arr)
+                .ok_or("sweep request missing frontends")?
+                .iter()
+                .map(FrontendSpec::from_json)
+                .collect::<Result<Vec<_>, _>>()?;
+            let insts =
+                j.get("insts").and_then(Json::as_usize).ok_or("sweep request missing insts")?;
+            Ok(Request::Sweep(SweepRequest { traces, frontends, insts }))
+        }
+        Some(other) => Err(format!("unknown request type {other:?}")),
+        None => Err("request missing type".into()),
+    }
+}
+
+/// Serializes a row as a single-line JSON object: same fields, same
+/// order, same value formatting as `Row::to_json` — whitespace only
+/// differs, so parse → `Row` → re-encode is exact either way.
+pub fn row_to_compact_json(r: &Row) -> String {
+    format!(
+        "{{\"trace\":\"{}\",\"suite\":\"{}\",\"frontend\":{},\"insts\":{},\"uops\":{},\
+         \"cycles\":{},\"miss_rate\":{},\"bandwidth\":{},\"uops_per_cycle\":{},\
+         \"cond_mispredicts\":{},\"target_mispredicts\":{},\"delivery_to_build\":{},\
+         \"bank_conflict_uops\":{},\"promotions\":{},\"elapsed_ms\":{}}}",
+        escape(&r.trace),
+        escape(&r.suite),
+        r.frontend.to_json(),
+        r.insts,
+        r.uops,
+        r.cycles,
+        r.miss_rate,
+        r.bandwidth,
+        r.uops_per_cycle,
+        r.cond_mispredicts,
+        r.target_mispredicts,
+        r.delivery_to_build,
+        r.bank_conflict_uops,
+        r.promotions,
+        r.elapsed_ms,
+    )
+}
+
+/// One `row` line of a sweep response.
+pub fn row_line(index: usize, row: &Row) -> String {
+    format!("{{\"type\":\"row\",\"index\":{index},\"row\":{}}}", row_to_compact_json(row))
+}
+
+/// Serializes a [`SweepBench`] as a single-line JSON object (the wire
+/// form of the `xbc-sweep-bench-v1` schema; derived rates are omitted —
+/// [`bench_from_json`] recomputes them).
+pub fn bench_to_compact_json(b: &SweepBench) -> String {
+    let workers: Vec<String> = b
+        .workers
+        .iter()
+        .map(|w| format!("{{\"cells\":{},\"busy_ms\":{}}}", w.cells, w.busy_ms))
+        .collect();
+    format!(
+        "{{\"schema\":\"xbc-sweep-bench-v1\",\"threads\":{},\"traces\":{},\"frontends\":{},\
+         \"total_cells\":{},\"cached_cells\":{},\"simulated_cells\":{},\"captures\":{},\
+         \"capture_ms\":{},\"sim_ms\":{},\"wall_ms\":{},\"workers\":[{}]}}",
+        b.threads,
+        b.traces,
+        b.frontends,
+        b.total_cells,
+        b.cached_cells,
+        b.simulated_cells,
+        b.captures,
+        b.capture_ms,
+        b.sim_ms,
+        b.wall_ms,
+        workers.join(","),
+    )
+}
+
+/// Reconstructs a [`SweepBench`] from a parsed JSON object — accepts
+/// both the compact wire form and the multi-line `SweepBench::to_json`
+/// artifact (derived-rate fields, when present, are ignored).
+///
+/// # Errors
+///
+/// Returns a message naming the missing or malformed field.
+pub fn bench_from_json(j: &Json) -> Result<SweepBench, String> {
+    fn u64_field(j: &Json, k: &str) -> Result<u64, String> {
+        j.get(k).and_then(Json::as_u64).ok_or_else(|| format!("bench missing {k}"))
+    }
+    fn usize_field(j: &Json, k: &str) -> Result<usize, String> {
+        j.get(k).and_then(Json::as_usize).ok_or_else(|| format!("bench missing {k}"))
+    }
+    let workers = j
+        .get("workers")
+        .and_then(Json::as_arr)
+        .ok_or("bench missing workers")?
+        .iter()
+        .map(|w| {
+            Ok(WorkerStat { cells: usize_field(w, "cells")?, busy_ms: u64_field(w, "busy_ms")? })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(SweepBench {
+        threads: usize_field(j, "threads")?,
+        traces: usize_field(j, "traces")?,
+        frontends: usize_field(j, "frontends")?,
+        total_cells: usize_field(j, "total_cells")?,
+        cached_cells: usize_field(j, "cached_cells")?,
+        simulated_cells: usize_field(j, "simulated_cells")?,
+        captures: u64_field(j, "captures")?,
+        capture_ms: u64_field(j, "capture_ms")?,
+        sim_ms: u64_field(j, "sim_ms")?,
+        wall_ms: u64_field(j, "wall_ms")?,
+        workers,
+    })
+}
+
+/// Serializes a [`StoreStats`] snapshot (or delta) as a single-line
+/// JSON object.
+pub fn stats_to_compact_json(s: &StoreStats) -> String {
+    format!(
+        "{{\"trace_hits\":{},\"trace_misses\":{},\"result_hits\":{},\"result_misses\":{},\
+         \"bytes_read\":{},\"bytes_written\":{},\"corrupt_entries\":{}}}",
+        s.trace_hits,
+        s.trace_misses,
+        s.result_hits,
+        s.result_misses,
+        s.bytes_read,
+        s.bytes_written,
+        s.corrupt_entries,
+    )
+}
+
+/// Reconstructs a [`StoreStats`] from a parsed JSON object.
+///
+/// # Errors
+///
+/// Returns a message naming the missing or malformed field.
+pub fn stats_from_json(j: &Json) -> Result<StoreStats, String> {
+    fn u64_field(j: &Json, k: &str) -> Result<u64, String> {
+        j.get(k).and_then(Json::as_u64).ok_or_else(|| format!("store stats missing {k}"))
+    }
+    Ok(StoreStats {
+        trace_hits: u64_field(j, "trace_hits")?,
+        trace_misses: u64_field(j, "trace_misses")?,
+        result_hits: u64_field(j, "result_hits")?,
+        result_misses: u64_field(j, "result_misses")?,
+        bytes_read: u64_field(j, "bytes_read")?,
+        bytes_written: u64_field(j, "bytes_written")?,
+        corrupt_entries: u64_field(j, "corrupt_entries")?,
+    })
+}
+
+/// Counter delta `after - before` of two snapshots of one store. The
+/// store is shared by every client of the daemon, so a per-request
+/// delta includes any concurrently-served requests' activity — it is a
+/// "what the store did while your request ran" figure, not an exact
+/// per-request attribution.
+pub fn stats_delta(before: &StoreStats, after: &StoreStats) -> StoreStats {
+    StoreStats {
+        trace_hits: after.trace_hits.saturating_sub(before.trace_hits),
+        trace_misses: after.trace_misses.saturating_sub(before.trace_misses),
+        result_hits: after.result_hits.saturating_sub(before.result_hits),
+        result_misses: after.result_misses.saturating_sub(before.result_misses),
+        bytes_read: after.bytes_read.saturating_sub(before.bytes_read),
+        bytes_written: after.bytes_written.saturating_sub(before.bytes_written),
+        corrupt_entries: after.corrupt_entries.saturating_sub(before.corrupt_entries),
+    }
+}
+
+/// The `done` trailer closing a sweep response. `store` is `null` when
+/// the daemon runs uncached.
+pub fn done_line(rows: usize, bench: &SweepBench, store: Option<&StoreStats>) -> String {
+    let store = match store {
+        Some(s) => stats_to_compact_json(s),
+        None => "null".to_owned(),
+    };
+    format!(
+        "{{\"type\":\"done\",\"rows\":{rows},\"bench\":{},\"store\":{}}}",
+        bench_to_compact_json(bench),
+        store
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbc_frontend::FrontendMetrics;
+
+    fn sample_row() -> Row {
+        let m = FrontendMetrics {
+            cycles: 1000,
+            delivery_cycles: 600,
+            structure_uops: 4000,
+            ic_uops: 2000,
+            ..Default::default()
+        };
+        let mut r = Row::new("spec.gcc", "spec", FrontendSpec::xbc_default(), 5000, &m);
+        r.elapsed_ms = 17;
+        r
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let req = SweepRequest {
+            traces: vec!["spec.gcc".into(), "games.quake".into()],
+            frontends: vec![
+                FrontendSpec::Ic,
+                FrontendSpec::Xbc { total_uops: 8192, ways: 2, promotion: true },
+            ],
+            insts: 20_000,
+        };
+        let line = render_sweep_request(&req);
+        assert!(!line.contains('\n'));
+        match parse_request(&line).unwrap() {
+            Request::Sweep(back) => assert_eq!(back, req),
+            other => panic!("parsed {other:?}"),
+        }
+        assert_eq!(parse_request("{\"type\":\"ping\"}").unwrap(), Request::Ping);
+        assert_eq!(parse_request("{\"type\":\"shutdown\"}").unwrap(), Request::Shutdown);
+        assert!(parse_request("{\"type\":\"zap\"}").is_err());
+        assert!(parse_request("{}").is_err());
+        assert!(parse_request("{\"type\":\"sweep\"}").is_err());
+    }
+
+    #[test]
+    fn compact_row_is_exact_and_single_line() {
+        let row = sample_row();
+        let compact = row_to_compact_json(&row);
+        assert!(!compact.contains('\n'));
+        let back = Row::from_json(&Json::parse(&compact).unwrap()).unwrap();
+        // The wire row re-encodes (via the sim serializer) byte-identically
+        // to the original — the fixed point the CI serve gate relies on.
+        assert_eq!(
+            xbc_sim::to_json(std::slice::from_ref(&back)),
+            xbc_sim::to_json(std::slice::from_ref(&row))
+        );
+        // And the compact form itself is a fixed point too.
+        assert_eq!(row_to_compact_json(&back), compact);
+    }
+
+    #[test]
+    fn row_line_carries_index() {
+        let line = row_line(3, &sample_row());
+        let j = Json::parse(&line).unwrap();
+        assert_eq!(j.get("type").and_then(Json::as_str), Some("row"));
+        assert_eq!(j.get("index").and_then(Json::as_usize), Some(3));
+        assert!(j.get("row").is_some());
+    }
+
+    #[test]
+    fn bench_roundtrip_compact_and_artifact() {
+        let bench = SweepBench {
+            threads: 4,
+            traces: 2,
+            frontends: 3,
+            total_cells: 6,
+            cached_cells: 1,
+            simulated_cells: 5,
+            captures: 2,
+            capture_ms: 30,
+            sim_ms: 970,
+            wall_ms: 500,
+            workers: vec![WorkerStat { cells: 5, busy_ms: 490 }],
+        };
+        let compact = bench_to_compact_json(&bench);
+        assert!(!compact.contains('\n'));
+        let back = bench_from_json(&Json::parse(&compact).unwrap()).unwrap();
+        assert_eq!(back.total_cells, 6);
+        assert_eq!(back.workers, bench.workers);
+        // The multi-line artifact form parses through the same reader.
+        let art = bench_from_json(&Json::parse(&bench.to_json()).unwrap()).unwrap();
+        assert_eq!(art.simulated_cells, 5);
+        assert_eq!(art.wall_ms, 500);
+    }
+
+    #[test]
+    fn stats_roundtrip_and_delta() {
+        let before =
+            StoreStats { trace_hits: 1, result_hits: 2, bytes_read: 100, ..Default::default() };
+        let after = StoreStats {
+            trace_hits: 3,
+            trace_misses: 1,
+            result_hits: 2,
+            result_misses: 4,
+            bytes_read: 900,
+            bytes_written: 50,
+            corrupt_entries: 0,
+        };
+        let d = stats_delta(&before, &after);
+        assert_eq!(d.trace_hits, 2);
+        assert_eq!(d.result_hits, 0);
+        assert_eq!(d.bytes_read, 800);
+        let back = stats_from_json(&Json::parse(&stats_to_compact_json(&d)).unwrap()).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn done_line_shape() {
+        let line = done_line(6, &SweepBench::default(), Some(&StoreStats::default()));
+        let j = Json::parse(&line).unwrap();
+        assert_eq!(j.get("type").and_then(Json::as_str), Some("done"));
+        assert_eq!(j.get("rows").and_then(Json::as_usize), Some(6));
+        assert!(bench_from_json(j.get("bench").unwrap()).is_ok());
+        assert!(stats_from_json(j.get("store").unwrap()).is_ok());
+        let uncached = done_line(0, &SweepBench::default(), None);
+        assert_eq!(Json::parse(&uncached).unwrap().get("store"), Some(&Json::Null));
+    }
+}

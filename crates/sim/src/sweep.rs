@@ -26,7 +26,7 @@ use std::time::{Duration, Instant};
 use xbc_frontend::{Frontend, FrontendMetrics, OracleStream, Reconciler};
 use xbc_obs::{jsonl, EventSink, NullSink, VecSink};
 use xbc_store::Store;
-use xbc_workload::{Trace, TraceSpec};
+use xbc_workload::{InstSource, Trace, TraceSpec};
 
 /// Bumped whenever simulator semantics change, so stale cached results
 /// are invalidated rather than silently replayed.
@@ -95,8 +95,10 @@ where
 /// `missing` cells whose shared capture cost `total_ms`: every cell
 /// gets the truncated average, and the first `total_ms % missing` cells
 /// get one extra millisecond, so the shares sum to exactly `total_ms`
-/// — no remainder is dropped.
-fn capture_share(total_ms: u64, missing: usize, rank: usize) -> u64 {
+/// — no remainder is dropped. Public so other schedulers over the same
+/// cell model (the `xbc-serve` daemon) apportion capture cost the same
+/// way.
+pub fn capture_share(total_ms: u64, missing: usize, rank: usize) -> u64 {
     debug_assert!(rank < missing, "share rank out of range");
     total_ms / missing as u64 + u64::from((rank as u64) < total_ms % missing as u64)
 }
@@ -404,13 +406,47 @@ pub fn run_checked_traced(
     trace_name: &str,
     sink: &mut dyn EventSink,
 ) -> FrontendMetrics {
-    let mut oracle = OracleStream::new(trace);
+    run_checked_oracle(fe, &mut OracleStream::new(trace), trace_name, sink)
+}
+
+/// [`run_checked`] over a streaming instruction source: the checked
+/// replay loop against a windowed oracle (`Frontend::run_streamed` with
+/// every per-cycle identity asserted), so verified replays too are
+/// O(window) in host memory.
+///
+/// # Panics
+///
+/// Same contract as [`run_checked`]; additionally panics on mid-stream
+/// corruption (see `xbc_workload::TraceStream`).
+pub fn run_checked_streamed(
+    fe: &mut dyn Frontend,
+    source: &mut dyn InstSource,
+    trace_name: &str,
+    sink: &mut dyn EventSink,
+) -> FrontendMetrics {
+    run_checked_oracle(fe, &mut OracleStream::streaming(source), trace_name, sink)
+}
+
+/// The checked replay loop itself, over an already-built oracle cursor
+/// (resident or streaming): asserts the accounting identities after
+/// every cycle, then runs the structural self-audits.
+///
+/// # Panics
+///
+/// Panics with a diagnostic naming the frontend, trace, and cycle on the
+/// first violation.
+pub fn run_checked_oracle(
+    fe: &mut dyn Frontend,
+    oracle: &mut OracleStream<'_>,
+    trace_name: &str,
+    sink: &mut dyn EventSink,
+) -> FrontendMetrics {
     let mut metrics = FrontendMetrics::default();
     let mut stuck = 0u32;
     let mut last_delivered = 0u64;
     while !oracle.done() {
         let before = metrics.cycles;
-        fe.step_traced(&mut oracle, &mut metrics, sink);
+        fe.step_traced(oracle, &mut metrics, sink);
         assert!(
             metrics.cycles > before,
             "[--check] {} on {trace_name}: step added no cycle at uop {}",

@@ -43,14 +43,93 @@
 
 use std::fmt;
 use std::fs;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, BufWriter, ErrorKind, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 use xbc_workload::codec::{crc32, FORMAT_VERSION};
-use xbc_workload::{Trace, TraceSpec};
+use xbc_workload::{Trace, TraceReader, TraceSpec, TraceStream};
 
 /// Magic of result-cache entries.
 const RESULT_MAGIC: [u8; 4] = *b"XBR1";
+
+/// How long a mutation waits for a contended entry lock before
+/// proceeding anyway (the locks are advisory: a lost race degrades to
+/// the pre-locking behaviour, it never wedges the store).
+const LOCK_ACQUIRE_MS: u64 = 2_000;
+
+/// Age past which a lock file is presumed abandoned (its holder died
+/// between create and remove) and is stolen. Writes and evictions are
+/// millisecond-scale, so seconds of age means a dead holder.
+const LOCK_STALE_MS: u64 = 10_000;
+
+/// An acquired (or timed-out) advisory entry lock. Dropping it releases
+/// the lock by removing the lock file.
+///
+/// Implementation: `O_CREAT|O_EXCL` lock files next to the entry, the
+/// one mutual-exclusion primitive plain `std::fs` offers on every
+/// platform (the workspace is hermetic — no libc, so no `flock`).
+/// Creation is atomic; whoever creates the file owns the entry until
+/// drop. Contenders spin with a short sleep, steal locks older than
+/// [`LOCK_STALE_MS`], and give up after [`LOCK_ACQUIRE_MS`] — the locks
+/// are advisory, so a timeout proceeds unlocked rather than failing.
+struct EntryLock {
+    path: PathBuf,
+    held: bool,
+}
+
+impl EntryLock {
+    /// Locks the entry at `path` (by convention: `<entry>.lock` in the
+    /// same directory).
+    fn acquire(entry: &Path) -> EntryLock {
+        let mut name = entry.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+        name.push(".lock");
+        let path = entry.with_file_name(name);
+        let deadline = Instant::now() + Duration::from_millis(LOCK_ACQUIRE_MS);
+        loop {
+            match fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut f) => {
+                    // Holder pid, for post-mortem debugging of stale locks.
+                    let _ = write!(f, "{}", std::process::id());
+                    return EntryLock { path, held: true };
+                }
+                Err(e) if e.kind() == ErrorKind::AlreadyExists => {
+                    let stale = fs::metadata(&path)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|m| m.elapsed().ok())
+                        .is_some_and(|age| age.as_millis() as u64 > LOCK_STALE_MS);
+                    if stale {
+                        eprintln!(
+                            "[xbc-store] stealing stale lock {} (holder presumed dead)",
+                            path.display()
+                        );
+                        fs::remove_file(&path).ok();
+                        continue;
+                    }
+                    if Instant::now() >= deadline {
+                        eprintln!(
+                            "[xbc-store] timed out waiting for {}; proceeding unlocked",
+                            path.display()
+                        );
+                        return EntryLock { path, held: false };
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                // E.g. the parent directory vanished: nothing to lock.
+                Err(_) => return EntryLock { path, held: false },
+            }
+        }
+    }
+}
+
+impl Drop for EntryLock {
+    fn drop(&mut self) {
+        if self.held {
+            fs::remove_file(&self.path).ok();
+        }
+    }
+}
 
 /// FNV-1a 64-bit hash — the store's content-addressing primitive.
 /// Stable by construction (unlike `DefaultHasher`, whose algorithm is
@@ -240,6 +319,74 @@ impl Store {
         t
     }
 
+    /// Opens a cached trace as a validated *streaming* source, or
+    /// returns `None` on a miss.
+    ///
+    /// This is the replay path for consumers that must keep host memory
+    /// O(window) — the `xbc-serve` daemon — instead of materialising the
+    /// whole `Trace`. Because a mid-replay decode error would surface as
+    /// a panic deep inside a simulation (`TraceStream` fails loudly by
+    /// contract), the entry is fully validated *first*: one streaming
+    /// scan over every record, checking the header identity and the
+    /// CRC32 trailer in O(1) memory. A corrupt or mismatched entry is
+    /// evicted and reported as `None`, exactly like [`Store::load_trace`];
+    /// the returned stream then replays a file known good moments ago,
+    /// so a panic mid-replay means truly concurrent corruption, which is
+    /// worth being loud about.
+    ///
+    /// An absent entry returns `None` *without* counting a miss, so a
+    /// caller falling back to [`Store::get_or_capture`] doesn't count
+    /// the same miss twice. A validated hit counts `trace_hits` and
+    /// `bytes_read` once (the validation scan; the replay reads the same
+    /// bytes again but the entry is one logical read).
+    pub fn open_trace_stream(
+        &self,
+        spec: &TraceSpec,
+        insts: usize,
+    ) -> Option<TraceStream<BufReader<fs::File>>> {
+        let path = self.trace_path(spec, insts);
+        let file = fs::File::open(&path).ok()?;
+        let size = file.metadata().map(|m| m.len()).unwrap_or(0);
+        let reader = match TraceReader::new(BufReader::new(file)) {
+            Ok(r) => r,
+            Err(e) => {
+                self.evict(&path, &e.to_string());
+                return None;
+            }
+        };
+        if reader.name() != spec.name || reader.inst_count() != insts as u64 {
+            self.evict(
+                &path,
+                &format!(
+                    "entry is {} x {} insts, wanted {} x {insts} insts",
+                    reader.name(),
+                    reader.inst_count(),
+                    spec.name
+                ),
+            );
+            return None;
+        }
+        for record in reader {
+            if let Err(e) = record {
+                self.evict(&path, &e.to_string());
+                return None;
+            }
+        }
+        // Validated end to end; reopen for the real replay.
+        let file = fs::File::open(&path).ok()?;
+        match TraceStream::new(BufReader::new(file)) {
+            Ok(stream) => {
+                self.c.trace_hits.fetch_add(1, Ordering::Relaxed);
+                self.c.bytes_read.fetch_add(size, Ordering::Relaxed);
+                Some(stream)
+            }
+            Err(e) => {
+                self.evict(&path, &e.to_string());
+                None
+            }
+        }
+    }
+
     fn result_path(&self, key: &str) -> PathBuf {
         self.root.join("results").join(format!("{:016x}.xbr", fnv1a64(key.as_bytes())))
     }
@@ -336,13 +483,16 @@ impl Store {
     }
 
     /// Writes `path` via a unique same-directory temp file and a final
-    /// rename, so readers only ever see complete files. Returns bytes
-    /// written.
+    /// rename, so readers only ever see complete files, under the
+    /// entry's advisory lock so a concurrent eviction of the same entry
+    /// (another process sharing the cache directory) cannot interleave
+    /// with the rename. Returns bytes written.
     fn write_atomic<F>(&self, path: &Path, write: F) -> std::io::Result<u64>
     where
         F: FnOnce(&mut dyn Write) -> std::io::Result<()>,
     {
         static SEQ: AtomicU64 = AtomicU64::new(0);
+        let _lock = EntryLock::acquire(path);
         let dir = path.parent().expect("store paths have a parent");
         let tmp = dir.join(format!(
             ".tmp-{}-{}-{}",
@@ -366,9 +516,16 @@ impl Store {
         result
     }
 
-    /// Logs and deletes a bad entry, counting it as corrupt + miss.
+    /// Logs and deletes a bad entry, counting it as corrupt + miss. The
+    /// deletion happens under the entry's advisory lock so it cannot
+    /// race another process's concurrent rewrite of the same entry
+    /// (deleting the *repaired* file instead of the corrupt one).
+    /// Readers need no lock: an unlink after open does not affect an
+    /// already-open descriptor on POSIX, so in-flight loads finish
+    /// safely either way.
     fn evict(&self, path: &Path, why: &str) {
         eprintln!("[xbc-store] discarding {}: {why}; regenerating", path.display());
+        let _lock = EntryLock::acquire(path);
         fs::remove_file(path).ok();
         self.c.corrupt_entries.fetch_add(1, Ordering::Relaxed);
         if path.extension().is_some_and(|e| e == "xbt") {
@@ -510,6 +667,102 @@ mod tests {
         // pin the FNV-1a primitive with a known vector.
         assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
         assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+    }
+
+    #[test]
+    fn open_trace_stream_hits_validates_and_evicts() {
+        let s = Scratch::new("stream");
+        let store = Store::open(&s.0).unwrap();
+        let spec = &standard_traces()[0];
+        // Absent entry: quiet None, no miss counted (the caller's
+        // get_or_capture fallback will count it).
+        assert!(store.open_trace_stream(spec, 1_000).is_none());
+        assert_eq!(store.stats().trace_misses, 0);
+        let resident = store.get_or_capture(spec, 1_000);
+        // Validated hit: streamed records match the resident capture.
+        let mut stream = store.open_trace_stream(spec, 1_000).expect("warm entry streams");
+        assert_eq!(stream.name(), spec.name);
+        assert_eq!(stream.inst_count(), 1_000);
+        use xbc_workload::InstSource;
+        let mut n = 0usize;
+        while let Some(d) = stream.next_inst() {
+            assert_eq!(d, resident.insts()[n]);
+            n += 1;
+        }
+        assert_eq!(n, 1_000);
+        assert_eq!(store.stats().trace_hits, 1);
+        // Wrong inst count: different entry, absent, quiet None.
+        assert!(store.open_trace_stream(spec, 999).is_none());
+        // Corruption is caught by the validation scan, not mid-replay.
+        let path = store.trace_path(spec, 1_000);
+        let mut raw = fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x5A;
+        fs::write(&path, &raw).unwrap();
+        assert!(store.open_trace_stream(spec, 1_000).is_none());
+        assert!(!path.exists(), "corrupt entry must be evicted");
+        assert_eq!(store.stats().corrupt_entries, 1);
+    }
+
+    #[test]
+    fn entry_lock_is_created_and_released() {
+        let s = Scratch::new("lock");
+        fs::create_dir_all(&s.0).unwrap();
+        let entry = s.0.join("entry.xbr");
+        let lock_path = s.0.join("entry.xbr.lock");
+        {
+            let lock = EntryLock::acquire(&entry);
+            assert!(lock.held);
+            assert!(lock_path.exists(), "lock file must exist while held");
+        }
+        assert!(!lock_path.exists(), "lock file must be removed on drop");
+    }
+
+    #[test]
+    fn contended_lock_serializes_holders() {
+        let s = Scratch::new("lock-contend");
+        fs::create_dir_all(&s.0).unwrap();
+        let entry = s.0.join("entry.xbr");
+        let in_section = AtomicU64::new(0);
+        let max_seen = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..25 {
+                        let lock = EntryLock::acquire(&entry);
+                        assert!(lock.held, "uncontended-scale acquire must not time out");
+                        let now = in_section.fetch_add(1, Ordering::SeqCst) + 1;
+                        max_seen.fetch_max(now, Ordering::SeqCst);
+                        std::thread::sleep(Duration::from_micros(50));
+                        in_section.fetch_sub(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(max_seen.load(Ordering::SeqCst), 1, "two holders inside the critical section");
+        assert!(!s.0.join("entry.xbr.lock").exists());
+    }
+
+    #[test]
+    fn abandoned_lock_times_out_instead_of_wedging() {
+        // A fresh lock file held by a "process" that never releases it:
+        // acquire must give up after LOCK_ACQUIRE_MS and proceed
+        // unlocked (advisory semantics), not spin forever. (The stale-
+        // steal path needs an old mtime, which plain std cannot set;
+        // the two-process integration test exercises real contention.)
+        let s = Scratch::new("lock-timeout");
+        fs::create_dir_all(&s.0).unwrap();
+        let entry = s.0.join("entry.xbr");
+        let lock_path = s.0.join("entry.xbr.lock");
+        fs::write(&lock_path, b"0").unwrap();
+        let start = Instant::now();
+        let lock = EntryLock::acquire(&entry);
+        assert!(!lock.held, "a fresh foreign lock must not be acquired");
+        assert!(start.elapsed() >= Duration::from_millis(LOCK_ACQUIRE_MS));
+        assert!(start.elapsed() < Duration::from_millis(LOCK_ACQUIRE_MS + 2_000));
+        drop(lock);
+        assert!(lock_path.exists(), "a lock we never held must not be removed");
+        fs::remove_file(&lock_path).unwrap();
     }
 
     #[test]

@@ -39,6 +39,7 @@ mod program;
 mod report;
 mod rng;
 mod stats;
+mod stream;
 mod suite;
 mod trace;
 
@@ -51,5 +52,6 @@ pub use program::{CondBehavior, IndirectTargets, Program, ProgramBuilder, Progra
 pub use report::{analyze, BranchMix, WorkloadReport};
 pub use rng::{Rng64, Sample, SampleRange};
 pub use stats::{block_length_stats, BlockLengthStats, BLOCK_QUOTA};
+pub use stream::{InstSource, IterSource, TraceStream};
 pub use suite::{standard_traces, Suite, TraceSpec};
 pub use trace::Trace;

@@ -1,0 +1,186 @@
+//! Streaming instruction sources.
+//!
+//! The paper's traces are 30M instructions; server-class follow-ups
+//! (ROADMAP item 3) want billions. Holding a `Vec<DynInst>` per trace
+//! caps what a host can replay, so the replay path also accepts an
+//! [`InstSource`]: a pull-based producer of committed instructions that
+//! the oracle cursor consumes through a bounded sliding window, keeping
+//! host memory O(window) instead of O(trace).
+//!
+//! [`TraceStream`] adapts the `XBT1` streaming decoder
+//! ([`crate::codec::TraceReader`]) into an `InstSource`, so a trace on
+//! disk replays without ever being materialized. [`IterSource`] adapts
+//! any in-memory iterator (tests, generators).
+
+use crate::codec::{TraceError, TraceReader};
+use crate::exec::{DynInst, ExecStats};
+use std::io::Read;
+
+/// A pull-based producer of committed dynamic instructions.
+///
+/// The contract is exactly `Iterator<Item = DynInst>` minus the blanket
+/// machinery: `next_inst` returns instructions in committed order and
+/// `None` once — permanently — at end of stream. Sources are consumed
+/// by `OracleStream::streaming` (in `xbc-frontend`), which buffers a
+/// bounded lookahead window on top.
+pub trait InstSource {
+    /// The next committed instruction, or `None` at end of stream.
+    fn next_inst(&mut self) -> Option<DynInst>;
+
+    /// Diagnostic name of the stream (trace name where known).
+    fn source_name(&self) -> &str {
+        "<stream>"
+    }
+}
+
+/// Streams a serialized `XBT1` trace as an [`InstSource`], decoding one
+/// record at a time — O(1) memory however long the trace is.
+///
+/// # Panics
+///
+/// `next_inst` panics on mid-stream corruption (I/O error, CRC
+/// mismatch, truncation). A replay that has already delivered uops from
+/// a stream that turns out to be corrupt cannot produce a correct
+/// result, so there is nothing graceful left to do; callers that need
+/// corruption to degrade to a miss (the store) validate the whole file
+/// with a cheap streaming pre-pass first (`Store::open_trace_stream`).
+///
+/// # Examples
+///
+/// ```
+/// use xbc_workload::{standard_traces, TraceStream};
+///
+/// let trace = standard_traces()[0].capture(500);
+/// let mut buf = Vec::new();
+/// trace.save(&mut buf).unwrap();
+/// let mut stream = TraceStream::new(buf.as_slice()).unwrap();
+/// assert_eq!(stream.name(), trace.name());
+/// assert_eq!(stream.inst_count(), 500);
+/// ```
+pub struct TraceStream<R: Read> {
+    reader: TraceReader<R>,
+    yielded: u64,
+}
+
+impl<R: Read> TraceStream<R> {
+    /// Opens a stream over serialized trace bytes, validating the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] on a bad magic, malformed header or
+    /// format-version mismatch.
+    pub fn new(input: R) -> Result<Self, TraceError> {
+        Ok(TraceStream { reader: TraceReader::new(input)?, yielded: 0 })
+    }
+
+    /// Trace name from the header.
+    pub fn name(&self) -> &str {
+        self.reader.name()
+    }
+
+    /// Dynamic instruction count declared in the header.
+    pub fn inst_count(&self) -> u64 {
+        self.reader.inst_count()
+    }
+
+    /// Executor statistics recorded at capture time.
+    pub fn exec_stats(&self) -> ExecStats {
+        self.reader.exec_stats()
+    }
+}
+
+impl<R: Read> crate::stream::InstSource for TraceStream<R> {
+    fn next_inst(&mut self) -> Option<DynInst> {
+        match self.reader.next() {
+            None => None,
+            Some(Ok(d)) => {
+                self.yielded += 1;
+                Some(d)
+            }
+            Some(Err(e)) => panic!(
+                "streaming replay of {:?} failed after {} instructions: {e}",
+                self.reader.name(),
+                self.yielded
+            ),
+        }
+    }
+
+    fn source_name(&self) -> &str {
+        self.reader.name()
+    }
+}
+
+/// Adapts any in-memory instruction iterator into an [`InstSource`]
+/// (resident replays, tests, synthetic generators).
+///
+/// # Examples
+///
+/// ```
+/// use xbc_workload::{standard_traces, IterSource, InstSource};
+///
+/// let trace = standard_traces()[0].capture(10);
+/// let mut src = IterSource::new(trace.insts().iter().copied());
+/// assert!(src.next_inst().is_some());
+/// ```
+pub struct IterSource<I> {
+    iter: I,
+}
+
+impl<I: Iterator<Item = DynInst>> IterSource<I> {
+    /// Wraps `iter` as an instruction source.
+    pub fn new(iter: I) -> Self {
+        IterSource { iter }
+    }
+}
+
+impl<I: Iterator<Item = DynInst>> InstSource for IterSource<I> {
+    fn next_inst(&mut self) -> Option<DynInst> {
+        self.iter.next()
+    }
+
+    fn source_name(&self) -> &str {
+        "<iter>"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard_traces;
+
+    #[test]
+    fn trace_stream_yields_the_resident_sequence() {
+        let trace = standard_traces()[1].capture(700);
+        let mut buf = Vec::new();
+        trace.save(&mut buf).unwrap();
+        let mut s = TraceStream::new(buf.as_slice()).unwrap();
+        let mut got = Vec::new();
+        while let Some(d) = s.next_inst() {
+            got.push(d);
+        }
+        assert_eq!(got, trace.insts());
+        assert_eq!(s.next_inst(), None, "a drained stream stays drained");
+    }
+
+    #[test]
+    #[should_panic(expected = "streaming replay")]
+    fn trace_stream_panics_on_midstream_corruption() {
+        let trace = standard_traces()[2].capture(400);
+        let mut buf = Vec::new();
+        trace.save(&mut buf).unwrap();
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0xFF;
+        let mut s = TraceStream::new(buf.as_slice()).unwrap();
+        while s.next_inst().is_some() {}
+    }
+
+    #[test]
+    fn iter_source_drains_in_order() {
+        let trace = standard_traces()[0].capture(50);
+        let mut src = IterSource::new(trace.insts().iter().copied());
+        for want in trace.insts() {
+            assert_eq!(src.next_inst().as_ref(), Some(want));
+        }
+        assert_eq!(src.next_inst(), None);
+    }
+}

@@ -19,7 +19,7 @@ cd "$(dirname "$0")/.."
 INSTS="${1:-20000}"
 TRACES="spec.gcc,games.quake"
 
-cargo build --release -p xbc-sim
+cargo build --release -p xbc-serve
 mkdir -p results
 B=target/release
 

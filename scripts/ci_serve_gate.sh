@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# CI gate for the sweep service daemon (DESIGN.md §13):
+#
+#   1. runs a one-shot cached `xbcsim sweep` to populate a fresh store
+#      and fix the expected row bytes;
+#   2. boots `xbcsim serve` on that store, waits for a ping;
+#   3. submits the same grid from TWO concurrent clients and fails
+#      unless both row files are byte-identical to the one-shot output
+#      (including elapsed_ms — a warm store replays stored rows
+#      verbatim) and both requests report zero simulations and zero
+#      captures;
+#   4. shuts the daemon down gracefully and checks the socket is gone.
+#
+# Usage: scripts/ci_serve_gate.sh [INSTS] (default 20000)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+INSTS="${1:-20000}"
+TRACES="spec.gcc,games.quake"
+GRID=(--traces "$TRACES" --frontends tc,xbc --sizes 8192 --inst "$INSTS")
+
+cargo build --release -p xbc-serve
+mkdir -p results
+B=target/release
+CACHE=target/ci-serve-cache
+SOCK=target/ci-serve.sock
+rm -rf "$CACHE" "$SOCK"
+
+"$B/xbcsim" sweep "${GRID[@]}" --cache "$CACHE" \
+  --json results/ci_serve_oneshot.json > /dev/null
+
+"$B/xbcsim" serve --socket "$SOCK" --cache "$CACHE" &
+DAEMON=$!
+trap 'kill "$DAEMON" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  "$B/xbcsim" submit --socket "$SOCK" --ping on > /dev/null 2>&1 && break
+  sleep 0.1
+done
+"$B/xbcsim" submit --socket "$SOCK" --ping on > /dev/null
+
+"$B/xbcsim" submit --socket "$SOCK" "${GRID[@]}" \
+  --json results/ci_serve_rows_a.json --bench-json results/ci_serve_bench_a.json \
+  > /dev/null 2> /dev/null &
+CLIENT_A=$!
+"$B/xbcsim" submit --socket "$SOCK" "${GRID[@]}" \
+  --json results/ci_serve_rows_b.json --bench-json results/ci_serve_bench_b.json \
+  > /dev/null 2> /dev/null &
+CLIENT_B=$!
+wait "$CLIENT_A"
+wait "$CLIENT_B"
+
+for side in a b; do
+  if ! cmp results/ci_serve_oneshot.json "results/ci_serve_rows_$side.json"; then
+    echo "FAIL: daemon rows (client $side) differ from one-shot sweep" >&2
+    exit 1
+  fi
+  for want in '"simulated_cells": 0' '"captures": 0'; do
+    if ! grep -q "$want" "results/ci_serve_bench_$side.json"; then
+      echo "FAIL: warm submission (client $side) missing $want:" >&2
+      cat "results/ci_serve_bench_$side.json" >&2
+      exit 1
+    fi
+  done
+done
+
+"$B/xbcsim" submit --socket "$SOCK" --shutdown on > /dev/null
+wait "$DAEMON"
+trap - EXIT
+if [ -e "$SOCK" ]; then
+  echo "FAIL: daemon left its socket behind: $SOCK" >&2
+  exit 1
+fi
+echo "OK: 2 concurrent clients, rows byte-identical to one-shot sweep, 0 re-simulations ($TRACES, $INSTS insts)"

@@ -143,6 +143,78 @@ fn cached_sweep_rows_are_byte_identical_to_fresh() {
 }
 
 #[test]
+fn streamed_replay_is_bit_identical_to_resident() {
+    // The tentpole guarantee of the streaming oracle: replaying the XBT1
+    // encoding through the bounded window produces the SAME metrics and
+    // the SAME cycle-level event stream as the resident replay, for every
+    // frontend on every standard trace. Bit-identical, not approximately
+    // equal — the streaming path changes where instructions live, never
+    // what the frontend observes.
+    use xbc_obs::VecSink;
+    use xbc_workload::TraceStream;
+
+    for spec in standard_traces() {
+        let trace = spec.capture(4_000);
+        let mut encoded = Vec::new();
+        trace.save(&mut encoded).unwrap();
+        for (res_fe, str_fe) in all_frontends(8192).iter_mut().zip(&mut all_frontends(8192)) {
+            let mut res_sink = VecSink::new();
+            let m_res = res_fe.run_traced(&trace, &mut res_sink);
+            let mut stream = TraceStream::new(encoded.as_slice()).unwrap();
+            let mut str_sink = VecSink::new();
+            let m_str = str_fe.run_streamed_traced(&mut stream, &mut str_sink);
+            assert_eq!(
+                m_res,
+                m_str,
+                "{} on {}: streamed metrics differ from resident",
+                res_fe.name(),
+                spec.name
+            );
+            assert_eq!(
+                res_sink.events.len(),
+                str_sink.events.len(),
+                "{} on {}: event counts differ",
+                res_fe.name(),
+                spec.name
+            );
+            if let Some(i) =
+                (0..res_sink.events.len()).find(|&i| res_sink.events[i] != str_sink.events[i])
+            {
+                panic!(
+                    "{} on {}: event {} differs: resident {:?} vs streamed {:?}",
+                    res_fe.name(),
+                    spec.name,
+                    i,
+                    res_sink.events[i],
+                    str_sink.events[i]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn checked_streamed_replay_matches_too() {
+    // The verified replay loop (`run_checked_streamed`) over the same
+    // streaming source: identical metrics, with every per-cycle
+    // accounting identity asserted along the way.
+    use xbc_obs::NullSink;
+    use xbc_workload::TraceStream;
+
+    let spec = &standard_traces()[0];
+    let trace = spec.capture(6_000);
+    let mut encoded = Vec::new();
+    trace.save(&mut encoded).unwrap();
+    for (res_fe, str_fe) in all_frontends(8192).iter_mut().zip(&mut all_frontends(8192)) {
+        let resident = res_fe.run(&trace);
+        let mut stream = TraceStream::new(encoded.as_slice()).unwrap();
+        let checked =
+            xbc_sim::run_checked_streamed(&mut **str_fe, &mut stream, spec.name, &mut NullSink);
+        assert_eq!(resident, checked, "{} checked-streamed differs", res_fe.name());
+    }
+}
+
+#[test]
 fn xbc_redundancy_stays_negligible_across_suites() {
     for spec in standard_traces().iter().step_by(5) {
         let trace = spec.capture(40_000);

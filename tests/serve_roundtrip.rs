@@ -1,0 +1,146 @@
+//! In-process round-trip of the `xbc-serve-v1` daemon: boot `serve` on
+//! a background thread, drive it with the library client, and hold it
+//! to the same answers as a one-shot `Sweep` — byte-identical rows when
+//! the shared store is warm, zero simulations on repeat submissions,
+//! well-behaved errors, and a clean graceful shutdown.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use xbc_serve::protocol::SweepRequest;
+use xbc_serve::{ping, shutdown, submit, ServeConfig};
+use xbc_sim::{to_json, FrontendSpec, Sweep};
+use xbc_store::Store;
+use xbc_workload::standard_traces;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xbc-serve-rt-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn wait_until_live(socket: &std::path::Path) {
+    for _ in 0..500 {
+        if ping(socket).is_ok() {
+            return;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    panic!("daemon never came up on {}", socket.display());
+}
+
+#[test]
+fn daemon_matches_sweep_and_never_resimulates() {
+    let dir = scratch_dir("main");
+    let socket = dir.join("d.sock");
+    let store = Arc::new(Store::open(dir.join("cache")).unwrap());
+
+    let traces: Vec<_> = standard_traces().into_iter().take(2).collect();
+    let names: Vec<String> = traces.iter().map(|t| t.name.to_owned()).collect();
+    let frontends = vec![FrontendSpec::tc_default(), FrontendSpec::xbc_default()];
+
+    // One-shot sweep populates the store and fixes the expected bytes.
+    let mut oneshot =
+        Sweep::new(traces.clone(), frontends.clone(), 4_000).with_store(Arc::clone(&store));
+    oneshot.progress = false;
+    let expected = oneshot.run();
+
+    let config = ServeConfig {
+        socket: socket.clone(),
+        threads: 2,
+        store: Some(Arc::clone(&store)),
+        progress: false,
+    };
+    let daemon = thread::spawn(move || xbc_serve::serve(&config));
+    wait_until_live(&socket);
+
+    // Two concurrent clients submit the same warm grid: both must get
+    // rows byte-identical to the one-shot sweep, from cache alone.
+    let req = SweepRequest { traces: names.clone(), frontends: frontends.clone(), insts: 4_000 };
+    let (a, b) = thread::scope(|s| {
+        let ha = s.spawn(|| submit(&socket, &req));
+        let hb = s.spawn(|| submit(&socket, &req));
+        (ha.join().unwrap().unwrap(), hb.join().unwrap().unwrap())
+    });
+    for out in [&a, &b] {
+        assert_eq!(to_json(&out.rows), to_json(&expected), "warm daemon rows differ from sweep");
+        assert_eq!(out.bench.simulated_cells, 0, "warm submission must simulate nothing");
+        assert_eq!(out.bench.captures, 0, "warm submission must capture nothing");
+        assert_eq!(out.bench.cached_cells, expected.len());
+        let stats = out.store.as_ref().expect("cached daemon reports a store delta");
+        assert_eq!(stats.result_misses, 0, "warm probe must not miss");
+    }
+
+    // A cold grid (different budget) goes through the daemon's own
+    // simulation path; a one-shot sweep over the same grid then replays
+    // the daemon's cached rows byte-for-byte — the two entry points
+    // share one result space.
+    let cold_req =
+        SweepRequest { traces: names.clone(), frontends: frontends.clone(), insts: 3_000 };
+    let cold = submit(&socket, &cold_req).unwrap();
+    assert_eq!(cold.rows.len(), names.len() * frontends.len());
+    assert_eq!(cold.bench.simulated_cells as usize, cold.rows.len());
+    let mut replay = Sweep::new(traces, frontends, 3_000).with_store(Arc::clone(&store));
+    replay.progress = false;
+    assert_eq!(
+        to_json(&replay.run()),
+        to_json(&cold.rows),
+        "sweep must replay daemon-cached rows byte-identically"
+    );
+
+    // Errors keep the daemon usable: an unknown trace is refused with a
+    // message, then the same socket still answers pings and sweeps.
+    let bad = SweepRequest {
+        traces: vec!["no-such-trace".into()],
+        frontends: vec![FrontendSpec::tc_default()],
+        insts: 1_000,
+    };
+    let err = submit(&socket, &bad).unwrap_err();
+    assert!(err.contains("no-such-trace"), "error should name the offender: {err}");
+    ping(&socket).unwrap();
+    let again = submit(&socket, &req).unwrap();
+    assert_eq!(again.bench.simulated_cells, 0);
+
+    shutdown(&socket).unwrap();
+    daemon.join().unwrap().unwrap();
+    assert!(!socket.exists(), "daemon must remove its socket on exit");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn uncached_daemon_still_serves_correct_rows() {
+    // Without a store the daemon captures traces in-process and reports
+    // no store delta; rows still match a storeless sweep modulo timing.
+    let dir = scratch_dir("uncached");
+    let socket = dir.join("d.sock");
+    let traces: Vec<_> = standard_traces().into_iter().take(1).collect();
+    let names: Vec<String> = traces.iter().map(|t| t.name.to_owned()).collect();
+    let frontends = vec![FrontendSpec::xbc_default()];
+
+    let mut sweep = Sweep::new(traces, frontends.clone(), 2_000);
+    sweep.progress = false;
+    let expected = sweep.run();
+
+    let config = ServeConfig { socket: socket.clone(), threads: 1, store: None, progress: false };
+    let daemon = thread::spawn(move || xbc_serve::serve(&config));
+    wait_until_live(&socket);
+
+    let req = SweepRequest { traces: names, frontends, insts: 2_000 };
+    let out = submit(&socket, &req).unwrap();
+    assert!(out.store.is_none(), "uncached daemon must not report store stats");
+    let strip = |rows: &[xbc_sim::Row]| {
+        let mut rows = rows.to_vec();
+        for r in &mut rows {
+            r.elapsed_ms = 0;
+        }
+        to_json(&rows)
+    };
+    assert_eq!(strip(&out.rows), strip(&expected));
+
+    shutdown(&socket).unwrap();
+    daemon.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
