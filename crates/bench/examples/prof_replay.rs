@@ -1,0 +1,25 @@
+//! Replays the bench trace through the XBC frontend repeatedly — a
+//! minimal wall-clock harness for host-side profiling of the delivery
+//! hot path (`perf record target/release/examples/prof_replay 100`).
+
+use xbc::{XbcConfig, XbcFrontend};
+use xbc_frontend::Frontend;
+
+fn main() {
+    let iters: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30);
+    let trace = xbc_bench::bench_trace(50_000);
+    let mut total = 0u64;
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        let mut fe = XbcFrontend::new(XbcConfig::default());
+        total += fe.run(&trace).total_uops();
+    }
+    let wall = t0.elapsed();
+    let per = wall.as_secs_f64() / iters as f64;
+    println!(
+        "{iters} replays, {total} uops, {:.1} ms total, {:.3} ms/replay, {:.1} Muops/s",
+        wall.as_secs_f64() * 1e3,
+        per * 1e3,
+        total as f64 / wall.as_secs_f64() / 1e6
+    );
+}

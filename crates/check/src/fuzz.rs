@@ -11,7 +11,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use xbc::{PromotionMode, XbcConfig, XbcFrontend};
 use xbc_frontend::{
     BbtcConfig, BbtcFrontend, Frontend, FrontendMetrics, IcFrontend, IcFrontendConfig, TcConfig,
-    TraceCacheFrontend, UopCacheConfig, UopCacheFrontend,
+    TimingConfig, TraceCacheFrontend, UopCacheConfig, UopCacheFrontend,
 };
 use xbc_sim::json::Json;
 use xbc_workload::{ProgramGenerator, Rng64, Trace, WorkloadProfile};
@@ -36,6 +36,11 @@ pub struct FuzzCase {
     pub set_search: bool,
     /// XBQ depth in uops (0 disables fetch-ahead).
     pub xbq_depth: usize,
+    /// Renamer width in uops/cycle. Mostly realistic widths, but the
+    /// pool includes pathological ones past `u16::MAX` — a regression
+    /// net for the event-payload narrowing (`delivered as u16` once
+    /// silently wrapped counters on such configs).
+    pub renamer_width: usize,
     /// Mean instructions between asynchronous interrupts, if any.
     pub interrupts: Option<usize>,
     /// When set, mutate the committed instruction at `corrupt % insts` in
@@ -54,6 +59,7 @@ impl FuzzCase {
         let promotion = rng.uniform(3) as u8;
         let set_search = rng.gen::<bool>();
         let xbq_depth = [0usize, 8, 16, 32][rng.uniform(4) as usize];
+        let renamer_width = [4usize, 8, 8, 8, 16, 32, 70_000, 1 << 20][rng.uniform(8) as usize];
         let interrupts =
             if rng.uniform(4) == 0 { Some(100 + rng.uniform(900) as usize) } else { None };
         FuzzCase {
@@ -64,6 +70,7 @@ impl FuzzCase {
             promotion,
             set_search,
             xbq_depth,
+            renamer_width,
             interrupts,
             corrupt: None,
         }
@@ -76,7 +83,7 @@ impl FuzzCase {
             concat!(
                 "{{\"version\":{},\"seed\":{},\"functions\":{},\"insts\":{},",
                 "\"total_uops\":{},\"promotion\":{},\"set_search\":{},",
-                "\"xbq_depth\":{},\"interrupts\":{},\"corrupt\":{}}}"
+                "\"xbq_depth\":{},\"renamer_width\":{},\"interrupts\":{},\"corrupt\":{}}}"
             ),
             FORMAT_VERSION,
             self.seed,
@@ -86,6 +93,7 @@ impl FuzzCase {
             self.promotion,
             self.set_search,
             self.xbq_depth,
+            self.renamer_width,
             opt(self.interrupts),
             opt(self.corrupt),
         )
@@ -115,6 +123,8 @@ impl FuzzCase {
             promotion: req("promotion")? as u8,
             set_search: j.get("set_search").and_then(Json::as_bool).ok_or("missing set_search")?,
             xbq_depth: req("xbq_depth")?,
+            // Absent in pre-knob reproducers: default to the paper width.
+            renamer_width: opt("renamer_width")?.unwrap_or(8),
             interrupts: opt("interrupts")?,
             corrupt: opt("corrupt")?,
         })
@@ -162,10 +172,16 @@ impl FuzzCase {
         (reference, subject)
     }
 
+    /// The timing constants every frontend of this case runs with.
+    fn timing(&self) -> TimingConfig {
+        TimingConfig { renamer_width: self.renamer_width, ..TimingConfig::default() }
+    }
+
     /// The XBC configuration under test.
     pub fn xbc_config(&self) -> XbcConfig {
         XbcConfig {
             total_uops: self.total_uops,
+            timing: self.timing(),
             promotion: match self.promotion {
                 0 => PromotionMode::Off,
                 1 => PromotionMode::Chain,
@@ -180,17 +196,23 @@ impl FuzzCase {
     /// All frontends this case exercises, cold.
     pub fn frontends(&self) -> Vec<Box<dyn Frontend + Send>> {
         vec![
-            Box::new(IcFrontend::new(IcFrontendConfig::default())),
+            Box::new(IcFrontend::new(IcFrontendConfig {
+                timing: self.timing(),
+                ..Default::default()
+            })),
             Box::new(UopCacheFrontend::new(UopCacheConfig {
                 total_uops: self.total_uops,
+                timing: self.timing(),
                 ..Default::default()
             })),
             Box::new(TraceCacheFrontend::new(TcConfig {
                 total_uops: self.total_uops,
+                timing: self.timing(),
                 ..Default::default()
             })),
             Box::new(BbtcFrontend::new(BbtcConfig {
                 total_uops: self.total_uops,
+                timing: self.timing(),
                 ..Default::default()
             })),
             Box::new(XbcFrontend::new(self.xbc_config())),
@@ -286,6 +308,22 @@ mod tests {
         let case = FuzzCase { insts: 1500, functions: 6, ..FuzzCase::from_seed(3) };
         let results = run_case(&case).unwrap_or_else(|f| panic!("unexpected failure: {f}"));
         assert_eq!(results.len(), 5);
+        let (ref_trace, _) = case.traces();
+        for (name, m) in &results {
+            assert_eq!(m.total_uops(), ref_trace.uop_count(), "uop count for {name}");
+        }
+    }
+
+    #[test]
+    fn pathological_renamer_width_does_not_wrap_counters() {
+        // Widths past u16::MAX once wrapped the `Event::Uops` payload
+        // (`delivered as u16`), silently corrupting delivered-uop
+        // counters. With the saturating narrowing every frontend must
+        // still account for each uop exactly once.
+        let case =
+            FuzzCase { insts: 1200, functions: 5, renamer_width: 70_000, ..FuzzCase::from_seed(5) };
+        assert!(case.renamer_width > u16::MAX as usize);
+        let results = run_case(&case).unwrap_or_else(|f| panic!("unexpected failure: {f}"));
         let (ref_trace, _) = case.traces();
         for (name, m) in &results {
             assert_eq!(m.total_uops(), ref_trace.uop_count(), "uop count for {name}");

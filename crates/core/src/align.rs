@@ -77,7 +77,16 @@ pub fn fetch_through_network(
     let needed = offset.div_ceil(line_uops);
     let mut outputs = Vec::with_capacity(needed);
     for (order, &(bank, way)) in asm.lines[..needed].iter().enumerate() {
-        let uops = array.line_uops_at(set, bank, way).expect("assembled line present").to_vec();
+        // The host arena stores lines in program order; the hardware bank
+        // emits them reverse-ordered (slot 0 = latest), so reconstruct
+        // that view for the network model.
+        let uops: Vec<Uop> = array
+            .line_uops_at(set, bank as usize, way as usize)
+            .expect("assembled line present")
+            .iter()
+            .rev()
+            .copied()
+            .collect();
         let line_lo = order * line_uops; // position-from-end of slot 0
         let selected = (offset - line_lo).min(uops.len());
         outputs.push(BankOutput { xb_index, order: order as u8, uops, selected });

@@ -11,6 +11,23 @@
 //! Complex XBs (§3.3 case 3) appear naturally as several lines with the
 //! same (set, tag, order) in different ways/banks: alternate prefixes
 //! sharing the suffix lines. Pointers disambiguate with their bank mask.
+//!
+//! # Host data layout (DESIGN.md §14)
+//!
+//! The array is stored struct-of-arrays: one *lane* per `(set, bank, way)`
+//! slot, with the tag, packed metadata (valid/order/count/conflicts) and
+//! LRU stamp each in their own contiguous plane, and the uop payloads in
+//! one flat backing **arena** of `line_uops` uops per lane. A set's lanes
+//! are contiguous (bank-major, way-minor — the reference candidate order),
+//! so tag matching is a branchless compare scan over the set's tag/meta
+//! lanes, and a line's uops are a contiguous arena slice.
+//!
+//! Within a lane's arena region the line is stored **right-aligned in
+//! program order**: region slot `line_uops - 1 - s` holds the uop at
+//! position-from-end `order * line_uops + s`. This is the same reverse-
+//! order storage contract as the paper's (§3.4: head extension fills
+//! leftward, never moving stored uops) but makes every program-order read
+//! a `copy_from_slice` of `region[line_uops - count ..]`.
 
 use crate::config::XbcConfig;
 use crate::inline_vec::InlineVec;
@@ -21,26 +38,44 @@ use xbc_isa::{Addr, Uop};
 /// number of lines in any [`Assembly`].
 pub const MAX_BANKS: usize = 8;
 
-/// One bank line: up to `line_uops` uops of one XB, reverse-ordered.
-#[derive(Clone, Debug, PartialEq, Eq)]
-struct Line {
-    tag: u64,
-    order: u8,
-    /// Uops in reverse order: slot `s` holds the uop at
-    /// position-from-end `order * line_uops + s`.
-    uops: Vec<Uop>,
-    stamp: u64,
-    /// Deferred-fetch events charged to this line (dynamic placement).
-    conflicts: u8,
+/// Memo key marking an assembly computed without a bank-mask restriction.
+const UNRESTRICTED_KEY: u16 = 0x100;
+
+/// Valid bit of a packed meta lane.
+const META_VALID: u64 = 1 << 63;
+
+/// Packs a meta lane: valid + order + uop count + conflict counter.
+#[inline]
+const fn meta_pack(order: u8, count: usize, conflicts: u8) -> u64 {
+    META_VALID | ((conflicts as u64) << 16) | ((order as u64) << 8) | count as u64
+}
+
+/// Uops stored in the line (1..=line_uops).
+#[inline]
+const fn meta_count(meta: u64) -> usize {
+    (meta & 0xFF) as usize
+}
+
+/// The line's order field.
+#[inline]
+const fn meta_order(meta: u64) -> u8 {
+    ((meta >> 8) & 0xFF) as u8
+}
+
+/// Deferred-fetch events charged to the line (dynamic placement).
+#[inline]
+const fn meta_conflicts(meta: u64) -> u8 {
+    ((meta >> 16) & 0xFF) as u8
 }
 
 /// A resolved arrangement of one XB's lines: index `k` is the `(bank, way)`
-/// of the order-`k` line. `Copy`, so the hot path passes assemblies by
-/// value without touching the heap.
+/// of the order-`k` line. `Copy` and small (the coordinates are `u8` —
+/// `banks ≤ 8`, `ways < 256`), so the hot path passes assemblies by value
+/// in registers: every memo-hit `assemble`/`lookup` copies one out.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Assembly {
     /// `(bank, way)` per order, order ascending from 0.
-    pub lines: InlineVec<(usize, usize), MAX_BANKS>,
+    pub lines: InlineVec<(u8, u8), MAX_BANKS>,
     /// Banks used.
     pub mask: BankMask,
     /// Total uops stored across the lines.
@@ -130,7 +165,17 @@ pub struct XbcArray {
     banks: usize,
     ways: usize,
     line_uops: usize,
-    lines: Vec<Option<Line>>,
+    /// Lanes per set (= `banks * ways`); lane `bank * ways + way`.
+    lanes: usize,
+    /// Tag plane, one lane per `(set, bank, way)`, set-major.
+    tags: Vec<u64>,
+    /// Packed meta plane (valid/order/count/conflicts); 0 = invalid lane.
+    meta: Vec<u64>,
+    /// LRU stamp plane.
+    stamps: Vec<u64>,
+    /// Flat uop arena: `line_uops` slots per lane, right-aligned
+    /// program-order line regions (see the module docs).
+    arena: Vec<Uop>,
     stamp: u64,
     conflict_threshold: u8,
     dynamic_placement: bool,
@@ -153,14 +198,25 @@ impl XbcArray {
     pub fn new(cfg: &XbcConfig) -> Self {
         let sets = cfg.sets();
         assert!(cfg.banks <= MAX_BANKS, "at most {MAX_BANKS} banks (BankMask is 8 bits)");
-        let mut lines = Vec::new();
-        lines.resize_with(sets * cfg.banks * cfg.ways, || None);
+        let lanes = cfg.banks * cfg.ways;
+        assert!(lanes <= 64, "at most 64 lines per set (lane masks are 64 bits)");
+        let total = sets * lanes;
+        let filler = Uop::new(
+            xbc_isa::UopId::new(Addr::new(0), 0),
+            xbc_isa::UopKind::Alu,
+            false,
+            xbc_isa::BranchKind::None,
+        );
         XbcArray {
             sets,
             banks: cfg.banks,
             ways: cfg.ways,
             line_uops: cfg.line_uops,
-            lines,
+            lanes,
+            tags: vec![0; total],
+            meta: vec![0; total],
+            stamps: vec![0; total],
+            arena: vec![filler; total * cfg.line_uops],
             stamp: 0,
             conflict_threshold: cfg.conflict_threshold.max(1),
             dynamic_placement: cfg.dynamic_placement,
@@ -191,11 +247,18 @@ impl XbcArray {
         self.line_uops
     }
 
-    /// The raw (reverse-ordered) uops of one line, if valid — the bank's
-    /// datapath output feeding the reorder/align network (§3.7). Borrowed:
-    /// the datapath read does not copy the line.
+    /// The stored uops of one line in **program order**, if valid — the
+    /// line's arena region, feeding the reorder/align network (§3.7).
+    /// Borrowed: the datapath read does not copy the line. (The hardware
+    /// bank emits the same uops reverse-ordered; the host arena keeps them
+    /// right-aligned ascending so windows read as contiguous slices.)
     pub fn line_uops_at(&self, set: usize, bank: usize, way: usize) -> Option<&[Uop]> {
-        self.lines[self.idx(set, bank, way)].as_ref().map(|l| l.uops.as_slice())
+        let idx = self.idx(set, bank, way);
+        let m = self.meta[idx];
+        if m & META_VALID == 0 {
+            return None;
+        }
+        Some(self.region(idx, meta_count(m)))
     }
 
     /// Statistics so far.
@@ -213,6 +276,25 @@ impl XbcArray {
     fn idx(&self, set: usize, bank: usize, way: usize) -> usize {
         debug_assert!(set < self.sets && bank < self.banks && way < self.ways);
         (set * self.banks + bank) * self.ways + way
+    }
+
+    /// The populated (right-aligned) arena slice of lane `idx`, in program
+    /// order.
+    #[inline]
+    fn region(&self, idx: usize, count: usize) -> &[Uop] {
+        let l = self.line_uops;
+        &self.arena[idx * l + (l - count)..(idx + 1) * l]
+    }
+
+    /// The stamp of lane `idx`, 0 when invalid (invalid lanes may hold a
+    /// stale stamp value; every LRU comparison must go through here).
+    #[inline]
+    fn stamp_at(&self, idx: usize) -> u64 {
+        if self.meta[idx] & META_VALID != 0 {
+            self.stamps[idx]
+        } else {
+            0
+        }
     }
 
     fn bump(&mut self) -> u64 {
@@ -238,9 +320,41 @@ impl XbcArray {
         ((h >> 48) ^ (h >> 21) ^ h) as usize & (MEMO_SLOTS - 1)
     }
 
+    /// Branchless tag-match scan over one set's lanes: bit `i` of the
+    /// result is set iff lane `i` (= `bank * ways + way`) is valid and
+    /// holds `tag`. The loop has no per-way branches — it compiles to a
+    /// compare+mask reduction over the contiguous tag/meta lanes, which
+    /// the autovectorizer turns into packed u64 compares.
+    #[inline]
+    fn match_lanes(&self, set: usize, tag: u64) -> u64 {
+        let base = set * self.lanes;
+        let tags = &self.tags[base..base + self.lanes];
+        let meta = &self.meta[base..base + self.lanes];
+        let mut bits = 0u64;
+        for i in 0..tags.len() {
+            let hit = (tags[i] == tag) & (meta[i] & META_VALID != 0);
+            bits |= (hit as u64) << i;
+        }
+        bits
+    }
+
+    /// The lane-bit mask selecting every way of the banks in `within`.
+    #[inline]
+    fn lane_mask_of(&self, within: BankMask) -> u64 {
+        let way_bits = (1u64 << self.ways) - 1;
+        let mut m = 0u64;
+        for bank in 0..self.banks {
+            if within.contains(bank) {
+                m |= way_bits << (bank * self.ways);
+            }
+        }
+        m
+    }
+
     /// Collects all `(bank, way, order, count)` whose line matches `tag`,
     /// optionally restricted to banks in `within`, into `out` (banks
-    /// ascending, ways ascending — the reference iteration order).
+    /// ascending, ways ascending — the reference iteration order, which is
+    /// exactly ascending lane order).
     fn collect_candidates(
         &self,
         set: usize,
@@ -248,19 +362,16 @@ impl XbcArray {
         within: Option<BankMask>,
         out: &mut Vec<(usize, usize, u8, usize)>,
     ) {
-        for bank in 0..self.banks {
-            if let Some(w) = within {
-                if !w.contains(bank) {
-                    continue;
-                }
-            }
-            for way in 0..self.ways {
-                if let Some(line) = &self.lines[self.idx(set, bank, way)] {
-                    if line.tag == tag {
-                        out.push((bank, way, line.order, line.uops.len()));
-                    }
-                }
-            }
+        let mut bits = self.match_lanes(set, tag);
+        if let Some(w) = within {
+            bits &= self.lane_mask_of(w);
+        }
+        let base = set * self.lanes;
+        while bits != 0 {
+            let lane = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let m = self.meta[base + lane];
+            out.push((lane / self.ways, lane % self.ways, meta_order(m), meta_count(m)));
         }
     }
 
@@ -279,9 +390,9 @@ impl XbcArray {
     /// changes structurally — the steady-state delivery path skips the DFS
     /// entirely (DESIGN.md §12).
     pub fn assemble(&mut self, set: usize, tag: u64, within: Option<BankMask>) -> Option<Assembly> {
-        let mask_key = within.map(|m| m.bits() as u16).unwrap_or(0x100);
-        let slot = Self::memo_slot(set, tag, mask_key);
+        let mask_key = within.map(|m| m.bits() as u16).unwrap_or(UNRESTRICTED_KEY);
         let generation = self.set_generation[set];
+        let slot = Self::memo_slot(set, tag, mask_key);
         if let Some(e) = &self.memo[slot] {
             if e.set == set as u32
                 && e.tag == tag
@@ -289,6 +400,34 @@ impl XbcArray {
                 && e.generation == generation
             {
                 return e.result;
+            }
+        }
+        // Exact-key miss: a memoized *unrestricted* assembly answers a
+        // restricted query too, whenever its result fits inside the
+        // queried mask — the restricted search space is a subset that
+        // still contains the unrestricted winner, and any same-length
+        // competitor explored earlier would equally have won the
+        // unrestricted search.
+        if mask_key != UNRESTRICTED_KEY {
+            let uslot = Self::memo_slot(set, tag, UNRESTRICTED_KEY);
+            if let Some(e) = &self.memo[uslot] {
+                if e.set == set as u32
+                    && e.tag == tag
+                    && e.mask_key == UNRESTRICTED_KEY
+                    && e.generation == generation
+                {
+                    let within = within.expect("restricted query");
+                    match &e.result {
+                        Some(a) if a.mask.is_subset_of(within) => {
+                            return e.result;
+                        }
+                        // No lines at all: every restriction agrees.
+                        None => {
+                            return None;
+                        }
+                        Some(_) => {}
+                    }
+                }
             }
         }
         let mut scratch = std::mem::take(&mut self.scratch);
@@ -337,15 +476,13 @@ impl XbcArray {
         }
         for v in by_order.iter_mut() {
             v.sort_by_key(|&(bank, way, _)| {
-                std::cmp::Reverse(
-                    self.lines[self.idx(set, bank, way)].as_ref().map(|l| l.stamp).unwrap_or(0),
-                )
+                std::cmp::Reverse(self.stamp_at(self.idx(set, bank, way)))
             });
         }
         // DFS over per-order choices; the search space is tiny (≤ ways
         // candidates per order, ≤ banks orders).
         let mut best: Option<Assembly> = None;
-        let mut stack: InlineVec<(usize, usize), MAX_BANKS> = InlineVec::new();
+        let mut stack: InlineVec<(u8, u8), MAX_BANKS> = InlineVec::new();
         self.assemble_dfs(by_order, 0, BankMask::EMPTY, 0, &mut stack, &mut best);
         (best, unambiguous)
     }
@@ -372,13 +509,11 @@ impl XbcArray {
         }
         for v in &mut by_order {
             v.sort_by_key(|&(bank, way, _)| {
-                std::cmp::Reverse(
-                    self.lines[self.idx(set, bank, way)].as_ref().map(|l| l.stamp).unwrap_or(0),
-                )
+                std::cmp::Reverse(self.stamp_at(self.idx(set, bank, way)))
             });
         }
         let mut best: Option<Assembly> = None;
-        let mut stack: InlineVec<(usize, usize), MAX_BANKS> = InlineVec::new();
+        let mut stack: InlineVec<(u8, u8), MAX_BANKS> = InlineVec::new();
         self.assemble_dfs(&by_order, 0, BankMask::EMPTY, 0, &mut stack, &mut best);
         best
     }
@@ -389,7 +524,7 @@ impl XbcArray {
         order: usize,
         used: BankMask,
         total: usize,
-        stack: &mut InlineVec<(usize, usize), MAX_BANKS>,
+        stack: &mut InlineVec<(u8, u8), MAX_BANKS>,
         best: &mut Option<Assembly>,
     ) {
         if order > 0 {
@@ -407,7 +542,7 @@ impl XbcArray {
             }
             let mut used2 = used;
             used2.insert(bank);
-            stack.push((bank, way));
+            stack.push((bank as u8, way as u8));
             if count == self.line_uops {
                 self.assemble_dfs(by_order, order + 1, used2, total + count, stack, best);
             } else {
@@ -430,15 +565,14 @@ impl XbcArray {
     }
 
     /// Appends an assembled XB's uops in program order to `out` — the
-    /// buffer-reusing form of [`XbcArray::read_uops`].
+    /// buffer-reusing form of [`XbcArray::read_uops`]. One contiguous
+    /// slice copy per line (highest order — earliest uops — first).
     pub fn read_uops_into(&self, set: usize, asm: &Assembly, out: &mut Vec<Uop>) {
-        // Highest order first (earliest uops), within a line highest slot
-        // first (reverse storage).
         for &(bank, way) in asm.lines.iter().rev() {
-            let line = self.lines[self.idx(set, bank, way)].as_ref().expect("assembled line");
-            for uop in line.uops.iter().rev() {
-                out.push(*uop);
-            }
+            let idx = self.idx(set, bank as usize, way as usize);
+            let m = self.meta[idx];
+            debug_assert!(m & META_VALID != 0, "assembled line present");
+            out.extend_from_slice(self.region(idx, meta_count(m)));
         }
     }
 
@@ -455,7 +589,10 @@ impl XbcArray {
     }
 
     /// Appends the last `offset` uops of an assembled XB to `out` — the
-    /// buffer-reusing form of [`XbcArray::read_window`].
+    /// buffer-reusing form of [`XbcArray::read_window`]. The leading
+    /// (earliest) `total - offset` uops are skipped by trimming whole
+    /// lines and slicing into the first included one; every copy is a
+    /// contiguous arena slice.
     ///
     /// # Panics
     ///
@@ -464,15 +601,26 @@ impl XbcArray {
         assert!(offset <= asm.total_uops, "window larger than the stored XB");
         let mut skip = asm.total_uops - offset;
         for &(bank, way) in asm.lines.iter().rev() {
-            let line = self.lines[self.idx(set, bank, way)].as_ref().expect("assembled line");
-            for uop in line.uops.iter().rev() {
-                if skip > 0 {
-                    skip -= 1;
-                } else {
-                    out.push(*uop);
-                }
+            let idx = self.idx(set, bank as usize, way as usize);
+            let m = self.meta[idx];
+            debug_assert!(m & META_VALID != 0, "assembled line present");
+            let count = meta_count(m);
+            if skip >= count {
+                skip -= count;
+                continue;
             }
+            let region = self.region(idx, count);
+            out.extend_from_slice(&region[skip..]);
+            skip = 0;
         }
+    }
+
+    /// The structural generation of `set` — bumped by every structural
+    /// mutation (insert, extend, evict, relocation, LRU demotion), which
+    /// is what invalidates memoized assemblies of the set.
+    #[doc(hidden)] // Exposed for the differential tests only.
+    pub fn generation(&self, set: usize) -> u64 {
+        self.set_generation[set]
     }
 
     /// Ages every line of `tag` in `set` to LRU-minimum (paper §3.8: a
@@ -480,15 +628,12 @@ impl XbcArray {
     pub fn demote_lru(&mut self, xb_ip: Addr) {
         let (set, tag) = self.set_and_tag(xb_ip);
         self.touch_structure(set);
-        for bank in 0..self.banks {
-            for way in 0..self.ways {
-                let idx = self.idx(set, bank, way);
-                if let Some(line) = &mut self.lines[idx] {
-                    if line.tag == tag {
-                        line.stamp = 0;
-                    }
-                }
-            }
+        let mut bits = self.match_lanes(set, tag);
+        let base = set * self.lanes;
+        while bits != 0 {
+            let lane = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            self.stamps[base + lane] = 0;
         }
     }
 
@@ -537,7 +682,7 @@ impl XbcArray {
         let mut fetched = 0usize;
         let mut blocked = None;
         for k in (0..needed).rev() {
-            let (bank, way) = asm.lines[k];
+            let (bank, way) = (asm.lines[k].0 as usize, asm.lines[k].1 as usize);
             if used.contains(bank) {
                 blocked = Some((bank, way));
                 break;
@@ -549,8 +694,8 @@ impl XbcArray {
             fetched += hi - line_lo + 1;
             let stamp = self.bump();
             let idx = self.idx(set, bank, way);
-            if let Some(line) = &mut self.lines[idx] {
-                line.stamp = stamp;
+            if self.meta[idx] & META_VALID != 0 {
+                self.stamps[idx] = stamp;
             }
         }
         if let Some((bank, way)) = blocked {
@@ -565,37 +710,54 @@ impl XbcArray {
     /// and dynamic placement is enabled, moves the line to an unused bank.
     fn note_conflict(&mut self, set: usize, bank: usize, way: usize, used: BankMask) {
         let idx = self.idx(set, bank, way);
-        let Some(line) = &mut self.lines[idx] else { return };
-        line.conflicts = line.conflicts.saturating_add(1);
-        if !self.dynamic_placement || line.conflicts < self.conflict_threshold {
+        let m = self.meta[idx];
+        if m & META_VALID == 0 {
+            return;
+        }
+        let conflicts = meta_conflicts(m).saturating_add(1);
+        self.meta[idx] = meta_pack(meta_order(m), meta_count(m), conflicts);
+        if !self.dynamic_placement || conflicts < self.conflict_threshold {
             return;
         }
         // Move to a bank that was idle this cycle, into a free way or over
         // a strictly older line.
-        let my_stamp = self.lines[idx].as_ref().map(|l| l.stamp).unwrap_or(0);
+        let my_stamp = self.stamps[idx];
         for target_bank in 0..self.banks {
             if used.contains(target_bank) || target_bank == bank {
                 continue;
             }
             for target_way in 0..self.ways {
                 let tidx = self.idx(set, target_bank, target_way);
-                let replaceable = match &self.lines[tidx] {
-                    None => true,
-                    Some(t) => t.stamp < my_stamp,
+                let replaceable = if self.meta[tidx] & META_VALID == 0 {
+                    true
+                } else {
+                    self.stamps[tidx] < my_stamp
                 };
                 if replaceable {
-                    let mut line = self.lines[idx].take().expect("line present");
-                    line.conflicts = 0;
-                    if self.lines[tidx].is_some() {
+                    if self.meta[tidx] & META_VALID != 0 {
                         self.stats.evicted_lines += 1;
                     }
-                    self.lines[tidx] = Some(line);
+                    self.move_lane(idx, tidx);
+                    // The move resets the conflict counter.
+                    let tm = self.meta[tidx];
+                    self.meta[tidx] = meta_pack(meta_order(tm), meta_count(tm), 0);
                     self.stats.relocations += 1;
                     self.touch_structure(set);
                     return;
                 }
             }
         }
+    }
+
+    /// Moves lane `src`'s tag, meta, stamp and arena region onto lane
+    /// `dst` (overwriting it) and invalidates `src`.
+    fn move_lane(&mut self, src: usize, dst: usize) {
+        self.tags[dst] = self.tags[src];
+        self.meta[dst] = self.meta[src];
+        self.stamps[dst] = self.stamps[src];
+        let l = self.line_uops;
+        self.arena.copy_within(src * l..(src + 1) * l, dst * l);
+        self.meta[src] = 0;
     }
 
     /// Picks the replacement victim within `set`, excluding `forbidden`
@@ -610,12 +772,12 @@ impl XbcArray {
             }
             for way in 0..self.ways {
                 let idx = self.idx(set, bank, way);
-                let (tier, stamp) = match &self.lines[idx] {
-                    None => (0u64, 0u64),
-                    Some(line) => {
-                        let is_head = !self.has_order_above(set, line.tag, line.order);
-                        ((if is_head { 1 } else { 2 }), line.stamp)
-                    }
+                let m = self.meta[idx];
+                let (tier, stamp) = if m & META_VALID == 0 {
+                    (0u64, 0u64)
+                } else {
+                    let is_head = !self.has_order_above(set, self.tags[idx], meta_order(m));
+                    ((if is_head { 1 } else { 2 }), self.stamps[idx])
                 };
                 let cost = (tier << 48) | (stamp & 0xFFFF_FFFF_FFFF);
                 if best.map(|(_, c)| cost < c).unwrap_or(true) {
@@ -643,13 +805,13 @@ impl XbcArray {
                 continue;
             }
             for way in 0..self.ways {
-                if self.lines[self.idx(set, bank, way)].is_none() {
+                if self.meta[self.idx(set, bank, way)] & META_VALID == 0 {
                     return Some((bank, way));
                 }
             }
         }
         let (vb, vw) = self.choose_victim(set, forbidden)?;
-        if self.lines[self.idx(set, vb, vw)].is_none() {
+        if self.meta[self.idx(set, vb, vw)] & META_VALID == 0 {
             // Only avoided banks had free ways; accept the conflict.
             return Some((vb, vw));
         }
@@ -659,15 +821,14 @@ impl XbcArray {
             let desired = (0..self.banks)
                 .filter(|&b| !forbidden.contains(b) && !avoid.contains(b))
                 .flat_map(|b| (0..self.ways).map(move |w| (b, w)))
-                .min_by_key(|&(b, w)| {
-                    self.lines[self.idx(set, b, w)].as_ref().map(|l| l.stamp).unwrap_or(0)
-                });
+                .min_by_key(|&(b, w)| self.stamp_at(self.idx(set, b, w)));
             if let Some((db, dw)) = desired {
                 self.evict(set, vb, vw);
                 let didx = self.idx(set, db, dw);
-                let moved = self.lines[didx].take();
                 let vidx = self.idx(set, vb, vw);
-                self.lines[vidx] = moved;
+                if self.meta[didx] & META_VALID != 0 {
+                    self.move_lane(didx, vidx);
+                }
                 self.touch_structure(set);
                 return Some((db, dw));
             }
@@ -677,13 +838,13 @@ impl XbcArray {
     }
 
     fn has_order_above(&self, set: usize, tag: u64, order: u8) -> bool {
-        for bank in 0..self.banks {
-            for way in 0..self.ways {
-                if let Some(l) = &self.lines[self.idx(set, bank, way)] {
-                    if l.tag == tag && l.order == order + 1 {
-                        return true;
-                    }
-                }
+        let mut bits = self.match_lanes(set, tag);
+        let base = set * self.lanes;
+        while bits != 0 {
+            let lane = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if meta_order(self.meta[base + lane]) == order + 1 {
+                return true;
             }
         }
         false
@@ -696,20 +857,23 @@ impl XbcArray {
     /// a middle line).
     fn evict(&mut self, set: usize, bank: usize, way: usize) {
         let idx = self.idx(set, bank, way);
-        let Some(line) = self.lines[idx].take() else { return };
+        let m = self.meta[idx];
+        if m & META_VALID == 0 {
+            return;
+        }
+        self.meta[idx] = 0;
         self.touch_structure(set);
         self.stats.evicted_lines += 1;
-        let (tag, order) = (line.tag, line.order);
+        let (tag, order) = (self.tags[idx], meta_order(m));
         // Invalidate same-tag lines with orders above the hole.
-        for b in 0..self.banks {
-            for w in 0..self.ways {
-                let i = self.idx(set, b, w);
-                if let Some(l) = &self.lines[i] {
-                    if l.tag == tag && l.order > order {
-                        self.lines[i] = None;
-                        self.stats.truncated_lines += 1;
-                    }
-                }
+        let mut bits = self.match_lanes(set, tag);
+        let base = set * self.lanes;
+        while bits != 0 {
+            let lane = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if meta_order(self.meta[base + lane]) > order {
+                self.meta[base + lane] = 0;
+                self.stats.truncated_lines += 1;
             }
         }
     }
@@ -751,13 +915,9 @@ impl XbcArray {
                 .expect("more orders than banks is impossible by the length assert");
             let lo = order * self.line_uops; // position-from-end of slot 0
             let hi = (lo + self.line_uops).min(len);
-            // Reverse storage: slot s holds position-from-end lo + s, i.e.
-            // program index len - 1 - (lo + s).
-            let content: Vec<Uop> = (lo..hi).map(|p| uops[len - 1 - p]).collect();
             let stamp = self.bump();
             let idx = self.idx(set, bank, way);
-            self.lines[idx] =
-                Some(Line { tag, order: order as u8, uops: content, stamp, conflicts: 0 });
+            self.write_line(idx, tag, order as u8, stamp, &uops[len - hi..len - lo]);
             forbidden.insert(bank);
             added.insert(bank);
         }
@@ -765,9 +925,21 @@ impl XbcArray {
         added
     }
 
+    /// Writes one whole line: tag/meta/stamp lanes plus the right-aligned
+    /// arena region. `content` is the line's uops in program order.
+    fn write_line(&mut self, idx: usize, tag: u64, order: u8, stamp: u64, content: &[Uop]) {
+        let l = self.line_uops;
+        debug_assert!(!content.is_empty() && content.len() <= l);
+        self.tags[idx] = tag;
+        self.meta[idx] = meta_pack(order, content.len(), 0);
+        self.stamps[idx] = stamp;
+        self.arena[idx * l + (l - content.len())..(idx + 1) * l].copy_from_slice(content);
+    }
+
     /// Extends an existing XB at its head with `extra` earlier uops
     /// (program order), in place (§3.3 case 2 / §3.4). Fills the partial
-    /// head line first, then allocates new lines.
+    /// head line first (leftward into its arena region — stored uops do
+    /// not move), then allocates new lines.
     ///
     /// Returns the new full mask of the XB.
     ///
@@ -790,22 +962,33 @@ impl XbcArray {
             new_len <= self.banks * self.line_uops,
             "extension to {new_len} uops exceeds the fetch width"
         );
-        // Fill the head line's free slots: position-from-end old_len + j is
-        // extra[extra.len() - 1 - j].
-        let mut filled = 0usize;
+        // Fill the head line's free slots leftward: position-from-end
+        // old_len + j is extra[extra.len() - 1 - j], so the head region
+        // grows by a contiguous copy of extra's tail.
         let head_order = asm.lines.len() - 1;
-        let (hb, hw) = asm.lines[head_order];
+        let (hb, hw) = (asm.lines[head_order].0 as usize, asm.lines[head_order].1 as usize);
+        let head_lo = head_order * self.line_uops;
+        let filled;
         {
             let idx = self.idx(set, hb, hw);
             let stamp = self.bump();
-            let line = self.lines[idx].as_mut().expect("head line present");
-            assert_eq!(line.tag, tag, "assembly does not match xb_ip");
-            while line.uops.len() < self.line_uops && filled < extra.len() {
-                let j = filled; // position-from-end = old_len + j
-                line.uops.push(extra[extra.len() - 1 - j]);
-                filled += 1;
+            let m = self.meta[idx];
+            assert!(m & META_VALID != 0, "head line present");
+            assert_eq!(self.tags[idx], tag, "assembly does not match xb_ip");
+            let count = meta_count(m);
+            let new_count = (count + extra.len()).min(self.line_uops);
+            filled = new_count - count;
+            if filled > 0 {
+                let l = self.line_uops;
+                // New head-line uops: positions-from-end [old_len,
+                // head_lo + new_count) = the tail slice of `extra` ending
+                // at its last uop, placed just left of the stored region.
+                let src_hi = extra.len() - (old_len - head_lo - count);
+                self.arena[idx * l + (l - new_count)..idx * l + (l - count)]
+                    .copy_from_slice(&extra[src_hi - filled..src_hi]);
+                self.meta[idx] = meta_pack(meta_order(m), new_count, meta_conflicts(m));
             }
-            line.stamp = stamp;
+            self.stamps[idx] = stamp;
         }
         // Allocate whole new lines for the remainder.
         let mut mask = asm.mask;
@@ -818,12 +1001,11 @@ impl XbcArray {
                 .place_slot(set, forbidden, avoid)
                 .expect("length assert bounds the order count");
             let hi = (pos + self.line_uops).min(new_len);
-            let content: Vec<Uop> =
-                (pos..hi).map(|p| extra[extra.len() - 1 - (p - old_len)]).collect();
             let stamp = self.bump();
             let idx = self.idx(set, bank, way);
-            self.lines[idx] =
-                Some(Line { tag, order: order as u8, uops: content, stamp, conflicts: 0 });
+            // Positions-from-end [pos, hi) are extra's program indices
+            // [new_len - hi, new_len - pos).
+            self.write_line(idx, tag, order as u8, stamp, &extra[new_len - hi..new_len - pos]);
             forbidden.insert(bank);
             mask.insert(bank);
             pos = hi;
@@ -844,19 +1026,19 @@ impl XbcArray {
         let needed = (offset as usize).div_ceil(self.line_uops);
         let mut mask = BankMask::EMPTY;
         for &(bank, _) in &asm.lines[..needed] {
-            mask.insert(bank);
+            mask.insert(bank as usize);
         }
         Some(mask)
     }
 
     /// Number of valid lines.
     pub fn valid_lines(&self) -> usize {
-        self.lines.iter().filter(|l| l.is_some()).count()
+        self.meta.iter().filter(|&&m| m & META_VALID != 0).count()
     }
 
     /// Total uops stored.
     pub fn stored_uops(&self) -> usize {
-        self.lines.iter().flatten().map(|l| l.uops.len()).sum()
+        self.meta.iter().filter(|&&m| m & META_VALID != 0).map(|&m| meta_count(m)).sum()
     }
 
     /// Population census of the stored extended blocks: how many XBs are
@@ -866,14 +1048,14 @@ impl XbcArray {
         use std::collections::HashMap;
         let mut per_tag: HashMap<(usize, u64), Vec<(u8, usize)>> = HashMap::new();
         for set in 0..self.sets {
-            for bank in 0..self.banks {
-                for way in 0..self.ways {
-                    if let Some(line) = &self.lines[self.idx(set, bank, way)] {
-                        per_tag
-                            .entry((set, line.tag))
-                            .or_default()
-                            .push((line.order, line.uops.len()));
-                    }
+            let base = set * self.lanes;
+            for lane in 0..self.lanes {
+                let m = self.meta[base + lane];
+                if m & META_VALID != 0 {
+                    per_tag
+                        .entry((set, self.tags[base + lane]))
+                        .or_default()
+                        .push((meta_order(m), meta_count(m)));
                 }
             }
         }
@@ -930,19 +1112,25 @@ impl XbcArray {
     /// *independent* census (see `xbc::XbcInvariants`), so the checker does
     /// not have to trust [`XbcArray::population`].
     pub fn line_meta(&self, set: usize, bank: usize, way: usize) -> Option<(u64, u8, usize)> {
-        self.lines[self.idx(set, bank, way)].as_ref().map(|l| (l.tag, l.order, l.uops.len()))
+        let idx = self.idx(set, bank, way);
+        let m = self.meta[idx];
+        if m & META_VALID == 0 {
+            return None;
+        }
+        Some((self.tags[idx], meta_order(m), meta_count(m)))
     }
 
     /// Structural audit of one set (paper §3.2–§3.4 storage rules):
     ///
     /// * line geometry — `order < banks`, `1..=line_uops` uops per line;
-    /// * reverse-order storage — adjacent slots of the same instruction
-    ///   carry descending uop slots, a branch kind implies `ends_inst`, and
+    /// * reverse-order storage — the arena region is right-aligned and in
+    ///   program order, so adjacent region slots of the same instruction
+    ///   carry ascending uop slots, a branch kind implies `ends_inst`, and
     ///   interior uops carry [`BranchKind::None`](xbc_isa::BranchKind);
     /// * single exit — a boundary-ending branch uop may only sit at
-    ///   position-from-end 0 (order 0, slot 0). Tags in `merged_tags` are
-    ///   exempt: merge-mode combinations (§3.8) legally bury the promoted
-    ///   conditional mid-block.
+    ///   position-from-end 0 (order 0, last region slot). Tags in
+    ///   `merged_tags` are exempt: merge-mode combinations (§3.8) legally
+    ///   bury the promoted conditional mid-block.
     ///
     /// # Errors
     ///
@@ -954,20 +1142,27 @@ impl XbcArray {
     ) -> Result<(), String> {
         for bank in 0..self.banks {
             for way in 0..self.ways {
-                let Some(line) = &self.lines[self.idx(set, bank, way)] else { continue };
-                let at = format!("set {set} bank {bank} way {way} tag {:#x}", line.tag);
-                if (line.order as usize) >= self.banks {
-                    return Err(format!("{at}: order {} >= banks {}", line.order, self.banks));
+                let idx = self.idx(set, bank, way);
+                let m = self.meta[idx];
+                if m & META_VALID == 0 {
+                    continue;
                 }
-                if line.uops.is_empty() || line.uops.len() > self.line_uops {
-                    return Err(format!(
-                        "{at}: {} uops in a {}-uop line",
-                        line.uops.len(),
-                        self.line_uops
-                    ));
+                let tag = self.tags[idx];
+                let at = format!("set {set} bank {bank} way {way} tag {tag:#x}");
+                if (meta_order(m) as usize) >= self.banks {
+                    return Err(format!("{at}: order {} >= banks {}", meta_order(m), self.banks));
                 }
-                let merged = merged_tags.contains(&(set, line.tag));
-                for (slot, u) in line.uops.iter().enumerate() {
+                let count = meta_count(m);
+                if count == 0 || count > self.line_uops {
+                    return Err(format!("{at}: {count} uops in a {}-uop line", self.line_uops));
+                }
+                let merged = merged_tags.contains(&(set, tag));
+                let region = self.region(idx, count);
+                for (i, u) in region.iter().enumerate() {
+                    // The region is in program order; slot s (the paper's
+                    // reverse-storage index) is count-1-i positions from
+                    // the line's end.
+                    let slot = count - 1 - i;
                     if !u.ends_inst && u.branch != xbc_isa::BranchKind::None {
                         return Err(format!(
                             "{at} slot {slot}: interior uop carries branch {:?}",
@@ -975,21 +1170,21 @@ impl XbcArray {
                         ));
                     }
                     // Position-from-end of this uop within the XB.
-                    let pos = line.order as usize * self.line_uops + slot;
+                    let pos = meta_order(m) as usize * self.line_uops + slot;
                     if pos != 0 && u.ends_inst && u.branch.ends_xb_boundary() && !merged {
                         return Err(format!(
                             "{at} slot {slot}: XB-ending branch {:?} at interior position {pos}",
                             u.branch
                         ));
                     }
-                    // Reverse storage: slot s holds a *later* uop than s+1,
-                    // so same-instruction neighbours have descending slots.
-                    if slot + 1 < line.uops.len() {
-                        let prev = &line.uops[slot + 1];
-                        if prev.id.inst_ip == u.id.inst_ip && prev.id.slot + 1 != u.id.slot {
+                    // Reverse storage ⇔ program-order region: adjacent
+                    // same-instruction region entries ascend by one slot.
+                    if i + 1 < count {
+                        let next = &region[i + 1];
+                        if u.id.inst_ip == next.id.inst_ip && u.id.slot + 1 != next.id.slot {
                             return Err(format!(
                                 "{at} slot {slot}: uop slots not descending ({} then {})",
-                                prev.id, u.id
+                                u.id, next.id
                             ));
                         }
                     }
@@ -1019,8 +1214,12 @@ impl XbcArray {
     pub fn redundancy(&self) -> (usize, usize) {
         let mut ids = std::collections::HashSet::new();
         let mut total = 0usize;
-        for line in self.lines.iter().flatten() {
-            for u in &line.uops {
+        for idx in 0..self.meta.len() {
+            let m = self.meta[idx];
+            if m & META_VALID == 0 {
+                continue;
+            }
+            for u in self.region(idx, meta_count(m)) {
                 total += 1;
                 ids.insert(u.id);
             }
@@ -1080,10 +1279,12 @@ mod tests {
         let asm = a.assemble(set, tag, None).unwrap();
         assert_eq!(asm.lines.len(), 3);
         // Head line (order 2) holds exactly one uop: the XB's first.
-        let (hb, hw) = asm.lines[2];
-        let head = a.lines[a.idx(set, hb, hw)].as_ref().unwrap();
-        assert_eq!(head.uops.len(), 1);
-        assert_eq!(head.uops[0], uops[0]);
+        let (hb, hw) = (asm.lines[2].0 as usize, asm.lines[2].1 as usize);
+        let head = a.line_uops_at(set, hb, hw).unwrap();
+        assert_eq!(head.len(), 1);
+        assert_eq!(head[0], uops[0]);
+        let (_, order, count) = a.line_meta(set, hb, hw).unwrap();
+        assert_eq!((order, count), (2, 1));
     }
 
     #[test]
@@ -1114,7 +1315,7 @@ mod tests {
         let (set, tag) = a.set_and_tag(ip);
         let asm = a.assemble(set, tag, None).unwrap();
         assert_eq!(asm.total_uops, 6);
-        let before: Vec<(usize, usize)> = asm.lines.to_vec();
+        let before: Vec<(u8, u8)> = asm.lines.to_vec();
         // Extend with the 4 earlier uops.
         let mask = a.extend(ip, &asm, &full[..4], BankMask::EMPTY);
         let asm2 = a.assemble(set, tag, None).unwrap();
@@ -1275,8 +1476,8 @@ mod tests {
         new_xb.extend_from_slice(&cur[4..]);
         let suffix_mask = {
             let mut m = BankMask::EMPTY;
-            m.insert(asm.lines[0].0);
-            m.insert(asm.lines[1].0);
+            m.insert(asm.lines[0].0 as usize);
+            m.insert(asm.lines[1].0 as usize);
             m
         };
         let added = a.insert(ip, &new_xb, 2, suffix_mask, BankMask::EMPTY);
@@ -1311,8 +1512,8 @@ mod tests {
         let mut alt = mk_uops(0x300, 2);
         alt.extend_from_slice(&u1[2..]);
         let mut suffix = BankMask::EMPTY;
-        suffix.insert(asm.lines[0].0);
-        suffix.insert(asm.lines[1].0);
+        suffix.insert(asm.lines[0].0 as usize);
+        suffix.insert(asm.lines[1].0 as usize);
         a.insert(Addr::new(0x109), &alt, 2, suffix, BankMask::EMPTY);
         let pop = a.population();
         assert_eq!(pop.xb_count, 2);

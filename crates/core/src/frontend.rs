@@ -17,6 +17,7 @@ use crate::invariants::XbcInvariants;
 use crate::ptr::{BankMask, XbPtr};
 use crate::xbtb::{MergedXb, XbEndKind, Xbtb, XbtbEntry, XbtbStats};
 use crate::xfu::{install_with, InstallKind, InstallScratch, Xfu};
+
 use std::collections::HashSet;
 use xbc_frontend::{BuildEngine, Frontend, FrontendMetrics, OracleStream, Predictors, Probe};
 use xbc_isa::{Addr, Uop};
@@ -280,7 +281,7 @@ impl XbcFrontend {
         let shared = ptr1.offset as usize / self.array.line_uops();
         let mut suffix_mask = BankMask::EMPTY;
         for &(bank, _) in &asm1.lines[..shared] {
-            suffix_mask.insert(bank);
+            suffix_mask.insert(bank as usize);
         }
         let added = self.array.insert(ptr1.xb_ip, &combined, shared, suffix_mask, BankMask::EMPTY);
         self.merge_buf = combined;
@@ -377,31 +378,32 @@ impl XbcFrontend {
     fn select_successor<S: EventSink>(
         &mut self,
         xb_ip: Addr,
+        slot: Option<u32>,
         d_end: &DynInst,
         probe: &mut Probe<'_, S>,
     ) -> (Option<XbPtr>, bool, bool) {
-        // Count XBTB access statistics through `get`.
-        let xbtb_hit = self.xbtb.get(xb_ip).is_some();
-        probe.note(|| Event::Lookup { what: LookupKind::Xbtb, hit: xbtb_hit });
-        if !xbtb_hit {
+        // The caller already probed the slot; only the statistics/LRU
+        // side of a `get` remains to be applied here.
+        probe.note(|| Event::Lookup { what: LookupKind::Xbtb, hit: slot.is_some() });
+        let Some(slot) = slot else {
+            self.xbtb.note_miss();
             return (None, true, false);
-        }
-        let kind = self.xbtb.get_mut(xb_ip).expect("just hit").kind;
+        };
+        self.xbtb.touch_hit(slot);
+        let kind = self.xbtb.at(slot).kind;
         match kind {
-            XbEndKind::Fall => {
-                let e = self.xbtb.get_mut(xb_ip).expect("hit");
-                (e.taken, true, false)
-            }
+            XbEndKind::Fall => (self.xbtb.at(slot).taken, true, false),
             XbEndKind::Cond => {
                 let taken = d_end.taken;
-                let promoted = self.xbtb.get_mut(xb_ip).expect("hit").promoted;
+                let promoted = self.xbtb.at(slot).promoted;
                 if let Some(dir) = promoted.filter(|_| self.cfg.promotion.enabled()) {
                     // Promoted: no prediction consumed; following the
                     // monotonic direction. A violation is a mis-fetch whose
                     // recovery pointer lives in the same entry (§3.8).
-                    let e = self.xbtb.get_mut(xb_ip).expect("hit");
+                    let e = self.xbtb.at_mut(slot);
                     e.bias.update(taken);
                     Self::refresh_promotion(&self.cfg, e, probe);
+                    let e = self.xbtb.at(slot);
                     let follows = dir.as_taken() == taken;
                     let next = e.successor(taken);
                     if follows {
@@ -413,10 +415,10 @@ impl XbcFrontend {
                 } else {
                     let pred = self.preds.dir.predict(xb_ip);
                     self.preds.dir.update(xb_ip, taken);
-                    let e = self.xbtb.get_mut(xb_ip).expect("hit");
+                    let e = self.xbtb.at_mut(slot);
                     e.bias.update(taken);
                     Self::refresh_promotion(&self.cfg, e, probe);
-                    let next = e.successor(taken);
+                    let next = self.xbtb.at(slot).successor(taken);
                     if pred == taken {
                         (next, true, false)
                     } else {
@@ -426,8 +428,7 @@ impl XbcFrontend {
                 }
             }
             XbEndKind::Call => {
-                let e = self.xbtb.get_mut(xb_ip).expect("hit");
-                let next = e.taken;
+                let next = self.xbtb.at(slot).taken;
                 self.xrsb.push(XrsbFrame { call_xb: xb_ip });
                 (next, true, false)
             }
@@ -493,7 +494,13 @@ impl XbcFrontend {
     /// The slot that feeds the successor pointer of `xb_ip` when its end
     /// resolves in direction `taken` (for set-search write-backs).
     fn successor_source(&mut self, xb_ip: Addr, taken: bool) -> Option<LinkFrom> {
-        let kind = self.xbtb.get_mut(xb_ip)?.kind;
+        let slot = self.xbtb.probe_slot(xb_ip)?;
+        self.successor_source_at(slot, xb_ip, taken)
+    }
+
+    /// [`XbcFrontend::successor_source`] for an already-probed slot.
+    fn successor_source_at(&mut self, slot: u32, xb_ip: Addr, taken: bool) -> Option<LinkFrom> {
+        let kind = self.xbtb.at(slot).kind;
         Some(match kind {
             XbEndKind::Cond => LinkFrom::Slot { xb_ip, taken },
             XbEndKind::Call | XbEndKind::Fall => LinkFrom::Slot { xb_ip, taken: true },
@@ -567,15 +574,18 @@ impl XbcFrontend {
             return EndAction::Stop;
         }
 
-        let src = self.successor_source(ptr.xb_ip, d_end.taken);
-        let (next, consumed, mispredicted) = self.select_successor(ptr.xb_ip, &d_end, probe);
+        // One probe covers every same-entry access below (allocation — the
+        // only thing that can move entries — cannot happen mid-resolve).
+        let slot = self.xbtb.probe_slot(ptr.xb_ip);
+        let src = slot.and_then(|s| self.successor_source_at(s, ptr.xb_ip, d_end.taken));
+        let (next, consumed, mispredicted) = self.select_successor(ptr.xb_ip, slot, &d_end, probe);
 
-        if self.xbtb.get_mut(ptr.xb_ip).is_none() {
+        let Some(slot) = slot else {
             // XBTB miss: must rebuild through the IC path (§3.5).
             self.after_drain = Some(AfterDrain { penalty: 0, build: Some(D2bCause::XbtbMiss) });
             self.cur = None;
             return EndAction::Stop;
-        }
+        };
 
         if mispredicted {
             // Flush; recovery continues at `next` when the entry knows the
@@ -590,7 +600,7 @@ impl XbcFrontend {
                 }
                 _ => {
                     // Remember the slot so the rebuilt successor heals it.
-                    let cause = match self.xbtb.get_mut(ptr.xb_ip).expect("hit").kind {
+                    let cause = match self.xbtb.at(slot).kind {
                         XbEndKind::Cond | XbEndKind::Call | XbEndKind::Fall => {
                             if self.link_from.is_none() {
                                 self.link_from =
@@ -625,15 +635,12 @@ impl XbcFrontend {
                 // Stale pointer: the successor moved or was rebuilt under a
                 // different identity — a mis-fetch (§3.5), penalized like a
                 // misprediction, repaired through build mode.
-                match self.xbtb.get_mut(ptr.xb_ip).map(|e| e.kind) {
-                    Some(XbEndKind::Cond) => self.stale_debug[0] += 1,
-                    Some(XbEndKind::Call) => self.stale_debug[1] += 1,
-                    Some(XbEndKind::Return) => self.stale_debug[2] += 1,
-                    Some(XbEndKind::Indirect) | Some(XbEndKind::IndirectCall) => {
-                        self.stale_debug[3] += 1
-                    }
-                    Some(XbEndKind::Fall) => self.stale_debug[4] += 1,
-                    None => {}
+                match self.xbtb.at(slot).kind {
+                    XbEndKind::Cond => self.stale_debug[0] += 1,
+                    XbEndKind::Call => self.stale_debug[1] += 1,
+                    XbEndKind::Return => self.stale_debug[2] += 1,
+                    XbEndKind::Indirect | XbEndKind::IndirectCall => self.stale_debug[3] += 1,
+                    XbEndKind::Fall => self.stale_debug[4] += 1,
                 }
                 probe.emit(Event::Mispredict(MispredictKind::Target));
                 self.link_from = Some(LinkFrom::Slot { xb_ip: ptr.xb_ip, taken: d_end.taken });
@@ -648,7 +655,7 @@ impl XbcFrontend {
                 // Pointer not yet recorded: switch to build, which will
                 // fill the slot.
                 if self.link_from.is_none() {
-                    let kind = self.xbtb.get_mut(ptr.xb_ip).expect("hit").kind;
+                    let kind = self.xbtb.at(slot).kind;
                     if let XbEndKind::Cond | XbEndKind::Call | XbEndKind::Fall = kind {
                         self.link_from =
                             Some(LinkFrom::Slot { xb_ip: ptr.xb_ip, taken: d_end.taken });
@@ -739,7 +746,7 @@ impl XbcFrontend {
                     break;
                 }
                 XbFetch::Partial { fetched, deferred } => {
-                    probe.emit(Event::BankConflict { deferred: deferred as u16 });
+                    probe.emit(Event::BankConflict { deferred: u16::from(deferred) });
                     accepted += fetched as usize;
                     self.cur = Some(XbPtr { offset: deferred, ..ptr });
                     // A mid-XB continuation pointer must never be written
@@ -779,8 +786,10 @@ impl XbcFrontend {
         probe: &mut Probe<'_, S>,
     ) {
         if self.stall > 0 {
-            self.stall -= 1;
-            probe.emit(Event::Cycle(CycleKind::Stall));
+            // Nothing happens while stalled: retire every outstanding
+            // stall cycle in this one step (the per-cycle event stream is
+            // unchanged; only the run-loop round-trips are saved).
+            probe.emit_cycles(CycleKind::Stall, std::mem::take(&mut self.stall) as u64);
             return;
         }
         if self.pending_uops == 0 {
@@ -793,8 +802,7 @@ impl XbcFrontend {
                     return;
                 }
                 if self.stall > 0 {
-                    self.stall -= 1;
-                    probe.emit(Event::Cycle(CycleKind::Stall));
+                    probe.emit_cycles(CycleKind::Stall, std::mem::take(&mut self.stall) as u64);
                     return;
                 }
             }
@@ -841,7 +849,10 @@ impl XbcFrontend {
         }
         self.pending_uops -= delivered;
         if delivered > 0 {
-            probe.emit(Event::Uops { src: UopSource::Structure, n: delivered as u16 });
+            probe.emit(Event::Uops {
+                src: UopSource::Structure,
+                n: xbc_obs::saturate_u16(delivered),
+            });
         }
         probe.emit(Event::Cycle(CycleKind::Delivery));
     }
@@ -852,6 +863,14 @@ impl XbcFrontend {
         probe: &mut Probe<'_, S>,
     ) {
         let cycle_kind = self.engine.cycle(oracle, &mut self.preds, probe, &mut self.xfu);
+        if cycle_kind == CycleKind::Stall {
+            // A stall cycle delivers nothing and builds nothing, so the
+            // remaining stall cycles are all identical: retire them in one
+            // step instead of one run-loop round-trip each. The event
+            // stream (one `Cycle(Stall)` per cycle) is unchanged.
+            probe.emit_cycles(CycleKind::Stall, self.engine.take_stall() + 1);
+            return;
+        }
         let built = std::mem::take(&mut self.xfu.done);
         let mut last: Option<(XbPtr, InstallKind, DynInst)> = None;
         for b in &built {
@@ -865,12 +884,12 @@ impl XbcFrontend {
                     InstallKind::Extended => FillKind::Extended,
                     InstallKind::Complex => FillKind::Complex,
                 },
-                uops: b.uop_count() as u16,
+                uops: xbc_obs::saturate_u16(b.uop_count()),
                 banks: ptr.mask.count() as u8,
             });
             let evicted = self.array.stats().evicted_lines - evicted_before;
             if evicted > 0 {
-                probe.note(|| Event::Eviction { lines: evicted as u16 });
+                probe.note(|| Event::Eviction { lines: xbc_obs::saturate_u16(evicted as usize) });
             }
             probe.note(|| Event::Occupancy {
                 lines: self.array.valid_lines() as u32,

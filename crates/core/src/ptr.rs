@@ -66,6 +66,12 @@ impl BankMask {
         self.0 & other.0 != 0
     }
 
+    /// True if every bank of `self` is also in `other`.
+    #[inline]
+    pub const fn is_subset_of(self, other: BankMask) -> bool {
+        self.0 & !other.0 == 0
+    }
+
     /// Union of two masks.
     #[inline]
     pub const fn union(self, other: BankMask) -> BankMask {

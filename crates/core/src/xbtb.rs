@@ -146,9 +146,23 @@ pub struct XbtbStats {
 /// assert!(t.get(Addr::new(0x400)).is_some());
 /// assert!(t.get(Addr::new(0x800)).is_none());
 /// ```
+/// The table is stored struct-of-arrays (DESIGN.md §14): the identity and
+/// LRU lanes live in their own contiguous planes — a `find` compares the
+/// set's four identity words in one cache line instead of walking four
+/// ~100-byte entry structs — and the entry payloads sit in a pool that
+/// grows with the resident working set. Construction allocates only
+/// zero-initialized planes (the allocator serves those from untouched
+/// pages), so a cold XBTB costs no page-in until slots are actually used.
 #[derive(Clone, Debug)]
 pub struct Xbtb {
-    entries: Vec<Option<XbtbEntry>>,
+    /// Identity plane: raw `xb_ip` per slot (gated by `valid`).
+    ips: Vec<u64>,
+    /// Valid plane: nonzero = slot occupied, and `pool_idx` is live.
+    valid: Vec<u8>,
+    /// Pool-index plane: slot → `pool` position.
+    pool_idx: Vec<u32>,
+    /// Entry payloads of the occupied slots, in allocation order.
+    pool: Vec<XbtbEntry>,
     lru: Vec<u64>,
     stamp: u64,
     sets: usize,
@@ -172,7 +186,10 @@ impl Xbtb {
             "XBTB entries must be a power of two >= {XBTB_WAYS}"
         );
         Xbtb {
-            entries: vec![None; entries],
+            ips: vec![0; entries],
+            valid: vec![0; entries],
+            pool_idx: vec![0; entries],
+            pool: Vec::new(),
             lru: vec![0; entries],
             stamp: 0,
             sets: entries / XBTB_WAYS,
@@ -189,9 +206,44 @@ impl Xbtb {
         ((h >> 32) as usize % self.sets) * self.ways
     }
 
+    #[inline]
     fn find(&self, xb_ip: Addr) -> Option<usize> {
         let base = self.set_base(xb_ip);
-        (base..base + self.ways).find(|&i| matches!(&self.entries[i], Some(e) if e.xb_ip == xb_ip))
+        let raw = xb_ip.raw();
+        (base..base + self.ways).find(|&i| self.valid[i] != 0 && self.ips[i] == raw)
+    }
+
+    /// Finds the slot holding `xb_ip` without touching statistics or LRU.
+    ///
+    /// The slot stays valid until the next [`Xbtb::allocate`]; the
+    /// delivery resolve path probes once and reuses the slot for its
+    /// half-dozen reads instead of re-hashing per access.
+    pub fn probe_slot(&self, xb_ip: Addr) -> Option<u32> {
+        self.find(xb_ip).map(|i| i as u32)
+    }
+
+    /// Entry at a probed slot.
+    pub fn at(&self, slot: u32) -> &XbtbEntry {
+        &self.pool[self.pool_idx[slot as usize] as usize]
+    }
+
+    /// Mutable entry at a probed slot (no statistics, like
+    /// [`Xbtb::get_mut`]).
+    pub fn at_mut(&mut self, slot: u32) -> &mut XbtbEntry {
+        &mut self.pool[self.pool_idx[slot as usize] as usize]
+    }
+
+    /// Applies the hit-side statistics and LRU accounting of
+    /// [`Xbtb::get`] to a probed slot.
+    pub fn touch_hit(&mut self, slot: u32) {
+        self.stats.hits += 1;
+        self.stamp += 1;
+        self.lru[slot as usize] = self.stamp;
+    }
+
+    /// Applies the miss-side statistics of [`Xbtb::get`].
+    pub fn note_miss(&mut self) {
+        self.stats.misses += 1;
     }
 
     /// Looks up an entry by XB identity, counting hit/miss statistics.
@@ -201,7 +253,7 @@ impl Xbtb {
                 self.stats.hits += 1;
                 self.stamp += 1;
                 self.lru[i] = self.stamp;
-                self.entries[i].as_ref()
+                Some(&self.pool[self.pool_idx[i] as usize])
             }
             None => {
                 self.stats.misses += 1;
@@ -213,7 +265,7 @@ impl Xbtb {
     /// Mutable lookup (no statistics; used on already-resolved entries).
     pub fn get_mut(&mut self, xb_ip: Addr) -> Option<&mut XbtbEntry> {
         let i = self.find(xb_ip)?;
-        self.entries[i].as_mut()
+        Some(&mut self.pool[self.pool_idx[i] as usize])
     }
 
     /// Returns the entry for `xb_ip`, allocating (and evicting the set's
@@ -227,18 +279,25 @@ impl Xbtb {
             None => {
                 let base = self.set_base(xb_ip);
                 let victim = (base..base + self.ways)
-                    .min_by_key(|&i| if self.entries[i].is_none() { 0 } else { self.lru[i] })
+                    .min_by_key(|&i| if self.valid[i] == 0 { 0 } else { self.lru[i] })
                     .expect("ways > 0");
-                if self.entries[victim].is_some() {
-                    self.stats.conflict_evictions += 1;
-                }
                 self.stats.allocations += 1;
-                self.entries[victim] = Some(XbtbEntry::new(xb_ip, kind));
+                if self.valid[victim] != 0 {
+                    self.stats.conflict_evictions += 1;
+                    // Reuse the displaced entry's pool slot.
+                    self.pool[self.pool_idx[victim] as usize] = XbtbEntry::new(xb_ip, kind);
+                } else {
+                    self.pool_idx[victim] =
+                        u32::try_from(self.pool.len()).expect("pool bounded by slot count");
+                    self.pool.push(XbtbEntry::new(xb_ip, kind));
+                    self.valid[victim] = 1;
+                }
+                self.ips[victim] = xb_ip.raw();
                 victim
             }
         };
         self.lru[i] = stamp;
-        let e = self.entries[i].as_mut().expect("just ensured");
+        let e = &mut self.pool[self.pool_idx[i] as usize];
         e.kind = kind;
         e
     }
@@ -250,7 +309,9 @@ impl Xbtb {
 
     /// Iterates over the valid entries (for audits and reports).
     pub fn entries(&self) -> impl Iterator<Item = &XbtbEntry> {
-        self.entries.iter().flatten()
+        (0..self.ips.len())
+            .filter(|&i| self.valid[i] != 0)
+            .map(|i| &self.pool[self.pool_idx[i] as usize])
     }
 
     /// Structural audit of the pointer table (paper §3.5):
@@ -289,8 +350,11 @@ impl Xbtb {
             Ok(())
         };
         let mut seen = std::collections::HashSet::new();
-        for (i, e) in self.entries.iter().enumerate() {
-            let Some(e) = e else { continue };
+        for i in 0..self.ips.len() {
+            if self.valid[i] == 0 {
+                continue;
+            }
+            let e = &self.pool[self.pool_idx[i] as usize];
             let who = format!("XBTB entry {} at slot {i}", e.xb_ip);
             let base = self.set_base(e.xb_ip);
             if !(base..base + self.ways).contains(&i) {
@@ -325,7 +389,7 @@ impl Xbtb {
 
     /// Number of valid entries.
     pub fn len(&self) -> usize {
-        self.entries.iter().filter(|e| e.is_some()).count()
+        self.pool.len()
     }
 
     /// True if the table is empty.

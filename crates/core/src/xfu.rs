@@ -130,7 +130,7 @@ pub fn install_with(
         let needed = len.div_ceil(line_uops);
         let mut mask = BankMask::EMPTY;
         for &(bank, _) in &asm.lines[..needed] {
-            mask.insert(bank);
+            mask.insert(bank as usize);
         }
         (XbPtr::new(end_ip, built.entry_ip(), mask, len as u8), InstallKind::Contained)
     } else if common == stored.len() {
@@ -145,7 +145,7 @@ pub fn install_with(
         let shared_lines = common / line_uops;
         let mut suffix_mask = BankMask::EMPTY;
         for &(bank, _) in &asm.lines[..shared_lines] {
-            suffix_mask.insert(bank);
+            suffix_mask.insert(bank as usize);
         }
         let added = array.insert(end_ip, uops, shared_lines, suffix_mask, avoid);
         (

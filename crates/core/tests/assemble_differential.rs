@@ -47,11 +47,16 @@ fn memoized_assemble_matches_reference_across_random_histories() {
         let mut known: Vec<(Addr, usize)> = Vec::new();
 
         for step in 0..400 {
-            match rng.below(4) {
+            match rng.below(6) {
                 0 => {
+                    // Insert: structural — the set's generation must bump
+                    // (that is what invalidates its memoized assemblies).
                     let ip = ip_of(&mut rng);
                     let len = 1 + rng.below(width as u64) as usize;
+                    let (set, _) = a.set_and_tag(ip);
+                    let gen = a.generation(set);
                     a.insert(ip, &mk_uops(ip.raw() << 8, len), 0, BankMask::EMPTY, BankMask::EMPTY);
+                    assert!(a.generation(set) > gen, "insert must invalidate set {set}'s memo");
                     known.push((ip, len));
                 }
                 1 if !known.is_empty() => {
@@ -68,7 +73,10 @@ fn memoized_assemble_matches_reference_across_random_histories() {
                 }
                 2 if !known.is_empty() => {
                     let (ip, _) = known[rng.below(known.len() as u64) as usize];
+                    let (set, _) = a.set_and_tag(ip);
+                    let gen = a.generation(set);
                     a.demote_lru(ip);
+                    assert!(a.generation(set) > gen, "demote_lru must invalidate set {set}'s memo");
                 }
                 3 if !known.is_empty() => {
                     let i = rng.below(known.len() as u64) as usize;
@@ -77,10 +85,61 @@ fn memoized_assemble_matches_reference_across_random_histories() {
                     if let Some(asm) = a.assemble(set, tag, None) {
                         let extra = 1 + rng.below(4) as usize;
                         if asm.total_uops == len && len + extra <= width {
+                            let gen = a.generation(set);
                             a.extend(ip, &asm, &mk_uops(ip.raw() << 8, extra), BankMask::EMPTY);
+                            assert!(
+                                a.generation(set) > gen,
+                                "extend must invalidate set {set}'s memo"
+                            );
                             known[i].1 += extra;
                         }
                     }
+                }
+                4 if !known.is_empty() => {
+                    // Conflicted fetch: pre-claiming one of the XB's banks
+                    // forces a Partial fetch, charging the blocked line's
+                    // conflict counter; past the threshold dynamic
+                    // placement relocates the line (slot swap) — a
+                    // structural change that must bump the generation.
+                    let (ip, _) = known[rng.below(known.len() as u64) as usize];
+                    let (set, tag) = a.set_and_tag(ip);
+                    if let Some(asm) = a.assemble(set, tag, None) {
+                        let ptr = XbPtr::new(ip, Addr::new(0), asm.mask, asm.total_uops as u8);
+                        let mut used = BankMask::single(asm.lines[0].0 as usize);
+                        let gen = a.generation(set);
+                        let relocs = a.stats().relocations;
+                        let _ = a.fetch_one(&ptr, &mut used);
+                        if a.stats().relocations > relocs {
+                            assert!(
+                                a.generation(set) > gen,
+                                "relocation must invalidate set {set}'s memo"
+                            );
+                        }
+                    }
+                }
+                5 if !known.is_empty() => {
+                    // Set search must agree with the reference assembly:
+                    // the repaired mask is the banks of the entry window's
+                    // lines, or None when the window cannot be covered.
+                    let (ip, _) = known[rng.below(known.len() as u64) as usize];
+                    let (set, tag) = a.set_and_tag(ip);
+                    let offset = 1 + rng.below(width as u64) as u8;
+                    let expected = a.assemble_reference(set, tag, None).and_then(|asm| {
+                        if asm.total_uops < offset as usize {
+                            return None;
+                        }
+                        let needed = (offset as usize).div_ceil(a.line_uops());
+                        let mut m = BankMask::EMPTY;
+                        for &(bank, _) in &asm.lines[..needed] {
+                            m.insert(bank as usize);
+                        }
+                        Some(m)
+                    });
+                    assert_eq!(
+                        a.set_search(ip, offset),
+                        expected,
+                        "set_search diverged from the reference at seed {seed} step {step}"
+                    );
                 }
                 _ => {}
             }

@@ -410,7 +410,10 @@ impl BbtcFrontend {
         }
         self.pending_uops -= delivered;
         if delivered > 0 {
-            probe.emit(Event::Uops { src: UopSource::Structure, n: delivered as u16 });
+            probe.emit(Event::Uops {
+                src: UopSource::Structure,
+                n: xbc_obs::saturate_u16(delivered),
+            });
         }
         probe.emit(Event::Cycle(CycleKind::Delivery));
         if self.pending_uops == 0 {

@@ -238,7 +238,7 @@ impl BuildEngine {
             }
         }
         if delivered > 0 {
-            probe.emit(Event::Uops { src: UopSource::Ic, n: delivered as u16 });
+            probe.emit(Event::Uops { src: UopSource::Ic, n: xbc_obs::saturate_u16(delivered) });
         }
         CycleKind::Build
     }

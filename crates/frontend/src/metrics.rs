@@ -158,6 +158,19 @@ impl FrontendMetrics {
             + self.d2b_structure_miss
     }
 
+    /// Applies `n` cycle events of the same kind at once — arithmetically
+    /// identical to `n` calls of `apply_event(&Event::Cycle(kind))`.
+    /// `Probe::emit_cycles` uses this so bulk stall retirement does not
+    /// loop over the counters.
+    pub fn apply_cycles(&mut self, kind: CycleKind, n: u64) {
+        self.cycles += n;
+        match kind {
+            CycleKind::Build => self.build_cycles += n,
+            CycleKind::Delivery => self.delivery_cycles += n,
+            CycleKind::Stall => self.stall_cycles += n,
+        }
+    }
+
     /// Applies one trace event to the counters.
     ///
     /// This is the *only* way frontends bump their metrics on the step

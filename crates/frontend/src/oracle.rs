@@ -46,6 +46,12 @@ pub const DEFAULT_STREAM_LOOKAHEAD: usize = 4 * 1024;
 pub struct OracleStream<'a> {
     /// Resident committed stream (empty when streaming).
     insts: &'a [DynInst],
+    /// Uop prefix sums over `insts` (resident only): `cum[i]` is the uop
+    /// count of `insts[..i]`, so `window_end` resolves window boundaries
+    /// by scanning a dense array instead of walking the (much larger)
+    /// `DynInst` records uop-run by uop-run. Borrowed from the trace's
+    /// shared table; empty when streaming.
+    cum: &'a [u32],
     /// Streaming refill source; `None` selects the resident backing.
     source: Option<&'a mut dyn InstSource>,
     /// Sliding lookahead buffer (streaming only).
@@ -71,6 +77,7 @@ impl<'a> OracleStream<'a> {
     pub fn new(trace: &'a Trace) -> Self {
         OracleStream {
             insts: trace.insts(),
+            cum: trace.uop_prefix(),
             source: None,
             window: Vec::new(),
             base: 0,
@@ -123,6 +130,7 @@ impl<'a> OracleStream<'a> {
         );
         let mut o = OracleStream {
             insts: &[],
+            cum: &[],
             source: Some(source),
             window: Vec::with_capacity(window),
             base: 0,
@@ -170,25 +178,37 @@ impl<'a> OracleStream<'a> {
     /// The instruction at absolute index `abs`, from whichever backing
     /// is active. Streaming: `abs` must stay within the lookahead
     /// contract (asserted); past-the-end reads return `None` only at the
-    /// true end of the stream.
+    /// true end of the stream. Reads *behind* the window (an index whose
+    /// instruction was already drained) are a caller bug and panic with
+    /// a dedicated message — before this check, `abs - base` wrapped to
+    /// a huge offset and the read was indistinguishable from running off
+    /// the end, silently returning `None` at EOF.
     #[inline]
     fn at(&self, abs: usize) -> Option<&DynInst> {
         match self.source {
             None => self.insts.get(abs),
-            Some(_) => match self.window.get(abs.wrapping_sub(self.base)) {
-                Some(d) => Some(d),
-                None => {
-                    assert!(
-                        self.eof,
-                        "streaming oracle lookahead exceeded: instruction {} is {} past the \
-                         cursor but only {} are guaranteed (raise the window)",
-                        abs,
-                        abs - self.pos,
-                        self.lookahead
-                    );
-                    None
+            Some(_) => {
+                assert!(
+                    abs >= self.base,
+                    "streaming oracle read behind the window: instruction {abs} was already \
+                     drained (window starts at {})",
+                    self.base
+                );
+                match self.window.get(abs - self.base) {
+                    Some(d) => Some(d),
+                    None => {
+                        assert!(
+                            self.eof,
+                            "streaming oracle lookahead exceeded: instruction {} is {} past the \
+                             cursor but only {} are guaranteed (raise the window)",
+                            abs,
+                            abs - self.pos,
+                            self.lookahead
+                        );
+                        None
+                    }
                 }
-            },
+            }
         }
     }
 
@@ -286,6 +306,24 @@ impl<'a> OracleStream<'a> {
     /// Returns `None` if the trace ends first or the window does not align
     /// with an instruction boundary.
     pub fn window_end(&self, window_uops: usize) -> Option<(&DynInst, usize)> {
+        if self.source.is_none() {
+            // Resident backing: the closing instruction is the unique `j`
+            // with `cum[pos + j + 1] == cum[pos] + uop_pos + window` —
+            // prefix sums are strictly increasing (every instruction has
+            // at least one uop), and windows span at most a fetch group,
+            // so a short forward scan over the dense prefix array beats
+            // both a global binary search and walking the wide `DynInst`
+            // records themselves.
+            let target = self.cum[self.pos] as u64 + self.uop_pos as u64 + window_uops as u64;
+            let target = u32::try_from(target).ok()?;
+            let tail = &self.cum[self.pos + 1..];
+            for (j, &c) in tail.iter().enumerate() {
+                if c >= target {
+                    return (c == target).then(|| (&self.insts[self.pos + j], j));
+                }
+            }
+            return None;
+        }
         let mut remaining = window_uops;
         let mut j = 0usize;
         loop {
@@ -481,5 +519,38 @@ mod tests {
         let t = trace();
         let mut src = IterSource::new(t.insts().iter().copied());
         let _ = OracleStream::streaming_with_window(&mut src, 4, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "behind the window")]
+    fn streaming_behind_the_window_read_panics() {
+        let t = long_trace(1_000);
+        let mut src = IterSource::new(t.insts().iter().copied());
+        let mut s = OracleStream::streaming_with_window(&mut src, 16, 4);
+        // Drain far enough that the consumed prefix is dropped and the
+        // window base advances past instruction 0.
+        for _ in 0..100 {
+            s.take_inst();
+        }
+        assert!(s.base > 0, "the window base must have advanced");
+        // An absolute index below the base is a drained instruction.
+        // Before the explicit check, `abs - base` wrapped to a huge
+        // offset — indistinguishable from running off the window's end.
+        let _ = s.at(0);
+    }
+
+    #[test]
+    fn streaming_in_window_reads_still_resolve() {
+        let t = long_trace(1_000);
+        let mut src = IterSource::new(t.insts().iter().copied());
+        let mut s = OracleStream::streaming_with_window(&mut src, 16, 4);
+        for _ in 0..100 {
+            s.take_inst();
+        }
+        assert!(s.base > 0);
+        // The cursor itself and everything within the lookahead contract
+        // stay readable after the base has advanced.
+        assert_eq!(s.at(s.pos).unwrap(), &t.insts()[100]);
+        assert_eq!(s.peek(3).unwrap(), &t.insts()[103]);
     }
 }

@@ -54,6 +54,20 @@ impl<'a, S: EventSink> Probe<'a, S> {
         }
     }
 
+    /// Emits `n` consecutive cycle events of the same kind. Equivalent to
+    /// calling [`Probe::emit`] `n` times with `Event::Cycle(kind)` — a
+    /// recording sink receives the identical per-cycle stream — but the
+    /// metric side folds into one pair of counter additions, and a
+    /// [`NullSink`] (even `dyn`) skips the loop entirely, so bulk stall
+    /// retirement costs O(1) whenever nothing records it.
+    #[inline(always)]
+    pub fn emit_cycles(&mut self, kind: xbc_obs::CycleKind, n: u64) {
+        self.m.apply_cycles(kind, n);
+        if self.active {
+            self.sink.emit_cycles(kind, n);
+        }
+    }
+
     /// Emits an observability-only event (no metric effect). The
     /// closure runs only when tracing into a sink that wants detail,
     /// so neither the untraced path nor a (possibly `dyn`) [`NullSink`]

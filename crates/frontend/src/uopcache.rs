@@ -194,7 +194,10 @@ impl UopCacheFrontend {
             }
         }
         if delivered > 0 {
-            probe.emit(Event::Uops { src: UopSource::Structure, n: delivered as u16 });
+            probe.emit(Event::Uops {
+                src: UopSource::Structure,
+                n: xbc_obs::saturate_u16(delivered),
+            });
         }
         probe.emit(Event::Cycle(CycleKind::Delivery));
     }

@@ -162,6 +162,20 @@ pub enum Event {
     },
 }
 
+/// Narrows a count to an event's `u16` payload field.
+///
+/// Event counts come from `usize` arithmetic (delivered uops, deferred
+/// uops, evicted lines); a plain `as u16` cast would silently wrap on
+/// configurations wider than 65535 (e.g. a pathological fuzz config's
+/// renamer width) and corrupt every downstream counter. Overflow is a
+/// config bug, so debug builds assert; release builds saturate, which
+/// at worst under-counts instead of wrapping to a small value.
+#[inline]
+pub fn saturate_u16(n: usize) -> u16 {
+    debug_assert!(n <= u16::MAX as usize, "event count {n} exceeds the u16 payload");
+    n.try_into().unwrap_or(u16::MAX)
+}
+
 impl Event {
     /// Whether this event affects `FrontendMetrics` when folded
     /// (`false` for the observability-only variants).

@@ -39,5 +39,7 @@ pub mod json;
 pub mod jsonl;
 mod sink;
 
-pub use event::{CycleKind, D2bCause, Event, FillKind, LookupKind, MispredictKind, UopSource};
+pub use event::{
+    saturate_u16, CycleKind, D2bCause, Event, FillKind, LookupKind, MispredictKind, UopSource,
+};
 pub use sink::{EventSink, NullSink, RingSink, VecSink};

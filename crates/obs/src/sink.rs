@@ -6,7 +6,7 @@
 //! entry points instantiate with [`NullSink`] and the emit calls
 //! vanish entirely — tracing is zero-cost when disabled.
 
-use crate::event::Event;
+use crate::event::{CycleKind, Event};
 use std::collections::VecDeque;
 
 /// A consumer of trace events.
@@ -14,6 +14,18 @@ pub trait EventSink {
     /// Accepts one event. Called on the simulation hot path: implement
     /// without allocation where possible.
     fn emit(&mut self, e: Event);
+
+    /// Accepts `n` consecutive `Event::Cycle(kind)` events. The default
+    /// loops over [`EventSink::emit`], so every recording sink captures
+    /// the exact per-cycle stream; [`NullSink`] overrides it to nothing
+    /// so bulk stall retirement stays O(1) even behind `&mut dyn
+    /// EventSink` (a null sink is disabled tracing, and would drop each
+    /// of the `n` events anyway).
+    fn emit_cycles(&mut self, kind: CycleKind, n: u64) {
+        for _ in 0..n {
+            self.emit(Event::Cycle(kind));
+        }
+    }
 
     /// Whether this sink cares about observability-only detail events
     /// (`Lookup` / `Fill` / `Eviction` / `Occupancy`). Some of those
@@ -33,6 +45,11 @@ impl<S: EventSink + ?Sized> EventSink for &mut S {
     }
 
     #[inline(always)]
+    fn emit_cycles(&mut self, kind: CycleKind, n: u64) {
+        (**self).emit_cycles(kind, n);
+    }
+
+    #[inline(always)]
     fn wants_detail(&self) -> bool {
         (**self).wants_detail()
     }
@@ -45,6 +62,9 @@ pub struct NullSink;
 impl EventSink for NullSink {
     #[inline(always)]
     fn emit(&mut self, _e: Event) {}
+
+    #[inline(always)]
+    fn emit_cycles(&mut self, _kind: CycleKind, _n: u64) {}
 
     #[inline(always)]
     fn wants_detail(&self) -> bool {

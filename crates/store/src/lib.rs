@@ -73,15 +73,18 @@ const LOCK_STALE_MS: u64 = 10_000;
 /// drop. Contenders spin with a short sleep, steal locks older than
 /// [`LOCK_STALE_MS`], and give up after [`LOCK_ACQUIRE_MS`] — the locks
 /// are advisory, so a timeout proceeds unlocked rather than failing.
-struct EntryLock {
+#[doc(hidden)] // Public for the crate's own concurrency tests only.
+pub struct EntryLock {
     path: PathBuf,
-    held: bool,
+    /// Whether the lock was actually acquired (`false` after a timeout
+    /// or when there was nothing to lock).
+    pub held: bool,
 }
 
 impl EntryLock {
     /// Locks the entry at `path` (by convention: `<entry>.lock` in the
     /// same directory).
-    fn acquire(entry: &Path) -> EntryLock {
+    pub fn acquire(entry: &Path) -> EntryLock {
         let mut name = entry.file_name().map(|n| n.to_os_string()).unwrap_or_default();
         name.push(".lock");
         let path = entry.with_file_name(name);
@@ -100,11 +103,7 @@ impl EntryLock {
                         .and_then(|m| m.elapsed().ok())
                         .is_some_and(|age| age.as_millis() as u64 > LOCK_STALE_MS);
                     if stale {
-                        eprintln!(
-                            "[xbc-store] stealing stale lock {} (holder presumed dead)",
-                            path.display()
-                        );
-                        fs::remove_file(&path).ok();
+                        Self::steal_stale(&path);
                         continue;
                     }
                     if Instant::now() >= deadline {
@@ -119,6 +118,47 @@ impl EntryLock {
                 // E.g. the parent directory vanished: nothing to lock.
                 Err(_) => return EntryLock { path, held: false },
             }
+        }
+    }
+
+    /// Steals a lock file already judged stale, safely under contention.
+    ///
+    /// Deleting the stale file in place would race: two contenders can
+    /// both see it stale, the first deletes it and creates a *fresh*
+    /// lock, and the second's delete then removes the fresh lock — two
+    /// winners. Instead the stale file is first *renamed* to a unique
+    /// tombstone. Rename is atomic, so exactly one stealer succeeds;
+    /// the losers' renames fail (`NotFound`) and they simply re-enter
+    /// the `create_new` race. The winner re-checks the tombstone's age
+    /// before discarding it: if the rename unexpectedly grabbed a
+    /// fresh lock (the holder released and a new one appeared inside
+    /// the staleness-check window), it is restored instead of deleted.
+    fn steal_stale(path: &Path) {
+        static STEAL_SEQ: AtomicU64 = AtomicU64::new(0);
+        let mut name = path.as_os_str().to_os_string();
+        name.push(format!(
+            ".stale-{}-{}",
+            std::process::id(),
+            STEAL_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let tombstone = PathBuf::from(name);
+        if fs::rename(path, &tombstone).is_err() {
+            // Lost the steal race (or the holder released): the path is
+            // free or freshly re-locked; the caller retries either way.
+            return;
+        }
+        let still_stale = fs::metadata(&tombstone)
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|m| m.elapsed().ok())
+            .is_some_and(|age| age.as_millis() as u64 > LOCK_STALE_MS);
+        if still_stale {
+            eprintln!("[xbc-store] stealing stale lock {} (holder presumed dead)", path.display());
+            fs::remove_file(&tombstone).ok();
+        } else {
+            // Pathological interleaving: we renamed a live lock. Put it
+            // back (best effort) and go back to waiting on it.
+            fs::rename(&tombstone, path).ok();
         }
     }
 }

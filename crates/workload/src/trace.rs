@@ -29,6 +29,9 @@ pub struct Trace {
     insts: Vec<DynInst>,
     uops: u64,
     exec_stats: ExecStats,
+    /// Lazily built uop prefix sums (`prefix[i]` = uops of `insts[..i]`),
+    /// shared by every replay cursor over this trace.
+    uop_prefix: std::sync::OnceLock<Vec<u32>>,
 }
 
 impl Trace {
@@ -81,7 +84,13 @@ impl Trace {
             uops += d.uops() as u64;
             insts.push(d);
         }
-        Trace { name: name.to_owned(), insts, uops, exec_stats: exec.stats() }
+        Trace {
+            name: name.to_owned(),
+            insts,
+            uops,
+            exec_stats: exec.stats(),
+            uop_prefix: std::sync::OnceLock::new(),
+        }
     }
 
     /// Builds a trace directly from a committed instruction sequence (the
@@ -95,7 +104,13 @@ impl Trace {
     pub fn from_parts(name: &str, insts: Vec<DynInst>) -> Self {
         assert!(!insts.is_empty(), "a trace needs at least one instruction");
         let uops = insts.iter().map(|d| d.uops() as u64).sum();
-        Trace { name: name.to_owned(), insts, uops, exec_stats: ExecStats::default() }
+        Trace {
+            name: name.to_owned(),
+            insts,
+            uops,
+            exec_stats: ExecStats::default(),
+            uop_prefix: std::sync::OnceLock::new(),
+        }
     }
 
     /// Trace name (e.g. `"spec.gcc"`).
@@ -116,6 +131,24 @@ impl Trace {
     /// Number of dynamic uops.
     pub fn uop_count(&self) -> u64 {
         self.uops
+    }
+
+    /// Uop prefix sums over the committed stream: `prefix()[i]` is the
+    /// total uop count of `insts()[..i]` (so the slice is one longer than
+    /// the trace). Built on first use and cached, so replay cursors that
+    /// resolve uop windows against instruction boundaries share one dense
+    /// table instead of re-walking the instruction records.
+    pub fn uop_prefix(&self) -> &[u32] {
+        self.uop_prefix.get_or_init(|| {
+            let mut cum = Vec::with_capacity(self.insts.len() + 1);
+            let mut total = 0u32;
+            cum.push(0);
+            for d in &self.insts {
+                total += d.uops();
+                cum.push(total);
+            }
+            cum
+        })
     }
 
     /// Executor corner-case statistics from the capture.
@@ -169,7 +202,7 @@ impl Trace {
         if insts.is_empty() {
             return Err(TraceError::Corrupt("trace file contains no instructions".into()));
         }
-        Ok(Trace { name, insts, uops, exec_stats })
+        Ok(Trace { name, insts, uops, exec_stats, uop_prefix: std::sync::OnceLock::new() })
     }
 }
 
