@@ -5,8 +5,10 @@
 //! xbcsim run   --frontend xbc --size 32768 --trace spec.gcc --inst 500000 [--stream on] [--trace-events ev.jsonl]
 //! xbcsim run   --frontend tc  --from trace.xbt --stream on
 //! xbcsim sweep --frontends tc,xbc --sizes 8192,32768 --inst 200000 [--traces a,b] [--json out.json] [--bench-json BENCH_sweep.json] [--threads N] [--cache DIR|off] [--trace-events ev.jsonl]
-//! xbcsim serve --socket target/xbcsim.sock [--threads N] [--cache DIR|off]
-//! xbcsim submit --socket target/xbcsim.sock --frontends tc,xbc --sizes 8192 --inst 200000 [--json out.json] [--bench-json FILE]
+//! xbcsim serve --socket target/xbcsim.sock [--threads N] [--cache DIR|off] [--conn-cap N] [--idle-timeout-ms N]
+//! xbcsim serve --listen 0.0.0.0:7700 [--threads N] [--cache DIR|off]
+//! xbcsim submit --socket target/xbcsim.sock --frontends tc,xbc --sizes 8192 --inst 200000 [--priority N] [--json out.json] [--bench-json FILE]
+//! xbcsim submit --connect host:7700 --frontends tc,xbc --sizes 8192 --inst 200000
 //! xbcsim submit --socket target/xbcsim.sock --ping on | --shutdown on
 //! xbcsim inspect --events ev.jsonl
 //! xbcsim capture --trace sys.access --inst 100000 --out trace.xbt
@@ -15,9 +17,9 @@
 
 use std::fs::File;
 use std::io::BufReader;
-use std::path::PathBuf;
 use std::process::exit;
 use xbc_serve::protocol::SweepRequest;
+use xbc_serve::Endpoint;
 use xbc_sim::{pivot_table, FrontendSpec, Row, Sweep};
 use xbc_workload::{function_dot, standard_traces, Trace, TraceStream};
 
@@ -26,8 +28,8 @@ fn usage() -> ! {
     eprintln!("  xbcsim list");
     eprintln!("  xbcsim run --frontend ic|uopcache|bbtc|tc|xbc [--size N] [--check on] [--stream on] [--trace-events FILE] (--trace NAME --inst N | --from FILE)");
     eprintln!("  xbcsim sweep [--frontends tc,xbc] [--sizes 8192,32768] [--traces a,b] [--inst N] [--json FILE] [--bench-json FILE] [--threads N] [--cache DIR|off] [--check on] [--trace-events FILE]");
-    eprintln!("  xbcsim serve [--socket PATH] [--threads N] [--cache DIR|off]");
-    eprintln!("  xbcsim submit [--socket PATH] [--frontends tc,xbc] [--sizes 8192,32768] [--traces a,b] [--inst N] [--json FILE] [--bench-json FILE] [--ping on] [--shutdown on]");
+    eprintln!("  xbcsim serve [--socket PATH | --listen HOST:PORT] [--threads N] [--cache DIR|off] [--conn-cap N] [--idle-timeout-ms N]");
+    eprintln!("  xbcsim submit [--socket PATH | --connect HOST:PORT] [--frontends tc,xbc] [--sizes 8192,32768] [--traces a,b] [--inst N] [--priority N] [--json FILE] [--bench-json FILE] [--ping on] [--shutdown on]");
     eprintln!("  xbcsim inspect --events FILE   (render an xbc-events-v1 stream)");
     eprintln!("  xbcsim capture --trace NAME --inst N --out FILE");
     eprintln!("  xbcsim dot --trace NAME [--function K]   (DOT CFG to stdout)");
@@ -276,8 +278,19 @@ fn cmd_sweep(flags: &Flags) {
     write_artifacts(flags, &rows, &bench.to_json());
 }
 
-fn socket_path(flags: &Flags) -> PathBuf {
-    PathBuf::from(flags.get("socket").unwrap_or("target/xbcsim.sock"))
+/// The rendezvous convention shared by `serve` and `submit`:
+/// `--listen`/`--connect HOST:PORT` picks TCP, `--socket PATH` (default
+/// `target/xbcsim.sock`) a Unix-domain socket.
+fn endpoint(flags: &Flags, tcp_flag: &str) -> Endpoint {
+    match flags.get(tcp_flag) {
+        Some(addr) => {
+            if flags.get("socket").is_some() {
+                fail(&format!("--socket and --{tcp_flag} are mutually exclusive"));
+            }
+            Endpoint::tcp(addr)
+        }
+        None => Endpoint::unix(flags.get("socket").unwrap_or("target/xbcsim.sock")),
+    }
 }
 
 fn cmd_serve(flags: &Flags) {
@@ -288,40 +301,57 @@ fn cmd_serve(flags: &Flags) {
             None
         }
     });
-    let config = xbc_serve::ServeConfig {
-        socket: socket_path(flags),
-        threads: flags.get_usize("threads", 0),
-        store,
-        progress: true,
-    };
+    let mut config = xbc_serve::ServeConfig::new(endpoint(flags, "listen"));
+    config.threads = flags.get_usize("threads", 0);
+    config.store = store;
+    config.progress = true;
+    config.max_connections = flags.get_usize("conn-cap", 64);
+    let idle_ms = flags.get_usize("idle-timeout-ms", 0);
+    config.idle_timeout = (idle_ms > 0).then(|| std::time::Duration::from_millis(idle_ms as u64));
     if let Err(e) = xbc_serve::serve(&config) {
         fail(&format!("serve: {e}"));
     }
 }
 
 fn cmd_submit(flags: &Flags) {
-    let socket = socket_path(flags);
+    let endpoint = endpoint(flags, "connect");
     if flags.get_bool("ping", false) {
-        match xbc_serve::ping(&socket) {
-            Ok(()) => println!("pong from {}", socket.display()),
+        match xbc_serve::ping(&endpoint) {
+            Ok(()) => println!("pong from {endpoint}"),
             Err(e) => fail(&e),
         }
         return;
     }
     if flags.get_bool("shutdown", false) {
-        match xbc_serve::shutdown(&socket) {
-            Ok(()) => println!("daemon at {} shut down", socket.display()),
+        match xbc_serve::shutdown(&endpoint) {
+            Ok(draining) => {
+                println!("daemon at {endpoint} shutting down ({draining} cells draining)");
+            }
             Err(e) => fail(&e),
         }
         return;
     }
     let (traces, frontends, insts) = resolve_grid(flags);
-    let req = SweepRequest { traces, frontends, insts };
-    let outcome = xbc_serve::submit(&socket, &req).unwrap_or_else(|e| fail(&e));
+    let priority = flags.get_usize("priority", 0);
+    let priority =
+        u32::try_from(priority).unwrap_or_else(|_| fail(&format!("bad --priority: {priority}")));
+    let req = SweepRequest { traces, frontends, insts, priority };
+    let outcome = xbc_serve::submit(&endpoint, &req).unwrap_or_else(|e| fail(&e));
     print_rows(&outcome.rows);
     write_artifacts(flags, &outcome.rows, &outcome.bench.to_json());
     if let Some(stats) = &outcome.store {
         eprintln!("[xbc-serve] store delta: {stats}");
+    }
+    if let Some(sched) = &outcome.sched {
+        eprintln!(
+            "[xbc-serve] queue depth {} ({} enqueued, {} completed, {} deduped, {} retried, {} cancelled)",
+            sched.queue_depth,
+            sched.enqueued_cells,
+            sched.completed_cells,
+            sched.deduped_cells,
+            sched.retried_cells,
+            sched.cancelled_cells,
+        );
     }
     eprintln!("[xbc-serve] {}", outcome.bench);
 }

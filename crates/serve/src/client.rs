@@ -1,9 +1,9 @@
 //! The client side of the `xbc-serve-v1` protocol (`xbcsim submit`).
 
 use crate::protocol::{self, SweepRequest};
+use crate::scheduler::SchedStats;
+use crate::transport::{self, Conn, Endpoint};
 use std::io::{BufRead, BufReader, Write};
-use std::os::unix::net::UnixStream;
-use std::path::Path;
 use xbc_sim::json::Json;
 use xbc_sim::{Row, SweepBench};
 use xbc_store::StoreStats;
@@ -21,17 +21,29 @@ pub struct SubmitOutcome {
     /// runs uncached). The store is shared across clients, so this
     /// includes concurrent requests' activity.
     pub store: Option<StoreStats>,
+    /// The daemon's queue snapshot at completion time (`None` from
+    /// pre-scheduler daemons).
+    pub sched: Option<SchedStats>,
 }
 
-/// Opens a connection and consumes the server hello.
-fn connect(socket: &Path) -> Result<(BufReader<UnixStream>, UnixStream), String> {
-    let stream = UnixStream::connect(socket)
-        .map_err(|e| format!("connect {}: {e} (is the daemon running?)", socket.display()))?;
-    let out = stream.try_clone().map_err(|e| format!("clone socket: {e}"))?;
-    let mut reader = BufReader::new(stream);
+/// Opens a connection and consumes the server hello. A daemon at its
+/// connection cap answers with an `error` line instead of a hello; that
+/// message comes back as the `Err`.
+fn connect(endpoint: &Endpoint) -> Result<(BufReader<Conn>, Conn), String> {
+    let conn = transport::connect(endpoint)
+        .map_err(|e| format!("connect {endpoint}: {e} (is the daemon running?)"))?;
+    let out = conn.try_clone().map_err(|e| format!("clone connection: {e}"))?;
+    let mut reader = BufReader::new(conn);
     let mut hello = String::new();
     reader.read_line(&mut hello).map_err(|e| format!("read hello: {e}"))?;
     let j = Json::parse(hello.trim()).map_err(|e| format!("malformed hello: {e}"))?;
+    if j.get("type").and_then(Json::as_str) == Some("error") {
+        return Err(j
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap_or("server refused the connection")
+            .to_owned());
+    }
     match j.get("schema").and_then(Json::as_str) {
         Some(protocol::SCHEMA) => Ok((reader, out)),
         Some(other) => Err(format!("server speaks {other:?}, expected {:?}", protocol::SCHEMA)),
@@ -39,11 +51,11 @@ fn connect(socket: &Path) -> Result<(BufReader<UnixStream>, UnixStream), String>
     }
 }
 
-fn send_line(out: &mut UnixStream, line: &str) -> Result<(), String> {
+fn send_line(out: &mut Conn, line: &str) -> Result<(), String> {
     writeln!(out, "{line}").and_then(|()| out.flush()).map_err(|e| format!("send request: {e}"))
 }
 
-fn read_response_line(reader: &mut BufReader<UnixStream>) -> Result<Json, String> {
+fn read_response_line(reader: &mut BufReader<Conn>) -> Result<Json, String> {
     let mut line = String::new();
     let n = reader.read_line(&mut line).map_err(|e| format!("read response: {e}"))?;
     if n == 0 {
@@ -57,8 +69,8 @@ fn read_response_line(reader: &mut BufReader<UnixStream>) -> Result<Json, String
 /// # Errors
 ///
 /// Returns a message describing the connection or protocol failure.
-pub fn ping(socket: &Path) -> Result<(), String> {
-    let (mut reader, mut out) = connect(socket)?;
+pub fn ping(endpoint: &Endpoint) -> Result<(), String> {
+    let (mut reader, mut out) = connect(endpoint)?;
     send_line(&mut out, "{\"type\":\"ping\"}")?;
     let j = read_response_line(&mut reader)?;
     match j.get("type").and_then(Json::as_str) {
@@ -67,18 +79,19 @@ pub fn ping(socket: &Path) -> Result<(), String> {
     }
 }
 
-/// Asks the daemon to shut down gracefully (it drains queued work
-/// first). Returns once the daemon has acknowledged with `bye`.
+/// Asks the daemon to shut down gracefully. Returns the number of cells
+/// (queued or running) the daemon reported it would drain — active
+/// sweeps keep streaming until their rows are out.
 ///
 /// # Errors
 ///
 /// Returns a message describing the connection or protocol failure.
-pub fn shutdown(socket: &Path) -> Result<(), String> {
-    let (mut reader, mut out) = connect(socket)?;
+pub fn shutdown(endpoint: &Endpoint) -> Result<u64, String> {
+    let (mut reader, mut out) = connect(endpoint)?;
     send_line(&mut out, "{\"type\":\"shutdown\"}")?;
     let j = read_response_line(&mut reader)?;
     match j.get("type").and_then(Json::as_str) {
-        Some("bye") => Ok(()),
+        Some("bye") => Ok(j.get("draining").and_then(Json::as_u64).unwrap_or(0)),
         other => Err(format!("expected bye, got {other:?}")),
     }
 }
@@ -91,8 +104,8 @@ pub fn shutdown(socket: &Path) -> Result<(), String> {
 ///
 /// Returns the server's `error` message, or a description of any
 /// connection/protocol failure.
-pub fn submit(socket: &Path, req: &SweepRequest) -> Result<SubmitOutcome, String> {
-    let (mut reader, mut out) = connect(socket)?;
+pub fn submit(endpoint: &Endpoint, req: &SweepRequest) -> Result<SubmitOutcome, String> {
+    let (mut reader, mut out) = connect(endpoint)?;
     send_line(&mut out, &protocol::render_sweep_request(req))?;
     let mut rows: Vec<Row> = Vec::new();
     loop {
@@ -125,7 +138,11 @@ pub fn submit(socket: &Path, req: &SweepRequest) -> Result<SubmitOutcome, String
                     None | Some(Json::Null) => None,
                     Some(s) => Some(protocol::stats_from_json(s)?),
                 };
-                return Ok(SubmitOutcome { rows, bench, store });
+                let sched = match j.get("sched") {
+                    None | Some(Json::Null) => None,
+                    Some(s) => Some(protocol::sched_from_json(s)?),
+                };
+                return Ok(SubmitOutcome { rows, bench, store, sched });
             }
             Some("error") => {
                 return Err(j

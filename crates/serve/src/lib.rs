@@ -5,11 +5,18 @@
 //!
 //! * [`protocol`] — the `xbc-serve-v1` JSONL wire protocol (requests,
 //!   row/trailer lines, and the compact serializers they use),
-//! * [`serve`] / [`ServeConfig`] — the daemon: a Unix-domain-socket
-//!   accept loop feeding (trace × frontend) cells onto a shared
-//!   cell-level scheduler (the same cell model as `xbc_sim::Sweep`),
+//! * [`Endpoint`] — the transport address: a Unix-domain socket path or
+//!   a TCP `host:port` (the protocol is identical over both),
+//! * [`serve`] / [`Server`] / [`ServeConfig`] — the daemon: an accept
+//!   loop feeding (trace × frontend) cells onto a shared fair scheduler
+//!   (priority classes, round-robin across clients within a class, the
+//!   same cell model as `xbc_sim::Sweep`), with daemon-wide
+//!   single-flight dedup of concurrently requested cells and captures,
 //! * [`submit`] / [`ping`] / [`shutdown`] — the client side, used by
-//!   `xbcsim submit`.
+//!   `xbcsim submit`,
+//! * [`faults`] (under the `check` feature) — deterministic
+//!   fault-injection triggers for the daemon's failure paths: worker
+//!   deaths mid-cell, dropped/delayed/truncated response streams.
 //!
 //! Replay inside the daemon is *streaming-first*: a cell whose trace is
 //! already in the store replays it through the bounded-window oracle
@@ -28,7 +35,16 @@
 
 mod client;
 mod daemon;
+#[cfg(feature = "check")]
+pub mod faults;
 pub mod protocol;
+mod scheduler;
+mod transport;
 
 pub use client::{ping, shutdown, submit, SubmitOutcome};
-pub use daemon::{serve, ServeConfig};
+pub use daemon::{serve, ServeConfig, Server};
+pub use scheduler::{ClientCells, SchedStats};
+pub use transport::Endpoint;
+
+#[cfg(feature = "check")]
+pub use faults::FaultInjector;

@@ -1,18 +1,24 @@
 //! The `xbc-serve-v1` wire protocol.
 //!
-//! JSONL over a Unix-domain socket: every message is one JSON object on
-//! one line. The conversation is strictly client-driven:
+//! JSONL over a Unix-domain or TCP socket (the protocol never cares
+//! which — see [`crate::transport`]): every message is one JSON object
+//! on one line. The conversation is strictly client-driven:
 //!
 //! ```text
 //! server → {"schema":"xbc-serve-v1","type":"hello","threads":8}
 //! client → {"type":"ping"}
 //! server → {"type":"pong"}
-//! client → {"type":"sweep","traces":["spec.gcc"],"frontends":[{"kind":"ic"}],"insts":20000}
+//! client → {"type":"sweep","traces":["spec.gcc"],"frontends":[{"kind":"ic"}],"insts":20000,"priority":0}
 //! server → {"type":"row","index":0,"row":{...}}         (index order 0..rows-1)
-//! server → {"type":"done","rows":1,"bench":{...},"store":{...}}
+//! server → {"type":"done","rows":1,"bench":{...},"store":{...},"sched":{...}}
 //! client → {"type":"shutdown"}
-//! server → {"type":"bye"}                               (daemon then exits)
+//! server → {"type":"bye","draining":3}                  (daemon drains 3 cells, then exits)
 //! ```
+//!
+//! `priority` is optional on the wire (default 0); higher classes are
+//! dispatched first, and within a class the daemon round-robins across
+//! clients. The `done` trailer's `sched` object snapshots the daemon's
+//! queue (depth, per-client cell counts, dedup/retry counters).
 //!
 //! Errors come back as `{"type":"error","message":"..."}` and leave the
 //! connection usable for the next request.
@@ -25,6 +31,7 @@
 //! same grid (given the same store), which is what the CI serve gate
 //! diffs.
 
+use crate::scheduler::{ClientCells, SchedStats};
 use xbc_sim::json::{escape, Json};
 use xbc_sim::{FrontendSpec, Row, SweepBench, WorkerStat};
 use xbc_store::StoreStats;
@@ -42,6 +49,9 @@ pub struct SweepRequest {
     pub frontends: Vec<FrontendSpec>,
     /// Dynamic instructions per trace.
     pub insts: usize,
+    /// Scheduling class: queued cells of a higher class always dispatch
+    /// before lower ones; equal classes round-robin. Default 0.
+    pub priority: u32,
 }
 
 /// A parsed client request line.
@@ -66,9 +76,10 @@ pub fn pong_line() -> String {
     "{\"type\":\"pong\"}".to_owned()
 }
 
-/// Reply to [`Request::Shutdown`].
-pub fn bye_line() -> String {
-    "{\"type\":\"bye\"}".to_owned()
+/// Reply to [`Request::Shutdown`]: `draining` counts the cells (queued
+/// or running) the daemon will finish streaming before it exits.
+pub fn bye_line(draining: u64) -> String {
+    format!("{{\"type\":\"bye\",\"draining\":{draining}}}")
 }
 
 /// An error reply; the connection stays open.
@@ -81,10 +92,11 @@ pub fn render_sweep_request(req: &SweepRequest) -> String {
     let traces: Vec<String> = req.traces.iter().map(|t| format!("\"{}\"", escape(t))).collect();
     let fes: Vec<String> = req.frontends.iter().map(FrontendSpec::to_json).collect();
     format!(
-        "{{\"type\":\"sweep\",\"traces\":[{}],\"frontends\":[{}],\"insts\":{}}}",
+        "{{\"type\":\"sweep\",\"traces\":[{}],\"frontends\":[{}],\"insts\":{},\"priority\":{}}}",
         traces.join(","),
         fes.join(","),
-        req.insts
+        req.insts,
+        req.priority
     )
 }
 
@@ -120,7 +132,14 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .collect::<Result<Vec<_>, _>>()?;
             let insts =
                 j.get("insts").and_then(Json::as_usize).ok_or("sweep request missing insts")?;
-            Ok(Request::Sweep(SweepRequest { traces, frontends, insts }))
+            let priority = match j.get("priority") {
+                None => 0,
+                Some(p) => {
+                    u32::try_from(p.as_u64().ok_or("priority must be a non-negative integer")?)
+                        .map_err(|_| "priority exceeds u32 range".to_owned())?
+                }
+            };
+            Ok(Request::Sweep(SweepRequest { traces, frontends, insts, priority }))
         }
         Some(other) => Err(format!("unknown request type {other:?}")),
         None => Err("request missing type".into()),
@@ -170,14 +189,15 @@ pub fn bench_to_compact_json(b: &SweepBench) -> String {
         .collect();
     format!(
         "{{\"schema\":\"xbc-sweep-bench-v1\",\"threads\":{},\"traces\":{},\"frontends\":{},\
-         \"total_cells\":{},\"cached_cells\":{},\"simulated_cells\":{},\"captures\":{},\
-         \"capture_ms\":{},\"sim_ms\":{},\"wall_ms\":{},\"workers\":[{}]}}",
+         \"total_cells\":{},\"cached_cells\":{},\"simulated_cells\":{},\"deduped_cells\":{},\
+         \"captures\":{},\"capture_ms\":{},\"sim_ms\":{},\"wall_ms\":{},\"workers\":[{}]}}",
         b.threads,
         b.traces,
         b.frontends,
         b.total_cells,
         b.cached_cells,
         b.simulated_cells,
+        b.deduped_cells,
         b.captures,
         b.capture_ms,
         b.sim_ms,
@@ -216,6 +236,8 @@ pub fn bench_from_json(j: &Json) -> Result<SweepBench, String> {
         total_cells: usize_field(j, "total_cells")?,
         cached_cells: usize_field(j, "cached_cells")?,
         simulated_cells: usize_field(j, "simulated_cells")?,
+        // Optional: absent in pre-dedup bench artifacts.
+        deduped_cells: j.get("deduped_cells").and_then(Json::as_usize).unwrap_or(0),
         captures: u64_field(j, "captures")?,
         capture_ms: u64_field(j, "capture_ms")?,
         sim_ms: u64_field(j, "sim_ms")?,
@@ -277,17 +299,89 @@ pub fn stats_delta(before: &StoreStats, after: &StoreStats) -> StoreStats {
     }
 }
 
+/// Serializes a [`SchedStats`] queue snapshot as a single-line JSON
+/// object.
+pub fn sched_to_compact_json(s: &SchedStats) -> String {
+    let clients: Vec<String> = s
+        .clients
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"client\":{},\"priority\":{},\"queued\":{}}}",
+                c.client, c.priority, c.queued
+            )
+        })
+        .collect();
+    format!(
+        "{{\"queue_depth\":{},\"enqueued_cells\":{},\"completed_cells\":{},\
+         \"deduped_cells\":{},\"retried_cells\":{},\"cancelled_cells\":{},\"clients\":[{}]}}",
+        s.queue_depth,
+        s.enqueued_cells,
+        s.completed_cells,
+        s.deduped_cells,
+        s.retried_cells,
+        s.cancelled_cells,
+        clients.join(","),
+    )
+}
+
+/// Reconstructs a [`SchedStats`] from a parsed JSON object.
+///
+/// # Errors
+///
+/// Returns a message naming the missing or malformed field.
+pub fn sched_from_json(j: &Json) -> Result<SchedStats, String> {
+    fn u64_field(j: &Json, k: &str) -> Result<u64, String> {
+        j.get(k).and_then(Json::as_u64).ok_or_else(|| format!("sched stats missing {k}"))
+    }
+    let clients = j
+        .get("clients")
+        .and_then(Json::as_arr)
+        .ok_or("sched stats missing clients")?
+        .iter()
+        .map(|c| {
+            Ok(ClientCells {
+                client: u64_field(c, "client")?,
+                priority: u32::try_from(u64_field(c, "priority")?)
+                    .map_err(|_| "client priority exceeds u32 range".to_owned())?,
+                queued: u64_field(c, "queued")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(SchedStats {
+        queue_depth: u64_field(j, "queue_depth")?,
+        enqueued_cells: u64_field(j, "enqueued_cells")?,
+        completed_cells: u64_field(j, "completed_cells")?,
+        deduped_cells: u64_field(j, "deduped_cells")?,
+        retried_cells: u64_field(j, "retried_cells")?,
+        cancelled_cells: u64_field(j, "cancelled_cells")?,
+        clients,
+    })
+}
+
 /// The `done` trailer closing a sweep response. `store` is `null` when
-/// the daemon runs uncached.
-pub fn done_line(rows: usize, bench: &SweepBench, store: Option<&StoreStats>) -> String {
+/// the daemon runs uncached; `sched` is the daemon's queue snapshot at
+/// completion time (older daemons omitted it, so readers treat it as
+/// optional).
+pub fn done_line(
+    rows: usize,
+    bench: &SweepBench,
+    store: Option<&StoreStats>,
+    sched: Option<&SchedStats>,
+) -> String {
     let store = match store {
         Some(s) => stats_to_compact_json(s),
         None => "null".to_owned(),
     };
+    let sched = match sched {
+        Some(s) => sched_to_compact_json(s),
+        None => "null".to_owned(),
+    };
     format!(
-        "{{\"type\":\"done\",\"rows\":{rows},\"bench\":{},\"store\":{}}}",
+        "{{\"type\":\"done\",\"rows\":{rows},\"bench\":{},\"store\":{},\"sched\":{}}}",
         bench_to_compact_json(bench),
-        store
+        store,
+        sched
     )
 }
 
@@ -318,6 +412,7 @@ mod tests {
                 FrontendSpec::Xbc { total_uops: 8192, ways: 2, promotion: true },
             ],
             insts: 20_000,
+            priority: 3,
         };
         let line = render_sweep_request(&req);
         assert!(!line.contains('\n'));
@@ -330,6 +425,18 @@ mod tests {
         assert!(parse_request("{\"type\":\"zap\"}").is_err());
         assert!(parse_request("{}").is_err());
         assert!(parse_request("{\"type\":\"sweep\"}").is_err());
+    }
+
+    #[test]
+    fn priority_defaults_to_zero_and_rejects_garbage() {
+        let line = "{\"type\":\"sweep\",\"traces\":[\"spec.gcc\"],\
+                    \"frontends\":[{\"kind\":\"ic\"}],\"insts\":100}";
+        match parse_request(line).unwrap() {
+            Request::Sweep(req) => assert_eq!(req.priority, 0),
+            other => panic!("parsed {other:?}"),
+        }
+        let bad = line.replace(",\"insts\":100", ",\"insts\":100,\"priority\":\"high\"");
+        assert!(parse_request(&bad).unwrap_err().contains("priority"));
     }
 
     #[test]
@@ -365,7 +472,8 @@ mod tests {
             frontends: 3,
             total_cells: 6,
             cached_cells: 1,
-            simulated_cells: 5,
+            simulated_cells: 3,
+            deduped_cells: 2,
             captures: 2,
             capture_ms: 30,
             sim_ms: 970,
@@ -376,11 +484,35 @@ mod tests {
         assert!(!compact.contains('\n'));
         let back = bench_from_json(&Json::parse(&compact).unwrap()).unwrap();
         assert_eq!(back.total_cells, 6);
+        assert_eq!(back.deduped_cells, 2);
         assert_eq!(back.workers, bench.workers);
         // The multi-line artifact form parses through the same reader.
         let art = bench_from_json(&Json::parse(&bench.to_json()).unwrap()).unwrap();
-        assert_eq!(art.simulated_cells, 5);
+        assert_eq!(art.simulated_cells, 3);
         assert_eq!(art.wall_ms, 500);
+        // Pre-dedup artifacts (no deduped_cells field) still parse.
+        let legacy = compact.replace(",\"deduped_cells\":2", "");
+        assert_eq!(bench_from_json(&Json::parse(&legacy).unwrap()).unwrap().deduped_cells, 0);
+    }
+
+    #[test]
+    fn sched_roundtrip() {
+        let stats = SchedStats {
+            queue_depth: 4,
+            enqueued_cells: 10,
+            completed_cells: 6,
+            deduped_cells: 2,
+            retried_cells: 1,
+            cancelled_cells: 0,
+            clients: vec![
+                ClientCells { client: 1, priority: 0, queued: 3 },
+                ClientCells { client: 2, priority: 5, queued: 1 },
+            ],
+        };
+        let compact = sched_to_compact_json(&stats);
+        assert!(!compact.contains('\n'));
+        let back = sched_from_json(&Json::parse(&compact).unwrap()).unwrap();
+        assert_eq!(back, stats);
     }
 
     #[test]
@@ -406,13 +538,28 @@ mod tests {
 
     #[test]
     fn done_line_shape() {
-        let line = done_line(6, &SweepBench::default(), Some(&StoreStats::default()));
+        let line = done_line(
+            6,
+            &SweepBench::default(),
+            Some(&StoreStats::default()),
+            Some(&SchedStats::default()),
+        );
         let j = Json::parse(&line).unwrap();
         assert_eq!(j.get("type").and_then(Json::as_str), Some("done"));
         assert_eq!(j.get("rows").and_then(Json::as_usize), Some(6));
         assert!(bench_from_json(j.get("bench").unwrap()).is_ok());
         assert!(stats_from_json(j.get("store").unwrap()).is_ok());
-        let uncached = done_line(0, &SweepBench::default(), None);
-        assert_eq!(Json::parse(&uncached).unwrap().get("store"), Some(&Json::Null));
+        assert!(sched_from_json(j.get("sched").unwrap()).is_ok());
+        let uncached = done_line(0, &SweepBench::default(), None, None);
+        let j = Json::parse(&uncached).unwrap();
+        assert_eq!(j.get("store"), Some(&Json::Null));
+        assert_eq!(j.get("sched"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn bye_line_reports_drain_count() {
+        let j = Json::parse(&bye_line(7)).unwrap();
+        assert_eq!(j.get("type").and_then(Json::as_str), Some("bye"));
+        assert_eq!(j.get("draining").and_then(Json::as_u64), Some(7));
     }
 }

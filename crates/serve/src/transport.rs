@@ -1,0 +1,224 @@
+//! Transport layer: one protocol, two wire carriers.
+//!
+//! The `xbc-serve-v1` conversation (see [`crate::protocol`]) is plain
+//! JSONL and never cares what carries the bytes. This module gives the
+//! daemon and client a single [`Endpoint`] address type and two
+//! carriers behind it:
+//!
+//! * **Unix-domain socket** — the PR 6 transport, still the default for
+//!   same-host use (`--socket PATH`),
+//! * **TCP** — `--listen HOST:PORT` / `--connect HOST:PORT`, for
+//!   serving sweeps across hosts. Binding port 0 picks an ephemeral
+//!   port; [`Listener::endpoint`] reports the resolved address.
+//!
+//! Both carriers support per-connection read/write timeouts, which the
+//! daemon uses for its idle-connection reaping and slow-client write
+//! budget; the byte stream semantics are identical either way.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// A serve/submit rendezvous address: a Unix-socket path or a TCP
+/// `host:port`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// Unix-domain socket at this path.
+    Unix(PathBuf),
+    /// TCP socket at this `host:port` address.
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// A Unix-domain-socket endpoint.
+    pub fn unix<P: Into<PathBuf>>(path: P) -> Endpoint {
+        Endpoint::Unix(path.into())
+    }
+
+    /// A TCP endpoint (`"127.0.0.1:7700"`; port 0 binds ephemeral).
+    pub fn tcp<S: Into<String>>(addr: S) -> Endpoint {
+        Endpoint::Tcp(addr.into())
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Unix(p) => write!(f, "unix:{}", p.display()),
+            Endpoint::Tcp(a) => write!(f, "tcp:{a}"),
+        }
+    }
+}
+
+impl From<&Path> for Endpoint {
+    fn from(p: &Path) -> Endpoint {
+        Endpoint::Unix(p.to_path_buf())
+    }
+}
+
+/// One accepted or dialed connection, over either carrier.
+pub(crate) enum Conn {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Conn {
+    /// Clones the underlying descriptor (for split read/write halves).
+    pub fn try_clone(&self) -> io::Result<Conn> {
+        Ok(match self {
+            Conn::Unix(s) => Conn::Unix(s.try_clone()?),
+            Conn::Tcp(s) => Conn::Tcp(s.try_clone()?),
+        })
+    }
+
+    /// Sets the receive timeout (None = block forever).
+    pub fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.set_read_timeout(d),
+            Conn::Tcp(s) => s.set_read_timeout(d),
+        }
+    }
+
+    /// Sets the send timeout (None = block forever).
+    pub fn set_write_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.set_write_timeout(d),
+            Conn::Tcp(s) => s.set_write_timeout(d),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// Dials an endpoint.
+pub(crate) fn connect(endpoint: &Endpoint) -> io::Result<Conn> {
+    Ok(match endpoint {
+        Endpoint::Unix(path) => Conn::Unix(UnixStream::connect(path)?),
+        Endpoint::Tcp(addr) => Conn::Tcp(TcpStream::connect(addr.as_str())?),
+    })
+}
+
+/// A bound listener over either carrier.
+pub(crate) struct Listener {
+    inner: ListenerInner,
+    /// The *resolved* endpoint: for TCP port 0 this carries the actual
+    /// ephemeral port the OS assigned.
+    endpoint: Endpoint,
+}
+
+enum ListenerInner {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Binds the endpoint. A stale Unix socket file (left by a dead
+    /// daemon) is removed and rebound; a *live* one — another daemon
+    /// answers a connect probe — is an error, as is an in-use TCP port.
+    pub fn bind(endpoint: &Endpoint) -> io::Result<Listener> {
+        match endpoint {
+            Endpoint::Unix(socket) => {
+                if socket.exists() {
+                    // A socket file can outlive its daemon (SIGKILL).
+                    // Probe it: a live daemon answers the connect; a
+                    // dead one leaves ECONNREFUSED.
+                    match UnixStream::connect(socket) {
+                        Ok(_) => {
+                            return Err(io::Error::other(format!(
+                                "{} is already served by a live daemon",
+                                socket.display()
+                            )));
+                        }
+                        Err(_) => {
+                            std::fs::remove_file(socket)?;
+                        }
+                    }
+                }
+                Ok(Listener {
+                    inner: ListenerInner::Unix(UnixListener::bind(socket)?),
+                    endpoint: endpoint.clone(),
+                })
+            }
+            Endpoint::Tcp(addr) => {
+                let listener = TcpListener::bind(addr.as_str())?;
+                let resolved = Endpoint::Tcp(listener.local_addr()?.to_string());
+                Ok(Listener { inner: ListenerInner::Tcp(listener), endpoint: resolved })
+            }
+        }
+    }
+
+    /// The resolved listening endpoint (actual port for TCP `:0`).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Blocks for the next connection.
+    pub fn accept(&self) -> io::Result<Conn> {
+        Ok(match &self.inner {
+            ListenerInner::Unix(l) => Conn::Unix(l.accept()?.0),
+            ListenerInner::Tcp(l) => Conn::Tcp(l.accept()?.0),
+        })
+    }
+
+    /// Removes the Unix socket file on daemon exit (no-op for TCP).
+    pub fn cleanup(&self) {
+        if let Endpoint::Unix(path) = &self.endpoint {
+            std::fs::remove_file(path).ok();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_display_and_conversion() {
+        let u = Endpoint::unix("/tmp/x.sock");
+        assert_eq!(u.to_string(), "unix:/tmp/x.sock");
+        let t = Endpoint::tcp("127.0.0.1:7700");
+        assert_eq!(t.to_string(), "tcp:127.0.0.1:7700");
+        assert_eq!(Endpoint::from(Path::new("/a")), Endpoint::unix("/a"));
+    }
+
+    #[test]
+    fn tcp_ephemeral_bind_reports_real_port() {
+        let l = Listener::bind(&Endpoint::tcp("127.0.0.1:0")).unwrap();
+        let Endpoint::Tcp(addr) = l.endpoint().clone() else { panic!("tcp endpoint") };
+        assert!(!addr.ends_with(":0"), "resolved endpoint must carry the real port: {addr}");
+        // Round-trip one byte through a dialed connection.
+        let mut client = connect(l.endpoint()).unwrap();
+        let mut served = l.accept().unwrap();
+        client.write_all(b"x").unwrap();
+        client.flush().unwrap();
+        let mut byte = [0u8; 1];
+        served.read_exact(&mut byte).unwrap();
+        assert_eq!(&byte, b"x");
+    }
+}

@@ -36,6 +36,13 @@ pub struct SweepBench {
     pub cached_cells: usize,
     /// Cells simulated this run.
     pub simulated_cells: usize,
+    /// Cells resolved without simulating *or* probing-as-cached: the
+    /// row was shared from a concurrent request's in-flight simulation
+    /// of the identical cell, or picked up from a result the cache
+    /// probe missed but a concurrent request stored moments later.
+    /// Always 0 for a one-shot `Sweep`; the `xbc-serve` daemon's
+    /// cross-request single-flight dedup reports here.
+    pub deduped_cells: usize,
     /// Traces captured (or loaded from the trace store) this run.
     pub captures: u64,
     /// Capture wall time, summed over captured traces.
@@ -85,7 +92,8 @@ impl SweepBench {
         format!(
             "{{\n  \"schema\": \"xbc-sweep-bench-v1\",\n  \"threads\": {},\n  \
              \"traces\": {},\n  \"frontends\": {},\n  \"total_cells\": {},\n  \
-             \"cached_cells\": {},\n  \"simulated_cells\": {},\n  \"captures\": {},\n  \
+             \"cached_cells\": {},\n  \"simulated_cells\": {},\n  \"deduped_cells\": {},\n  \
+             \"captures\": {},\n  \
              \"capture_ms\": {},\n  \"sim_ms\": {},\n  \"wall_ms\": {},\n  \
              \"cells_per_sec\": {},\n  \"worker_utilization\": {},\n  \"workers\": {}\n}}\n",
             self.threads,
@@ -94,6 +102,7 @@ impl SweepBench {
             self.total_cells,
             self.cached_cells,
             self.simulated_cells,
+            self.deduped_cells,
             self.captures,
             self.capture_ms,
             self.sim_ms,
@@ -109,11 +118,16 @@ impl fmt::Display for SweepBench {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} cells ({} cached, {} simulated) in {} ms on {} threads: \
+            "{} cells ({} cached, {} simulated{}) in {} ms on {} threads: \
              {:.1} cells/s, capture {} ms, sim {} ms, utilization {:.0}%",
             self.total_cells,
             self.cached_cells,
             self.simulated_cells,
+            if self.deduped_cells > 0 {
+                format!(", {} deduped", self.deduped_cells)
+            } else {
+                String::new()
+            },
             self.wall_ms,
             self.threads,
             self.cells_per_sec(),
@@ -136,6 +150,7 @@ mod tests {
             total_cells: 16,
             cached_cells: 4,
             simulated_cells: 12,
+            deduped_cells: 0,
             captures: 2,
             capture_ms: 30,
             sim_ms: 970,

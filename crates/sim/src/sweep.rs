@@ -361,6 +361,7 @@ impl Sweep {
             total_cells: n_cells,
             cached_cells: n_cells - cells.len(),
             simulated_cells: cells.len(),
+            deduped_cells: 0,
             captures: captures.into_inner(),
             capture_ms: capture_ms_total.into_inner(),
             sim_ms: sim_ms_total.into_inner(),

@@ -41,17 +41,46 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::HashMap;
 use std::fmt;
 use std::fs;
 use std::io::{BufReader, BufWriter, ErrorKind, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use xbc_workload::codec::{crc32, FORMAT_VERSION};
 use xbc_workload::{Trace, TraceReader, TraceSpec, TraceStream};
 
 /// Magic of result-cache entries.
 const RESULT_MAGIC: [u8; 4] = *b"XBR1";
+
+/// Test-only fault injection for the store's concurrency seams.
+///
+/// Compiled under the `check` feature only; the hooks let fault-campaign
+/// tests force the degraded paths (lock-acquire timeouts) that real
+/// contention only produces probabilistically. The flags are
+/// process-global: a store under fault injection behaves exactly like a
+/// store whose every lock acquire lost its race — the advisory-lock
+/// fallback semantics, never a new failure mode.
+#[cfg(feature = "check")]
+pub mod test_faults {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static LOCK_TIMEOUT: AtomicBool = AtomicBool::new(false);
+
+    /// Forces every subsequent [`EntryLock::acquire`](super::EntryLock::acquire)
+    /// to report an immediate timeout (`held == false`), as if the lock
+    /// were contended past its deadline. Mutations then proceed
+    /// unlocked — the documented advisory fallback.
+    pub fn force_lock_timeout(on: bool) {
+        LOCK_TIMEOUT.store(on, Ordering::SeqCst);
+    }
+
+    pub(crate) fn lock_timeout_forced() -> bool {
+        LOCK_TIMEOUT.load(Ordering::SeqCst)
+    }
+}
 
 /// How long a mutation waits for a contended entry lock before
 /// proceeding anyway (the locks are advisory: a lost race degrades to
@@ -88,6 +117,14 @@ impl EntryLock {
         let mut name = entry.file_name().map(|n| n.to_os_string()).unwrap_or_default();
         name.push(".lock");
         let path = entry.with_file_name(name);
+        #[cfg(feature = "check")]
+        if test_faults::lock_timeout_forced() {
+            eprintln!(
+                "[xbc-store] injected lock timeout for {}; proceeding unlocked",
+                path.display()
+            );
+            return EntryLock { path, held: false };
+        }
         let deadline = Instant::now() + Duration::from_millis(LOCK_ACQUIRE_MS);
         loop {
             match fs::OpenOptions::new().write(true).create_new(true).open(&path) {
@@ -171,6 +208,166 @@ impl Drop for EntryLock {
     }
 }
 
+/// State of one in-flight computation: running until the leader
+/// publishes a value or a failure.
+enum FlightState<V> {
+    Running,
+    Done(V),
+    Failed(String),
+}
+
+struct FlightSlot<V> {
+    state: Mutex<FlightState<V>>,
+    cv: Condvar,
+}
+
+/// What [`SingleFlight::join`] hands the caller: lead the computation,
+/// share the leader's result, or learn the leader failed.
+pub enum Flight<'a, V: Clone> {
+    /// This caller won the race: it must compute the value and publish
+    /// it through [`FlightLead::complete`] (or [`FlightLead::fail`]).
+    Leader(FlightLead<'a, V>),
+    /// Another caller was already computing this key; this is its
+    /// published value.
+    Shared(V),
+    /// The in-flight leader failed (or was dropped without publishing).
+    /// The key is free again — re-joining races to become the new
+    /// leader.
+    Failed(String),
+}
+
+/// The leader's obligation token: exactly one of [`complete`] or
+/// [`fail`] must resolve it. Dropping it unresolved (a panic on the
+/// leader's thread) publishes a failure so followers never wedge.
+///
+/// [`complete`]: FlightLead::complete
+/// [`fail`]: FlightLead::fail
+pub struct FlightLead<'a, V: Clone> {
+    flights: &'a SingleFlight<V>,
+    slot: Arc<FlightSlot<V>>,
+    key: String,
+    published: bool,
+}
+
+impl<V: Clone> FlightLead<'_, V> {
+    fn publish(&mut self, state: FlightState<V>) {
+        if self.published {
+            return;
+        }
+        self.published = true;
+        // Retire the slot first so late joiners start a fresh flight
+        // instead of reading a result that may describe stale state,
+        // then wake the followers already parked on this slot.
+        let mut slots = self.flights.slots.lock().expect("flight table lock");
+        if slots.get(&self.key).is_some_and(|s| Arc::ptr_eq(s, &self.slot)) {
+            slots.remove(&self.key);
+        }
+        drop(slots);
+        *self.slot.state.lock().expect("flight slot lock") = state;
+        self.slot.cv.notify_all();
+    }
+
+    /// Publishes the computed value to every follower and retires the
+    /// flight.
+    pub fn complete(mut self, value: V) {
+        self.publish(FlightState::Done(value));
+    }
+
+    /// Publishes a failure to every follower and retires the flight;
+    /// followers see [`Flight::Failed`] and may re-join to retry.
+    pub fn fail(mut self, why: &str) {
+        self.publish(FlightState::Failed(why.to_owned()));
+    }
+}
+
+impl<V: Clone> Drop for FlightLead<'_, V> {
+    fn drop(&mut self) {
+        self.publish(FlightState::Failed("flight leader dropped without publishing".into()));
+    }
+}
+
+/// In-process single-flight table: at most one computation per key is
+/// in flight at a time; concurrent requesters block and share the
+/// leader's result instead of redoing the work.
+///
+/// This is the dedup primitive behind [`Store::get_or_capture_shared`]
+/// and the `xbc-serve` daemon's cross-request cell dedup. Keys are
+/// caller-composed content hashes (the same discipline as the store's
+/// on-disk keys), values are cheap clones (`Arc`s in practice).
+///
+/// A flight exists only while its leader is computing, so a follower
+/// never waits on work that is not actively running — which is also why
+/// blocking in `join` cannot deadlock a fixed worker pool: every wait
+/// chain ends at a leader making progress.
+pub struct SingleFlight<V: Clone> {
+    slots: Mutex<HashMap<String, Arc<FlightSlot<V>>>>,
+}
+
+impl<V: Clone> Default for SingleFlight<V> {
+    fn default() -> Self {
+        SingleFlight::new()
+    }
+}
+
+impl<V: Clone> SingleFlight<V> {
+    /// An empty flight table.
+    pub fn new() -> SingleFlight<V> {
+        SingleFlight { slots: Mutex::new(HashMap::new()) }
+    }
+
+    /// Joins the flight for `key`: the first caller becomes the leader
+    /// (and must resolve the returned [`FlightLead`]); concurrent
+    /// callers block until the leader publishes and then share its
+    /// value.
+    pub fn join(&self, key: &str) -> Flight<'_, V> {
+        let slot = {
+            let mut slots = self.slots.lock().expect("flight table lock");
+            match slots.get(key) {
+                Some(slot) => Arc::clone(slot),
+                None => {
+                    let slot = Arc::new(FlightSlot {
+                        state: Mutex::new(FlightState::Running),
+                        cv: Condvar::new(),
+                    });
+                    slots.insert(key.to_owned(), Arc::clone(&slot));
+                    return Flight::Leader(FlightLead {
+                        flights: self,
+                        slot,
+                        key: key.to_owned(),
+                        published: false,
+                    });
+                }
+            }
+        };
+        let mut state = slot.state.lock().expect("flight slot lock");
+        loop {
+            match &*state {
+                FlightState::Running => state = slot.cv.wait(state).expect("flight slot cv"),
+                FlightState::Done(v) => return Flight::Shared(v.clone()),
+                FlightState::Failed(e) => return Flight::Failed(e.clone()),
+            }
+        }
+    }
+
+    /// Number of computations currently in flight (for tests and
+    /// observability).
+    pub fn in_flight(&self) -> usize {
+        self.slots.lock().expect("flight table lock").len()
+    }
+}
+
+/// How [`Store::get_or_capture_shared`] obtained its trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CaptureOutcome {
+    /// Loaded from the on-disk trace store.
+    CacheHit,
+    /// Captured fresh by this caller (and stored for next time).
+    Captured,
+    /// Shared from a concurrent caller's in-flight capture of the same
+    /// entry — this caller did no capture work and touched no counters.
+    Joined,
+}
+
 /// FNV-1a 64-bit hash — the store's content-addressing primitive.
 /// Stable by construction (unlike `DefaultHasher`, whose algorithm is
 /// explicitly unspecified across releases), so cache keys survive
@@ -242,6 +439,10 @@ struct Counters {
 pub struct Store {
     root: PathBuf,
     c: Counters,
+    /// In-process single-flight dedup of trace entry creation: two
+    /// threads asking for the same absent `(spec, insts)` entry capture
+    /// it once and share the result (see [`Store::get_or_capture_shared`]).
+    capture_flights: SingleFlight<Arc<Trace>>,
 }
 
 impl fmt::Debug for Store {
@@ -260,7 +461,7 @@ impl Store {
         let root = dir.as_ref().to_path_buf();
         fs::create_dir_all(root.join("traces"))?;
         fs::create_dir_all(root.join("results"))?;
-        Ok(Store { root, c: Counters::default() })
+        Ok(Store { root, c: Counters::default(), capture_flights: SingleFlight::new() })
     }
 
     /// The store's root directory.
@@ -350,13 +551,52 @@ impl Store {
     /// Loads the trace from the store or captures it fresh (storing the
     /// capture for next time). The returned trace is identical either
     /// way — that is the store's whole contract.
+    ///
+    /// Entry creation is single-flight (see
+    /// [`Store::get_or_capture_shared`]): concurrent callers racing on
+    /// the same absent entry capture it once and share the result.
     pub fn get_or_capture(&self, spec: &TraceSpec, insts: usize) -> Trace {
-        if let Some(t) = self.load_trace(spec, insts) {
-            return t;
+        let (trace, _) = self.get_or_capture_shared(spec, insts);
+        match Arc::try_unwrap(trace) {
+            Ok(t) => t,
+            Err(shared) => (*shared).clone(),
         }
-        let t = spec.capture(insts);
-        self.store_trace(spec, insts, &t);
-        t
+    }
+
+    /// [`Store::get_or_capture`] with in-process single-flight dedup
+    /// made visible: the first caller to miss on an entry becomes the
+    /// leader (loads or captures, storing the capture), and every
+    /// caller racing on the same key blocks briefly and shares the
+    /// leader's `Arc` instead of capturing again. The returned
+    /// [`CaptureOutcome`] says which side this caller was on — a
+    /// `Joined` caller did no work and bumped no store counters, so
+    /// summing `Captured` outcomes across concurrent consumers counts
+    /// each entry's creation exactly once.
+    pub fn get_or_capture_shared(
+        &self,
+        spec: &TraceSpec,
+        insts: usize,
+    ) -> (Arc<Trace>, CaptureOutcome) {
+        let key = format!("{}|{:016x}", spec.name, Self::trace_key(spec, insts));
+        loop {
+            match self.capture_flights.join(&key) {
+                Flight::Leader(lead) => {
+                    if let Some(t) = self.load_trace(spec, insts) {
+                        let t = Arc::new(t);
+                        lead.complete(Arc::clone(&t));
+                        return (t, CaptureOutcome::CacheHit);
+                    }
+                    let t = Arc::new(spec.capture(insts));
+                    self.store_trace(spec, insts, &t);
+                    lead.complete(Arc::clone(&t));
+                    return (t, CaptureOutcome::Captured);
+                }
+                Flight::Shared(t) => return (t, CaptureOutcome::Joined),
+                // The leader died mid-capture (panic on its thread);
+                // race to become the new leader and redo the work.
+                Flight::Failed(_) => continue,
+            }
+        }
     }
 
     /// Opens a cached trace as a validated *streaming* source, or
@@ -803,6 +1043,97 @@ mod tests {
         drop(lock);
         assert!(lock_path.exists(), "a lock we never held must not be removed");
         fs::remove_file(&lock_path).unwrap();
+    }
+
+    #[test]
+    fn single_flight_dedups_concurrent_leaders() {
+        let flights: SingleFlight<u64> = SingleFlight::new();
+        let computed = AtomicU64::new(0);
+        let mut results = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| match flights.join("k") {
+                        Flight::Leader(lead) => {
+                            // Hold the flight open long enough that the
+                            // other threads join as followers.
+                            std::thread::sleep(Duration::from_millis(30));
+                            let v = computed.fetch_add(1, Ordering::SeqCst) + 1;
+                            lead.complete(v * 100);
+                            v * 100
+                        }
+                        Flight::Shared(v) => v,
+                        Flight::Failed(e) => panic!("no leader failed: {e}"),
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().unwrap());
+            }
+        });
+        // Exactly one computation ran; everyone saw its value.
+        assert_eq!(computed.load(Ordering::SeqCst), 1);
+        assert!(results.iter().all(|&v| v == 100), "{results:?}");
+        assert_eq!(flights.in_flight(), 0, "completed flights must retire");
+    }
+
+    #[test]
+    fn single_flight_failure_wakes_followers_and_frees_the_key() {
+        let flights: SingleFlight<u32> = SingleFlight::new();
+        let Flight::Leader(lead) = flights.join("k") else { panic!("first join leads") };
+        std::thread::scope(|scope| {
+            let follower = scope.spawn(|| match flights.join("k") {
+                Flight::Failed(e) => e,
+                _ => panic!("follower of a failing leader must see the failure"),
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            lead.fail("injected");
+            assert_eq!(follower.join().unwrap(), "injected");
+        });
+        // The key is free again: the next join leads.
+        match flights.join("k") {
+            Flight::Leader(lead) => lead.complete(7),
+            _ => panic!("failed flight must free its key"),
+        };
+    }
+
+    #[test]
+    fn dropped_leader_publishes_failure() {
+        let flights: SingleFlight<u32> = SingleFlight::new();
+        {
+            let Flight::Leader(lead) = flights.join("k") else { panic!("first join leads") };
+            drop(lead); // e.g. a panic unwound the leader's thread
+        }
+        assert_eq!(flights.in_flight(), 0);
+        assert!(matches!(flights.join("k"), Flight::Leader(_)));
+    }
+
+    #[test]
+    fn shared_capture_runs_once_across_racing_threads() {
+        let s = Scratch::new("shared-capture");
+        let store = Store::open(&s.0).unwrap();
+        let spec = &standard_traces()[0];
+        let outcomes: Mutex<Vec<CaptureOutcome>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..6 {
+                scope.spawn(|| {
+                    let (t, outcome) = store.get_or_capture_shared(spec, 1_000);
+                    assert_eq!(t.inst_count(), 1_000);
+                    outcomes.lock().unwrap().push(outcome);
+                });
+            }
+        });
+        let outcomes = outcomes.into_inner().unwrap();
+        let captured = outcomes.iter().filter(|o| matches!(o, CaptureOutcome::Captured)).count();
+        assert_eq!(captured, 1, "exactly one racer captures: {outcomes:?}");
+        // Exactly one miss was counted — the leader's — however many
+        // threads raced. (A racer arriving after the flight retired
+        // takes the CacheHit path; a racer arriving during it joins.)
+        assert_eq!(store.stats().trace_misses, 1);
+        // A later call is a plain cache hit.
+        let (_, outcome) = store.get_or_capture_shared(spec, 1_000);
+        assert_eq!(outcome, CaptureOutcome::CacheHit);
+        assert!(store.stats().trace_hits >= 1);
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Single-flight cell dedup across concurrent clients.
+//!
+//! N clients submit overlapping *cold* grids at the same instant. The
+//! daemon must simulate each distinct (trace × frontend × insts) cell
+//! exactly once — the accounting identity is that `simulated_cells`
+//! summed over the clients equals the number of distinct cells, with
+//! every other resolution showing up as `cached_cells` (the request's
+//! cache probe ran after a rival stored the row) or `deduped_cells`
+//! (the row was shared from a rival's in-flight simulation or a late
+//! store hit). Each client's rows must still be byte-identical to a
+//! one-shot `Sweep` of its grid against the same store. Both transports
+//! are held to the same contract.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use xbc_serve::protocol::SweepRequest;
+use xbc_serve::{ping, shutdown, submit, Endpoint, ServeConfig, Server, SubmitOutcome};
+use xbc_sim::{result_key, to_json, FrontendSpec, Sweep};
+use xbc_store::Store;
+use xbc_workload::standard_traces;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xbc-serve-dedup-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn wait_until_live(endpoint: &Endpoint) {
+    for _ in 0..500 {
+        if ping(endpoint).is_ok() {
+            return;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    panic!("daemon never came up on {endpoint}");
+}
+
+fn xbc(total_uops: usize) -> FrontendSpec {
+    FrontendSpec::Xbc { total_uops, ways: 2, promotion: true }
+}
+
+/// Three clients × overlapping grids over a cold store: pairwise
+/// overlaps guarantee contention on every frontend column.
+fn run_dedup_campaign(endpoint: Endpoint, dir: &std::path::Path) {
+    const INSTS: usize = 20_000;
+    let store = Arc::new(Store::open(dir.join("cache")).unwrap());
+    let traces: Vec<_> = standard_traces().into_iter().take(2).collect();
+    let names: Vec<String> = traces.iter().map(|t| t.name.to_owned()).collect();
+    let sizes = [8 * 1024, 16 * 1024, 32 * 1024];
+    // Client i sweeps sizes {i, i+1 mod 3}: every size is wanted by
+    // exactly two clients, so every cell is contended.
+    let grids: Vec<Vec<FrontendSpec>> =
+        (0..3).map(|i| vec![xbc(sizes[i]), xbc(sizes[(i + 1) % 3])]).collect();
+
+    // The distinct-cell count the daemon must not exceed.
+    let mut distinct: HashSet<String> = HashSet::new();
+    for grid in &grids {
+        for spec in &traces {
+            for fe in grid {
+                distinct.insert(result_key(spec, fe, INSTS));
+            }
+        }
+    }
+    assert_eq!(distinct.len(), traces.len() * sizes.len(), "grid construction sanity");
+
+    let mut config = ServeConfig::new(endpoint.clone());
+    config.threads = 4;
+    config.store = Some(Arc::clone(&store));
+    let server = Server::bind(config).unwrap();
+    let endpoint = server.endpoint().clone();
+    let daemon = thread::spawn(move || server.run());
+    wait_until_live(&endpoint);
+
+    let outcomes: Vec<SubmitOutcome> = thread::scope(|s| {
+        let handles: Vec<_> = grids
+            .iter()
+            .map(|grid| {
+                let req = SweepRequest {
+                    traces: names.clone(),
+                    frontends: grid.clone(),
+                    insts: INSTS,
+                    priority: 0,
+                };
+                let endpoint = endpoint.clone();
+                s.spawn(move || submit(&endpoint, &req).unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // The dedup identity: every distinct cold cell simulated exactly
+    // once across the daemon, every distinct trace captured exactly
+    // once — however the three requests interleaved.
+    let simulated: usize = outcomes.iter().map(|o| o.bench.simulated_cells).sum();
+    let captures: u64 = outcomes.iter().map(|o| o.bench.captures).sum();
+    assert_eq!(
+        simulated,
+        distinct.len(),
+        "distinct cold cells must be simulated exactly once across clients: {:?}",
+        outcomes.iter().map(|o| &o.bench).collect::<Vec<_>>()
+    );
+    assert_eq!(captures, traces.len() as u64, "each trace captured once across clients");
+    for out in &outcomes {
+        assert_eq!(
+            out.bench.cached_cells + out.bench.simulated_cells + out.bench.deduped_cells,
+            out.bench.total_cells,
+            "per-client accounting must add up: {:?}",
+            out.bench
+        );
+    }
+    let deduped: usize = outcomes.iter().map(|o| o.bench.deduped_cells).sum();
+    let cached: usize = outcomes.iter().map(|o| o.bench.cached_cells).sum();
+    assert_eq!(simulated + deduped + cached, 3 * traces.len() * 2, "all cells resolved");
+
+    // Byte-identity per client: a one-shot sweep of the same grid from
+    // the same store replays exactly the rows the client streamed.
+    for (grid, out) in grids.iter().zip(&outcomes) {
+        let mut replay =
+            Sweep::new(traces.clone(), grid.clone(), INSTS).with_store(Arc::clone(&store));
+        replay.progress = false;
+        assert_eq!(
+            to_json(&replay.run()),
+            to_json(&out.rows),
+            "client rows must be byte-identical to a one-shot sweep"
+        );
+    }
+
+    shutdown(&endpoint).unwrap();
+    daemon.join().unwrap().unwrap();
+}
+
+#[test]
+fn concurrent_cold_clients_dedup_over_unix() {
+    let dir = scratch_dir("unix");
+    run_dedup_campaign(Endpoint::unix(dir.join("d.sock")), &dir);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_cold_clients_dedup_over_tcp() {
+    let dir = scratch_dir("tcp");
+    run_dedup_campaign(Endpoint::tcp("127.0.0.1:0"), &dir);
+    std::fs::remove_dir_all(&dir).ok();
+}

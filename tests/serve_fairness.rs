@@ -1,0 +1,132 @@
+//! Fair scheduling under contention: a huge sweep must not starve a
+//! tiny one (round-robin within a priority class), and a
+//! higher-priority request's queued cells dispatch ahead of a
+//! lower-priority rival's.
+
+use std::path::PathBuf;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use xbc_serve::protocol::SweepRequest;
+use xbc_serve::{ping, shutdown, submit, Endpoint, ServeConfig};
+use xbc_sim::FrontendSpec;
+use xbc_workload::standard_traces;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xbc-serve-fair-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn wait_until_live(endpoint: &Endpoint) {
+    for _ in 0..500 {
+        if ping(endpoint).is_ok() {
+            return;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    panic!("daemon never came up on {endpoint}");
+}
+
+/// `n` distinct XBC frontends (distinct capacities → distinct cells).
+fn grid(n: usize, base: usize) -> Vec<FrontendSpec> {
+    (0..n)
+        .map(|i| FrontendSpec::Xbc { total_uops: base + i * 64, ways: 2, promotion: true })
+        .collect()
+}
+
+fn req(name: &str, frontends: Vec<FrontendSpec>, priority: u32) -> SweepRequest {
+    SweepRequest { traces: vec![name.to_owned()], frontends, insts: 300, priority }
+}
+
+/// Boots an uncached 2-worker daemon (uncached: every cell simulates,
+/// so queue pressure is real and repeatable).
+fn boot(tag: &str) -> (Endpoint, thread::JoinHandle<std::io::Result<()>>, PathBuf) {
+    let dir = scratch_dir(tag);
+    let endpoint = Endpoint::unix(dir.join("d.sock"));
+    let mut config = ServeConfig::new(endpoint.clone());
+    config.threads = 2;
+    let daemon = thread::spawn(move || xbc_serve::serve(&config));
+    wait_until_live(&endpoint);
+    (endpoint, daemon, dir)
+}
+
+#[test]
+fn small_request_is_not_starved_by_a_huge_one() {
+    let (endpoint, daemon, dir) = boot("rr");
+    let name = standard_traces()[0].name;
+
+    // Client A floods the queue with ~1000 cells; client B asks for 2.
+    // At equal priority, round-robin dispatches one cell per client per
+    // turn, so B finishes its 2 cells while A has ~998 to go.
+    let big = req(name, grid(1000, 4096), 0);
+    let small = req(name, grid(2, 256 * 1024), 0);
+    let t0 = Instant::now();
+    let (big_elapsed, small_elapsed) = thread::scope(|s| {
+        let a = s.spawn(|| {
+            let out = submit(&endpoint, &big).unwrap();
+            (t0.elapsed(), out)
+        });
+        // Let A's thousand cells hit the queue first.
+        thread::sleep(Duration::from_millis(100));
+        let b = s.spawn(|| {
+            let out = submit(&endpoint, &small).unwrap();
+            (t0.elapsed(), out)
+        });
+        let (big_elapsed, big_out) = a.join().unwrap();
+        let (small_elapsed, small_out) = b.join().unwrap();
+        assert_eq!(big_out.rows.len(), 1000);
+        assert_eq!(small_out.rows.len(), 2);
+        (big_elapsed, small_elapsed)
+    });
+    assert!(
+        small_elapsed < big_elapsed,
+        "round-robin must complete the 2-cell request before the 1000-cell one \
+         (small {small_elapsed:?} vs big {big_elapsed:?})"
+    );
+
+    shutdown(&endpoint).unwrap();
+    daemon.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn higher_priority_request_preempts_queued_cells() {
+    let (endpoint, daemon, dir) = boot("prio");
+    let name = standard_traces()[0].name;
+
+    // Two equally-large requests; B arrives second but at priority 1.
+    // Under plain round-robin B would finish *after* A (A has a head
+    // start); priority must flip that: every queued dispatch goes to B
+    // until B is done. Disjoint capacity ranges keep the grids from
+    // sharing (and thus dedup'ing) any cell.
+    let a_req = req(name, grid(400, 4096), 0);
+    let b_req = req(name, grid(400, 512 * 1024), 1);
+    let t0 = Instant::now();
+    let (a_elapsed, b_elapsed) = thread::scope(|s| {
+        let a = s.spawn(|| {
+            let out = submit(&endpoint, &a_req).unwrap();
+            (t0.elapsed(), out)
+        });
+        thread::sleep(Duration::from_millis(100));
+        let b = s.spawn(|| {
+            let out = submit(&endpoint, &b_req).unwrap();
+            (t0.elapsed(), out)
+        });
+        let (a_elapsed, a_out) = a.join().unwrap();
+        let (b_elapsed, b_out) = b.join().unwrap();
+        assert_eq!(a_out.rows.len(), 400);
+        assert_eq!(b_out.rows.len(), 400);
+        (a_elapsed, b_elapsed)
+    });
+    assert!(
+        b_elapsed < a_elapsed,
+        "priority 1 must complete before the priority-0 request that queued first \
+         (high {b_elapsed:?} vs low {a_elapsed:?})"
+    );
+
+    shutdown(&endpoint).unwrap();
+    daemon.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,162 @@
+//! Fault campaign for the sweep daemon, driven through the
+//! `xbc_serve::faults` seam (compiled under the `check` feature):
+//! clients vanishing mid-stream, malformed request lines, workers dying
+//! inside cells, injected store-lock timeouts, and daemon-side
+//! connection drops/truncations. After every fault the daemon must
+//! still serve the next request correctly.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use xbc_serve::protocol::SweepRequest;
+use xbc_serve::{ping, shutdown, submit, Endpoint, FaultInjector, ServeConfig};
+use xbc_sim::{to_json, FrontendSpec};
+use xbc_store::Store;
+use xbc_workload::standard_traces;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xbc-serve-faults-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn wait_until_live(endpoint: &Endpoint) {
+    for _ in 0..500 {
+        if ping(endpoint).is_ok() {
+            return;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    panic!("daemon never came up on {endpoint}");
+}
+
+fn xbc(total_uops: usize) -> FrontendSpec {
+    FrontendSpec::Xbc { total_uops, ways: 2, promotion: true }
+}
+
+fn req(names: &[String], frontends: Vec<FrontendSpec>, insts: usize) -> SweepRequest {
+    SweepRequest { traces: names.to_vec(), frontends, insts, priority: 0 }
+}
+
+#[test]
+fn daemon_survives_the_fault_campaign() {
+    let dir = scratch_dir("campaign");
+    let socket = dir.join("d.sock");
+    let endpoint = Endpoint::unix(&socket);
+    let store = Arc::new(Store::open(dir.join("cache")).unwrap());
+    let faults = Arc::new(FaultInjector::new());
+
+    let traces: Vec<_> = standard_traces().into_iter().take(2).collect();
+    let names: Vec<String> = traces.iter().map(|t| t.name.to_owned()).collect();
+
+    let mut config = ServeConfig::new(endpoint.clone());
+    config.threads = 2;
+    config.store = Some(Arc::clone(&store));
+    config.faults = Some(Arc::clone(&faults));
+    let daemon = thread::spawn(move || xbc_serve::serve(&config));
+    wait_until_live(&endpoint);
+
+    // ── Scenario 1: client disconnects mid-stream ────────────────────
+    // A raw client submits a sweep, reads one row, and vanishes. The
+    // daemon must drop its remaining cells and keep serving others.
+    faults.delay_rows(30); // widen the window so the hangup is mid-stream
+    {
+        let mut raw = UnixStream::connect(&socket).unwrap();
+        let mut reader = BufReader::new(raw.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap(); // hello
+        let wire = xbc_serve::protocol::render_sweep_request(&req(
+            &names,
+            vec![xbc(8 * 1024), xbc(16 * 1024)],
+            5_000,
+        ));
+        writeln!(raw, "{wire}").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"row\""), "first row should stream: {line}");
+        // Hang up with rows still in flight.
+    }
+    faults.reset();
+    let healthy = submit(&endpoint, &req(&names, vec![xbc(8 * 1024)], 5_000)).unwrap();
+    assert_eq!(healthy.rows.len(), 2, "daemon serves the next client after a mid-stream hangup");
+
+    // ── Scenario 2: truncated request line ───────────────────────────
+    // Half a JSON object is a parse error, not a poisoned connection:
+    // the same connection must answer the next (valid) request.
+    {
+        let mut raw = UnixStream::connect(&socket).unwrap();
+        let mut reader = BufReader::new(raw.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap(); // hello
+        writeln!(raw, "{{\"type\":\"sweep\",\"traces\":[\"sp").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"error\""), "truncated request gets an error reply: {line}");
+        writeln!(raw, "{{\"type\":\"ping\"}}").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"pong\""), "connection stays usable after the error: {line}");
+    }
+
+    // ── Scenario 3: worker dies once — cell retried exactly once ─────
+    faults.kill_next_cells(1);
+    let retried = submit(&endpoint, &req(&names[..1].to_vec(), vec![xbc(48 * 1024)], 5_000))
+        .expect("one worker death must be absorbed by the retry");
+    assert_eq!(retried.rows.len(), 1);
+    let sched = retried.sched.as_ref().expect("sched snapshot in done trailer");
+    assert_eq!(sched.retried_cells, 1, "the killed cell is retried exactly once");
+
+    // ── Scenario 4: worker dies twice — request fails, daemon lives ──
+    faults.kill_next_cells(2);
+    let err = submit(&endpoint, &req(&names[..1].to_vec(), vec![xbc(56 * 1024)], 5_000))
+        .expect_err("two deaths in one cell exhaust the retry budget");
+    assert!(err.contains("worker died"), "failure names the cause: {err}");
+    ping(&endpoint).unwrap();
+    faults.reset();
+    let recovered = submit(&endpoint, &req(&names[..1].to_vec(), vec![xbc(56 * 1024)], 5_000))
+        .expect("the same grid succeeds once the fault is cleared");
+    assert_eq!(recovered.rows.len(), 1);
+
+    // ── Scenario 5: store lock-acquire timeout ───────────────────────
+    // PR 6 semantics: on lock timeout the store proceeds unlocked
+    // (advisory locking degrades, correctness holds). A cold sweep
+    // under forced timeouts must still produce rows that replay warm.
+    xbc_store::test_faults::force_lock_timeout(true);
+    let locked_out = submit(&endpoint, &req(&names, vec![xbc(24 * 1024)], 5_000))
+        .expect("lock timeouts degrade to unlocked writes, not failures");
+    xbc_store::test_faults::force_lock_timeout(false);
+    let warm = submit(&endpoint, &req(&names, vec![xbc(24 * 1024)], 5_000)).unwrap();
+    assert_eq!(
+        to_json(&warm.rows),
+        to_json(&locked_out.rows),
+        "rows stored under lock timeout replay byte-identically"
+    );
+    assert_eq!(warm.bench.simulated_cells, 0, "second pass is fully cached");
+
+    // ── Scenario 6: daemon-side connection drop and truncation ───────
+    for arm in [
+        FaultInjector::drop_connection_after as fn(&FaultInjector, u64),
+        FaultInjector::truncate_after,
+    ] {
+        faults.reset();
+        arm(&faults, 1);
+        let err = submit(&endpoint, &req(&names, vec![xbc(8 * 1024)], 5_000))
+            .expect_err("a severed response stream must surface as a client error");
+        assert!(
+            err.contains("closed the connection") || err.contains("response"),
+            "client reports the severed stream: {err}"
+        );
+        faults.reset();
+        let next = submit(&endpoint, &req(&names, vec![xbc(8 * 1024)], 5_000)).unwrap();
+        assert_eq!(next.rows.len(), 2, "daemon serves the next request after severing one");
+    }
+
+    shutdown(&endpoint).unwrap();
+    daemon.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
