@@ -1,0 +1,174 @@
+//! Capture-pipeline bench: how fast the streamed `Executor → XBT1`
+//! encoder captures (host Minsts/s), how little memory it holds while
+//! doing so, and how much of a cold sweep cell's capture cost hides
+//! behind its own simulation (DESIGN.md §16).
+//!
+//! Three measurements, written as a `xbc-capture-bench-v1` document
+//! with `-- --json PATH` (the artifact the `capture` CI gate diffs
+//! against `results/BENCH_capture.json`):
+//!
+//! * `streamed_minsts_per_sec` / `resident_minsts_per_sec` — capture
+//!   throughput of `TraceSpec::capture_streamed` (to a temp file)
+//!   versus resident `capture` + `save`. The streamed path encodes the
+//!   same bytes, so any large gap is pipeline overhead.
+//! * `streamed_peak_bytes` / `resident_peak_bytes` — peak live heap
+//!   during each capture, tracked by a byte-counting
+//!   `#[global_allocator]`. Streamed stays O(chunk); resident carries
+//!   the whole `Vec<DynInst>`.
+//! * `overlap_fraction` — from a cold two-trace sweep against a fresh
+//!   store with streaming capture on: the fraction of total capture
+//!   time that ran concurrently with the leading cells' simulation.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use xbc_sim::{FrontendSpec, Sweep};
+use xbc_workload::standard_traces;
+
+const CAPTURE_INSTS: usize = 300_000;
+const SWEEP_INSTS: usize = 150_000;
+const RUNS: usize = 3;
+
+/// Byte-counting allocator (live bytes + high-water mark); peaks are
+/// measured as deltas against a baseline taken just before the region.
+struct PeakAlloc;
+
+static LIVE: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+fn bump(n: u64) {
+    let live = LIVE.fetch_add(n, Ordering::Relaxed) + n;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            bump(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                bump((new_size - layout.size()) as u64);
+            } else {
+                LIVE.fetch_sub((layout.size() - new_size) as u64, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: PeakAlloc = PeakAlloc;
+
+/// Runs `f` `RUNS` times; returns the minimum wall seconds and the
+/// maximum observed peak-byte delta (min time because noise only adds,
+/// max peak because the bound must hold on every run).
+fn measure<F: FnMut()>(mut f: F) -> (f64, u64) {
+    f(); // warmup
+    let (mut best, mut peak) = (f64::INFINITY, 0u64);
+    for _ in 0..RUNS {
+        let baseline = LIVE.load(Ordering::Relaxed);
+        PEAK.store(baseline, Ordering::Relaxed);
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        peak = peak.max(PEAK.load(Ordering::Relaxed).saturating_sub(baseline));
+    }
+    (best, peak)
+}
+
+fn report(name: &str, secs: f64, peak: u64, insts: usize) {
+    println!("{name:<24} {:>8.1} Minsts/s  peak {:>6} KiB", insts as f64 / secs / 1e6, peak / 1024,);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json requires a PATH").clone());
+
+    let spec = standard_traces()[0].clone();
+    println!("capture_pipeline ({CAPTURE_INSTS} insts per run, trace {})", spec.name);
+
+    // Streamed capture to a real temp file — the giga-capture path.
+    let tmp = std::env::temp_dir().join(format!("xbc-capture-bench-{}.xbt", std::process::id()));
+    let (streamed_secs, streamed_peak) = measure(|| {
+        let file = std::fs::File::create(&tmp).unwrap();
+        let mut w = std::io::BufWriter::new(file);
+        let stats = spec.capture_streamed(CAPTURE_INSTS, &mut w, |_, _| {}).unwrap();
+        w.flush().unwrap();
+        assert_eq!(stats.insts, CAPTURE_INSTS as u64);
+    });
+    report("capture_streamed", streamed_secs, streamed_peak, CAPTURE_INSTS);
+
+    // Resident capture + save of the same workload, for the comparison
+    // column (and to show what peak the streamed path avoids).
+    let (resident_secs, resident_peak) = measure(|| {
+        let trace = spec.capture(CAPTURE_INSTS);
+        let file = std::fs::File::create(&tmp).unwrap();
+        let mut w = std::io::BufWriter::new(file);
+        trace.save(&mut w).unwrap();
+        w.flush().unwrap();
+    });
+    report("capture_resident", resident_secs, resident_peak, CAPTURE_INSTS);
+    std::fs::remove_file(&tmp).ok();
+
+    // Cold sweep against a fresh store: every trace's first cell leads
+    // an overlapped capture+replay, so the bench records how much
+    // capture time the overlap actually hides.
+    let store_dir =
+        std::env::temp_dir().join(format!("xbc-capture-bench-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&store_dir).ok();
+    let store = xbc_store::Store::open(&store_dir).expect("open bench store");
+    let traces: Vec<_> = standard_traces().into_iter().take(2).collect();
+    let mut sweep = Sweep::new(
+        traces,
+        vec![FrontendSpec::Xbc { total_uops: 8192, ways: 2, promotion: true }],
+        SWEEP_INSTS,
+    );
+    sweep.threads = 2;
+    sweep = sweep.with_store(std::sync::Arc::new(store));
+    let (rows, bench) = sweep.run_with_bench();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(bench.overlapped_cells, 2, "cold cells must overlap capture with simulation");
+    assert!(bench.overlap_fraction() > 0.0, "overlap must hide a nonzero share of capture");
+    println!(
+        "cold_sweep_overlap       {} of {} cells overlapped, {:.0}% of capture hidden",
+        bench.overlapped_cells,
+        bench.total_cells,
+        100.0 * bench.overlap_fraction(),
+    );
+    std::fs::remove_dir_all(&store_dir).ok();
+
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\n  \"schema\": \"xbc-capture-bench-v1\",\n  \
+             \"capture_insts\": {CAPTURE_INSTS},\n  \"runs\": {RUNS},\n  \
+             \"streamed_minsts_per_sec\": {:.2},\n  \"resident_minsts_per_sec\": {:.2},\n  \
+             \"streamed_peak_bytes\": {streamed_peak},\n  \
+             \"resident_peak_bytes\": {resident_peak},\n  \
+             \"sweep_insts\": {SWEEP_INSTS},\n  \"overlapped_cells\": {},\n  \
+             \"overlap_fraction\": {:.3}\n}}\n",
+            CAPTURE_INSTS as f64 / streamed_secs / 1e6,
+            CAPTURE_INSTS as f64 / resident_secs / 1e6,
+            bench.overlapped_cells,
+            bench.overlap_fraction(),
+        );
+        std::fs::write(&path, json).expect("write --json output");
+        println!("wrote {path}");
+    }
+}

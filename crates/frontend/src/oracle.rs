@@ -51,7 +51,7 @@ pub struct OracleStream<'a> {
     /// by scanning a dense array instead of walking the (much larger)
     /// `DynInst` records uop-run by uop-run. Borrowed from the trace's
     /// shared table; empty when streaming.
-    cum: &'a [u32],
+    cum: &'a [u64],
     /// Streaming refill source; `None` selects the resident backing.
     source: Option<&'a mut dyn InstSource>,
     /// Sliding lookahead buffer (streaming only).
@@ -314,8 +314,7 @@ impl<'a> OracleStream<'a> {
             // so a short forward scan over the dense prefix array beats
             // both a global binary search and walking the wide `DynInst`
             // records themselves.
-            let target = self.cum[self.pos] as u64 + self.uop_pos as u64 + window_uops as u64;
-            let target = u32::try_from(target).ok()?;
+            let target = self.cum[self.pos] + self.uop_pos as u64 + window_uops as u64;
             let tail = &self.cum[self.pos + 1..];
             for (j, &c) in tail.iter().enumerate() {
                 if c >= target {

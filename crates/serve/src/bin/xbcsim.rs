@@ -4,14 +4,14 @@
 //! xbcsim list
 //! xbcsim run   --frontend xbc --size 32768 --trace spec.gcc --inst 500000 [--stream on] [--trace-events ev.jsonl]
 //! xbcsim run   --frontend tc  --from trace.xbt --stream on
-//! xbcsim sweep --frontends tc,xbc --sizes 8192,32768 --inst 200000 [--traces a,b] [--json out.json] [--bench-json BENCH_sweep.json] [--threads N] [--cache DIR|off] [--trace-events ev.jsonl]
-//! xbcsim serve --socket target/xbcsim.sock [--threads N] [--cache DIR|off] [--conn-cap N] [--idle-timeout-ms N]
+//! xbcsim sweep --frontends tc,xbc --sizes 8192,32768 --inst 200000 [--traces a,b] [--json out.json] [--bench-json BENCH_sweep.json] [--threads N] [--cache DIR|off] [--stream-capture on|off] [--trace-events ev.jsonl]
+//! xbcsim serve --socket target/xbcsim.sock [--threads N] [--cache DIR|off] [--conn-cap N] [--idle-timeout-ms N] [--stream-capture on|off]
 //! xbcsim serve --listen 0.0.0.0:7700 [--threads N] [--cache DIR|off]
 //! xbcsim submit --socket target/xbcsim.sock --frontends tc,xbc --sizes 8192 --inst 200000 [--priority N] [--json out.json] [--bench-json FILE]
 //! xbcsim submit --connect host:7700 --frontends tc,xbc --sizes 8192 --inst 200000
 //! xbcsim submit --socket target/xbcsim.sock --ping on | --shutdown on
 //! xbcsim inspect --events ev.jsonl
-//! xbcsim capture --trace sys.access --inst 100000 --out trace.xbt
+//! xbcsim capture --trace sys.access --insts 1000000000 --out trace.xbt
 //! xbcsim dot --trace spec.gcc --function 3 > f3.dot
 //! ```
 
@@ -27,11 +27,11 @@ fn usage() -> ! {
     eprintln!("usage:");
     eprintln!("  xbcsim list");
     eprintln!("  xbcsim run --frontend ic|uopcache|bbtc|tc|xbc [--size N] [--check on] [--stream on] [--trace-events FILE] (--trace NAME --inst N | --from FILE)");
-    eprintln!("  xbcsim sweep [--frontends tc,xbc] [--sizes 8192,32768] [--traces a,b] [--inst N] [--json FILE] [--bench-json FILE] [--threads N] [--cache DIR|off] [--check on] [--trace-events FILE]");
-    eprintln!("  xbcsim serve [--socket PATH | --listen HOST:PORT] [--threads N] [--cache DIR|off] [--conn-cap N] [--idle-timeout-ms N]");
+    eprintln!("  xbcsim sweep [--frontends tc,xbc] [--sizes 8192,32768] [--traces a,b] [--inst N] [--json FILE] [--bench-json FILE] [--threads N] [--cache DIR|off] [--stream-capture on|off] [--check on] [--trace-events FILE]");
+    eprintln!("  xbcsim serve [--socket PATH | --listen HOST:PORT] [--threads N] [--cache DIR|off] [--conn-cap N] [--idle-timeout-ms N] [--stream-capture on|off]");
     eprintln!("  xbcsim submit [--socket PATH | --connect HOST:PORT] [--frontends tc,xbc] [--sizes 8192,32768] [--traces a,b] [--inst N] [--priority N] [--json FILE] [--bench-json FILE] [--ping on] [--shutdown on]");
     eprintln!("  xbcsim inspect --events FILE   (render an xbc-events-v1 stream)");
-    eprintln!("  xbcsim capture --trace NAME --inst N --out FILE");
+    eprintln!("  xbcsim capture --trace NAME --insts N --out FILE   (streamed; N may exceed 1e9)");
     eprintln!("  xbcsim dot --trace NAME [--function K]   (DOT CFG to stdout)");
     exit(2);
 }
@@ -266,6 +266,7 @@ fn cmd_sweep(flags: &Flags) {
     let mut sweep = Sweep::new(traces, frontends, insts);
     sweep.threads = flags.get_usize("threads", 0);
     sweep.check = flags.get_bool("check", false);
+    sweep.stream_capture = flags.get_bool("stream-capture", true);
     sweep.trace_events = flags.get("trace-events").map(str::to_owned);
     if let Some(cache) = resolve_cache(flags) {
         match xbc_store::Store::open(&cache) {
@@ -306,6 +307,7 @@ fn cmd_serve(flags: &Flags) {
     config.store = store;
     config.progress = true;
     config.max_connections = flags.get_usize("conn-cap", 64);
+    config.stream_capture = flags.get_bool("stream-capture", true);
     let idle_ms = flags.get_usize("idle-timeout-ms", 0);
     config.idle_timeout = (idle_ms > 0).then(|| std::time::Duration::from_millis(idle_ms as u64));
     if let Err(e) = xbc_serve::serve(&config) {
@@ -356,14 +358,56 @@ fn cmd_submit(flags: &Flags) {
     eprintln!("[xbc-serve] {}", outcome.bench);
 }
 
+/// `capture` encodes straight to the XBT1 file through the chunked
+/// streaming encoder: peak memory stays O(chunk) however large
+/// `--insts` is, so giga-instruction captures (`--insts 1000000000` and
+/// beyond) need no more RAM than a toy one. The bytes written are
+/// identical to a resident capture-then-save.
 fn cmd_capture(flags: &Flags) {
     let name = flags.get("trace").unwrap_or_else(|| fail("capture needs --trace"));
     let out = flags.get("out").unwrap_or_else(|| fail("capture needs --out"));
-    let insts = flags.get_usize("inst", 100_000);
-    let trace = load_trace_by_name(name, insts);
+    // `--insts` is the documented spelling; `--inst` still works for
+    // symmetry with `run`/`sweep`.
+    let insts = match flags.get("insts") {
+        Some(_) => flags.get_usize("insts", 0),
+        None => flags.get_usize("inst", 100_000),
+    };
+    if insts == 0 {
+        fail("capture needs --insts > 0");
+    }
+    let spec = standard_traces()
+        .into_iter()
+        .find(|t| t.name == name)
+        .unwrap_or_else(|| fail(&format!("unknown trace: {name} (see `xbcsim list`)")));
     let f = File::create(out).unwrap_or_else(|e| fail(&format!("create {out}: {e}")));
-    trace.save(f).unwrap_or_else(|e| fail(&format!("save {out}: {e}")));
-    println!("wrote {out}: {} insts, {} uops", trace.inst_count(), trace.uop_count());
+    let mut w = std::io::BufWriter::new(f);
+    let t0 = std::time::Instant::now();
+    // Progress on stderr every ~1% (at least every 8M insts), so a
+    // multi-minute giga-capture is visibly alive.
+    let tick = (insts as u64 / 100).max(8 * 1024 * 1024);
+    let mut next_tick = tick;
+    let stats = spec
+        .capture_streamed(insts, &mut w, |_chunk, done| {
+            if done >= next_tick && done < insts as u64 {
+                next_tick = (done / tick + 1) * tick;
+                let secs = t0.elapsed().as_secs_f64();
+                eprintln!(
+                    "[capture] {done}/{insts} insts ({:.0}%, {:.1} Minsts/s)",
+                    100.0 * done as f64 / insts as f64,
+                    done as f64 / secs.max(1e-9) / 1e6,
+                );
+            }
+        })
+        .unwrap_or_else(|e| fail(&format!("capture {name}: {e}")));
+    use std::io::Write as _;
+    w.flush().unwrap_or_else(|e| fail(&format!("write {out}: {e}")));
+    let secs = t0.elapsed().as_secs_f64();
+    println!(
+        "wrote {out}: {} insts, {} uops ({:.1} Minsts/s)",
+        stats.insts,
+        stats.uops,
+        stats.insts as f64 / secs.max(1e-9) / 1e6,
+    );
 }
 
 fn cmd_dot(flags: &Flags) {

@@ -28,10 +28,16 @@
 //! Replay is streaming-first: a cell whose trace is already stored
 //! replays through [`Store::open_trace_stream`] and
 //! `Frontend::run_streamed`, keeping worker memory O(window). The first
-//! cell of a not-yet-captured trace captures it resident (once, shared
-//! behind the store's capture flight — or the job's `OnceLock` when the
-//! daemon runs uncached) — which lands the trace on disk, so later
-//! cells of the same trace stream it.
+//! cell of a not-yet-captured trace *overlaps* capture with its own
+//! simulation: the leader of [`Store::stream_capture_shared`] replays
+//! the committed-instruction stream live off a bounded channel while a
+//! capture thread encodes the same chunks to the store, so the cell's
+//! capture cost hides behind its simulation (reported as
+//! `overlapped_cells` / `overlap_ms` in the `done` trailer). With
+//! streaming capture off (or no store) the first cell captures resident
+//! (once, shared behind the store's capture flight — or the job's
+//! `OnceLock` when the daemon runs uncached) — either way the trace
+//! lands on disk, so later cells of the same trace stream it.
 //!
 //! **Shutdown drains.** A `shutdown` request flips the scheduler into
 //! drain mode: new sweeps are refused, but every already-registered
@@ -51,7 +57,7 @@ use std::time::{Duration, Instant};
 use xbc_sim::{
     capture_share, resolve_threads, result_key, rows_from_json, FrontendSpec, Row, SweepBench,
 };
-use xbc_store::{CaptureOutcome, Flight, SingleFlight, Store};
+use xbc_store::{CaptureOutcome, Flight, SingleFlight, Store, StreamCapture};
 use xbc_workload::{standard_traces, Trace, TraceSpec};
 
 #[cfg(feature = "check")]
@@ -85,6 +91,10 @@ pub struct ServeConfig {
     /// Per-connection send timeout, bounding how long a stalled client
     /// can pin a connection thread mid-row (`None` = block forever).
     pub write_timeout: Option<Duration>,
+    /// Overlap cold-trace capture with the leading cell's simulation
+    /// via [`Store::stream_capture_shared`] (default on; no effect
+    /// without a store).
+    pub stream_capture: bool,
     /// Fault-injection triggers for this daemon (tests only; the hooks
     /// compile only under the `check` feature).
     #[cfg(feature = "check")]
@@ -103,6 +113,7 @@ impl ServeConfig {
             max_connections: 64,
             idle_timeout: None,
             write_timeout: None,
+            stream_capture: true,
             #[cfg(feature = "check")]
             faults: None,
         }
@@ -118,6 +129,17 @@ struct Cell {
     missing: usize,
 }
 
+/// How a job resolved a cold trace, shared by the trace's cells.
+enum TraceHandle {
+    /// Captured resident (uncached daemon, streaming off, or an
+    /// eviction race), with its capture wall time — later cells of the
+    /// trace simulate from memory and take a `capture_share`.
+    Resident(Arc<Trace>, u64),
+    /// The trace landed on disk (overlapped streamed capture, or
+    /// another request's flight) — later cells of the trace stream it.
+    OnDisk,
+}
+
 /// One submitted sweep: the grid, its pending cells, and the slots its
 /// connection thread drains in index order.
 struct Job {
@@ -130,10 +152,10 @@ struct Job {
     frontends: Vec<FrontendSpec>,
     insts: usize,
     cells: Vec<Cell>,
-    /// Per-trace resident capture for the *uncached* daemon, shared by
-    /// the trace's fallback cells within this job. (With a store, the
-    /// store's capture flight shares across jobs too.)
-    shared_traces: Vec<OnceLock<(Arc<Trace>, u64)>>,
+    /// Per-trace cold-path resolution, shared by the trace's cells
+    /// within this job. (With a store, the store's capture and
+    /// streamed-capture flights share across jobs too.)
+    shared_traces: Vec<OnceLock<TraceHandle>>,
     /// The full grid; workers fill cells, the connection thread takes
     /// them in trace-major order as the filled prefix grows.
     rows: Mutex<Vec<Option<Row>>>,
@@ -149,6 +171,10 @@ struct Job {
     /// Cells resolved by sharing another request's in-flight simulation
     /// or a late result-cache hit.
     deduped_cells: AtomicU64,
+    /// Cold cells whose capture ran overlapped with their own replay.
+    overlapped_cells: AtomicU64,
+    /// Capture milliseconds hidden behind simulation on those cells.
+    overlap_ms: AtomicU64,
 }
 
 impl Job {
@@ -177,6 +203,7 @@ struct Shared {
     progress: bool,
     max_connections: usize,
     idle_timeout: Option<Duration>,
+    stream_capture: bool,
     sched: Scheduler<Arc<Job>>,
     /// Daemon-wide in-flight table keyed by `result_key` content hash:
     /// the single-flight dedup for concurrently requested cells.
@@ -237,38 +264,141 @@ fn simulate_cell(shared: &Shared, job: &Job, ci: usize) -> Row {
             row
         }
         None => {
-            let (trace, cap_ms) = {
-                let entry = job.shared_traces[cell.trace].get_or_init(|| {
-                    let c0 = Instant::now();
-                    let t = match &shared.store {
-                        Some(store) => {
-                            let (t, outcome) = store.get_or_capture_shared(spec, job.insts);
-                            // A joiner shared another request's capture;
-                            // only the side that did the work (or the
-                            // store load) counts it.
+            // Cold trace. The first cell to arrive resolves it for the
+            // job: with streaming capture it leads an overlapped
+            // capture+replay (simulating live off the capture channel,
+            // smuggling its finished row out through `leader_row`);
+            // otherwise it captures resident. Later cells of the trace
+            // see the resolution through the `OnceLock`.
+            let mut leader_row: Option<Row> = None;
+            let handle = job.shared_traces[cell.trace].get_or_init(|| {
+                if shared.stream_capture {
+                    if let Some(store) = &shared.store {
+                        match store.stream_capture_shared(spec, job.insts) {
+                            StreamCapture::Leader(mut cap) => {
+                                let t0 = Instant::now();
+                                let mut src = cap.take_source();
+                                let m = frontend.run_streamed(&mut src);
+                                let cap_ms = cap.finish();
+                                let wall = t0.elapsed().as_millis() as u64;
+                                job.captures.fetch_add(1, Ordering::Relaxed);
+                                job.capture_ms.fetch_add(cap_ms, Ordering::Relaxed);
+                                // Attribute `cap_ms` of the cell's wall
+                                // to capture and the rest to simulation
+                                // — the two sum to the wall time, no
+                                // double-counting.
+                                job.sim_ms
+                                    .fetch_add(wall.saturating_sub(cap_ms), Ordering::Relaxed);
+                                job.overlap_ms.fetch_add(cap_ms.min(wall), Ordering::Relaxed);
+                                job.overlapped_cells.fetch_add(1, Ordering::Relaxed);
+                                job.streamed_cells.fetch_add(1, Ordering::Relaxed);
+                                let mut row = Row::new(
+                                    spec.name,
+                                    &spec.suite.to_string(),
+                                    *fespec,
+                                    job.insts,
+                                    &m,
+                                );
+                                row.elapsed_ms = wall;
+                                leader_row = Some(row);
+                                return TraceHandle::OnDisk;
+                            }
+                            // Raced onto disk, or joined another
+                            // request's streamed capture — either way
+                            // the trace is (about to be) stored and
+                            // that flight's leader counted the capture.
+                            StreamCapture::CacheHit | StreamCapture::Joined => {
+                                return TraceHandle::OnDisk;
+                            }
+                        }
+                    }
+                }
+                let c0 = Instant::now();
+                let t = match &shared.store {
+                    Some(store) => {
+                        let (t, outcome) = store.get_or_capture_shared(spec, job.insts);
+                        // A joiner shared another request's capture;
+                        // only the side that did the work (or the
+                        // store load) counts it.
+                        if !matches!(outcome, CaptureOutcome::Joined) {
+                            job.captures.fetch_add(1, Ordering::Relaxed);
+                        }
+                        t
+                    }
+                    None => {
+                        job.captures.fetch_add(1, Ordering::Relaxed);
+                        Arc::new(spec.capture(job.insts))
+                    }
+                };
+                let ms = c0.elapsed().as_millis() as u64;
+                job.capture_ms.fetch_add(ms, Ordering::Relaxed);
+                TraceHandle::Resident(t, ms)
+            });
+            if let Some(row) = leader_row {
+                return row;
+            }
+            match handle {
+                TraceHandle::Resident(trace, cap_ms) => {
+                    let sim0 = Instant::now();
+                    let m = frontend.run(trace);
+                    let sim_ms = sim0.elapsed().as_millis() as u64;
+                    job.sim_ms.fetch_add(sim_ms, Ordering::Relaxed);
+                    let mut row =
+                        Row::new(spec.name, &spec.suite.to_string(), *fespec, job.insts, &m);
+                    row.elapsed_ms = capture_share(*cap_ms, cell.missing, cell.rank) + sim_ms;
+                    row
+                }
+                TraceHandle::OnDisk => {
+                    let store = shared.store.as_ref().expect("OnDisk handle implies a store");
+                    let open0 = Instant::now();
+                    match store.open_trace_stream(spec, job.insts) {
+                        Some(mut stream) => {
+                            let open_ms = open0.elapsed().as_millis() as u64;
+                            let sim0 = Instant::now();
+                            let m = frontend.run_streamed(&mut stream);
+                            let sim_ms = sim0.elapsed().as_millis() as u64;
+                            job.capture_ms.fetch_add(open_ms, Ordering::Relaxed);
+                            job.sim_ms.fetch_add(sim_ms, Ordering::Relaxed);
+                            job.streamed_cells.fetch_add(1, Ordering::Relaxed);
+                            let mut row = Row::new(
+                                spec.name,
+                                &spec.suite.to_string(),
+                                *fespec,
+                                job.insts,
+                                &m,
+                            );
+                            row.elapsed_ms = open_ms + sim_ms;
+                            row
+                        }
+                        None => {
+                            // The entry was evicted between the leader
+                            // landing it and this cell streaming it —
+                            // fall back to the shared resident capture.
+                            let c0 = Instant::now();
+                            let (trace, outcome) = store.get_or_capture_shared(spec, job.insts);
                             if !matches!(outcome, CaptureOutcome::Joined) {
                                 job.captures.fetch_add(1, Ordering::Relaxed);
                             }
-                            t
+                            let cap_ms = c0.elapsed().as_millis() as u64;
+                            job.capture_ms.fetch_add(cap_ms, Ordering::Relaxed);
+                            let sim0 = Instant::now();
+                            let m = frontend.run(&trace);
+                            let sim_ms = sim0.elapsed().as_millis() as u64;
+                            job.sim_ms.fetch_add(sim_ms, Ordering::Relaxed);
+                            let mut row = Row::new(
+                                spec.name,
+                                &spec.suite.to_string(),
+                                *fespec,
+                                job.insts,
+                                &m,
+                            );
+                            row.elapsed_ms =
+                                capture_share(cap_ms, cell.missing, cell.rank) + sim_ms;
+                            row
                         }
-                        None => {
-                            job.captures.fetch_add(1, Ordering::Relaxed);
-                            Arc::new(spec.capture(job.insts))
-                        }
-                    };
-                    let ms = c0.elapsed().as_millis() as u64;
-                    job.capture_ms.fetch_add(ms, Ordering::Relaxed);
-                    (t, ms)
-                });
-                (Arc::clone(&entry.0), entry.1)
-            };
-            let sim0 = Instant::now();
-            let m = frontend.run(&trace);
-            let sim_ms = sim0.elapsed().as_millis() as u64;
-            job.sim_ms.fetch_add(sim_ms, Ordering::Relaxed);
-            let mut row = Row::new(spec.name, &spec.suite.to_string(), *fespec, job.insts, &m);
-            row.elapsed_ms = capture_share(cap_ms, cell.missing, cell.rank) + sim_ms;
-            row
+                    }
+                }
+            }
         }
     }
 }
@@ -430,6 +560,8 @@ fn stream_rows(
         captures: job.captures.load(Ordering::Relaxed),
         capture_ms: job.capture_ms.load(Ordering::Relaxed),
         sim_ms: job.sim_ms.load(Ordering::Relaxed),
+        overlapped_cells: job.overlapped_cells.load(Ordering::Relaxed) as usize,
+        overlap_ms: job.overlap_ms.load(Ordering::Relaxed),
         wall_ms: wall0.elapsed().as_millis() as u64,
         // The pool is daemon-global, not per-request: per-worker stats
         // are not attributable to one request, so the trailer's worker
@@ -446,14 +578,15 @@ fn stream_rows(
     send_line(out, &protocol::done_line(n_cells, &bench, delta.as_ref(), Some(&sched)))?;
     if shared.progress {
         eprintln!(
-            "[xbc-serve] client {}: {} cells ({} cached, {} simulated, {} deduped, {} streamed) \
-             in {} ms (queue depth {})",
+            "[xbc-serve] client {}: {} cells ({} cached, {} simulated, {} deduped, {} streamed, \
+             {} overlapped) in {} ms (queue depth {})",
             job.client,
             n_cells,
             cached_cells,
             bench.simulated_cells,
             deduped,
             job.streamed_cells.load(Ordering::Relaxed),
+            bench.overlapped_cells,
             bench.wall_ms,
             sched.queue_depth,
         );
@@ -551,6 +684,8 @@ fn handle_sweep(
         sim_ms: AtomicU64::new(0),
         streamed_cells: AtomicU64::new(0),
         deduped_cells: AtomicU64::new(0),
+        overlapped_cells: AtomicU64::new(0),
+        overlap_ms: AtomicU64::new(0),
     });
     if !job.cells.is_empty() {
         if let Err(refused) =
@@ -679,6 +814,7 @@ impl Server {
             progress: config.progress,
             max_connections: config.max_connections.max(1),
             idle_timeout: config.idle_timeout,
+            stream_capture: config.stream_capture,
             sched: Scheduler::new(),
             cell_flights: SingleFlight::new(),
             shutdown: AtomicBool::new(false),

@@ -190,7 +190,8 @@ pub fn bench_to_compact_json(b: &SweepBench) -> String {
     format!(
         "{{\"schema\":\"xbc-sweep-bench-v1\",\"threads\":{},\"traces\":{},\"frontends\":{},\
          \"total_cells\":{},\"cached_cells\":{},\"simulated_cells\":{},\"deduped_cells\":{},\
-         \"captures\":{},\"capture_ms\":{},\"sim_ms\":{},\"wall_ms\":{},\"workers\":[{}]}}",
+         \"captures\":{},\"capture_ms\":{},\"sim_ms\":{},\
+         \"overlapped_cells\":{},\"overlap_ms\":{},\"wall_ms\":{},\"workers\":[{}]}}",
         b.threads,
         b.traces,
         b.frontends,
@@ -201,6 +202,8 @@ pub fn bench_to_compact_json(b: &SweepBench) -> String {
         b.captures,
         b.capture_ms,
         b.sim_ms,
+        b.overlapped_cells,
+        b.overlap_ms,
         b.wall_ms,
         workers.join(","),
     )
@@ -241,6 +244,9 @@ pub fn bench_from_json(j: &Json) -> Result<SweepBench, String> {
         captures: u64_field(j, "captures")?,
         capture_ms: u64_field(j, "capture_ms")?,
         sim_ms: u64_field(j, "sim_ms")?,
+        // Optional: absent in pre-streaming bench artifacts.
+        overlapped_cells: j.get("overlapped_cells").and_then(Json::as_usize).unwrap_or(0),
+        overlap_ms: j.get("overlap_ms").and_then(Json::as_u64).unwrap_or(0),
         wall_ms: u64_field(j, "wall_ms")?,
         workers,
     })
@@ -477,6 +483,8 @@ mod tests {
             captures: 2,
             capture_ms: 30,
             sim_ms: 970,
+            overlapped_cells: 1,
+            overlap_ms: 15,
             wall_ms: 500,
             workers: vec![WorkerStat { cells: 5, busy_ms: 490 }],
         };
@@ -485,14 +493,22 @@ mod tests {
         let back = bench_from_json(&Json::parse(&compact).unwrap()).unwrap();
         assert_eq!(back.total_cells, 6);
         assert_eq!(back.deduped_cells, 2);
+        assert_eq!(back.overlapped_cells, 1);
+        assert_eq!(back.overlap_ms, 15);
         assert_eq!(back.workers, bench.workers);
         // The multi-line artifact form parses through the same reader.
         let art = bench_from_json(&Json::parse(&bench.to_json()).unwrap()).unwrap();
         assert_eq!(art.simulated_cells, 3);
         assert_eq!(art.wall_ms, 500);
-        // Pre-dedup artifacts (no deduped_cells field) still parse.
-        let legacy = compact.replace(",\"deduped_cells\":2", "");
-        assert_eq!(bench_from_json(&Json::parse(&legacy).unwrap()).unwrap().deduped_cells, 0);
+        assert_eq!(art.overlap_ms, 15);
+        // Pre-dedup / pre-streaming artifacts (missing fields) still parse.
+        let legacy = compact
+            .replace(",\"deduped_cells\":2", "")
+            .replace(",\"overlapped_cells\":1,\"overlap_ms\":15", "");
+        let old = bench_from_json(&Json::parse(&legacy).unwrap()).unwrap();
+        assert_eq!(old.deduped_cells, 0);
+        assert_eq!(old.overlapped_cells, 0);
+        assert_eq!(old.overlap_ms, 0);
     }
 
     #[test]

@@ -49,6 +49,16 @@ pub struct SweepBench {
     pub capture_ms: u64,
     /// Simulation wall time, summed over simulated cells.
     pub sim_ms: u64,
+    /// Cold cells whose capture ran overlapped with their own
+    /// simulation (streamed capture feeding the replay live). Always 0
+    /// with `stream_capture` off or no store.
+    pub overlapped_cells: usize,
+    /// Capture milliseconds hidden behind simulation on overlapped
+    /// cells: for each such cell, the part of its capture that ran
+    /// while the cell was also simulating. Bounded by `capture_ms`;
+    /// capture and sim attributions still sum to each cell's wall time
+    /// (no double-counting).
+    pub overlap_ms: u64,
     /// End-to-end wall time of the run.
     pub wall_ms: u64,
     /// Per-worker busy time and cell counts (one entry per spawned
@@ -63,6 +73,18 @@ impl SweepBench {
             0.0
         } else {
             self.simulated_cells as f64 * 1000.0 / self.wall_ms as f64
+        }
+    }
+
+    /// Fraction of total capture time that was hidden behind
+    /// simulation on overlapped cells (`overlap_ms / capture_ms`; 0
+    /// when nothing was captured). 1.0 means every captured millisecond
+    /// ran concurrently with a simulation.
+    pub fn overlap_fraction(&self) -> f64 {
+        if self.capture_ms == 0 {
+            0.0
+        } else {
+            self.overlap_ms as f64 / self.capture_ms as f64
         }
     }
 
@@ -94,7 +116,9 @@ impl SweepBench {
              \"traces\": {},\n  \"frontends\": {},\n  \"total_cells\": {},\n  \
              \"cached_cells\": {},\n  \"simulated_cells\": {},\n  \"deduped_cells\": {},\n  \
              \"captures\": {},\n  \
-             \"capture_ms\": {},\n  \"sim_ms\": {},\n  \"wall_ms\": {},\n  \
+             \"capture_ms\": {},\n  \"sim_ms\": {},\n  \
+             \"overlapped_cells\": {},\n  \"overlap_ms\": {},\n  \"overlap_fraction\": {},\n  \
+             \"wall_ms\": {},\n  \
              \"cells_per_sec\": {},\n  \"worker_utilization\": {},\n  \"workers\": {}\n}}\n",
             self.threads,
             self.traces,
@@ -106,6 +130,9 @@ impl SweepBench {
             self.captures,
             self.capture_ms,
             self.sim_ms,
+            self.overlapped_cells,
+            self.overlap_ms,
+            self.overlap_fraction(),
             self.wall_ms,
             self.cells_per_sec(),
             self.worker_utilization(),
@@ -119,7 +146,7 @@ impl fmt::Display for SweepBench {
         write!(
             f,
             "{} cells ({} cached, {} simulated{}) in {} ms on {} threads: \
-             {:.1} cells/s, capture {} ms, sim {} ms, utilization {:.0}%",
+             {:.1} cells/s, capture {} ms, sim {} ms{}, utilization {:.0}%",
             self.total_cells,
             self.cached_cells,
             self.simulated_cells,
@@ -133,6 +160,15 @@ impl fmt::Display for SweepBench {
             self.cells_per_sec(),
             self.capture_ms,
             self.sim_ms,
+            if self.overlapped_cells > 0 {
+                format!(
+                    " ({} overlapped, {:.0}% of capture hidden)",
+                    self.overlapped_cells,
+                    100.0 * self.overlap_fraction()
+                )
+            } else {
+                String::new()
+            },
             100.0 * self.worker_utilization(),
         )
     }
@@ -154,6 +190,8 @@ mod tests {
             captures: 2,
             capture_ms: 30,
             sim_ms: 970,
+            overlapped_cells: 1,
+            overlap_ms: 15,
             wall_ms: 500,
             workers: vec![
                 WorkerStat { cells: 6, busy_ms: 490 },
@@ -167,6 +205,8 @@ mod tests {
         let b = sample();
         assert!((b.cells_per_sec() - 24.0).abs() < 1e-9);
         assert!((b.worker_utilization() - 1.0).abs() < 1e-9);
+        assert!((b.overlap_fraction() - 0.5).abs() < 1e-9);
+        assert_eq!(SweepBench::default().overlap_fraction(), 0.0);
         assert_eq!(SweepBench::default().cells_per_sec(), 0.0);
         assert_eq!(SweepBench::default().worker_utilization(), 0.0);
     }
@@ -182,6 +222,9 @@ mod tests {
             "\"simulated_cells\": 12",
             "\"capture_ms\": 30",
             "\"sim_ms\": 970",
+            "\"overlapped_cells\": 1",
+            "\"overlap_ms\": 15",
+            "\"overlap_fraction\": 0.5",
             "\"wall_ms\": 500",
             "\"cells\": 6",
         ] {

@@ -25,7 +25,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 use xbc_frontend::{Frontend, FrontendMetrics, OracleStream, Reconciler};
 use xbc_obs::{jsonl, EventSink, NullSink, VecSink};
-use xbc_store::Store;
+use xbc_store::{CaptureOutcome, Store, StreamCapture};
 use xbc_workload::{InstSource, Trace, TraceSpec};
 
 /// Bumped whenever simulator semantics change, so stale cached results
@@ -113,6 +113,18 @@ struct Cell {
     missing: usize,
 }
 
+/// How a sweep's workers obtain one trace's committed stream after the
+/// per-trace `OnceLock` leader resolved it.
+enum TraceHandle {
+    /// Materialized in memory (uncached sweeps, checked/traced runs, or
+    /// `stream_capture` off), with the leader's capture/load cost.
+    Resident(Arc<Trace>, u64),
+    /// On disk in the store — captured streamed (possibly overlapped
+    /// with the leader's own simulation) or already cached. Sibling
+    /// cells stream it from the store; nobody holds the whole trace.
+    OnDisk,
+}
+
 /// Sweep parameters.
 #[derive(Clone, Debug)]
 pub struct Sweep {
@@ -140,6 +152,14 @@ pub struct Sweep {
     /// byte-identical regardless of `threads`. Rows are unaffected:
     /// tracing observes, it never perturbs.
     pub trace_events: Option<String>,
+    /// Capture cold traces *streamed* into the store, overlapping the
+    /// capture with the leader cell's simulation (default on; only takes
+    /// effect with a store attached, on plain runs — checked and traced
+    /// runs need the resident trace). Off restores strict
+    /// capture-then-simulate, the A/B baseline for the overlap win. Rows
+    /// are identical either way — the committed stream is byte-identical
+    /// by construction.
+    pub stream_capture: bool,
 }
 
 impl Sweep {
@@ -162,6 +182,7 @@ impl Sweep {
             progress: true,
             check: false,
             trace_events: None,
+            stream_capture: true,
         }
     }
 
@@ -248,11 +269,17 @@ impl Sweep {
         }
 
         // Phase 3: drain the cell queue. The first cell of a trace to
-        // run captures it behind the trace's OnceLock (with the store,
-        // through the trace cache); sibling cells block there and share
-        // the Arc. Workers then simulate independently.
+        // run resolves its committed stream behind the trace's OnceLock:
+        // with streamed capture, a cold trace is captured to the store
+        // in the background *while the leader cell simulates it live*
+        // off a bounded channel; sibling cells then stream it from disk.
+        // Otherwise the leader captures (or loads) a resident trace that
+        // siblings share by Arc. Workers then simulate independently.
         let threads = resolve_threads(self.threads);
-        let shared: Vec<OnceLock<(Arc<Trace>, u64)>> =
+        // Overlap needs the store (the capture's destination) and the
+        // plain replay loop — checked/traced runs replay resident.
+        let overlap_ok = self.stream_capture && !self.check && self.trace_events.is_none();
+        let shared: Vec<OnceLock<TraceHandle>> =
             (0..self.traces.len()).map(|_| OnceLock::new()).collect();
         let done_rows: Mutex<Vec<(usize, Row)>> = Mutex::new(Vec::new());
         let event_sections: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
@@ -263,60 +290,136 @@ impl Sweep {
         let captures = AtomicU64::new(0);
         let capture_ms_total = AtomicU64::new(0);
         let sim_ms_total = AtomicU64::new(0);
+        let overlap_ms_total = AtomicU64::new(0);
+        let overlapped_cells = AtomicU64::new(0);
         let workers = parallel_cells(cells.len(), threads, |i| {
             let cell = &cells[i];
             let spec = &self.traces[cell.trace];
-            let (trace, cap_ms) = {
-                let entry = shared[cell.trace].get_or_init(|| {
-                    let c0 = Instant::now();
-                    let t = match &self.store {
-                        Some(store) => store.get_or_capture(spec, self.insts),
-                        None => spec.capture(self.insts),
-                    };
-                    let ms = c0.elapsed().as_millis() as u64;
-                    captures.fetch_add(1, Ordering::Relaxed);
-                    capture_ms_total.fetch_add(ms, Ordering::Relaxed);
-                    (Arc::new(t), ms)
-                });
-                (Arc::clone(&entry.0), entry.1)
-            };
             let fe = &self.frontends[cell.fe];
-            let sim0 = Instant::now();
-            let mut frontend = fe.instantiate();
-            let m = if self.trace_events.is_some() {
-                let mut sink = VecSink::new();
-                let m = if self.check {
-                    run_checked_traced(&mut *frontend, &trace, spec.name, &mut sink)
-                } else {
-                    frontend.run_traced(&trace, &mut sink)
-                };
-                if self.check {
-                    let folded = Reconciler::fold(sink.events.iter());
-                    assert_eq!(
-                        folded,
-                        m,
-                        "[--check] {} on {}: event stream does not reconcile to metrics",
-                        fe.label(),
-                        spec.name
-                    );
+            // The overlapped leader simulates its own cell *inside* the
+            // OnceLock closure (the channel exists only there); its
+            // result rides out through this slot.
+            let mut leader_sim: Option<(FrontendMetrics, u64, u64)> = None;
+            let handle = shared[cell.trace].get_or_init(|| {
+                if let Some(store) = self.store.as_ref().filter(|_| overlap_ok) {
+                    match store.stream_capture_shared(spec, self.insts) {
+                        StreamCapture::Leader(mut cap) => {
+                            // Cold cell: simulate the live stream while
+                            // the capture writes it to the store.
+                            let t0 = Instant::now();
+                            let mut src = cap.take_source();
+                            let mut frontend = fe.instantiate();
+                            let m = frontend.run_streamed(&mut src);
+                            let cap_ms = cap.finish();
+                            let wall = t0.elapsed().as_millis() as u64;
+                            captures.fetch_add(1, Ordering::Relaxed);
+                            capture_ms_total.fetch_add(cap_ms, Ordering::Relaxed);
+                            overlap_ms_total.fetch_add(cap_ms.min(wall), Ordering::Relaxed);
+                            overlapped_cells.fetch_add(1, Ordering::Relaxed);
+                            leader_sim = Some((m, wall, cap_ms));
+                            return TraceHandle::OnDisk;
+                        }
+                        // Entry already on disk (or a concurrent job
+                        // just captured it): every cell streams it, no
+                        // capture to account here.
+                        StreamCapture::CacheHit | StreamCapture::Joined => {
+                            return TraceHandle::OnDisk;
+                        }
+                    }
                 }
-                let mut section = String::new();
-                jsonl::write_section(&mut section, &fe.label(), spec.name, &sink.events);
-                event_sections
-                    .lock()
-                    .expect("event section lock")
-                    .push((cell.trace * n_fe + cell.fe, section));
-                m
-            } else if self.check {
-                run_checked(&mut *frontend, &trace, spec.name)
-            } else {
-                frontend.run(&trace)
+                let c0 = Instant::now();
+                let t = match &self.store {
+                    Some(store) => store.get_or_capture(spec, self.insts),
+                    None => spec.capture(self.insts),
+                };
+                let ms = c0.elapsed().as_millis() as u64;
+                captures.fetch_add(1, Ordering::Relaxed);
+                capture_ms_total.fetch_add(ms, Ordering::Relaxed);
+                TraceHandle::Resident(Arc::new(t), ms)
+            });
+            let (m, elapsed_ms, cap_ms, sim_ms) = match handle {
+                TraceHandle::Resident(trace, cap_ms) => {
+                    let trace = Arc::clone(trace);
+                    let sim0 = Instant::now();
+                    let mut frontend = fe.instantiate();
+                    let m = if self.trace_events.is_some() {
+                        let mut sink = VecSink::new();
+                        let m = if self.check {
+                            run_checked_traced(&mut *frontend, &trace, spec.name, &mut sink)
+                        } else {
+                            frontend.run_traced(&trace, &mut sink)
+                        };
+                        if self.check {
+                            let folded = Reconciler::fold(sink.events.iter());
+                            assert_eq!(
+                                folded,
+                                m,
+                                "[--check] {} on {}: event stream does not reconcile to metrics",
+                                fe.label(),
+                                spec.name
+                            );
+                        }
+                        let mut section = String::new();
+                        jsonl::write_section(&mut section, &fe.label(), spec.name, &sink.events);
+                        event_sections
+                            .lock()
+                            .expect("event section lock")
+                            .push((cell.trace * n_fe + cell.fe, section));
+                        m
+                    } else if self.check {
+                        run_checked(&mut *frontend, &trace, spec.name)
+                    } else {
+                        frontend.run(&trace)
+                    };
+                    let sim_ms = sim0.elapsed().as_millis() as u64;
+                    (m, capture_share(*cap_ms, cell.missing, cell.rank) + sim_ms, *cap_ms, sim_ms)
+                }
+                TraceHandle::OnDisk => {
+                    if let Some((m, wall, cap_ms)) = leader_sim.take() {
+                        // The overlapped leader: its cell's wall clock
+                        // covers capture and simulation together; the
+                        // capture share is `cap_ms` and the rest is sim,
+                        // so attributions sum to the measured wall with
+                        // no double-counting.
+                        (m, wall, cap_ms, wall.saturating_sub(cap_ms))
+                    } else {
+                        let store = self.store.as_ref().expect("on-disk handle implies a store");
+                        let open0 = Instant::now();
+                        match store.open_trace_stream(spec, self.insts) {
+                            Some(mut stream) => {
+                                let open_ms = open0.elapsed().as_millis() as u64;
+                                let sim0 = Instant::now();
+                                let mut frontend = fe.instantiate();
+                                let m = frontend.run_streamed(&mut stream);
+                                let sim_ms = sim0.elapsed().as_millis() as u64;
+                                (m, open_ms + sim_ms, 0, sim_ms)
+                            }
+                            None => {
+                                // Eviction race: the entry vanished
+                                // between the leader's capture and this
+                                // replay. Regenerate resident.
+                                let c0 = Instant::now();
+                                let (trace, outcome) =
+                                    store.get_or_capture_shared(spec, self.insts);
+                                let cap_ms = c0.elapsed().as_millis() as u64;
+                                if matches!(outcome, CaptureOutcome::Captured) {
+                                    captures.fetch_add(1, Ordering::Relaxed);
+                                    capture_ms_total.fetch_add(cap_ms, Ordering::Relaxed);
+                                }
+                                let sim0 = Instant::now();
+                                let mut frontend = fe.instantiate();
+                                let m = frontend.run(&trace);
+                                let sim_ms = sim0.elapsed().as_millis() as u64;
+                                (m, cap_ms + sim_ms, cap_ms, sim_ms)
+                            }
+                        }
+                    }
+                }
             };
-            let sim_ms = sim0.elapsed().as_millis() as u64;
             sim_ms_total.fetch_add(sim_ms, Ordering::Relaxed);
             trace_sim_ms[cell.trace].fetch_add(sim_ms, Ordering::Relaxed);
             let mut row = Row::new(spec.name, &spec.suite.to_string(), *fe, self.insts, &m);
-            row.elapsed_ms = capture_share(cap_ms, cell.missing, cell.rank) + sim_ms;
+            row.elapsed_ms = elapsed_ms;
             if let Some(store) = &self.store {
                 store.store_result(
                     &result_key(spec, fe, self.insts),
@@ -365,6 +468,8 @@ impl Sweep {
             captures: captures.into_inner(),
             capture_ms: capture_ms_total.into_inner(),
             sim_ms: sim_ms_total.into_inner(),
+            overlapped_cells: overlapped_cells.into_inner() as usize,
+            overlap_ms: overlap_ms_total.into_inner(),
             wall_ms: wall0.elapsed().as_millis() as u64,
             workers,
         };
@@ -630,6 +735,50 @@ mod tests {
             // Shares are within 1 ms of each other, largest first.
             assert!(shares.windows(2).all(|w| w[0] >= w[1] && w[0] - w[1] <= 1));
         }
+        // Overlapped cells use a different split of the same invariant:
+        // the leader's wall clock covers capture and simulation
+        // together, the capture attribution is the capture's own wall
+        // (clamped to the cell's), and the rest is sim — so the two
+        // attributions sum to exactly the measured cell time, never
+        // more (the old strictly-serial accounting would have summed to
+        // wall + capture, double-counting the hidden capture).
+        for (wall, cap_ms) in [(100u64, 60u64), (100, 100), (50, 80), (0, 0), (7, 0)] {
+            let capture_attr = cap_ms.min(wall);
+            let sim_attr = wall.saturating_sub(cap_ms);
+            assert_eq!(capture_attr + sim_attr, wall, "wall={wall} cap={cap_ms}");
+        }
+    }
+
+    #[test]
+    fn streamed_sweep_overlaps_and_matches_resident() {
+        let dir =
+            std::env::temp_dir().join(format!("xbc-sweep-overlap-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let traces: Vec<TraceSpec> = standard_traces().into_iter().take(2).collect();
+        let frontends = vec![FrontendSpec::Ic, FrontendSpec::xbc_default()];
+
+        // Baseline rows: no store, resident capture.
+        let mut resident = Sweep::new(traces.clone(), frontends.clone(), 4_000);
+        resident.progress = false;
+        resident.stream_capture = false;
+        let baseline = resident.run();
+
+        // Cold streamed sweep: every trace is captured overlapped with
+        // its leader cell's simulation.
+        let store = Arc::new(Store::open(&dir).unwrap());
+        let mut streamed = Sweep::new(traces.clone(), frontends, 4_000).with_store(store);
+        streamed.progress = false;
+        let (rows, bench) = streamed.run_with_bench();
+        assert_eq!(bench.captures, traces.len() as u64, "one capture per distinct trace");
+        assert_eq!(bench.overlapped_cells, traces.len(), "every cold trace overlaps one cell");
+        assert!(bench.overlap_ms <= bench.capture_ms);
+        assert!(bench.overlap_fraction() <= 1.0);
+        for (b, r) in baseline.iter().zip(&rows) {
+            assert_eq!(b.trace, r.trace);
+            assert_eq!(b.cycles, r.cycles, "streamed capture must not perturb results");
+            assert_eq!(b.miss_rate, r.miss_rate);
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -660,9 +809,11 @@ mod tests {
         assert_eq!(after_fresh.result_hits, 0);
         let (cached, bench) = sweep.run_with_bench();
         let after_cached = store.stats();
-        // The re-run hit every result cell and never touched a trace.
+        // The re-run hit every result cell and never touched a trace
+        // (the fresh run's sibling cells streamed the freshly captured
+        // entries from disk, so trace hits exist — but must not grow).
         assert_eq!(after_cached.result_hits, 4);
-        assert_eq!(after_cached.trace_hits, 0);
+        assert_eq!(after_cached.trace_hits, after_fresh.trace_hits);
         assert_eq!(after_cached.trace_misses, after_fresh.trace_misses);
         assert_eq!(bench.cached_cells, 4);
         assert_eq!(bench.simulated_cells, 0);

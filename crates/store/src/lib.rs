@@ -50,7 +50,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use xbc_workload::codec::{crc32, FORMAT_VERSION};
-use xbc_workload::{Trace, TraceReader, TraceSpec, TraceStream};
+use xbc_workload::{ChannelSource, DynInst, Trace, TraceReader, TraceSpec, TraceStream};
 
 /// Magic of result-cache entries.
 const RESULT_MAGIC: [u8; 4] = *b"XBR1";
@@ -368,6 +368,67 @@ pub enum CaptureOutcome {
     Joined,
 }
 
+/// What [`Store::stream_capture_shared`] resolved to.
+pub enum StreamCapture<'a> {
+    /// The entry already exists on disk — stream it with
+    /// [`Store::open_trace_stream`].
+    CacheHit,
+    /// This caller won the race: a capture thread is now writing the
+    /// entry, and the returned handle carries the live replay channel.
+    Leader(OverlappedCapture<'a>),
+    /// A concurrent caller's capture of the same entry just finished —
+    /// the entry is on disk now; this caller did no capture work and
+    /// bumped no counters.
+    Joined,
+}
+
+/// A streamed capture in flight: a background thread is executing the
+/// workload and encoding it to the store, tee'ing every chunk into a
+/// bounded channel. The holder runs its simulation off
+/// [`OverlappedCapture::take_source`] — *while the capture runs* — then
+/// calls [`OverlappedCapture::finish`] to join the thread and publish
+/// the entry to concurrent waiters.
+///
+/// Dropping this without `finish` publishes a single-flight failure so
+/// waiters retry leading; the detached capture thread still persists the
+/// entry, so a retrying leader finds it on disk.
+pub struct OverlappedCapture<'a> {
+    source: Option<ChannelSource>,
+    lead: Option<FlightLead<'a, ()>>,
+    handle: Option<std::thread::JoinHandle<u64>>,
+}
+
+impl OverlappedCapture<'_> {
+    /// Takes the replay channel (the consumer half of the tee). Call
+    /// once; the source yields exactly the captured instruction stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn take_source(&mut self) -> ChannelSource {
+        self.source.take().expect("overlapped capture source already taken")
+    }
+
+    /// Waits for the capture thread to finish persisting the entry and
+    /// publishes it to single-flight waiters. Returns the capture's
+    /// wall-clock milliseconds (execution + encoding + finalize).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capture thread panicked (I/O failure writing the
+    /// entry — the simulation fed from the tee channel would have
+    /// panicked on the broken channel already).
+    pub fn finish(mut self) -> u64 {
+        let handle = self.handle.take().expect("overlapped capture already finished");
+        let cap_ms = match handle.join() {
+            Ok(ms) => ms,
+            Err(_) => panic!("streamed capture thread panicked"),
+        };
+        self.lead.take().expect("flight lead present until finish").complete(());
+        cap_ms
+    }
+}
+
 /// FNV-1a 64-bit hash — the store's content-addressing primitive.
 /// Stable by construction (unlike `DefaultHasher`, whose algorithm is
 /// explicitly unspecified across releases), so cache keys survive
@@ -443,6 +504,10 @@ pub struct Store {
     /// threads asking for the same absent `(spec, insts)` entry capture
     /// it once and share the result (see [`Store::get_or_capture_shared`]).
     capture_flights: SingleFlight<Arc<Trace>>,
+    /// Single-flight dedup of *streamed* capture-to-disk (see
+    /// [`Store::stream_capture_shared`]): the value is unit because the
+    /// artifact is the on-disk entry, not an in-memory trace.
+    stream_flights: SingleFlight<()>,
 }
 
 impl fmt::Debug for Store {
@@ -461,7 +526,12 @@ impl Store {
         let root = dir.as_ref().to_path_buf();
         fs::create_dir_all(root.join("traces"))?;
         fs::create_dir_all(root.join("results"))?;
-        Ok(Store { root, c: Counters::default(), capture_flights: SingleFlight::new() })
+        Ok(Store {
+            root,
+            c: Counters::default(),
+            capture_flights: SingleFlight::new(),
+            stream_flights: SingleFlight::new(),
+        })
     }
 
     /// The store's root directory.
@@ -667,6 +737,118 @@ impl Store {
         }
     }
 
+    /// Captures `(spec, insts)` *streamed* straight into the store:
+    /// records are encoded to a private temp file in chunks as the
+    /// executor produces them (peak live memory O(chunk), bytes
+    /// identical to resident capture + [`Store::store_trace`]), then the
+    /// entry is published with an atomic rename. A crash mid-capture
+    /// leaves only a `.tmp-*` file — never a half-written entry.
+    ///
+    /// Unlike [`Store::store_trace`]'s `write_atomic`, the capture runs
+    /// *unlocked*: a giga-instruction capture takes far longer than the
+    /// advisory lock's staleness window, so holding the entry lock for
+    /// the duration would get it stolen. Only the final rename takes the
+    /// lock. `on_chunk` sees each chunk plus the running total (progress
+    /// reporting, overlap tee). Returns bytes written.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if writing or publishing the entry fails
+    /// (the temp file is removed). Callers that treat the store as a
+    /// pure accelerator may swallow it; callers feeding a live replay
+    /// from `on_chunk` must not, because the replay consumed a stream
+    /// that never became an entry.
+    pub fn capture_to_store<F>(
+        &self,
+        spec: &TraceSpec,
+        insts: usize,
+        on_chunk: F,
+    ) -> std::io::Result<u64>
+    where
+        F: FnMut(&[DynInst], u64),
+    {
+        let path = self.trace_path(spec, insts);
+        let tmp = Self::tmp_path(&path);
+        let result = (|| {
+            let file = fs::File::create(&tmp)?;
+            let mut w = BufWriter::new(file);
+            spec.capture_streamed(insts, &mut w, on_chunk).map_err(std::io::Error::other)?;
+            w.flush()?;
+            let bytes = w.get_ref().metadata()?.len();
+            drop(w);
+            let _lock = EntryLock::acquire(&path);
+            fs::rename(&tmp, &path)?;
+            Ok(bytes)
+        })();
+        match &result {
+            Ok(bytes) => {
+                self.c.bytes_written.fetch_add(*bytes, Ordering::Relaxed);
+            }
+            Err(_) => {
+                fs::remove_file(&tmp).ok();
+            }
+        }
+        result
+    }
+
+    /// Single-flight streamed capture with capture/simulate overlap: the
+    /// first caller to find `(spec, insts)` absent becomes the leader
+    /// and gets an [`OverlappedCapture`] — a background thread captures
+    /// the entry to disk while tee'ing the instruction stream into a
+    /// bounded channel the leader simulates from, so a cold cell's
+    /// capture time hides behind its first simulation. Callers racing on
+    /// the same key block until the leader's capture is on disk
+    /// ([`StreamCapture::Joined`]) and then stream it from the store;
+    /// when the entry already exists the caller gets
+    /// [`StreamCapture::CacheHit`] immediately.
+    ///
+    /// Counter discipline matches [`Store::get_or_capture_shared`]: only
+    /// a fresh leader counts a `trace_misses`, so summing leaders across
+    /// concurrent consumers counts each entry's creation exactly once.
+    pub fn stream_capture_shared(
+        self: &Arc<Self>,
+        spec: &TraceSpec,
+        insts: usize,
+    ) -> StreamCapture<'_> {
+        let key = format!("{}|{:016x}", spec.name, Self::trace_key(spec, insts));
+        loop {
+            match self.stream_flights.join(&key) {
+                Flight::Leader(lead) => {
+                    if fs::metadata(self.trace_path(spec, insts)).is_ok() {
+                        lead.complete(());
+                        return StreamCapture::CacheHit;
+                    }
+                    self.c.trace_misses.fetch_add(1, Ordering::Relaxed);
+                    let (tx, source) = ChannelSource::bounded(spec.name, insts as u64);
+                    let store = Arc::clone(self);
+                    let spec = spec.clone();
+                    let handle = std::thread::spawn(move || {
+                        let start = Instant::now();
+                        // A send failure means the consumer gave up; the
+                        // capture keeps going so the entry still lands.
+                        let tee = |chunk: &[DynInst], _done: u64| {
+                            let _ = tx.send(chunk.to_vec().into_boxed_slice());
+                        };
+                        if let Err(e) = store.capture_to_store(&spec, insts, tee) {
+                            panic!("streamed capture of {:?} failed: {e}", spec.name);
+                        }
+                        start.elapsed().as_millis() as u64
+                    });
+                    return StreamCapture::Leader(OverlappedCapture {
+                        source: Some(source),
+                        lead: Some(lead),
+                        handle: Some(handle),
+                    });
+                }
+                Flight::Shared(()) => return StreamCapture::Joined,
+                // The leader died mid-capture; its detached thread may
+                // still have persisted the entry — retry leading and
+                // probe the disk again.
+                Flight::Failed(_) => continue,
+            }
+        }
+    }
+
     fn result_path(&self, key: &str) -> PathBuf {
         self.root.join("results").join(format!("{:016x}.xbr", fnv1a64(key.as_bytes())))
     }
@@ -771,15 +953,8 @@ impl Store {
     where
         F: FnOnce(&mut dyn Write) -> std::io::Result<()>,
     {
-        static SEQ: AtomicU64 = AtomicU64::new(0);
         let _lock = EntryLock::acquire(path);
-        let dir = path.parent().expect("store paths have a parent");
-        let tmp = dir.join(format!(
-            ".tmp-{}-{}-{}",
-            std::process::id(),
-            SEQ.fetch_add(1, Ordering::Relaxed),
-            path.file_name().and_then(|n| n.to_str()).unwrap_or("entry")
-        ));
+        let tmp = Self::tmp_path(path);
         let result = (|| {
             let file = fs::File::create(&tmp)?;
             let mut w = BufWriter::new(file);
@@ -794,6 +969,21 @@ impl Store {
             fs::remove_file(&tmp).ok();
         }
         result
+    }
+
+    /// Unique same-directory temp path for the entry at `path`
+    /// (`.tmp-<pid>-<seq>-<filename>`): same filesystem, so the final
+    /// rename is atomic; unique, so concurrent writers never clobber
+    /// each other's partial files.
+    fn tmp_path(path: &Path) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = path.parent().expect("store paths have a parent");
+        dir.join(format!(
+            ".tmp-{}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed),
+            path.file_name().and_then(|n| n.to_str()).unwrap_or("entry")
+        ))
     }
 
     /// Logs and deletes a bad entry, counting it as corrupt + miss. The
@@ -1134,6 +1324,125 @@ mod tests {
         let (_, outcome) = store.get_or_capture_shared(spec, 1_000);
         assert_eq!(outcome, CaptureOutcome::CacheHit);
         assert!(store.stats().trace_hits >= 1);
+    }
+
+    #[test]
+    fn capture_to_store_matches_resident_entry_bytes() {
+        let s = Scratch::new("capture-streamed");
+        let store = Store::open(&s.0).unwrap();
+        let spec = &standard_traces()[0];
+        let resident = spec.capture(2_000);
+        let mut resident_bytes = Vec::new();
+        resident.save(&mut resident_bytes).unwrap();
+        let bytes = store.capture_to_store(spec, 2_000, |_, _| {}).unwrap();
+        assert_eq!(bytes, resident_bytes.len() as u64);
+        let on_disk = fs::read(store.trace_path(spec, 2_000)).unwrap();
+        assert_eq!(on_disk, resident_bytes, "streamed entry must be byte-identical");
+        // And it reads back as a normal cache hit.
+        assert!(store.load_trace(spec, 2_000).is_some());
+        assert_eq!(store.stats().trace_hits, 1);
+        // No temp litter.
+        let litter = fs::read_dir(s.0.join("traces"))
+            .unwrap()
+            .filter(|e| e.as_ref().unwrap().file_name().to_string_lossy().starts_with(".tmp-"))
+            .count();
+        assert_eq!(litter, 0);
+    }
+
+    #[test]
+    fn stream_capture_shared_overlaps_and_dedups() {
+        let s = Scratch::new("stream-capture-shared");
+        let store = Arc::new(Store::open(&s.0).unwrap());
+        let spec = &standard_traces()[1];
+        let insts = 3_000usize;
+        // Leader: consume the live channel while the capture runs.
+        let mut cap = match store.stream_capture_shared(spec, insts) {
+            StreamCapture::Leader(cap) => cap,
+            _ => panic!("first caller on a cold entry must lead"),
+        };
+        let mut src = cap.take_source();
+        use xbc_workload::InstSource;
+        let mut n = 0u64;
+        while src.next_inst().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, insts as u64);
+        let _cap_ms = cap.finish();
+        assert_eq!(store.stats().trace_misses, 1);
+        // The published entry equals a resident capture.
+        let resident = spec.capture(insts);
+        let loaded = store.load_trace(spec, insts).expect("published entry loads");
+        assert_eq!(loaded.insts(), resident.insts());
+        // Warm entry: immediate cache hit, no new flight.
+        assert!(matches!(store.stream_capture_shared(spec, insts), StreamCapture::CacheHit));
+        assert_eq!(store.stats().trace_misses, 1);
+    }
+
+    #[test]
+    fn stream_capture_shared_joiners_wait_for_the_leader() {
+        let s = Scratch::new("stream-capture-join");
+        let store = Arc::new(Store::open(&s.0).unwrap());
+        let spec = &standard_traces()[2];
+        let insts = 2_000usize;
+        let outcomes: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    match store.stream_capture_shared(spec, insts) {
+                        StreamCapture::Leader(mut cap) => {
+                            use xbc_workload::InstSource;
+                            let mut src = cap.take_source();
+                            while src.next_inst().is_some() {}
+                            cap.finish();
+                            outcomes.lock().unwrap().push("leader");
+                        }
+                        StreamCapture::Joined => {
+                            // The entry must be on disk by the time a
+                            // joiner wakes.
+                            assert!(store.open_trace_stream(spec, insts).is_some());
+                            outcomes.lock().unwrap().push("joined");
+                        }
+                        StreamCapture::CacheHit => {
+                            outcomes.lock().unwrap().push("hit");
+                        }
+                    }
+                });
+            }
+        });
+        let outcomes = outcomes.into_inner().unwrap();
+        let leaders = outcomes.iter().filter(|o| **o == "leader").count();
+        assert_eq!(leaders, 1, "exactly one racer captures: {outcomes:?}");
+        assert_eq!(store.stats().trace_misses, 1);
+    }
+
+    #[test]
+    fn dropped_overlapped_capture_still_persists() {
+        let s = Scratch::new("stream-capture-drop");
+        let store = Arc::new(Store::open(&s.0).unwrap());
+        let spec = &standard_traces()[3];
+        let insts = 1_500usize;
+        match store.stream_capture_shared(spec, insts) {
+            StreamCapture::Leader(cap) => drop(cap), // simulation abandoned
+            _ => panic!("cold entry must lead"),
+        }
+        // The detached capture thread still publishes the entry; a
+        // retrying leader finds it on disk (poll briefly — the thread
+        // is detached).
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match store.stream_capture_shared(spec, insts) {
+                StreamCapture::CacheHit => break,
+                StreamCapture::Leader(cap) => {
+                    drop(cap);
+                    assert!(Instant::now() < deadline, "entry never appeared");
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                StreamCapture::Joined => break,
+            }
+        }
+        let resident = spec.capture(insts);
+        let loaded = store.load_trace(spec, insts).expect("entry persisted");
+        assert_eq!(loaded.insts(), resident.insts());
     }
 
     #[test]

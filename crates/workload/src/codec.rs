@@ -40,7 +40,7 @@
 
 use crate::exec::{DynInst, ExecStats};
 use std::fmt;
-use std::io::{Read, Write};
+use std::io::{Read, Seek, SeekFrom, Write};
 use xbc_isa::{Addr, BranchKind, Inst};
 
 /// Version stamp of the `XBT1` container. Bump on any layout change so
@@ -135,6 +135,80 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     crc32_update(0, bytes)
 }
 
+/// Applies a 32×32 GF(2) matrix (columns as `u32` bit-vectors) to a
+/// 32-bit vector.
+fn gf2_matrix_times(mat: &[u32; 32], mut vec: u32) -> u32 {
+    let mut sum = 0u32;
+    let mut i = 0usize;
+    while vec != 0 {
+        if vec & 1 != 0 {
+            sum ^= mat[i];
+        }
+        vec >>= 1;
+        i += 1;
+    }
+    sum
+}
+
+/// Squares a GF(2) matrix: `square = mat × mat`.
+fn gf2_matrix_square(square: &mut [u32; 32], mat: &[u32; 32]) {
+    for n in 0..32 {
+        square[n] = gf2_matrix_times(mat, mat[n]);
+    }
+}
+
+/// Combines two independently computed CRC32s:
+/// `crc32_combine(crc32(a), crc32(b), b.len()) == crc32(a ++ b)`.
+///
+/// This is what lets [`StreamEncoder`] keep a records-only running CRC
+/// while the header (whose `ExecStats` are unknown until capture ends)
+/// is CRC'd separately and patched in at finalize — no second pass over
+/// gigabytes of records. The algorithm is the standard GF(2) matrix
+/// trick: appending `len2` zero bytes to `a` multiplies its CRC state by
+/// the zero-byte transition matrix `len2` times, done in O(log len2)
+/// matrix squarings.
+pub fn crc32_combine(crc1: u32, crc2: u32, mut len2: u64) -> u32 {
+    if len2 == 0 {
+        return crc1;
+    }
+    let mut even = [0u32; 32]; // zero-byte operator^(2^(2k))
+    let mut odd = [0u32; 32]; // zero-byte operator^(2^(2k+1))
+
+    // One zero *bit*: CRC shift with the reflected polynomial.
+    odd[0] = 0xEDB8_8320;
+    let mut row = 1u32;
+    for slot in odd.iter_mut().skip(1) {
+        *slot = row;
+        row <<= 1;
+    }
+    gf2_matrix_square(&mut even, &odd); // two zero bits
+    gf2_matrix_square(&mut odd, &even); // four zero bits
+
+    // Walk the bits of len2, squaring up to the operator for 8·2^k zero
+    // bits (one zero byte doubled each round) and applying it where the
+    // corresponding bit of len2 is set.
+    let mut crc = crc1;
+    loop {
+        gf2_matrix_square(&mut even, &odd);
+        if len2 & 1 != 0 {
+            crc = gf2_matrix_times(&even, crc);
+        }
+        len2 >>= 1;
+        if len2 == 0 {
+            break;
+        }
+        gf2_matrix_square(&mut odd, &even);
+        if len2 & 1 != 0 {
+            crc = gf2_matrix_times(&odd, crc);
+        }
+        len2 >>= 1;
+        if len2 == 0 {
+            break;
+        }
+    }
+    crc ^ crc2
+}
+
 // ---------------------------------------------------------------------------
 // Varint + zigzag primitives.
 
@@ -203,39 +277,10 @@ impl<W: Write> Encoder<W> {
     pub fn record(&mut self, d: &DynInst) -> Result<(), TraceError> {
         assert!(self.remaining > 0, "encoder received more records than declared");
         self.remaining -= 1;
-        let ip = d.inst.ip;
-        let mut flags = branch_kind_code(d.inst.branch);
-        if d.taken {
-            flags |= FLAG_TAKEN;
-        }
-        if d.inst.target.is_some() {
-            flags |= FLAG_HAS_TARGET;
-        }
-        let next_seq = d.next_ip == d.inst.next_seq();
-        if next_seq {
-            flags |= FLAG_NEXT_SEQ;
-        }
-        let ip_expected = ip == self.expected_ip;
-        if ip_expected {
-            flags |= FLAG_IP_EXPECTED;
-        }
-        self.buf.push(flags);
-        debug_assert!((1..=15).contains(&d.inst.len) && (1..=4).contains(&d.inst.uops));
-        self.buf.push(d.inst.len | ((d.inst.uops - 1) << 4));
-        if !ip_expected {
-            let delta = ip.raw().wrapping_sub(self.expected_ip.raw()) as i64;
-            write_varint(&mut self.buf, zigzag(delta));
-        }
-        if let Some(t) = d.inst.target {
-            write_varint(&mut self.buf, zigzag(t.raw().wrapping_sub(ip.raw()) as i64));
-        }
-        if !next_seq {
-            write_varint(&mut self.buf, zigzag(d.next_ip.raw().wrapping_sub(ip.raw()) as i64));
-        }
+        self.expected_ip = encode_record(&mut self.buf, self.expected_ip, d);
         self.crc = crc32_update(self.crc, &self.buf);
         self.out.write_all(&self.buf)?;
         self.buf.clear();
-        self.expected_ip = d.next_ip;
         Ok(())
     }
 
@@ -247,6 +292,148 @@ impl<W: Write> Encoder<W> {
     pub fn finish(mut self) -> Result<(), TraceError> {
         assert_eq!(self.remaining, 0, "encoder finished before all declared records");
         self.out.write_all(&self.crc.to_le_bytes())?;
+        self.out.flush()?;
+        Ok(())
+    }
+}
+
+/// Encodes one record into `buf` (appending), given the stateful
+/// expected continuation IP; returns the next expected IP (`d.next_ip`).
+/// Shared by [`Encoder`] and [`StreamEncoder`] so the two paths cannot
+/// drift byte-wise.
+fn encode_record(buf: &mut Vec<u8>, expected_ip: Addr, d: &DynInst) -> Addr {
+    let ip = d.inst.ip;
+    let mut flags = branch_kind_code(d.inst.branch);
+    if d.taken {
+        flags |= FLAG_TAKEN;
+    }
+    if d.inst.target.is_some() {
+        flags |= FLAG_HAS_TARGET;
+    }
+    let next_seq = d.next_ip == d.inst.next_seq();
+    if next_seq {
+        flags |= FLAG_NEXT_SEQ;
+    }
+    let ip_expected = ip == expected_ip;
+    if ip_expected {
+        flags |= FLAG_IP_EXPECTED;
+    }
+    buf.push(flags);
+    debug_assert!((1..=15).contains(&d.inst.len) && (1..=4).contains(&d.inst.uops));
+    buf.push(d.inst.len | ((d.inst.uops - 1) << 4));
+    if !ip_expected {
+        let delta = ip.raw().wrapping_sub(expected_ip.raw()) as i64;
+        write_varint(buf, zigzag(delta));
+    }
+    if let Some(t) = d.inst.target {
+        write_varint(buf, zigzag(t.raw().wrapping_sub(ip.raw()) as i64));
+    }
+    if !next_seq {
+        write_varint(buf, zigzag(d.next_ip.raw().wrapping_sub(ip.raw()) as i64));
+    }
+    d.next_ip
+}
+
+// ---------------------------------------------------------------------------
+// Streaming encoder.
+
+/// Streaming writer half of the codec, for captures whose [`ExecStats`]
+/// are not known until the last instruction has executed.
+///
+/// [`Encoder`] requires the stats up front because they sit in the
+/// header, *before* the records — fine when the whole trace is resident,
+/// wrong for a chunked capture that learns the stats only at the end.
+/// `StreamEncoder` writes the header with zeroed stats, streams records
+/// with a records-only running CRC, then [`StreamEncoder::finish`] seeks
+/// back, patches the real stats in, and emits a trailer computed with
+/// [`crc32_combine`] — so the bytes on disk are identical to what
+/// [`Encoder`] would have produced, without buffering records or making
+/// a second pass over them.
+pub struct StreamEncoder<W: Write + Seek> {
+    out: W,
+    buf: Vec<u8>,
+    /// CRC of the header bytes before the stats field (version..count).
+    crc_prefix: u32,
+    /// Running CRC over record bytes only, seeded from 0.
+    crc_records: u32,
+    /// Total record bytes written, for [`crc32_combine`].
+    records_len: u64,
+    /// Absolute file offset of the 40-byte stats field.
+    stats_pos: u64,
+    expected_ip: Addr,
+    remaining: u64,
+}
+
+impl<W: Write + Seek> StreamEncoder<W> {
+    /// Writes the header for a trace of exactly `count` instructions,
+    /// with a zeroed stats field to be patched by
+    /// [`StreamEncoder::finish`].
+    pub fn new(mut out: W, name: &str, count: u64) -> Result<Self, TraceError> {
+        out.write_all(&MAGIC)?;
+        let mut buf = Vec::with_capacity(64 + name.len());
+        buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        let name_len = u16::try_from(name.len())
+            .map_err(|_| TraceError::Corrupt("trace name longer than 64 KiB".into()))?;
+        buf.extend_from_slice(&name_len.to_le_bytes());
+        buf.extend_from_slice(name.as_bytes());
+        buf.extend_from_slice(&count.to_le_bytes());
+        let crc_prefix = crc32_update(0, &buf);
+        let stats_pos = (MAGIC.len() + buf.len()) as u64;
+        buf.extend_from_slice(&[0u8; 40]); // stats placeholder
+        out.write_all(&buf)?;
+        buf.clear();
+        Ok(StreamEncoder {
+            out,
+            buf,
+            crc_prefix,
+            crc_records: 0,
+            records_len: 0,
+            stats_pos,
+            expected_ip: Addr::NULL,
+            remaining: count,
+        })
+    }
+
+    /// Appends one dynamic instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called more than `count` times.
+    pub fn record(&mut self, d: &DynInst) -> Result<(), TraceError> {
+        assert!(self.remaining > 0, "encoder received more records than declared");
+        self.remaining -= 1;
+        self.expected_ip = encode_record(&mut self.buf, self.expected_ip, d);
+        self.crc_records = crc32_update(self.crc_records, &self.buf);
+        self.records_len += self.buf.len() as u64;
+        self.out.write_all(&self.buf)?;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Patches the real `stats` into the header, writes the CRC trailer
+    /// and flushes. Until this returns the file is unreadable (zeroed
+    /// stats, missing trailer) — callers must treat it as garbage, which
+    /// the store's write-to-temp-then-rename finalize guarantees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer records were written than declared in the header.
+    pub fn finish(mut self, stats: ExecStats) -> Result<(), TraceError> {
+        assert_eq!(self.remaining, 0, "encoder finished before all declared records");
+        let mut stats_bytes = [0u8; 40];
+        for (i, v) in
+            [stats.insts, stats.uops, stats.elided_calls, stats.wrapped_returns, stats.interrupts]
+                .into_iter()
+                .enumerate()
+        {
+            stats_bytes[i * 8..i * 8 + 8].copy_from_slice(&v.to_le_bytes());
+        }
+        self.out.seek(SeekFrom::Start(self.stats_pos))?;
+        self.out.write_all(&stats_bytes)?;
+        let crc_header = crc32_update(self.crc_prefix, &stats_bytes);
+        let crc = crc32_combine(crc_header, self.crc_records, self.records_len);
+        self.out.seek(SeekFrom::Start(self.stats_pos + 40 + self.records_len))?;
+        self.out.write_all(&crc.to_le_bytes())?;
         self.out.flush()?;
         Ok(())
     }
@@ -536,6 +723,33 @@ mod tests {
         // Incremental == one-shot.
         let a = crc32_update(crc32_update(0, b"1234"), b"56789");
         assert_eq!(a, 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc32_combine_matches_sequential() {
+        let data: Vec<u8> =
+            (0..4096u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let whole = crc32(&data);
+        for split in [0, 1, 2, 7, 40, 255, 256, 1024, 4095, 4096] {
+            let (a, b) = data.split_at(split);
+            let combined = crc32_combine(crc32(a), crc32(b), b.len() as u64);
+            assert_eq!(combined, whole, "split at {split}");
+        }
+        // Empty-prefix and known-vector sanity.
+        assert_eq!(crc32_combine(crc32(b"1234"), crc32(b"56789"), 5), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn stream_encoder_is_byte_identical_to_encoder() {
+        let t = sample_trace();
+        let resident = encode(&t);
+        let mut cursor = std::io::Cursor::new(Vec::new());
+        let mut enc = StreamEncoder::new(&mut cursor, t.name(), t.inst_count() as u64).unwrap();
+        for d in t.insts() {
+            enc.record(d).unwrap();
+        }
+        enc.finish(t.exec_stats()).unwrap();
+        assert_eq!(cursor.into_inner(), resident);
     }
 
     #[test]

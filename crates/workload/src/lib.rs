@@ -43,6 +43,7 @@ mod stream;
 mod suite;
 mod trace;
 
+pub use codec::{crc32_combine, StreamEncoder};
 pub use codec::{TraceError, TraceReader};
 pub use dot::function_dot;
 pub use exec::{DynInst, ExecStats, Executor};
@@ -52,6 +53,6 @@ pub use program::{CondBehavior, IndirectTargets, Program, ProgramBuilder, Progra
 pub use report::{analyze, BranchMix, WorkloadReport};
 pub use rng::{Rng64, Sample, SampleRange};
 pub use stats::{block_length_stats, BlockLengthStats, BLOCK_QUOTA};
-pub use stream::{InstSource, IterSource, TraceStream};
+pub use stream::{ChannelSource, InstSource, IterSource, TraceStream, CHANNEL_DEPTH};
 pub use suite::{standard_traces, Suite, TraceSpec};
-pub use trace::Trace;
+pub use trace::{Trace, CAPTURE_CHUNK};

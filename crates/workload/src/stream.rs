@@ -15,6 +15,13 @@
 use crate::codec::{TraceError, TraceReader};
 use crate::exec::{DynInst, ExecStats};
 use std::io::Read;
+use std::sync::mpsc;
+
+/// Chunk-queue depth of a capture/replay overlap channel (see
+/// [`ChannelSource::bounded`]): small enough that a stalled consumer
+/// backpressures the producer at O(chunks) memory, large enough that
+/// neither side stalls on normal jitter.
+pub const CHANNEL_DEPTH: usize = 4;
 
 /// A pull-based producer of committed dynamic instructions.
 ///
@@ -110,6 +117,81 @@ impl<R: Read> crate::stream::InstSource for TraceStream<R> {
     }
 }
 
+/// Replays committed instructions from a bounded producer/consumer
+/// channel fed by a live capture: the consumer half of capture/simulate
+/// overlap. The producer (a streaming capture thread) sends each encoded
+/// chunk through the channel as it is written to disk; the simulation
+/// pulls instructions out the other end, so a cold cell's first replay
+/// runs *while* its capture is still executing instead of after it.
+///
+/// # Panics
+///
+/// `next_inst` panics if the channel disconnects before `expected`
+/// instructions have been yielded — the producer died mid-capture, and a
+/// replay that has already consumed part of the stream cannot recover
+/// (same contract as [`TraceStream`] on mid-stream corruption).
+pub struct ChannelSource {
+    rx: mpsc::Receiver<Box<[DynInst]>>,
+    chunk: Box<[DynInst]>,
+    pos: usize,
+    name: String,
+    expected: u64,
+    yielded: u64,
+}
+
+impl ChannelSource {
+    /// Creates a channel expecting exactly `expected` instructions and
+    /// returns `(producer, consumer)`. The producer sends whole chunks
+    /// (boxed so a send is a pointer move); the channel holds at most
+    /// [`CHANNEL_DEPTH`] chunks, backpressuring a capture that outruns
+    /// the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expected` is zero.
+    pub fn bounded(name: &str, expected: u64) -> (mpsc::SyncSender<Box<[DynInst]>>, Self) {
+        assert!(expected > 0, "a channel source needs at least one instruction");
+        let (tx, rx) = mpsc::sync_channel(CHANNEL_DEPTH);
+        let src = ChannelSource {
+            rx,
+            chunk: Box::new([]),
+            pos: 0,
+            name: name.to_owned(),
+            expected,
+            yielded: 0,
+        };
+        (tx, src)
+    }
+}
+
+impl InstSource for ChannelSource {
+    fn next_inst(&mut self) -> Option<DynInst> {
+        if self.yielded == self.expected {
+            return None;
+        }
+        while self.pos == self.chunk.len() {
+            match self.rx.recv() {
+                Ok(chunk) => {
+                    self.chunk = chunk;
+                    self.pos = 0;
+                }
+                Err(_) => panic!(
+                    "live capture of {:?} died after {} of {} instructions",
+                    self.name, self.yielded, self.expected
+                ),
+            }
+        }
+        let d = self.chunk[self.pos];
+        self.pos += 1;
+        self.yielded += 1;
+        Some(d)
+    }
+
+    fn source_name(&self) -> &str {
+        &self.name
+    }
+}
+
 /// Adapts any in-memory instruction iterator into an [`InstSource`]
 /// (resident replays, tests, synthetic generators).
 ///
@@ -172,6 +254,35 @@ mod tests {
         buf[mid] ^= 0xFF;
         let mut s = TraceStream::new(buf.as_slice()).unwrap();
         while s.next_inst().is_some() {}
+    }
+
+    #[test]
+    fn channel_source_yields_the_produced_sequence() {
+        let trace = standard_traces()[0].capture(300);
+        let insts = trace.insts().to_vec();
+        let (tx, mut src) = ChannelSource::bounded(trace.name(), insts.len() as u64);
+        let feeder = std::thread::spawn(move || {
+            for chunk in insts.chunks(64) {
+                tx.send(chunk.to_vec().into_boxed_slice()).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        while let Some(d) = src.next_inst() {
+            got.push(d);
+        }
+        feeder.join().unwrap();
+        assert_eq!(got, trace.insts());
+        assert_eq!(src.next_inst(), None, "a drained channel source stays drained");
+    }
+
+    #[test]
+    #[should_panic(expected = "died after")]
+    fn channel_source_panics_on_producer_death() {
+        let trace = standard_traces()[1].capture(100);
+        let (tx, mut src) = ChannelSource::bounded("dying", 200);
+        tx.send(trace.insts().to_vec().into_boxed_slice()).unwrap();
+        drop(tx); // producer dies 100 insts short of the declared 200
+        while src.next_inst().is_some() {}
     }
 
     #[test]

@@ -134,6 +134,40 @@ impl TraceSpec {
             profile.interrupt_interval,
         )
     }
+
+    /// Streaming counterpart of [`TraceSpec::capture`]: generates the
+    /// program and encodes `n_insts` dynamic instructions straight to
+    /// `writer` in chunks (same seed derivation and profile options, so
+    /// the bytes match `capture` + `Trace::save` exactly). `on_chunk`
+    /// sees each chunk plus the running instruction total — the tee
+    /// point for progress reporting and capture/replay overlap.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the writer.
+    pub fn capture_streamed<W, F>(
+        &self,
+        n_insts: usize,
+        writer: W,
+        on_chunk: F,
+    ) -> Result<crate::ExecStats, crate::TraceError>
+    where
+        W: std::io::Write + std::io::Seek,
+        F: FnMut(&[crate::DynInst], u64),
+    {
+        let program = self.program();
+        let profile = self.profile();
+        Trace::capture_streamed(
+            self.name,
+            &program,
+            self.seed.wrapping_mul(0x2545_F491_4F6C_DD1D),
+            n_insts,
+            profile.indirect_stickiness,
+            profile.interrupt_interval,
+            writer,
+            on_chunk,
+        )
+    }
 }
 
 /// The standard 21 traces (8 SPECint95-like, 8 SYSmark32-like, 5

@@ -5,11 +5,17 @@
 //! see identical committed paths. [`Trace`] materializes a stream from the
 //! executor once and hands out slices to any number of simulations.
 
-use crate::codec::{Encoder, TraceError, TraceReader};
+use crate::codec::{Encoder, StreamEncoder, TraceError, TraceReader};
 use crate::exec::{DynInst, ExecStats, Executor};
 use crate::program::Program;
 use std::fmt;
-use std::io::{Read, Write};
+use std::io::{Read, Seek, Write};
+
+/// Instructions per chunk of a streamed capture: the unit of buffering
+/// between the executor and the encoder (and, when a replay is tee'd off
+/// the capture, the granularity of the producer/consumer channel). Peak
+/// live memory of `capture_streamed` is O(this), not O(trace).
+pub const CAPTURE_CHUNK: usize = 8_192;
 
 /// A named, captured dynamic instruction stream.
 ///
@@ -30,8 +36,24 @@ pub struct Trace {
     uops: u64,
     exec_stats: ExecStats,
     /// Lazily built uop prefix sums (`prefix[i]` = uops of `insts[..i]`),
-    /// shared by every replay cursor over this trace.
-    uop_prefix: std::sync::OnceLock<Vec<u32>>,
+    /// shared by every replay cursor over this trace. u64: a >4G-uop
+    /// trace (~1G instructions at 4 uops each) overflows a u32 sum.
+    uop_prefix: std::sync::OnceLock<Vec<u64>>,
+}
+
+/// Builds the uop prefix-sum table from per-instruction uop counts.
+/// Factored out of [`Trace::uop_prefix`] so the u64 accumulator can be
+/// regression-tested past the u32 ceiling without capturing a 4G-uop
+/// trace.
+fn uop_prefix_from(counts: impl Iterator<Item = u32>) -> Vec<u64> {
+    let mut cum = Vec::with_capacity(counts.size_hint().0 + 1);
+    let mut total = 0u64;
+    cum.push(0);
+    for c in counts {
+        total += u64::from(c);
+        cum.push(total);
+    }
+    cum
 }
 
 impl Trace {
@@ -93,6 +115,65 @@ impl Trace {
         }
     }
 
+    /// Streaming capture: runs the executor for `n_insts` dynamic
+    /// instructions and encodes them to `writer` in [`CAPTURE_CHUNK`]
+    /// batches as they are produced, never materializing the trace. The
+    /// bytes written are identical to [`Trace::capture_with_options`]
+    /// followed by [`Trace::save`] (CI asserts this for every standard
+    /// trace), but peak live memory is O(chunk) instead of O(trace), so
+    /// giga-instruction captures fit in a bounded footprint.
+    ///
+    /// `on_chunk` is invoked once per encoded chunk with the chunk's
+    /// instructions and the running total captured so far — the hook for
+    /// progress reporting and for tee'ing the stream into a live replay
+    /// channel (see `ChannelSource`).
+    ///
+    /// Returns the capture's [`ExecStats`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the writer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_insts` is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn capture_streamed<W, F>(
+        name: &str,
+        program: &Program,
+        seed: u64,
+        n_insts: usize,
+        stickiness: f64,
+        interrupt_interval: Option<usize>,
+        writer: W,
+        mut on_chunk: F,
+    ) -> Result<ExecStats, TraceError>
+    where
+        W: Write + Seek,
+        F: FnMut(&[DynInst], u64),
+    {
+        assert!(n_insts > 0, "a trace needs at least one instruction");
+        let mut exec = Executor::with_options(program, seed, stickiness, interrupt_interval);
+        let mut enc = StreamEncoder::new(writer, name, n_insts as u64)?;
+        let mut chunk: Vec<DynInst> = Vec::with_capacity(CAPTURE_CHUNK.min(n_insts));
+        let mut done = 0u64;
+        while done < n_insts as u64 {
+            let take = CAPTURE_CHUNK.min(n_insts - done as usize);
+            chunk.clear();
+            for _ in 0..take {
+                chunk.push(exec.next().expect("executor is infinite"));
+            }
+            for d in &chunk {
+                enc.record(d)?;
+            }
+            done += take as u64;
+            on_chunk(&chunk, done);
+        }
+        let stats = exec.stats();
+        enc.finish(stats)?;
+        Ok(stats)
+    }
+
     /// Builds a trace directly from a committed instruction sequence (the
     /// uop count is recomputed; executor statistics are zeroed). This is
     /// the mutation entry point for checkers: `xbc-check` injects
@@ -138,17 +219,8 @@ impl Trace {
     /// the trace). Built on first use and cached, so replay cursors that
     /// resolve uop windows against instruction boundaries share one dense
     /// table instead of re-walking the instruction records.
-    pub fn uop_prefix(&self) -> &[u32] {
-        self.uop_prefix.get_or_init(|| {
-            let mut cum = Vec::with_capacity(self.insts.len() + 1);
-            let mut total = 0u32;
-            cum.push(0);
-            for d in &self.insts {
-                total += d.uops();
-                cum.push(total);
-            }
-            cum
-        })
+    pub fn uop_prefix(&self) -> &[u64] {
+        self.uop_prefix.get_or_init(|| uop_prefix_from(self.insts.iter().map(|d| d.uops())))
     }
 
     /// Executor corner-case statistics from the capture.
@@ -263,6 +335,56 @@ mod tests {
     fn empty_capture_rejected() {
         let p = program();
         let _ = Trace::capture("t", &p, 1, 0);
+    }
+
+    #[test]
+    fn capture_streamed_matches_resident_bytes() {
+        let p = program();
+        // Cross several chunk boundaries, including a ragged tail.
+        let n = CAPTURE_CHUNK * 2 + 137;
+        let resident = Trace::capture_with_options("streamed", &p, 7, n, 0.85, None);
+        let mut resident_bytes = Vec::new();
+        resident.save(&mut resident_bytes).unwrap();
+        let mut cursor = std::io::Cursor::new(Vec::new());
+        let mut seen = 0u64;
+        let stats = Trace::capture_streamed(
+            "streamed",
+            &p,
+            7,
+            n,
+            0.85,
+            None,
+            &mut cursor,
+            |chunk, done| {
+                seen += chunk.len() as u64;
+                assert_eq!(seen, done);
+            },
+        )
+        .unwrap();
+        assert_eq!(seen, n as u64);
+        assert_eq!(stats, resident.exec_stats());
+        assert_eq!(cursor.into_inner(), resident_bytes);
+    }
+
+    #[test]
+    fn uop_prefix_survives_u32_overflow() {
+        // Three synthetic counts whose running sum crosses the u32
+        // ceiling: the old u32 accumulator wrapped silently here.
+        let cum = uop_prefix_from([u32::MAX, u32::MAX, 7].into_iter());
+        assert_eq!(
+            cum,
+            vec![0, u64::from(u32::MAX), 2 * u64::from(u32::MAX), 2 * u64::from(u32::MAX) + 7]
+        );
+    }
+
+    #[test]
+    fn uop_prefix_matches_uop_count() {
+        let p = program();
+        let t = Trace::capture("t", &p, 2, 700);
+        let cum = t.uop_prefix();
+        assert_eq!(cum.len(), t.inst_count() + 1);
+        assert_eq!(cum[0], 0);
+        assert_eq!(*cum.last().unwrap(), t.uop_count());
     }
 
     #[test]

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# CI gate for the streaming capture pipeline (the perf job):
+#
+#   1. runs the in-tree capture bench, writing the measurements to
+#      results/ci_capture.json (schema xbc-capture-bench-v1);
+#   2. diffs streamed capture throughput against the committed
+#      reference results/BENCH_capture.json, failing if it dropped more
+#      than TOL below the reference (speed-ups never fail);
+#   3. checks the O(chunk) claim structurally: streamed peak bytes must
+#      stay under 2x the committed reference (absolute bytes vary with
+#      allocator and libc, so the bound is relative), and far below the
+#      resident peak measured in the same run;
+#   4. requires the cold-sweep overlap to be live: every cold cell
+#      overlapped, hiding a nonzero fraction of capture time.
+#
+# The bench itself asserts overlap > 0, so step 4 double-checks the
+# recorded artifact rather than the process exit alone.
+#
+# Usage: scripts/ci_capture_gate.sh [TOL]  (fractional slowdown
+#                                           tolerance, default 0.25)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+TOL="${1:-0.25}"
+REF=results/BENCH_capture.json
+OUT=results/ci_capture.json
+
+[ -f "$REF" ] || { echo "missing reference $REF" >&2; exit 1; }
+mkdir -p results
+
+cargo bench -p xbc-bench --bench capture -- --json "$PWD/$OUT"
+
+field() { # field NAME FILE -> numeric value
+  grep -o "\"$1\": [0-9.]*" "$2" | awk '{print $2}'
+}
+
+REF_RATE=$(field streamed_minsts_per_sec "$REF")
+CUR_RATE=$(field streamed_minsts_per_sec "$OUT")
+REF_PEAK=$(field streamed_peak_bytes "$REF")
+CUR_PEAK=$(field streamed_peak_bytes "$OUT")
+CUR_RESIDENT_PEAK=$(field resident_peak_bytes "$OUT")
+CUR_OVERLAP=$(field overlap_fraction "$OUT")
+CUR_OVERLAPPED=$(field overlapped_cells "$OUT")
+
+status=0
+
+FLOOR=$(awk -v r="$REF_RATE" -v t="$TOL" 'BEGIN {printf "%.2f", r * (1 - t)}')
+if awk -v c="$CUR_RATE" -v f="$FLOOR" 'BEGIN {exit !(c >= f)}'; then
+  echo "capture throughput    ref $REF_RATE Minsts/s  now $CUR_RATE  floor $FLOOR  ok"
+else
+  echo "capture throughput    ref $REF_RATE Minsts/s  now $CUR_RATE  floor $FLOOR  REGRESSED"
+  status=1
+fi
+
+PEAK_CEIL=$((REF_PEAK * 2))
+if [ "$CUR_PEAK" -le "$PEAK_CEIL" ]; then
+  echo "streamed peak bytes   ref $REF_PEAK  now $CUR_PEAK  ceiling $PEAK_CEIL  ok"
+else
+  echo "streamed peak bytes   ref $REF_PEAK  now $CUR_PEAK  ceiling $PEAK_CEIL  GREW"
+  status=1
+fi
+
+if [ "$CUR_PEAK" -lt $((CUR_RESIDENT_PEAK / 2)) ]; then
+  echo "streamed vs resident  $CUR_PEAK < half of $CUR_RESIDENT_PEAK  ok"
+else
+  echo "streamed vs resident  $CUR_PEAK not meaningfully below $CUR_RESIDENT_PEAK  FAIL"
+  status=1
+fi
+
+if [ "$CUR_OVERLAPPED" -gt 0 ] && awk -v o="$CUR_OVERLAP" 'BEGIN {exit !(o > 0)}'; then
+  echo "cold-sweep overlap    $CUR_OVERLAPPED cells, fraction $CUR_OVERLAP  ok"
+else
+  echo "cold-sweep overlap    $CUR_OVERLAPPED cells, fraction $CUR_OVERLAP  FAIL"
+  status=1
+fi
+
+[ "$status" -eq 0 ] || exit "$status"
+echo "OK: streaming capture within ${TOL} of the committed reference"

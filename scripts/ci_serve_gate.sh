@@ -22,6 +22,7 @@ TRACES="spec.gcc,games.quake"
 GRID=(--traces "$TRACES" --frontends tc,xbc --sizes 8192 --inst "$INSTS")
 # 2 traces x 2 frontend columns (tc, xbc@8192)
 DISTINCT_CELLS=4
+DISTINCT_TRACES=2
 
 cargo build --release -p xbc-serve
 mkdir -p results
@@ -118,6 +119,18 @@ run_gate() { # TRANSPORT
     | awk '{s += $2} END {print s}')
   if [ "$SIMULATED" -ne "$DISTINCT_CELLS" ]; then
     echo "FAIL($T): two racing cold clients simulated $SIMULATED cells; single-flight dedup requires exactly $DISTINCT_CELLS" >&2
+    cat "results/ci_serve_cold_bench_${T}_a.json" "results/ci_serve_cold_bench_${T}_b.json" >&2
+    exit 1
+  fi
+  # Capture identity: each cold trace is captured exactly once across
+  # both racing clients — the streamed-capture flight's leader counts
+  # it, cache hits and joiners don't.
+  CAPTURES=$(grep -ho '"captures": [0-9]*' \
+      "results/ci_serve_cold_bench_${T}_a.json" \
+      "results/ci_serve_cold_bench_${T}_b.json" \
+    | awk '{s += $2} END {print s}')
+  if [ "$CAPTURES" -ne "$DISTINCT_TRACES" ]; then
+    echo "FAIL($T): two racing cold clients captured $CAPTURES traces; streamed-capture dedup requires exactly $DISTINCT_TRACES" >&2
     cat "results/ci_serve_cold_bench_${T}_a.json" "results/ci_serve_cold_bench_${T}_b.json" >&2
     exit 1
   fi

@@ -37,7 +37,10 @@ fn grid(n: usize, base: usize) -> Vec<FrontendSpec> {
 }
 
 fn req(name: &str, frontends: Vec<FrontendSpec>, priority: u32) -> SweepRequest {
-    SweepRequest { traces: vec![name.to_owned()], frontends, insts: 300, priority }
+    // Enough work per cell that the first request is still queued when
+    // the second arrives 100ms later — otherwise there is no contention
+    // for round-robin or priority to arbitrate.
+    SweepRequest { traces: vec![name.to_owned()], frontends, insts: 3_000, priority }
 }
 
 /// Boots an uncached 2-worker daemon (uncached: every cell simulates,

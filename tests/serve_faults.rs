@@ -105,7 +105,7 @@ fn daemon_survives_the_fault_campaign() {
 
     // ── Scenario 3: worker dies once — cell retried exactly once ─────
     faults.kill_next_cells(1);
-    let retried = submit(&endpoint, &req(&names[..1].to_vec(), vec![xbc(48 * 1024)], 5_000))
+    let retried = submit(&endpoint, &req(&names[..1], vec![xbc(48 * 1024)], 5_000))
         .expect("one worker death must be absorbed by the retry");
     assert_eq!(retried.rows.len(), 1);
     let sched = retried.sched.as_ref().expect("sched snapshot in done trailer");
@@ -113,12 +113,12 @@ fn daemon_survives_the_fault_campaign() {
 
     // ── Scenario 4: worker dies twice — request fails, daemon lives ──
     faults.kill_next_cells(2);
-    let err = submit(&endpoint, &req(&names[..1].to_vec(), vec![xbc(56 * 1024)], 5_000))
+    let err = submit(&endpoint, &req(&names[..1], vec![xbc(56 * 1024)], 5_000))
         .expect_err("two deaths in one cell exhaust the retry budget");
     assert!(err.contains("worker died"), "failure names the cause: {err}");
     ping(&endpoint).unwrap();
     faults.reset();
-    let recovered = submit(&endpoint, &req(&names[..1].to_vec(), vec![xbc(56 * 1024)], 5_000))
+    let recovered = submit(&endpoint, &req(&names[..1], vec![xbc(56 * 1024)], 5_000))
         .expect("the same grid succeeds once the fault is cleared");
     assert_eq!(recovered.rows.len(), 1);
 

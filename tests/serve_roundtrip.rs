@@ -167,12 +167,14 @@ fn shutdown_racing_an_active_sweep_drains_it() {
     let traces: Vec<_> = standard_traces().into_iter().take(2).collect();
     let names: Vec<String> = traces.iter().map(|t| t.name.to_owned()).collect();
     // 2 traces × 5 frontends = 10 cold cells on one worker: enough work
-    // that the shutdown lands while most cells are still queued.
+    // that the shutdown lands while most cells are still queued. The
+    // inst count must keep the sweep busy well past the 150ms sleep
+    // below even on a fast host, or `draining` legitimately reads 0.
     let frontends: Vec<FrontendSpec> = [8, 16, 32, 64, 128]
         .into_iter()
         .map(|kb| FrontendSpec::Xbc { total_uops: kb * 1024, ways: 2, promotion: true })
         .collect();
-    let insts = 50_000;
+    let insts = 500_000;
 
     let mut config = ServeConfig::new(endpoint.clone());
     config.threads = 1;
